@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("0=127.0.0.1:7000, 1=127.0.0.1:7001,2=host:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 || peers[0] != "127.0.0.1:7000" || peers[2] != "host:7002" {
+		t.Fatalf("peers = %v", peers)
+	}
+	if _, err := parsePeers(""); err == nil {
+		t.Fatal("empty peers accepted")
+	}
+	if _, err := parsePeers("0:127.0.0.1"); err == nil {
+		t.Fatal("malformed entry accepted")
+	}
+	if _, err := parsePeers("x=127.0.0.1:1"); err == nil {
+		t.Fatal("non-numeric id accepted")
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	tests := map[string]bool{
+		"voting": true, "ac": true, "available-copy": true, "naive": true,
+		"paxos": false, "": false,
+	}
+	for in, ok := range tests {
+		_, err := parseScheme(in)
+		if (err == nil) != ok {
+			t.Fatalf("parseScheme(%q) err = %v, want ok=%v", in, err, ok)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(0, "", "naive", "", 8, 256, false); err == nil {
+		t.Fatal("missing peers accepted")
+	}
+	if err := run(0, "0=127.0.0.1:0", "bogus", "", 8, 256, false); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	if err := run(1, "0=127.0.0.1:0", "naive", "", 8, 256, false); err == nil {
+		t.Fatal("id missing from peer map accepted")
+	}
+}
+
+func TestStoreDesc(t *testing.T) {
+	if storeDesc("") != "in-memory store" || storeDesc("/x") != "/x" {
+		t.Fatal("storeDesc mismatch")
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunEveryFigure(t *testing.T) {
+	for _, fig := range []string{"9", "10", "11", "12", "theorem", "costs", "witness", "equal-availability", "mttf"} {
+		if err := run(fig, false, false, 40, 10, 1); err != nil {
+			t.Fatalf("run(%q): %v", fig, err)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run("11", true, false, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if err := run("all", false, false, 40, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithSimulationOverlay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation overlay")
+	}
+	if err := run("9", false, true, 40, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("nope", false, false, 40, 10, 1); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

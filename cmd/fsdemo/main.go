@@ -1,0 +1,115 @@
+// Command fsdemo formats a mini file system on a reliable device and
+// exercises it while replica sites crash and recover — the §2 story end
+// to end: the file system code has no idea it is replicated.
+//
+// Usage:
+//
+//	fsdemo -scheme naive -sites 3
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"relidev"
+	"relidev/internal/core"
+	"relidev/internal/minifs"
+	"relidev/internal/protocol"
+)
+
+func main() {
+	var (
+		schemeF = flag.String("scheme", "naive", "consistency scheme: voting, ac, naive")
+		sites   = flag.Int("sites", 3, "number of replica sites")
+	)
+	flag.Parse()
+	if err := run(*schemeF, *sites); err != nil {
+		fmt.Fprintln(os.Stderr, "fsdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemeF string, sites int) error {
+	var kind core.SchemeKind
+	switch schemeF {
+	case "voting":
+		kind = core.Voting
+	case "ac", "available-copy":
+		kind = core.AvailableCopy
+	case "naive":
+		kind = core.NaiveAvailableCopy
+	default:
+		return fmt.Errorf("unknown scheme %q", schemeF)
+	}
+	ctx := context.Background()
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Sites:    sites,
+		Geometry: relidev.Geometry{BlockSize: 512, NumBlocks: 512},
+		Scheme:   kind,
+	})
+	if err != nil {
+		return err
+	}
+	dev, err := cl.Device(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("formatting minifs on a %d-site reliable device (%v scheme)\n", sites, kind)
+	fs, err := minifs.Mkfs(ctx, dev)
+	if err != nil {
+		return err
+	}
+	if err := fs.MkdirAll(ctx, "/docs/notes"); err != nil {
+		return err
+	}
+	if err := fs.WriteFile(ctx, "/docs/notes/a.txt", []byte("written with all sites up")); err != nil {
+		return err
+	}
+
+	victim := protocol.SiteID(sites - 1)
+	fmt.Printf("crashing site %v ...\n", victim)
+	if err := cl.Fail(victim); err != nil {
+		return err
+	}
+	if err := fs.WriteFile(ctx, "/docs/notes/b.txt", []byte("written with a site down")); err != nil {
+		return err
+	}
+	data, err := fs.ReadFile(ctx, "/docs/notes/a.txt")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read during failure: %q\n", data)
+
+	fmt.Printf("restarting site %v (scheme recovery runs underneath)...\n", victim)
+	if err := cl.Restart(ctx, victim); err != nil {
+		return err
+	}
+	// Mount the same file system from the recovered site's device.
+	dev2, err := cl.Device(victim)
+	if err != nil {
+		return err
+	}
+	fs2, err := minifs.Mount(ctx, dev2)
+	if err != nil {
+		return err
+	}
+	ents, err := fs2.ReadDir(ctx, "/docs/notes")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("directory as seen from the recovered site:\n")
+	for _, e := range ents {
+		fmt.Printf("  %-8s %4d bytes\n", e.Name, e.Size)
+	}
+	data, err = fs2.ReadFile(ctx, "/docs/notes/b.txt")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read at recovered site: %q\n", data)
+	st := cl.Network().Stats()
+	fmt.Printf("total high-level transmissions: %d (%d requests, %d replies)\n",
+		st.Transmissions, st.Requests, st.Replies)
+	return nil
+}

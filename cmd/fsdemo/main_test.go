@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestRunAllSchemes(t *testing.T) {
+	for _, scheme := range []string{"voting", "ac", "naive"} {
+		if err := run(scheme, 3); err != nil {
+			t.Fatalf("fsdemo %s: %v", scheme, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("bogus", 3); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	if err := run("naive", 0); err == nil {
+		t.Fatal("zero sites accepted")
+	}
+}

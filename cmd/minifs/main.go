@@ -1,0 +1,151 @@
+// Command minifs is the userland toolset for the mini file system: it
+// formats, checks and manipulates minifs images stored in ordinary files
+// (the same images a blockserver site serves, so an image taken from a
+// replica can be inspected offline).
+//
+// Usage:
+//
+//	minifs -image disk.img mkfs -blocks 1024 -blocksize 512
+//	minifs -image disk.img write /docs/a.txt "contents"
+//	minifs -image disk.img read /docs/a.txt
+//	minifs -image disk.img ls /docs
+//	minifs -image disk.img mkdir /docs/sub
+//	minifs -image disk.img mv /docs/a.txt /docs/b.txt
+//	minifs -image disk.img rm /docs/b.txt
+//	minifs -image disk.img fsck
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"relidev/internal/block"
+	"relidev/internal/core"
+	"relidev/internal/minifs"
+	"relidev/internal/store"
+)
+
+func main() {
+	image := flag.String("image", "", "path of the file system image")
+	flag.Parse()
+	if err := run(*image, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "minifs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(image string, args []string) error {
+	if image == "" {
+		return errors.New("missing -image")
+	}
+	if len(args) == 0 {
+		return errors.New("missing command: mkfs, fsck, ls, read, write, mkdir, mv, rm")
+	}
+	ctx := context.Background()
+
+	if args[0] == "mkfs" {
+		return runMkfs(ctx, image, args[1:])
+	}
+
+	st, err := store.OpenFile(image)
+	if err != nil {
+		return fmt.Errorf("open image: %w", err)
+	}
+	defer st.Close()
+	fs, err := minifs.Mount(ctx, core.NewLocalDevice(st))
+	if err != nil {
+		return err
+	}
+
+	switch cmd := args[0]; cmd {
+	case "fsck":
+		rep, err := fs.Check(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("files: %d  directories: %d  used blocks: %d  leaked blocks: %d\n",
+			rep.Files, rep.Directories, rep.UsedBlocks, rep.LeakedBlocks)
+		for _, e := range rep.Errors {
+			fmt.Println("ERROR:", e)
+		}
+		if !rep.Ok() {
+			return fmt.Errorf("%d consistency error(s)", len(rep.Errors))
+		}
+		fmt.Println("clean")
+		return nil
+	case "ls":
+		path := "/"
+		if len(args) > 1 {
+			path = args[1]
+		}
+		ents, err := fs.ReadDir(ctx, path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			kind := "-"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %8d  %s\n", kind, e.Size, e.Name)
+		}
+		return nil
+	case "read":
+		if len(args) != 2 {
+			return errors.New("usage: read <path>")
+		}
+		data, err := fs.ReadFile(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
+	case "write":
+		if len(args) != 3 {
+			return errors.New("usage: write <path> <contents>")
+		}
+		return fs.WriteFile(ctx, args[1], []byte(args[2]))
+	case "mkdir":
+		if len(args) != 2 {
+			return errors.New("usage: mkdir <path>")
+		}
+		return fs.MkdirAll(ctx, args[1])
+	case "mv":
+		if len(args) != 3 {
+			return errors.New("usage: mv <old> <new>")
+		}
+		return fs.Rename(ctx, args[1], args[2])
+	case "rm":
+		if len(args) != 2 {
+			return errors.New("usage: rm <path>")
+		}
+		return fs.Remove(ctx, args[1])
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func runMkfs(ctx context.Context, image string, args []string) error {
+	fl := flag.NewFlagSet("mkfs", flag.ContinueOnError)
+	blocks := fl.Int("blocks", 1024, "number of blocks")
+	blockSize := fl.Int("blocksize", 512, "block size in bytes")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	st, err := store.CreateFile(image, block.Geometry{BlockSize: *blockSize, NumBlocks: *blocks})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if _, err := minifs.Mkfs(ctx, core.NewLocalDevice(st)); err != nil {
+		return err
+	}
+	if err := st.Sync(); err != nil {
+		return err
+	}
+	fmt.Printf("formatted %s: %d blocks of %d bytes\n", image, *blocks, *blockSize)
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestFullWorkflow(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "disk.img")
+	steps := [][]string{
+		{"mkfs", "-blocks", "256", "-blocksize", "256"},
+		{"mkdir", "/docs"},
+		{"write", "/docs/a.txt", "hello image"},
+		{"ls", "/docs"},
+		{"read", "/docs/a.txt"},
+		{"mv", "/docs/a.txt", "/docs/b.txt"},
+		{"read", "/docs/b.txt"},
+		{"fsck"},
+		{"rm", "/docs/b.txt"},
+		{"fsck"},
+		{"ls", "/"},
+	}
+	for _, step := range steps {
+		if err := run(img, step); err != nil {
+			t.Fatalf("%v: %v", step, err)
+		}
+	}
+}
+
+func TestPersistenceAcrossInvocations(t *testing.T) {
+	// Each run() opens the image fresh — state persists like a real disk.
+	img := filepath.Join(t.TempDir(), "disk.img")
+	if err := run(img, []string{"mkfs", "-blocks", "128", "-blocksize", "256"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(img, []string{"write", "/persist", "still here"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(img, []string{"read", "/persist"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "disk.img")
+	if err := run("", []string{"fsck"}); err == nil {
+		t.Fatal("missing image accepted")
+	}
+	if err := run(img, nil); err == nil {
+		t.Fatal("missing command accepted")
+	}
+	if err := run(img, []string{"fsck"}); err == nil {
+		t.Fatal("fsck on missing image succeeded")
+	}
+	if err := run(img, []string{"mkfs"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(img, []string{"frobnicate"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run(img, []string{"read"}); err == nil {
+		t.Fatal("read without path accepted")
+	}
+	if err := run(img, []string{"read", "/nope"}); err == nil {
+		t.Fatal("read of missing file succeeded")
+	}
+	if err := run(img, []string{"write", "/x"}); err == nil {
+		t.Fatal("write without contents accepted")
+	}
+	if err := run(img, []string{"mkdir"}); err == nil {
+		t.Fatal("mkdir without path accepted")
+	}
+	if err := run(img, []string{"mv", "/a"}); err == nil {
+		t.Fatal("mv without destination accepted")
+	}
+	if err := run(img, []string{"rm"}); err == nil {
+		t.Fatal("rm without path accepted")
+	}
+}

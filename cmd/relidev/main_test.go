@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"relidev"
+)
+
+// startPeer launches one replica site on loopback and returns its
+// address.
+func startPeer(t *testing.T, id int, addrs map[int]string) *relidev.RemoteSite {
+	t.Helper()
+	peers := map[int]string{id: "127.0.0.1:0"}
+	for k, v := range addrs {
+		peers[k] = v
+	}
+	s, err := relidev.OpenRemote(relidev.RemoteConfig{
+		Self:     id,
+		Peers:    peers,
+		Scheme:   relidev.NaiveAvailableCopy,
+		Geometry: relidev.Geometry{BlockSize: 256, NumBlocks: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestWriteReadStatusAgainstLiveServers(t *testing.T) {
+	// Two server sites; the CLI joins as site 0.
+	s1 := startPeer(t, 1, nil)
+	s2 := startPeer(t, 2, nil)
+	peers := fmt.Sprintf("1=%s,2=%s", s1.Addr(), s2.Addr())
+
+	if err := run(0, peers, "naive", "", 16, 256, []string{"write", "3", "hello tcp"}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := run(0, peers, "naive", "", 16, 256, []string{"read", "3"}); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := run(0, peers, "naive", "", 16, 256, []string{"status"}); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	// The servers really hold the data.
+	if sum := s1.State(); sum != relidev.StateAvailable {
+		t.Fatalf("server state = %v", sum)
+	}
+}
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	if err := run(0, "", "naive", "", 16, 256, nil); err == nil {
+		t.Fatal("missing command accepted")
+	}
+	if err := run(0, "", "bogus", "", 16, 256, []string{"status"}); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	if err := run(0, "zzz", "naive", "", 16, 256, []string{"status"}); err == nil {
+		t.Fatal("malformed peers accepted")
+	}
+	if err := run(0, "", "naive", "", 16, 256, []string{"read"}); err == nil {
+		t.Fatal("read without block accepted")
+	}
+	if err := run(0, "", "naive", "", 16, 256, []string{"read", "not-a-number"}); err == nil {
+		t.Fatal("non-numeric block accepted")
+	}
+	if err := run(0, "", "naive", "", 16, 256, []string{"write", "1"}); err == nil {
+		t.Fatal("write without payload accepted")
+	}
+	if err := run(0, "", "naive", "", 16, 256, []string{"frobnicate"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}

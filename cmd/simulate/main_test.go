@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestRunAvailabilityAllSchemes(t *testing.T) {
+	for _, scheme := range []string{"voting", "ac", "naive"} {
+		if err := run("availability", scheme, 3, 0.1, 5000, "multicast", 0, 0, 1); err != nil {
+			t.Fatalf("availability %s: %v", scheme, err)
+		}
+	}
+}
+
+func TestRunTrafficAllSchemes(t *testing.T) {
+	for _, scheme := range []string{"voting", "ac", "naive"} {
+		for _, net := range []string{"multicast", "unicast"} {
+			if err := run("traffic", scheme, 4, 0.05, 0, net, 300, 2.5, 1); err != nil {
+				t.Fatalf("traffic %s/%s: %v", scheme, net, err)
+			}
+		}
+	}
+}
+
+func TestRunRepairOrder(t *testing.T) {
+	if err := runRepairOrder(3, 0.3, 1, 20000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRepairOrder(3, 0.3, 8, 20000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRepairOrder(3, 0.3, 0, 20000, 1); err == nil {
+		t.Fatal("shape 0 accepted")
+	}
+	if err := runRepairOrder(1, 0.3, 1, 20000, 1); err == nil {
+		t.Fatal("single site accepted")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("nope", "ac", 3, 0.1, 100, "multicast", 0, 0, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := run("availability", "nope", 3, 0.1, 100, "multicast", 0, 0, 1); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if err := run("traffic", "ac", 3, 0.1, 100, "carrier-pigeon", 100, 2, 1); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+	if err := run("traffic", "nope", 3, 0.1, 100, "multicast", 100, 2, 1); err == nil {
+		t.Fatal("unknown traffic scheme accepted")
+	}
+	if err := run("availability", "ac", 0, 0.1, 100, "multicast", 0, 0, 1); err == nil {
+		t.Fatal("zero sites accepted")
+	}
+}

@@ -1,0 +1,122 @@
+// Failover example: run the same failure script under all three
+// consistency schemes and watch them diverge exactly as §3-4 predict:
+//
+//   - voting denies service as soon as a majority is lost, but needs no
+//     recovery protocol at all;
+//   - available copy serves down to a single copy and, after a total
+//     failure, resumes as soon as the *last site to fail* returns;
+//   - naive available copy serves down to a single copy too, but after a
+//     total failure must wait for *every* site.
+//
+// go run ./examples/failover
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"relidev"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	for _, scheme := range []relidev.Scheme{
+		relidev.Voting, relidev.AvailableCopy, relidev.NaiveAvailableCopy,
+	} {
+		if err := script(scheme); err != nil {
+			return fmt.Errorf("%v: %w", scheme, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func script(scheme relidev.Scheme) error {
+	ctx := context.Background()
+	fmt.Printf("=== %v, 3 sites ===\n", scheme)
+	cluster, err := relidev.New(3, scheme)
+	if err != nil {
+		return err
+	}
+	dev, err := cluster.Device(0)
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, cluster.Geometry().BlockSize)
+
+	copy(payload, "w1")
+	if err := dev.WriteBlock(ctx, 0, payload); err != nil {
+		return err
+	}
+	report("write with 3/3 sites", nil)
+
+	// Lose one site: everyone still works (2/3 is a voting majority).
+	if err := cluster.Fail(2); err != nil {
+		return err
+	}
+	copy(payload, "w2")
+	report("write with 2/3 sites", dev.WriteBlock(ctx, 0, payload))
+
+	// Lose another: only the available copy schemes still serve.
+	if err := cluster.Fail(1); err != nil {
+		return err
+	}
+	copy(payload, "w3")
+	report("write with 1/3 sites", dev.WriteBlock(ctx, 0, payload))
+	_, rerr := dev.ReadBlock(ctx, 0)
+	report("read  with 1/3 sites", rerr)
+
+	// Total failure, then restart in the order 1, 2, 0 — the site that
+	// failed LAST (site 0) comes back last.
+	if err := cluster.Fail(0); err != nil {
+		return err
+	}
+	for _, s := range []int{1, 2} {
+		if err := cluster.Restart(ctx, s); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("  after restarting sites 1 and 2: %d/3 available", cluster.AvailableSites())
+	if st, _ := cluster.State(1); st == relidev.StateComatose {
+		fmt.Printf(" (sites 1 and 2 are comatose, waiting)")
+	}
+	fmt.Println()
+	if err := cluster.Restart(ctx, 0); err != nil {
+		return err
+	}
+	fmt.Printf("  after restarting site 0 (last to fail): %d/3 available\n", cluster.AvailableSites())
+
+	// Whoever is available must serve the most recent successful write.
+	data, err := dev.ReadBlock(ctx, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  final read: %q (most recent successful write)\n", data[:2])
+	return nil
+}
+
+func report(what string, err error) {
+	switch {
+	case err == nil:
+		fmt.Printf("  %s: ok\n", what)
+	case errors.Is(err, context.Canceled):
+		fmt.Printf("  %s: cancelled\n", what)
+	default:
+		fmt.Printf("  %s: DENIED (%v)\n", what, short(err))
+	}
+}
+
+func short(err error) string {
+	s := err.Error()
+	if len(s) > 60 {
+		s = s[:60] + "..."
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+// Filesystem example: mount an ordinary (replication-oblivious) file
+// system on a reliable device and keep using it while replica sites
+// crash — the architectural claim of §1-2 in action.
+//
+//	go run ./examples/filesystem
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"relidev"
+	"relidev/internal/minifs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	cluster, err := relidev.New(3, relidev.AvailableCopy,
+		relidev.WithGeometry(relidev.Geometry{BlockSize: 512, NumBlocks: 1024}))
+	if err != nil {
+		return err
+	}
+	dev, err := cluster.Device(0)
+	if err != nil {
+		return err
+	}
+
+	// minifs knows nothing about replication: it is written purely
+	// against the block-device interface, exactly like a kernel file
+	// system above the device driver stub of Figure 1.
+	fs, err := minifs.Mkfs(ctx, dev)
+	if err != nil {
+		return err
+	}
+	if err := fs.MkdirAll(ctx, "/home/user"); err != nil {
+		return err
+	}
+	if err := fs.WriteFile(ctx, "/home/user/paper.txt",
+		[]byte("A reliable device appears to the file system as an ordinary block-structured device.")); err != nil {
+		return err
+	}
+
+	// Crash two of the three sites mid-flight.
+	if err := cluster.Fail(1); err != nil {
+		return err
+	}
+	if err := cluster.Fail(2); err != nil {
+		return err
+	}
+	fmt.Println("two of three sites are down; the file system continues:")
+	if err := fs.WriteFile(ctx, "/home/user/during.txt", []byte("single copy, still writable")); err != nil {
+		return err
+	}
+	data, err := fs.ReadFile(ctx, "/home/user/paper.txt")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  read:  %q\n", data[:52])
+
+	// Recover. The recovering sites fetch only the blocks that changed —
+	// the block-level recovery granularity of §3.
+	cluster.ResetTraffic()
+	if err := cluster.Restart(ctx, 1); err != nil {
+		return err
+	}
+	if err := cluster.Restart(ctx, 2); err != nil {
+		return err
+	}
+	fmt.Printf("recovery of 2 sites cost %d high-level transmissions\n",
+		cluster.Traffic().Transmissions)
+
+	// Re-mount from a recovered site and list the tree.
+	dev2, err := cluster.Device(2)
+	if err != nil {
+		return err
+	}
+	fs2, err := minifs.Mount(ctx, dev2)
+	if err != nil {
+		return err
+	}
+	ents, err := fs2.ReadDir(ctx, "/home/user")
+	if err != nil {
+		return err
+	}
+	fmt.Println("files as seen from a recovered site:")
+	for _, e := range ents {
+		fmt.Printf("  %-12s %5d bytes\n", e.Name, e.Size)
+	}
+	return nil
+}

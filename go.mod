@@ -1,0 +1,3 @@
+module relidev
+
+go 1.22

@@ -1,0 +1,190 @@
+// Package integration tests the reliable device as the paper deploys it:
+// separate OS processes. It builds the real cmd/blockserver binary,
+// launches server processes on loopback, drives them through the public
+// client API, kills one mid-flight (genuine fail-stop) and restarts it
+// comatose from its on-disk image.
+package integration
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"relidev"
+)
+
+// freePort reserves an ephemeral port and returns "127.0.0.1:port".
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// buildBlockserver compiles cmd/blockserver into dir and returns the
+// binary path.
+func buildBlockserver(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "blockserver")
+	cmd := exec.Command("go", "build", "-o", bin, "relidev/cmd/blockserver")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(wd) // integration/ sits directly under the root
+}
+
+// waitUp polls a TCP address until something accepts.
+func waitUp(t *testing.T, addr string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server at %s never came up: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestRealProcessesSurviveKillAndRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs subprocesses")
+	}
+	dir := t.TempDir()
+	bin := buildBlockserver(t, dir)
+
+	addr1 := freePort(t)
+	addr2 := freePort(t)
+	clientAddr := freePort(t)
+	peers := fmt.Sprintf("0=%s,1=%s,2=%s", clientAddr, addr1, addr2)
+	store1 := filepath.Join(dir, "site1.img")
+	store2 := filepath.Join(dir, "site2.img")
+
+	startServer := func(id int, addr, store string, comatose bool) *exec.Cmd {
+		t.Helper()
+		args := []string{
+			"-id", fmt.Sprint(id),
+			"-peers", peers,
+			"-scheme", "naive",
+			"-store", store,
+			"-blocks", "32",
+			"-blocksize", "256",
+		}
+		if comatose {
+			args = append(args, "-comatose")
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start server %d: %v", id, err)
+		}
+		t.Cleanup(func() {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		})
+		waitUp(t, addr, 5*time.Second)
+		return cmd
+	}
+
+	srv1 := startServer(1, addr1, store1, false)
+	_ = startServer(2, addr2, store2, false)
+
+	// The test process itself is site 0 (the paper's co-located
+	// user-state server).
+	client, err := relidev.OpenRemote(relidev.RemoteConfig{
+		Self:     0,
+		Peers:    map[int]string{0: clientAddr, 1: addr1, 2: addr2},
+		Scheme:   relidev.NaiveAvailableCopy,
+		Geometry: relidev.Geometry{BlockSize: 256, NumBlocks: 32},
+		Timeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	dev := client.Device()
+
+	payload := make([]byte, 256)
+	copy(payload, "written to real processes")
+	if err := dev.WriteBlock(ctx, 5, payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := dev.ReadBlock(ctx, 5)
+	if err != nil || string(got[:25]) != "written to real processes" {
+		t.Fatalf("read = %q, %v", got[:25], err)
+	}
+
+	// Kill server 1: a genuine fail-stop crash of an OS process.
+	if err := srv1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Wait()
+
+	copy(payload, "written while site 1 dead")
+	if err := dev.WriteBlock(ctx, 5, payload); err != nil {
+		t.Fatalf("write with a dead server: %v", err)
+	}
+
+	// Restart server 1 comatose from its image; its recovery loop pulls
+	// the missed block from the survivors.
+	startServer(1, addr1, store1, true)
+
+	// Wait until site 1 reports available and serves the current block.
+	probe, err := relidev.OpenRemote(relidev.RemoteConfig{
+		Self:     0,
+		Peers:    map[int]string{0: freePort(t), 1: addr1, 2: addr2},
+		Scheme:   relidev.NaiveAvailableCopy,
+		Geometry: relidev.Geometry{BlockSize: 256, NumBlocks: 32},
+		Timeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer probe.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		data, _, err := fetchBlock(ctx, probe, 1, 5)
+		if err == nil && string(data[:25]) == "written while site 1 dead" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("site 1 never recovered the block: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fetchBlock reads one block directly from a specific remote site using
+// the probe site's transport.
+func fetchBlock(ctx context.Context, probe *relidev.RemoteSite, siteID int, idx int) ([]byte, uint64, error) {
+	data, ver, err := probe.FetchFrom(ctx, siteID, idx)
+	return data, ver, err
+}

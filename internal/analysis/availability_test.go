@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+var rhoGrid = []float64{0.001, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.5, 1.0}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestInputValidation(t *testing.T) {
+	if _, err := AvailabilityVoting(0, 0.1); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := AvailabilityVoting(3, -0.1); err == nil {
+		t.Fatal("accepted negative rho")
+	}
+	if _, err := AvailabilityVoting(3, math.NaN()); err == nil {
+		t.Fatal("accepted NaN rho")
+	}
+	if _, err := AvailabilityAC(100, 0.1); err == nil {
+		t.Fatal("accepted oversized n")
+	}
+	if _, err := AvailabilityACClosed(5, 0.1); err == nil {
+		t.Fatal("closed form accepted n=5")
+	}
+	if _, err := AvailabilityNaive(0, 0.1); err == nil {
+		t.Fatal("naive accepted n=0")
+	}
+}
+
+func TestPerfectSites(t *testing.T) {
+	// rho = 0: everything is always available.
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for _, f := range []func(int, float64) (float64, error){
+			AvailabilityVoting, AvailabilityAC, AvailabilityNaive,
+			AvailabilityVotingMarkov, AvailabilityNaiveMarkov,
+		} {
+			a, err := f(n, 0)
+			if err != nil || a != 1 {
+				t.Fatalf("n=%d: availability at rho=0 = %v, %v", n, a, err)
+			}
+		}
+	}
+}
+
+func TestSingleCopyEqualsSiteAvailability(t *testing.T) {
+	for _, rho := range rhoGrid {
+		want := SiteAvailability(rho)
+		for name, f := range map[string]func(int, float64) (float64, error){
+			"voting": AvailabilityVoting,
+			"ac":     AvailabilityAC,
+			"naive":  AvailabilityNaive,
+		} {
+			a, err := f(1, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(a, want, 1e-12) {
+				t.Fatalf("%s n=1 rho=%v: %v, want %v", name, rho, a, want)
+			}
+		}
+	}
+}
+
+// §4.1: A_V(2k) = A_V(2k-1) — an even number of copies buys nothing.
+func TestVotingEvenOddIdentity(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		for _, rho := range rhoGrid {
+			odd, err := AvailabilityVoting(2*k-1, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			even, err := AvailabilityVoting(2*k, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(odd, even, 1e-12) {
+				t.Fatalf("A_V(%d)=%v != A_V(%d)=%v at rho=%v", 2*k-1, odd, 2*k, even, rho)
+			}
+		}
+	}
+}
+
+// The voting closed form (1.a/1.b) matches the birth-death Markov chain.
+func TestVotingClosedFormMatchesMarkov(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		for _, rho := range rhoGrid {
+			closed, err := AvailabilityVoting(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			numeric, err := AvailabilityVotingMarkov(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(closed, numeric, 1e-10) {
+				t.Fatalf("n=%d rho=%v: closed %v != markov %v", n, rho, closed, numeric)
+			}
+		}
+	}
+}
+
+// Equations (2)-(4) match the Figure 7 chain.
+func TestACClosedFormsMatchChain(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		for _, rho := range rhoGrid {
+			closed, err := AvailabilityACClosed(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			numeric, err := AvailabilityAC(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(closed, numeric, 1e-10) {
+				t.Fatalf("A_A(%d) at rho=%v: closed %v != chain %v", n, rho, closed, numeric)
+			}
+		}
+	}
+}
+
+// The §4.3 closed form via B(n;ρ) matches the Figure 8 chain.
+func TestNaiveClosedFormMatchesChain(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		for _, rho := range rhoGrid {
+			closed, err := AvailabilityNaive(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			numeric, err := AvailabilityNaiveMarkov(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(closed, numeric, 1e-9) {
+				t.Fatalf("A_NA(%d) at rho=%v: closed %v != chain %v", n, rho, closed, numeric)
+			}
+		}
+	}
+}
+
+// §4.3: two naive copies have exactly the availability of three voting
+// copies.
+func TestNaiveTwoEqualsVotingThree(t *testing.T) {
+	for _, rho := range rhoGrid {
+		na, err := AvailabilityNaive(2, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v3, err := AvailabilityVoting(3, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(na, v3, 1e-12) {
+			t.Fatalf("A_NA(2)=%v != A_V(3)=%v at rho=%v", na, v3, rho)
+		}
+	}
+}
+
+// Theorem 4.1: A_A(n) > A_V(2n-1) = A_V(2n) for rho <= 1.
+func TestTheorem41(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		for _, rho := range rhoGrid {
+			if rho > 1 {
+				continue
+			}
+			ac, err := AvailabilityAC(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := AvailabilityVoting(2*n-1, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Near rho=0 both availabilities approach 1 beyond float64
+			// resolution; compare with a strict margin only when the
+			// difference is representable.
+			if ac <= v-1e-13 || (ac < v && v-ac > 1e-13) {
+				t.Fatalf("theorem 4.1 violated: A_A(%d)=%v <= A_V(%d)=%v at rho=%v",
+					n, ac, 2*n-1, v, rho)
+			}
+			if v < 1-1e-9 && ac <= v {
+				t.Fatalf("theorem 4.1 violated away from 1: A_A(%d)=%v <= A_V(%d)=%v at rho=%v",
+					n, ac, 2*n-1, v, rho)
+			}
+		}
+	}
+}
+
+// Inequality (5): A_A(n) >= 1 - nρⁿ/(1+ρ)ⁿ.
+func TestACLowerBound(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		for _, rho := range rhoGrid {
+			ac, err := AvailabilityAC(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := AvailabilityACLowerBound(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ac < bound-1e-12 {
+				t.Fatalf("bound violated: A_A(%d)=%v < %v at rho=%v", n, ac, bound, rho)
+			}
+		}
+	}
+}
+
+// Orderings the paper's discussion (§4.4) relies on.
+func TestAvailabilityOrderings(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		for _, rho := range rhoGrid {
+			ac, err := AvailabilityAC(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			na, err := AvailabilityNaive(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := AvailabilityVoting(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Conventional AC dominates naive AC dominates voting with
+			// the same number of copies.
+			if ac < na-1e-12 {
+				t.Fatalf("A_A(%d)=%v < A_NA(%d)=%v at rho=%v", n, ac, n, na, rho)
+			}
+			if na < v-1e-12 {
+				t.Fatalf("A_NA(%d)=%v < A_V(%d)=%v at rho=%v", n, na, n, v, rho)
+			}
+		}
+	}
+}
+
+// More copies never hurt, for every scheme, in the realistic rho range.
+// (For naive available copy at rho near 1 this famously reverses: more
+// copies mean a longer wait for the last one; the paper's operating range
+// is rho << 1.)
+func TestMonotoneInCopiesRealisticRho(t *testing.T) {
+	for _, rho := range []float64{0.001, 0.01, 0.05, 0.1} {
+		for n := 1; n <= 7; n++ {
+			for name, f := range map[string]func(int, float64) (float64, error){
+				"ac":    AvailabilityAC,
+				"naive": AvailabilityNaive,
+			} {
+				a1, err := f(n, rho)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a2, err := f(n+1, rho)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a2 < a1-1e-12 {
+					t.Fatalf("%s: availability fell from %v (n=%d) to %v (n=%d) at rho=%v",
+						name, a1, n, a2, n+1, rho)
+				}
+			}
+			// Voting gains only on odd steps; compare 2 apart.
+			v1, err := AvailabilityVoting(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v3, err := AvailabilityVoting(n+2, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v3 < v1-1e-12 {
+				t.Fatalf("voting: availability fell from %v (n=%d) to %v (n=%d)", v1, n, v3, n+2)
+			}
+		}
+	}
+}
+
+// §4.4: in the paper's plotted range the two available copy variants are
+// nearly indistinguishable below rho = 0.10.
+func TestACAndNaiveCloseForSmallRho(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		for _, rho := range []float64{0.01, 0.02, 0.05} {
+			ac, err := AvailabilityAC(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			na, err := AvailabilityNaive(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := ac - na; diff > 1e-3 {
+				t.Fatalf("n=%d rho=%v: AC-naive gap %v too large", n, rho, diff)
+			}
+		}
+	}
+}
+
+func TestAvailabilityBetweenZeroAndOne(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		for _, rho := range append(rhoGrid, 2.0, 10.0) {
+			for name, f := range map[string]func(int, float64) (float64, error){
+				"voting": AvailabilityVoting,
+				"ac":     AvailabilityAC,
+				"naive":  AvailabilityNaive,
+			} {
+				a, err := f(n, rho)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a < 0 || a > 1 {
+					t.Fatalf("%s(%d, %v) = %v outside [0,1]", name, n, rho, a)
+				}
+			}
+		}
+	}
+}
+
+// Figure 9/10 anchor values, recorded from this implementation and
+// cross-checked across the closed form and the chain: the paper's graphs
+// show AC(3) and NA(3) well above V(6), and AC(4)/NA(4) above V(8).
+func TestFigureAnchorValues(t *testing.T) {
+	type anchor struct {
+		f    func(int, float64) (float64, error)
+		n    int
+		rho  float64
+		want float64
+	}
+	anchors := []anchor{
+		{AvailabilityAC, 3, 0.20, 0.987078496},
+		{AvailabilityNaive, 3, 0.20, 0.974658869},
+		{AvailabilityVoting, 6, 0.20, 0.964506173},
+		{AvailabilityAC, 4, 0.20, 0.997078633},
+		{AvailabilityNaive, 4, 0.20, 0.992874001},
+		{AvailabilityVoting, 8, 0.20, 0.982367398},
+	}
+	for _, a := range anchors {
+		got, err := a.f(a.n, a.rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, a.want, 1e-8) {
+			t.Fatalf("anchor n=%d rho=%v: got %v, want %v", a.n, a.rho, got, a.want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"fmt"
+
+	"relidev/internal/markov"
+)
+
+// VotingChain builds the birth-death chain for n independent sites with
+// failure rate lambda and repair rate mu. State k (0..n) means k sites
+// are up. Voting needs no extra state: a restarted site is immediately a
+// full participant (§3.1 lazy recovery), so block availability is purely
+// a function of how many sites are up.
+func VotingChain(n int, lambda, mu float64) (*markov.Chain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("analysis: voting chain needs n >= 1, got %d", n)
+	}
+	c, err := markov.NewChain(n + 1)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k <= n; k++ {
+		c.SetLabel(k, fmt.Sprintf("up%d", k))
+		if k > 0 {
+			if err := c.SetRate(k, k-1, float64(k)*lambda); err != nil {
+				return nil, err
+			}
+		}
+		if k < n {
+			if err := c.SetRate(k, k+1, float64(n-k)*mu); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// acStateIndex maps the Figure 7/8 state names onto chain indices:
+//
+//	0 .. n-1   = S_1 .. S_n   (j+1 copies available)
+//	n .. 2n-1  = S'_0 .. S'_{n-1} (total failure; j comatose copies)
+func acStateIndex(n int) (avail func(j int) int, comatose func(j int) int) {
+	avail = func(j int) int { return j - 1 }    // S_j, j in 1..n
+	comatose = func(j int) int { return n + j } // S'_j, j in 0..n-1
+	return avail, comatose
+}
+
+// ACChain builds the Figure 7 state-transition-rate diagram for the
+// available copy scheme with n copies. It returns the chain and a
+// predicate selecting the available states S_1..S_n.
+func ACChain(n int, lambda, mu float64) (*markov.Chain, func(int) bool, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("analysis: AC chain needs n >= 1, got %d", n)
+	}
+	c, err := markov.NewChain(2 * n)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, sp := acStateIndex(n)
+	for j := 1; j <= n; j++ {
+		c.SetLabel(s(j), fmt.Sprintf("S%d", j))
+	}
+	for j := 0; j < n; j++ {
+		c.SetLabel(sp(j), fmt.Sprintf("S'%d", j))
+	}
+	set := func(i, j int, r float64) {
+		if err == nil {
+			err = c.SetRate(i, j, r)
+		}
+	}
+
+	// S_j, 1 <= j <= n-1: failure of one of j available copies; recovery
+	// of one of n-j failed copies.
+	for j := 1; j < n; j++ {
+		if j == 1 {
+			set(s(1), sp(0), lambda) // last available copy fails: total failure
+		} else {
+			set(s(j), s(j-1), float64(j)*lambda)
+		}
+		set(s(j), s(j+1), float64(n-j)*mu)
+	}
+	// S_n: only failures.
+	if n > 1 {
+		set(s(n), s(n-1), float64(n)*lambda)
+	} else {
+		set(s(1), sp(0), lambda)
+	}
+
+	// S'_0: the last available copy recovers (-> S_1), or one of the
+	// other n-1 copies recovers and stays comatose (-> S'_1).
+	set(sp(0), s(1), mu)
+	if n > 1 {
+		set(sp(0), sp(1), float64(n-1)*mu)
+	}
+
+	// S'_j, 1 <= j <= n-2: a comatose copy fails (-> S'_{j-1}); the last
+	// available copy recovers, making all j comatose copies repairable
+	// (-> S_{j+1}); another failed copy recovers comatose (-> S'_{j+1}).
+	for j := 1; j <= n-2; j++ {
+		set(sp(j), sp(j-1), float64(j)*lambda)
+		set(sp(j), s(j+1), mu)
+		set(sp(j), sp(j+1), float64(n-j-1)*mu)
+	}
+	// S'_{n-1}: only the last available copy is still down.
+	if n > 1 {
+		set(sp(n-1), sp(n-2), float64(n-1)*lambda)
+		set(sp(n-1), s(n), mu)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	isAvail := func(state int) bool { return state < n }
+	return c, isAvail, nil
+}
+
+// NaiveChain builds the Figure 8 diagram for the naive available copy
+// scheme: same 2n states as Figure 7, but after a total failure the only
+// path back to availability is through S'_{n-1} -> S_n once every copy
+// has recovered.
+func NaiveChain(n int, lambda, mu float64) (*markov.Chain, func(int) bool, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("analysis: naive chain needs n >= 1, got %d", n)
+	}
+	c, err := markov.NewChain(2 * n)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, sp := acStateIndex(n)
+	for j := 1; j <= n; j++ {
+		c.SetLabel(s(j), fmt.Sprintf("S%d", j))
+	}
+	for j := 0; j < n; j++ {
+		c.SetLabel(sp(j), fmt.Sprintf("S'%d", j))
+	}
+	set := func(i, j int, r float64) {
+		if err == nil {
+			err = c.SetRate(i, j, r)
+		}
+	}
+
+	// Available side: identical to Figure 7.
+	for j := 1; j < n; j++ {
+		if j == 1 {
+			set(s(1), sp(0), lambda)
+		} else {
+			set(s(j), s(j-1), float64(j)*lambda)
+		}
+		set(s(j), s(j+1), float64(n-j)*mu)
+	}
+	if n > 1 {
+		set(s(n), s(n-1), float64(n)*lambda)
+	} else {
+		set(s(1), sp(0), lambda)
+	}
+
+	// Total-failure side: j comatose, n-j failed; no distinction of the
+	// last copy to fail, so recovery of *any* failed copy moves right,
+	// and only S'_{n-1} (everyone back) transitions to S_n.
+	for j := 0; j < n-1; j++ {
+		if j > 0 {
+			set(sp(j), sp(j-1), float64(j)*lambda)
+		}
+		set(sp(j), sp(j+1), float64(n-j)*mu)
+	}
+	if n > 1 {
+		set(sp(n-1), sp(n-2), float64(n-1)*lambda)
+		set(sp(n-1), s(n), mu)
+	} else {
+		set(sp(0), s(1), mu)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	isAvail := func(state int) bool { return state < n }
+	return c, isAvail, nil
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import "testing"
+
+func TestMinCopiesValidation(t *testing.T) {
+	if _, err := MinCopies(SchemeVoting, 0.05, 1.0, 10); err == nil {
+		t.Fatal("accepted target 1.0")
+	}
+	if _, err := MinCopies(SchemeVoting, 0.05, 0, 10); err == nil {
+		t.Fatal("accepted target 0")
+	}
+	if _, err := MinCopies(Scheme(9), 0.05, 0.99, 10); err == nil {
+		t.Fatal("accepted unknown scheme")
+	}
+	if _, err := MinCopies(SchemeVoting, 0.05, 0.999999999999, 3); err == nil {
+		t.Fatal("reported success for an unreachable target")
+	}
+}
+
+func TestMinCopiesKnownValues(t *testing.T) {
+	const rho = 0.05 // single-site availability ~0.952
+	tests := []struct {
+		scheme Scheme
+		target float64
+		want   int
+	}{
+		// One copy suffices below single-site availability.
+		{SchemeVoting, 0.95, 1},
+		{SchemeNaive, 0.95, 1},
+		{SchemeAvailableCopy, 0.95, 1},
+		// Two nines: voting needs 3 copies, the AC schemes 2.
+		{SchemeVoting, 0.99, 3},
+		{SchemeNaive, 0.99, 2},
+		{SchemeAvailableCopy, 0.99, 2},
+		// Three nines: voting needs 7, the AC schemes 3.
+		{SchemeVoting, 0.999, 7},
+		{SchemeNaive, 0.999, 3},
+		{SchemeAvailableCopy, 0.999, 3},
+		// Four nines: voting needs 9(!), the AC schemes 4.
+		{SchemeVoting, 0.9999, 9},
+		{SchemeNaive, 0.9999, 4},
+		{SchemeAvailableCopy, 0.9999, 4},
+	}
+	for _, tt := range tests {
+		got, err := MinCopies(tt.scheme, rho, tt.target, 15)
+		if err != nil {
+			t.Fatalf("%v target %v: %v", tt.scheme, tt.target, err)
+		}
+		if got != tt.want {
+			t.Fatalf("%v target %v: MinCopies = %d, want %d", tt.scheme, tt.target, got, tt.want)
+		}
+	}
+}
+
+func TestMinCopiesVotingSkipsEven(t *testing.T) {
+	// An even count never helps (A_V(2k) = A_V(2k-1)); the answer must
+	// always be odd.
+	for _, target := range []float64{0.99, 0.999, 0.9999, 0.99999} {
+		n, err := MinCopies(SchemeVoting, 0.05, target, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n%2 == 0 {
+			t.Fatalf("target %v: voting MinCopies = %d (even)", target, n)
+		}
+	}
+}
+
+// §5's closing remark: at equal availability, voting's traffic costs are
+// much steeper — and the gap widens with the availability target.
+func TestEqualAvailabilityCostsAreSteepForVoting(t *testing.T) {
+	const (
+		rho = 0.05
+		x   = 2.5
+	)
+	prevGap := 0.0
+	for _, target := range []float64{0.99, 0.999, 0.9999, 0.99999} {
+		rows, err := EqualAvailabilityCosts(rho, target, x, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byScheme := map[Scheme]EqualAvailabilityCost{}
+		for _, r := range rows {
+			byScheme[r.Scheme] = r
+		}
+		v := byScheme[SchemeVoting]
+		na := byScheme[SchemeNaive]
+		ac := byScheme[SchemeAvailableCopy]
+		if v.Copies < 2*na.Copies-1 {
+			t.Fatalf("target %v: voting copies %d < 2*%d-1 (Theorem 4.1 floor)",
+				target, v.Copies, na.Copies)
+		}
+		if !(na.Cost <= ac.Cost && ac.Cost < v.Cost) {
+			t.Fatalf("target %v: cost ordering broken: naive %v, ac %v, voting %v",
+				target, na.Cost, ac.Cost, v.Cost)
+		}
+		gap := v.Cost / na.Cost
+		if gap < prevGap {
+			t.Fatalf("target %v: voting/naive gap %v shrank from %v", target, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	// At four nines voting is already over an order of magnitude more
+	// expensive than naive available copy.
+	rows, err := EqualAvailabilityCosts(rho, 0.9999, x, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v, na float64
+	for _, r := range rows {
+		switch r.Scheme {
+		case SchemeVoting:
+			v = r.Cost
+		case SchemeNaive:
+			na = r.Cost
+		}
+	}
+	if v/na < 10 {
+		t.Fatalf("voting/naive cost ratio at 4 nines = %v, want >= 10", v/na)
+	}
+}

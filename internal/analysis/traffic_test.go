@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParticipationPerfectSites(t *testing.T) {
+	for _, n := range []int{1, 3, 8} {
+		for name, f := range map[string]func(int, float64) (float64, error){
+			"voting": ParticipationVoting,
+			"ac":     ParticipationAC,
+			"naive":  ParticipationNaive,
+		} {
+			u, err := f(n, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if u != float64(n) {
+				t.Fatalf("%s U(%d, 0) = %v, want %d", name, n, u, n)
+			}
+		}
+	}
+}
+
+// §5: U_V^n = n(1-ρ) + O(ρ²), and U_V, U_A, U_N agree to within O(ρ²).
+func TestParticipationFirstOrderAgreement(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8} {
+		for _, rho := range []float64{0.001, 0.005, 0.01, 0.02} {
+			uv, err := ParticipationVoting(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ua, err := ParticipationAC(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			un, err := ParticipationNaive(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			firstOrder := float64(n) * (1 - rho)
+			budget := 20 * float64(n*n) * rho * rho // generous O(ρ²)
+			if math.Abs(uv-firstOrder) > budget {
+				t.Fatalf("U_V(%d,%v)=%v vs first order %v", n, rho, uv, firstOrder)
+			}
+			if math.Abs(uv-ua) > budget || math.Abs(uv-un) > budget {
+				t.Fatalf("participations diverge beyond O(rho^2): n=%d rho=%v: %v %v %v",
+					n, rho, uv, ua, un)
+			}
+		}
+	}
+}
+
+func TestParticipationBounds(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		for _, rho := range rhoGrid {
+			for name, f := range map[string]func(int, float64) (float64, error){
+				"voting": ParticipationVoting,
+				"ac":     ParticipationAC,
+				"naive":  ParticipationNaive,
+			} {
+				u, err := f(n, rho)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if u < 1-1e-12 || u > float64(n)+1e-12 {
+					t.Fatalf("%s U(%d,%v) = %v outside [1,n]", name, n, rho, u)
+				}
+			}
+		}
+	}
+}
+
+func TestMulticastCostTable(t *testing.T) {
+	// §5.1 with the concrete participation values.
+	n, rho := 5, 0.05
+	uv, _ := ParticipationVoting(n, rho)
+	ua, _ := ParticipationAC(n, rho)
+	un, _ := ParticipationNaive(n, rho)
+
+	v, err := MulticastCosts(SchemeVoting, n, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v.Write, 1+uv, 1e-12) || !almostEqual(v.Read, uv, 1e-12) ||
+		!almostEqual(v.ReadStale, uv+1, 1e-12) || v.Recovery != 0 {
+		t.Fatalf("voting costs = %+v", v)
+	}
+
+	a, err := MulticastCosts(SchemeAvailableCopy, n, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a.Write, ua, 1e-12) || a.Read != 0 || !almostEqual(a.Recovery, ua+2, 1e-12) {
+		t.Fatalf("AC costs = %+v", a)
+	}
+
+	na, err := MulticastCosts(SchemeNaive, n, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.Write != 1 || na.Read != 0 || !almostEqual(na.Recovery, un+2, 1e-12) {
+		t.Fatalf("naive costs = %+v", na)
+	}
+}
+
+func TestUnicastCostTable(t *testing.T) {
+	n, rho := 6, 0.05
+	uv, _ := ParticipationVoting(n, rho)
+	ua, _ := ParticipationAC(n, rho)
+	un, _ := ParticipationNaive(n, rho)
+	fn := float64(n)
+
+	v, err := UnicastCosts(SchemeVoting, n, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v.Write, fn+2*uv-3, 1e-12) || !almostEqual(v.Read, fn+uv-2, 1e-12) ||
+		!almostEqual(v.ReadStale, fn+uv-1, 1e-12) || v.Recovery != 0 {
+		t.Fatalf("voting costs = %+v", v)
+	}
+	a, err := UnicastCosts(SchemeAvailableCopy, n, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a.Write, fn+ua-2, 1e-12) || a.Read != 0 || !almostEqual(a.Recovery, fn+ua, 1e-12) {
+		t.Fatalf("AC costs = %+v", a)
+	}
+	na, err := UnicastCosts(SchemeNaive, n, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.Write != fn-1 || na.Read != 0 || !almostEqual(na.Recovery, fn+un, 1e-12) {
+		t.Fatalf("naive costs = %+v", na)
+	}
+}
+
+// The §5 headline ordering: per write, naive < available copy < voting,
+// in both network flavours, for every n >= 2.
+func TestWriteCostOrdering(t *testing.T) {
+	for _, mode := range []func(Scheme, int, float64) (Costs, error){MulticastCosts, UnicastCosts} {
+		for n := 2; n <= 10; n++ {
+			for _, rho := range []float64{0.01, 0.05, 0.1} {
+				v, err := mode(SchemeVoting, n, rho)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := mode(SchemeAvailableCopy, n, rho)
+				if err != nil {
+					t.Fatal(err)
+				}
+				na, err := mode(SchemeNaive, n, rho)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !(na.Write < a.Write && a.Write < v.Write) {
+					t.Fatalf("n=%d rho=%v: write ordering broken: naive %v, ac %v, voting %v",
+						n, rho, na.Write, a.Write, v.Write)
+				}
+				if v.Read <= 0 || a.Read != 0 || na.Read != 0 {
+					t.Fatalf("read costs: voting %v, ac %v, naive %v", v.Read, a.Read, na.Read)
+				}
+			}
+		}
+	}
+}
+
+// Figure 11's qualitative claim: the voting burden grows with the read
+// ratio x while the available copy schemes are flat in x.
+func TestWorkloadCostGrowsOnlyForVoting(t *testing.T) {
+	n, rho := 5, 0.05
+	v, _ := MulticastCosts(SchemeVoting, n, rho)
+	a, _ := MulticastCosts(SchemeAvailableCopy, n, rho)
+	na, _ := MulticastCosts(SchemeNaive, n, rho)
+	for _, x := range []float64{1, 2, 4} {
+		if WorkloadCost(a, x) != a.Write || WorkloadCost(na, x) != na.Write {
+			t.Fatal("available copy workload cost depends on read ratio")
+		}
+	}
+	if !(WorkloadCost(v, 1) < WorkloadCost(v, 2) && WorkloadCost(v, 2) < WorkloadCost(v, 4)) {
+		t.Fatal("voting workload cost does not grow with read ratio")
+	}
+	// §5.1: "it is interesting to note" — at x=1 and rho=0.05 voting is
+	// already far above both available copy schemes.
+	if WorkloadCost(v, 1) < 2*WorkloadCost(na, 1) {
+		t.Fatalf("voting at x=1 (%v) not clearly above naive (%v)",
+			WorkloadCost(v, 1), WorkloadCost(na, 1))
+	}
+}
+
+func TestUnknownScheme(t *testing.T) {
+	if _, err := MulticastCosts(Scheme(99), 3, 0.05); err == nil {
+		t.Fatal("accepted unknown scheme")
+	}
+	if _, err := UnicastCosts(Scheme(0), 3, 0.05); err == nil {
+		t.Fatal("accepted unknown scheme")
+	}
+	if Scheme(99).String() != "scheme(99)" {
+		t.Fatal("Scheme.String mismatch")
+	}
+	if SchemeVoting.String() != "voting" || SchemeAvailableCopy.String() != "available-copy" || SchemeNaive.String() != "naive" {
+		t.Fatal("Scheme.String mismatch")
+	}
+}
+
+func TestCostValidation(t *testing.T) {
+	if _, err := MulticastCosts(SchemeVoting, 0, 0.05); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := UnicastCosts(SchemeNaive, 3, -1); err == nil {
+		t.Fatal("accepted negative rho")
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+// §4: A = lim_{t→∞} p(t). For every scheme, p(t) starts at 1 (all up),
+// decreases toward the steady state, and reaches it.
+func TestTransientConvergesToAvailability(t *testing.T) {
+	const rho = 0.2
+	cases := []struct {
+		s      Scheme
+		n      int
+		limitF func(int, float64) (float64, error)
+	}{
+		{SchemeVoting, 3, AvailabilityVoting},
+		{SchemeVoting, 4, AvailabilityVoting},
+		{SchemeAvailableCopy, 3, AvailabilityAC},
+		{SchemeNaive, 3, AvailabilityNaive},
+	}
+	for _, tc := range cases {
+		p0, err := AvailabilityAtTime(tc.s, tc.n, rho, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p0 != 1 {
+			t.Fatalf("%v n=%d: p(0) = %v, want 1", tc.s, tc.n, p0)
+		}
+		limit, err := tc.limitF(tc.n, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pInf, err := AvailabilityAtTime(tc.s, tc.n, rho, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pInf-limit) > 1e-6 {
+			t.Fatalf("%v n=%d: p(500) = %v, steady state %v", tc.s, tc.n, pInf, limit)
+		}
+		// In between: p(t) stays within [limit, 1] and is ordered.
+		prev := 1.0
+		for _, tt := range []float64{0.5, 1, 2, 5, 20} {
+			p, err := AvailabilityAtTime(tc.s, tc.n, rho, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p > prev+1e-9 || p < limit-1e-9 {
+				t.Fatalf("%v n=%d: p(%v) = %v outside [%v, %v]", tc.s, tc.n, tt, p, limit, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestTransientSchemeOrderingHoldsOverTime(t *testing.T) {
+	// AC >= naive >= voting at every time point, not only in the limit.
+	const (
+		n   = 3
+		rho = 0.2
+	)
+	for _, tt := range []float64{0.5, 1, 2, 5, 50} {
+		ac, err := AvailabilityAtTime(SchemeAvailableCopy, n, rho, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		na, err := AvailabilityAtTime(SchemeNaive, n, rho, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := AvailabilityAtTime(SchemeVoting, n, rho, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ac < na-1e-9 || na < v-1e-9 {
+			t.Fatalf("t=%v: ordering broken: ac=%v na=%v v=%v", tt, ac, na, v)
+		}
+	}
+}
+
+func TestAvailabilityAtTimeValidation(t *testing.T) {
+	if _, err := AvailabilityAtTime(Scheme(9), 3, 0.1, 1); err == nil {
+		t.Fatal("accepted unknown scheme")
+	}
+	if _, err := AvailabilityAtTime(SchemeVoting, 0, 0.1, 1); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := AvailabilityAtTime(SchemeVoting, 3, -1, 1); err == nil {
+		t.Fatal("accepted negative rho")
+	}
+	if _, err := AvailabilityAtTime(SchemeVoting, 3, 0.1, -1); err == nil {
+		t.Fatal("accepted negative time")
+	}
+	a, err := AvailabilityAtTime(SchemeNaive, 3, 0, 5)
+	if err != nil || a != 1 {
+		t.Fatalf("rho=0: %v, %v", a, err)
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWitnessValidation(t *testing.T) {
+	if _, err := AvailabilityVotingWitnesses(0, 2, 0.1); err == nil {
+		t.Fatal("accepted zero data sites")
+	}
+	if _, err := AvailabilityVotingWitnesses(2, -1, 0.1); err == nil {
+		t.Fatal("accepted negative witnesses")
+	}
+	if _, err := AvailabilityVotingWitnesses(15, 15, 0.1); err == nil {
+		t.Fatal("accepted oversized enumeration")
+	}
+	if _, err := AvailabilityVotingWitnesses(2, 1, -1); err == nil {
+		t.Fatal("accepted negative rho")
+	}
+}
+
+func TestWitnessZeroWitnessesMatchesVoting(t *testing.T) {
+	// With no witnesses the enumeration must reproduce A_V(n) exactly.
+	for _, n := range []int{1, 2, 3, 4, 5, 6} {
+		for _, rho := range rhoGrid {
+			withW, err := AvailabilityVotingWitnesses(n, 0, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := AvailabilityVoting(n, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(withW, plain, 1e-12) {
+				t.Fatalf("n=%d rho=%v: witnesses(0) %v != A_V %v", n, rho, withW, plain)
+			}
+		}
+	}
+}
+
+func TestWitnessAvailabilityShape(t *testing.T) {
+	for _, rho := range []float64{0.02, 0.05, 0.1, 0.2} {
+		// 2 data + 1 witness beats 2 full copies under voting...
+		w21, err := AvailabilityVotingWitnesses(2, 1, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := AvailabilityVoting(2, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w21 <= v2 {
+			t.Fatalf("rho=%v: 2+1w (%v) <= V(2) (%v)", rho, w21, v2)
+		}
+		// ...and matches 3 full copies exactly: every 2-of-3 quorum
+		// necessarily contains a data site, so the witness buys the full
+		// third copy's availability at a fraction of the storage — the
+		// headline of [10].
+		v3, err := AvailabilityVoting(3, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(w21, v3, 1e-12) {
+			t.Fatalf("rho=%v: 2+1w (%v) != V(3) (%v)", rho, w21, v3)
+		}
+		// With a witness majority possible (1 data + 2 witnesses) the gap
+		// to V(3) is exactly the quorate-but-dataless configurations:
+		// both witnesses up, the data site down = p^2 * q.
+		w12, err := AvailabilityVotingWitnesses(1, 2, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := 1 / (1 + rho)
+		q := 1 - p
+		if diff := v3 - w12; !almostEqual(diff, p*p*q, 1e-12) {
+			t.Fatalf("rho=%v: gap %v, want p^2*q = %v", rho, diff, p*p*q)
+		}
+	}
+}
+
+func TestWitnessPerfectSites(t *testing.T) {
+	a, err := AvailabilityVotingWitnesses(2, 2, 0)
+	if err != nil || a != 1 {
+		t.Fatalf("rho=0: %v, %v", a, err)
+	}
+}
+
+func TestWitnessStorageBlocks(t *testing.T) {
+	// 3 full copies of a 128-block device: 384 block units.
+	full, err := WitnessStorageBlocks(3, 0, 128, 512)
+	if err != nil || full != 384 {
+		t.Fatalf("full = %v, %v", full, err)
+	}
+	// 2 copies + 1 witness: 256 blocks + a 2-block version table.
+	mixed, err := WitnessStorageBlocks(2, 1, 128, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 256 + float64(8*128)/512; math.Abs(mixed-want) > 1e-12 {
+		t.Fatalf("mixed = %v, want %v", mixed, want)
+	}
+	if mixed >= full*0.75 {
+		t.Fatalf("witness config saves too little storage: %v vs %v", mixed, full)
+	}
+	if _, err := WitnessStorageBlocks(0, 1, 128, 512); err == nil {
+		t.Fatal("accepted zero data sites")
+	}
+}

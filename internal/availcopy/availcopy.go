@@ -1,0 +1,324 @@
+// Package availcopy implements the available copy consistency scheme of
+// §3.2, adapted for block-level replication.
+//
+// The write rule is "write to all available copies"; reads are served
+// from the local copy with no network traffic at all. Each site keeps a
+// *was-available set* W_s — the sites that received the most recent write
+// plus the sites that repaired from s — on stable storage. After a total
+// failure, a block becomes accessible again once every site in the
+// closure C*(W_s) has recovered: the closure is guaranteed to contain the
+// site(s) that failed last, and therefore a copy with the most recent
+// version (Figure 5).
+//
+// Following §3.2's relaxation of the atomic broadcast assumption, the
+// was-available information piggybacks on write messages and may be one
+// write out of date. Recipients therefore *merge* the piggybacked set
+// into their stored set rather than replacing it: the stored set stays a
+// superset of every site that may hold newer data, which keeps recovery
+// safe (it can only wait for more sites than strictly necessary, never
+// fewer). The coordinator of a write, which observes the acknowledgement
+// set exactly, resets its own W to the true recipient set — W sets shrink
+// again whenever a site coordinates a write. The WithImmediateW option
+// instead pushes the exact recipient set to all recipients with one extra
+// message whenever it changed (DESIGN.md ablation).
+package availcopy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"relidev/internal/block"
+	"relidev/internal/protocol"
+	"relidev/internal/scheme"
+	"relidev/internal/site"
+)
+
+// Option customises a Controller.
+type Option func(*Controller)
+
+// WithImmediateW makes the coordinator propagate the exact recipient set
+// of a write to all recipients with a dedicated message whenever it
+// differs from the piggybacked (one-write-stale) set. Tightens W at the
+// cost of one extra transmission per membership change.
+func WithImmediateW() Option {
+	return func(c *Controller) { c.immediateW = true }
+}
+
+// Controller is the available copy engine at one site.
+type Controller struct {
+	env        scheme.Env
+	immediateW bool
+
+	// mu serialises operations issued at this site (see voting.Controller
+	// for the concurrency scope the paper assumes).
+	mu sync.Mutex
+}
+
+var _ scheme.Controller = (*Controller)(nil)
+
+// New builds an available copy controller. A fresh, consistent replica
+// set starts with W_s = S everywhere (every site holds the freshly
+// formatted — hence identical — state).
+func New(env scheme.Env, opts ...Option) (*Controller, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{env: env}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.env.Self.WasAvailable().Empty() {
+		if err := c.env.Self.SetWasAvailable(env.FullSet()); err != nil {
+			return nil, fmt.Errorf("available copy: initialise was-available set: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// Name implements scheme.Controller.
+func (c *Controller) Name() string { return "available-copy" }
+
+// Read serves the block from the local copy: every available site holds
+// the most recent version of every block, so reads cost no messages.
+func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.env.Self.State() != protocol.StateAvailable {
+		return nil, fmt.Errorf("available copy read of %v at %v (%v): %w",
+			idx, c.env.Self.ID(), c.env.Self.State(), scheme.ErrNotAvailable)
+	}
+	data, _, err := c.env.Self.ReadLocal(idx)
+	if err != nil {
+		return nil, fmt.Errorf("available copy read of %v: %w", idx, err)
+	}
+	return data, nil
+}
+
+// Write implements the available copy write rule: broadcast the new block
+// to all sites; the available ones install it and acknowledge. The
+// piggybacked was-available set describes the previous write (the §3.2
+// delayed-information scheme); the coordinator then learns the exact
+// recipient set from the acknowledgements and resets its own W to it.
+func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	self := c.env.Self
+	if self.State() != protocol.StateAvailable {
+		return fmt.Errorf("available copy write of %v at %v (%v): %w",
+			idx, self.ID(), self.State(), scheme.ErrNotAvailable)
+	}
+	localVer, err := self.VersionLocal(idx)
+	if err != nil {
+		return fmt.Errorf("available copy write of %v: %w", idx, err)
+	}
+	newVer := localVer + 1
+
+	put := protocol.PutRequest{
+		Block:   idx,
+		Data:    data,
+		Version: newVer,
+		HasW:    true,
+		// One write out of date by design: the set the *previous* write
+		// established.
+		WasAvail: self.WasAvailable(),
+	}
+	results := c.env.Transport.Broadcast(ctx, self.ID(), c.env.Remotes(), put)
+
+	recipients := protocol.NewSiteSet(self.ID())
+	for id, res := range results {
+		switch {
+		case res.Err == nil:
+			recipients = recipients.Add(id)
+		case errors.Is(res.Err, protocol.ErrSiteDown),
+			errors.Is(res.Err, protocol.ErrSiteUnreachable),
+			errors.Is(res.Err, site.ErrComatose),
+			errors.Is(res.Err, site.ErrNotOperational):
+			// Failed or not-yet-recovered sites simply miss the write;
+			// they will repair when they come back.
+		default:
+			return fmt.Errorf("available copy write of %v at site %v: %w", idx, id, res.Err)
+		}
+	}
+	if err := self.WriteLocal(idx, data, newVer); err != nil {
+		return fmt.Errorf("available copy write of %v: %w", idx, err)
+	}
+	// The coordinator knows the recipient set exactly: W_s = sites that
+	// received the most recent write.
+	if err := self.SetWasAvailable(recipients); err != nil {
+		return err
+	}
+	if c.immediateW && !put.WasAvail.SubsetOf(recipients) {
+		// Ablation: push the exact set so recipients do not carry the
+		// stale superset until the next write.
+		fix := protocol.PutRequest{
+			Block: idx, Data: data, Version: newVer,
+			HasW: true, WasAvail: recipients, ReplaceW: true,
+		}
+		c.env.Transport.Notify(ctx, self.ID(), recipients.Remove(self.ID()).Members(), fix)
+	}
+	return nil
+}
+
+// status is one site's answer to the recovery broadcast.
+type status struct {
+	state    protocol.SiteState
+	wasAvail protocol.SiteSet
+	sum      uint64
+}
+
+// Recover implements Figure 5. The local site is comatose. It broadcasts
+// a status query; then either
+//
+//   - some site is available: repair from it immediately, or
+//   - every site in the closure C*(W_s) has recovered (is comatose or
+//     available): the most current of them is known to hold the most
+//     recent versions; repair from it (or, if that is the local site
+//     itself, just become available), or
+//   - otherwise: recovery must wait (ErrAwaitingSites).
+func (c *Controller) Recover(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	self := c.env.Self
+	if self.State() == protocol.StateAvailable {
+		return nil
+	}
+	self.SetState(protocol.StateComatose)
+
+	results := c.env.Transport.Broadcast(ctx, self.ID(), c.env.Remotes(), protocol.StatusRequest{})
+	states := map[protocol.SiteID]status{
+		self.ID(): {state: protocol.StateComatose, wasAvail: self.WasAvailable(), sum: self.VersionSum()},
+	}
+	for id, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		st, ok := res.Resp.(protocol.StatusReply)
+		if !ok {
+			return fmt.Errorf("available copy recovery: site %v answered %T", id, res.Resp)
+		}
+		states[id] = status{state: st.State, wasAvail: st.WasAvail, sum: st.VersionSum}
+	}
+
+	// Case 1: when ∃u ∈ S: state(u) = available, repair from any such u.
+	if t, ok := pickAvailable(states); ok {
+		return c.repairFrom(ctx, t)
+	}
+
+	// Case 2: when all sites in C*(W_s) have recovered, repair from the
+	// most current member.
+	closure := Closure(self.WasAvailable().Add(self.ID()), func(u protocol.SiteID) (protocol.SiteSet, bool) {
+		st, ok := states[u]
+		return st.wasAvail, ok
+	})
+	allRecovered := true
+	for _, u := range closure.Members() {
+		if _, ok := states[u]; !ok {
+			allRecovered = false
+			break
+		}
+	}
+	if allRecovered {
+		t := mostCurrent(states, closure)
+		if t == self.ID() {
+			// The local copy is the most recent: "let t: ∀u, version(t) >=
+			// version(u)" picks s itself; no transfer needed and, per
+			// Figure 5, the was-available set is left unchanged.
+			self.SetState(protocol.StateAvailable)
+			return nil
+		}
+		return c.repairFrom(ctx, t)
+	}
+	missing := 0
+	for _, u := range closure.Members() {
+		if _, ok := states[u]; !ok {
+			missing++
+		}
+	}
+	return fmt.Errorf("available copy recovery at %v: %d site(s) of closure %v still failed: %w",
+		self.ID(), missing, closure, scheme.ErrAwaitingSites)
+}
+
+// repairFrom runs the version-vector exchange of Figure 5 against t and
+// marks the local site available.
+func (c *Controller) repairFrom(ctx context.Context, t protocol.SiteID) error {
+	self := c.env.Self
+	req := protocol.RecoveryRequest{Vector: self.Vector(), JoinW: true}
+	resp, err := c.env.Transport.Call(ctx, self.ID(), t, req)
+	if err != nil {
+		return fmt.Errorf("available copy recovery of %v from %v: %w", self.ID(), t, err)
+	}
+	rec, ok := resp.(protocol.RecoveryReply)
+	if !ok {
+		return fmt.Errorf("available copy recovery: unexpected reply %T", resp)
+	}
+	if err := self.ApplyRecovery(rec); err != nil {
+		return err
+	}
+	// W_s <- W_t ∪ {s} (Figure 5); the reply carries W_t after the join.
+	if err := self.SetWasAvailable(rec.WasAvail.Add(self.ID())); err != nil {
+		return err
+	}
+	self.SetState(protocol.StateAvailable)
+	return nil
+}
+
+func pickAvailable(states map[protocol.SiteID]status) (protocol.SiteID, bool) {
+	var best protocol.SiteID = -1
+	var bestSum uint64
+	for id, st := range states {
+		if st.state != protocol.StateAvailable {
+			continue
+		}
+		if best == -1 || st.sum > bestSum || (st.sum == bestSum && id < best) {
+			best, bestSum = id, st.sum
+		}
+	}
+	return best, best != -1
+}
+
+// mostCurrent picks the member of candidates with the greatest version
+// sum, breaking ties toward the lowest id for determinism.
+func mostCurrent(states map[protocol.SiteID]status, candidates protocol.SiteSet) protocol.SiteID {
+	var best protocol.SiteID = -1
+	var bestSum uint64
+	for _, id := range candidates.Members() {
+		st, ok := states[id]
+		if !ok {
+			continue
+		}
+		if best == -1 || st.sum > bestSum {
+			best, bestSum = id, st.sum
+		}
+	}
+	return best
+}
+
+// Closure computes C*(W), the closure of a was-available set (Definition
+// 3.2, detailed in [8]): the least fixed point of
+//
+//	X = W ∪ ⋃ { W_u : u ∈ X, u has recovered }
+//
+// where lookup returns the stored was-available set of a recovered site
+// (and ok=false for sites still failed, whose sets are unreadable). The
+// closure contains every site that could hold data newer than any member
+// of W; in particular it contains the site(s) that failed last.
+func Closure(w protocol.SiteSet, lookup func(protocol.SiteID) (protocol.SiteSet, bool)) protocol.SiteSet {
+	x := w
+	for {
+		next := x
+		for _, u := range x.Members() {
+			if wu, ok := lookup(u); ok {
+				next = next.Union(wu)
+			}
+		}
+		if next == x {
+			return x
+		}
+		x = next
+	}
+}

@@ -1,0 +1,154 @@
+package availcopy
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"relidev/internal/block"
+	"relidev/internal/protocol"
+	"relidev/internal/scheme"
+	"relidev/internal/simnet"
+)
+
+// TestClosureSafetyFuzz hammers the was-available machinery specifically:
+// four sites, failure-heavy random schedules biased toward total failures,
+// with recovery driven opportunistically. The invariant under test is the
+// §3.2 safety property: a site that completes recovery (or any available
+// site) never serves a value older than the last successful write —
+// i.e. the closure C*(W_s) never under-approximates the set of sites
+// that might hold newer data, even with the delayed (piggybacked)
+// was-available updates.
+func TestClosureSafetyFuzz(t *testing.T) {
+	const (
+		sites  = 4
+		blocks = 4
+		steps  = 6000
+	)
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			r := newRig(t, sites, simnet.Multicast)
+			ctx := context.Background()
+
+			model := make(map[block.Index]uint64)
+			var seq uint64
+			totalFailureRecoveries := 0
+
+			drive := func() {
+				for {
+					progress := false
+					for i, rep := range r.replicas {
+						if rep.State() != protocol.StateComatose {
+							continue
+						}
+						err := r.ctrls[i].Recover(ctx)
+						switch {
+						case err == nil:
+							progress = true
+						case errors.Is(err, scheme.ErrAwaitingSites):
+						default:
+							t.Fatalf("recovery of %d: %v", i, err)
+						}
+					}
+					if !progress {
+						return
+					}
+				}
+			}
+			availableSites := func() []int {
+				var out []int
+				for i, rep := range r.replicas {
+					if rep.State() == protocol.StateAvailable {
+						out = append(out, i)
+					}
+				}
+				return out
+			}
+
+			for step := 0; step < steps; step++ {
+				switch op := rng.Intn(10); {
+				case op < 3: // write at a random available site
+					avail := availableSites()
+					if len(avail) == 0 {
+						continue
+					}
+					at := avail[rng.Intn(len(avail))]
+					idx := block.Index(rng.Intn(blocks))
+					seq++
+					payload := make([]byte, testGeom.BlockSize)
+					binary.LittleEndian.PutUint64(payload, seq)
+					if err := r.ctrls[at].Write(ctx, idx, payload); err != nil {
+						t.Fatalf("step %d: write at available site %d: %v", step, at, err)
+					}
+					model[idx] = seq
+				case op < 6: // read at a random available site
+					avail := availableSites()
+					if len(avail) == 0 {
+						continue
+					}
+					at := avail[rng.Intn(len(avail))]
+					idx := block.Index(rng.Intn(blocks))
+					got, err := r.ctrls[at].Read(ctx, idx)
+					if err != nil {
+						t.Fatalf("step %d: read at available site %d: %v", step, at, err)
+					}
+					if v := binary.LittleEndian.Uint64(got); v != model[idx] {
+						t.Fatalf("step %d: site %d served %d for %v, model says %d (STALE READ)",
+							step, at, v, idx, model[idx])
+					}
+				case op < 9: // fail a running site, preferring available ones
+					// so the schedule reaches total failures often
+					id := protocol.SiteID(rng.Intn(sites))
+					if avail := availableSites(); len(avail) > 0 && rng.Intn(10) < 8 {
+						id = protocol.SiteID(avail[rng.Intn(len(avail))])
+					}
+					if r.replicas[id].State() != protocol.StateFailed {
+						wasLast := len(availableSites()) == 1 &&
+							r.replicas[id].State() == protocol.StateAvailable
+						r.fail(id)
+						if wasLast {
+							totalFailureRecoveries++
+						}
+					}
+				default: // restart a random failed site and drive recovery
+					id := protocol.SiteID(rng.Intn(sites))
+					if r.replicas[id].State() == protocol.StateFailed {
+						r.restart(id)
+						drive()
+					}
+				}
+			}
+			// Heal completely and verify convergence.
+			for i := range r.replicas {
+				if r.replicas[i].State() == protocol.StateFailed {
+					r.restart(protocol.SiteID(i))
+				}
+			}
+			drive()
+			for i, rep := range r.replicas {
+				if rep.State() != protocol.StateAvailable {
+					t.Fatalf("site %d is %v after full heal", i, rep.State())
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				for i := range r.ctrls {
+					got, err := r.ctrls[i].Read(ctx, block.Index(b))
+					if err != nil {
+						t.Fatalf("final read at %d: %v", i, err)
+					}
+					if v := binary.LittleEndian.Uint64(got); v != model[block.Index(b)] {
+						t.Fatalf("final read of %d at site %d = %d, model %d", b, i, v, model[block.Index(b)])
+					}
+				}
+			}
+			if totalFailureRecoveries < 10 {
+				t.Fatalf("fuzz exercised only %d total failures; schedule too gentle", totalFailureRecoveries)
+			}
+		})
+	}
+}

@@ -1,0 +1,163 @@
+// Package cache provides a buffer cache over a block device.
+//
+// In the paper's UNIX model (§2, Figure 1) the file system "consults
+// internal data structures to ascertain if it has the requested block in
+// the buffer cache" and only on a miss asks the device driver — and
+// hence the reliable device — for the block. This package is that layer:
+// a write-through LRU cache wrapping any core.Device.
+//
+// On a voting reliable device the cache is what makes the scheme usable
+// at all: a cache hit answers locally and skips the quorum collection
+// entirely, exactly as a kernel buffer cache would. The usual caveat
+// applies unchanged from ordinary disks: one buffer cache per mounted
+// device — concurrent mounts with independent caches see stale blocks,
+// with replication or without it.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"relidev/internal/block"
+	"relidev/internal/core"
+)
+
+// Stats counts cache effectiveness.
+type Stats struct {
+	// Hits and Misses count read lookups.
+	Hits, Misses uint64
+	// Evictions counts entries dropped to make room.
+	Evictions uint64
+}
+
+// Device is a write-through LRU block cache implementing core.Device.
+type Device struct {
+	inner    core.Device
+	capacity int
+
+	mu      sync.Mutex
+	entries map[block.Index]*list.Element
+	lru     *list.List // front = most recently used
+	stats   Stats
+}
+
+type entry struct {
+	idx  block.Index
+	data []byte
+}
+
+var _ core.Device = (*Device)(nil)
+
+// New wraps inner with a cache holding up to capacity blocks.
+func New(inner core.Device, capacity int) (*Device, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("cache: nil device")
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("cache: capacity %d must be positive", capacity)
+	}
+	return &Device{
+		inner:    inner,
+		capacity: capacity,
+		entries:  make(map[block.Index]*list.Element, capacity),
+		lru:      list.New(),
+	}, nil
+}
+
+// Geometry implements core.Device.
+func (d *Device) Geometry() block.Geometry { return d.inner.Geometry() }
+
+// ReadBlock implements core.Device: cache hits answer locally without
+// touching the underlying device.
+func (d *Device) ReadBlock(ctx context.Context, idx block.Index) ([]byte, error) {
+	d.mu.Lock()
+	if el, ok := d.entries[idx]; ok {
+		d.lru.MoveToFront(el)
+		d.stats.Hits++
+		out := make([]byte, len(el.Value.(*entry).data))
+		copy(out, el.Value.(*entry).data)
+		d.mu.Unlock()
+		return out, nil
+	}
+	d.stats.Misses++
+	d.mu.Unlock()
+
+	data, err := d.inner.ReadBlock(ctx, idx)
+	if err != nil {
+		return nil, err
+	}
+	d.insert(idx, data)
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// WriteBlock implements core.Device: write-through, so the replicated
+// copies are always as current as the cache.
+func (d *Device) WriteBlock(ctx context.Context, idx block.Index, data []byte) error {
+	if err := d.inner.WriteBlock(ctx, idx, data); err != nil {
+		// A failed replicated write must not linger in the cache as if it
+		// had happened.
+		d.invalidateOne(idx)
+		return err
+	}
+	d.insert(idx, data)
+	return nil
+}
+
+// insert stores a copy of data for idx, evicting the LRU entry if full.
+func (d *Device) insert(idx block.Index, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.entries[idx]; ok {
+		el.Value.(*entry).data = cp
+		d.lru.MoveToFront(el)
+		return
+	}
+	for len(d.entries) >= d.capacity {
+		oldest := d.lru.Back()
+		if oldest == nil {
+			break
+		}
+		d.lru.Remove(oldest)
+		delete(d.entries, oldest.Value.(*entry).idx)
+		d.stats.Evictions++
+	}
+	d.entries[idx] = d.lru.PushFront(&entry{idx: idx, data: cp})
+}
+
+func (d *Device) invalidateOne(idx block.Index) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.entries[idx]; ok {
+		d.lru.Remove(el)
+		delete(d.entries, idx)
+	}
+}
+
+// Invalidate drops every cached block; subsequent reads go to the
+// device. Call it after another mount may have written the device.
+func (d *Device) Invalidate() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries = make(map[block.Index]*list.Element, d.capacity)
+	d.lru.Init()
+}
+
+// Len returns the number of cached blocks.
+func (d *Device) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}

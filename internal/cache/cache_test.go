@@ -1,0 +1,230 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"relidev/internal/block"
+	"relidev/internal/core"
+	"relidev/internal/scheme"
+	"relidev/internal/store"
+)
+
+var testGeom = block.Geometry{BlockSize: 32, NumBlocks: 16}
+
+func newLocal(t *testing.T) core.Device {
+	t.Helper()
+	st, err := store.NewMem(testGeom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewLocalDevice(st)
+}
+
+func pad(s string) []byte {
+	out := make([]byte, testGeom.BlockSize)
+	copy(out, s)
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 4); err == nil {
+		t.Fatal("accepted nil device")
+	}
+	if _, err := New(newLocal(t), 0); err == nil {
+		t.Fatal("accepted zero capacity")
+	}
+}
+
+func TestReadThroughAndHit(t *testing.T) {
+	ctx := context.Background()
+	inner := newLocal(t)
+	d, err := New(inner, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.WriteBlock(ctx, 1, pad("below")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadBlock(ctx, 1)
+	if err != nil || string(got[:5]) != "below" {
+		t.Fatalf("read = %q, %v", got[:5], err)
+	}
+	if st := d.Stats(); st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := d.ReadBlock(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWriteThrough(t *testing.T) {
+	ctx := context.Background()
+	inner := newLocal(t)
+	d, _ := New(inner, 4)
+	if err := d.WriteBlock(ctx, 2, pad("through")); err != nil {
+		t.Fatal(err)
+	}
+	// Visible below immediately.
+	got, err := inner.ReadBlock(ctx, 2)
+	if err != nil || string(got[:7]) != "through" {
+		t.Fatalf("inner read = %q, %v", got[:7], err)
+	}
+	// And served from cache above.
+	if _, err := d.ReadBlock(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	ctx := context.Background()
+	d, _ := New(newLocal(t), 2)
+	for i := 0; i < 3; i++ {
+		if err := d.WriteBlock(ctx, block.Index(i), pad("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if st := d.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// Block 0 was evicted (LRU); 1 and 2 still hit.
+	d.ReadBlock(ctx, 1)
+	d.ReadBlock(ctx, 2)
+	d.ReadBlock(ctx, 0)
+	if st := d.Stats(); st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Touching 1 makes 2 the LRU victim on the next insert... after the
+	// miss on 0 above, order (front to back) is 0,2,1; touch 1:
+	d.ReadBlock(ctx, 1) // hit
+	// capacity 2, but we inserted 0 on the miss above, evicting... verify
+	// via counters only: deterministic eviction order is covered by Len
+	// and the hit/miss assertions.
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	ctx := context.Background()
+	d, _ := New(newLocal(t), 2)
+	if err := d.WriteBlock(ctx, 0, pad("orig")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadBlock(ctx, 0)
+	got[0] = 'X'
+	again, _ := d.ReadBlock(ctx, 0)
+	if string(again[:4]) != "orig" {
+		t.Fatal("cache exposed internal buffer")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	ctx := context.Background()
+	inner := newLocal(t)
+	d, _ := New(inner, 4)
+	if err := d.WriteBlock(ctx, 0, pad("old")); err != nil {
+		t.Fatal(err)
+	}
+	// Another mount writes underneath.
+	if err := inner.WriteBlock(ctx, 0, pad("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadBlock(ctx, 0)
+	if string(got[:3]) != "old" {
+		t.Fatal("expected the stale cached block before Invalidate")
+	}
+	d.Invalidate()
+	if d.Len() != 0 {
+		t.Fatal("Invalidate left entries")
+	}
+	got, _ = d.ReadBlock(ctx, 0)
+	if string(got[:3]) != "new" {
+		t.Fatalf("after Invalidate read = %q", got[:3])
+	}
+}
+
+func TestFailedWriteNotCached(t *testing.T) {
+	// A write denied by the consistency scheme must not be served from
+	// cache afterwards.
+	ctx := context.Background()
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Sites: 3, Geometry: testGeom, Scheme: core.Voting,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := cl.Device(0)
+	d, _ := New(dev, 4)
+	if err := d.WriteBlock(ctx, 0, pad("good")); err != nil {
+		t.Fatal(err)
+	}
+	cl.Fail(1)
+	cl.Fail(2)
+	if err := d.WriteBlock(ctx, 0, pad("bad")); !errors.Is(err, scheme.ErrNoQuorum) {
+		t.Fatalf("write = %v, want ErrNoQuorum", err)
+	}
+	cl.Restart(ctx, 1)
+	cl.Restart(ctx, 2)
+	got, err := d.ReadBlock(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:4], []byte("good")) {
+		t.Fatalf("read = %q, want the last successful write", got[:4])
+	}
+}
+
+// The Figure 1 effect: a buffer cache in front of a voting device
+// removes the quorum traffic from repeated reads.
+func TestCacheEliminatesVotingReadTraffic(t *testing.T) {
+	ctx := context.Background()
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Sites: 3, Geometry: testGeom, Scheme: core.Voting,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := cl.Device(0)
+	d, _ := New(dev, 8)
+	if err := d.WriteBlock(ctx, 3, pad("hot")); err != nil {
+		t.Fatal(err)
+	}
+	cl.Network().ResetStats()
+	for i := 0; i < 50; i++ {
+		if _, err := d.ReadBlock(ctx, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cl.Network().Stats().Transmissions; got != 0 {
+		t.Fatalf("50 cached reads cost %d transmissions, want 0", got)
+	}
+	// Uncached, the same reads would have cost 50 quorum collections.
+	cl.Network().ResetStats()
+	for i := 0; i < 50; i++ {
+		if _, err := dev.ReadBlock(ctx, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cl.Network().Stats().Transmissions; got != 150 { // U_V = 3 each
+		t.Fatalf("uncached reads cost %d, want 150", got)
+	}
+}
+
+func TestGeometryPassthrough(t *testing.T) {
+	d, _ := New(newLocal(t), 2)
+	if d.Geometry() != testGeom {
+		t.Fatal("geometry mismatch")
+	}
+}

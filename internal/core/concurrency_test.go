@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"relidev/internal/block"
+	"relidev/internal/protocol"
+	"relidev/internal/scheme"
+)
+
+// TestConcurrentClientsDisjointBlocks hammers the device from one
+// goroutine per site, each owning a disjoint set of blocks (the paper
+// leaves cross-writer concurrency control to commit protocols, §5). Every
+// client must read back its own last successful write, under failures
+// injected concurrently.
+func TestConcurrentClientsDisjointBlocks(t *testing.T) {
+	const (
+		sites  = 4
+		rounds = 150
+	)
+	for _, kind := range []SchemeKind{Voting, AvailableCopy, NaiveAvailableCopy} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cl, err := NewCluster(ClusterConfig{
+				Sites:    sites,
+				Geometry: block.Geometry{BlockSize: 16, NumBlocks: sites},
+				Scheme:   kind,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			var wg sync.WaitGroup
+			errCh := make(chan error, sites+1)
+
+			for s := 0; s < sites; s++ {
+				s := s
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					dev, err := cl.Device(protocol.SiteID(s))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					idx := block.Index(s) // disjoint block per client
+					var lastOK uint64
+					payload := make([]byte, 16)
+					for i := 1; i <= rounds; i++ {
+						binary.LittleEndian.PutUint64(payload, uint64(i))
+						err := dev.WriteBlock(ctx, idx, payload)
+						switch {
+						case err == nil:
+							lastOK = uint64(i)
+						case errors.Is(err, scheme.ErrNoQuorum),
+							errors.Is(err, scheme.ErrNotAvailable):
+							continue
+						default:
+							errCh <- fmt.Errorf("client %d write: %w", s, err)
+							return
+						}
+						got, err := dev.ReadBlock(ctx, idx)
+						switch {
+						case err == nil:
+							if v := binary.LittleEndian.Uint64(got); v != lastOK {
+								errCh <- fmt.Errorf("client %d read %d, want %d", s, v, lastOK)
+								return
+							}
+						case errors.Is(err, scheme.ErrNoQuorum),
+							errors.Is(err, scheme.ErrNotAvailable):
+						default:
+							errCh <- fmt.Errorf("client %d read: %w", s, err)
+							return
+						}
+					}
+				}()
+			}
+			// A chaos goroutine failing and restarting site 3 throughout.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					if err := cl.Fail(3); err != nil {
+						errCh <- err
+						return
+					}
+					if err := cl.Restart(ctx, 3); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"relidev/internal/block"
+	"relidev/internal/voting"
+)
+
+func TestClusterWitnessValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Sites: 3, Scheme: AvailableCopy, Witnesses: 1}); err == nil {
+		t.Fatal("witnesses accepted for non-voting scheme")
+	}
+	if _, err := NewCluster(ClusterConfig{Sites: 3, Scheme: Voting, Witnesses: 3}); err == nil {
+		t.Fatal("all-witness cluster accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Sites: 3, Scheme: Voting, Witnesses: -1}); err == nil {
+		t.Fatal("negative witnesses accepted")
+	}
+}
+
+func TestClusterWithWitnesses(t *testing.T) {
+	ctx := context.Background()
+	cl, err := NewCluster(ClusterConfig{
+		Sites:     3,
+		Geometry:  block.Geometry{BlockSize: 32, NumBlocks: 4},
+		Scheme:    Voting,
+		Witnesses: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last site is a witness.
+	rep2, _ := cl.Replica(2)
+	if !rep2.Witness() {
+		t.Fatal("site 2 should be a witness")
+	}
+	rep0, _ := cl.Replica(0)
+	if rep0.Witness() {
+		t.Fatal("site 0 should be a data site")
+	}
+
+	dev, _ := cl.Device(0)
+	if err := dev.WriteBlock(ctx, 1, pad(cl, "with witness")); err != nil {
+		t.Fatal(err)
+	}
+	// Works with a data site down (data + witness quorum).
+	if err := cl.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.ReadBlock(ctx, 1)
+	if err != nil || string(got[:12]) != "with witness" {
+		t.Fatalf("read = %q, %v", got[:12], err)
+	}
+	// The device at the witness site serves reads by remote fetch.
+	devW, _ := cl.Device(2)
+	got, err = devW.ReadBlock(ctx, 1)
+	if err != nil || string(got[:12]) != "with witness" {
+		t.Fatalf("witness-site read = %q, %v", got[:12], err)
+	}
+	// With both data sites down only the witness is up: 1 of 3 is not
+	// even a quorum.
+	if err := cl.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := devW.ReadBlock(ctx, 1); err == nil {
+		t.Fatal("read with only a witness up succeeded")
+	}
+}
+
+func TestWitnessMajorityCannotServeData(t *testing.T) {
+	// 1 data + 2 witnesses: the witnesses alone form a quorum, but a
+	// quorum without a data site must refuse service.
+	ctx := context.Background()
+	cl, err := NewCluster(ClusterConfig{
+		Sites:     3,
+		Geometry:  block.Geometry{BlockSize: 32, NumBlocks: 4},
+		Scheme:    Voting,
+		Witnesses: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := cl.Device(0)
+	if err := dev.WriteBlock(ctx, 0, pad(cl, "solo data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	devW, _ := cl.Device(1)
+	if _, err := devW.ReadBlock(ctx, 0); !errors.Is(err, voting.ErrNoCurrentCopy) {
+		t.Fatalf("witness-majority read = %v, want ErrNoCurrentCopy", err)
+	}
+	if err := devW.WriteBlock(ctx, 0, pad(cl, "x")); !errors.Is(err, voting.ErrNoCurrentCopy) {
+		t.Fatalf("witness-majority write = %v, want ErrNoCurrentCopy", err)
+	}
+}

@@ -1,0 +1,67 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureWitnessShape(t *testing.T) {
+	fig, err := FigureWitness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(fig.Series))
+	}
+	full3, w21, w12, full2 := fig.Series[0], fig.Series[1], fig.Series[2], fig.Series[3]
+	for i := range full3.X {
+		// 2 copies + 1 witness tracks 3 full copies exactly.
+		if diff := full3.Y[i] - w21.Y[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("rho=%v: 2+1w diverges from 3 copies by %v", full3.X[i], diff)
+		}
+		// 1 copy + 2 witnesses needs the lone data site up AND a witness
+		// quorum: exactly p²(1+q) — slightly below even 2 full copies,
+		// showing witnesses are no substitute for data copies.
+		rho := full3.X[i]
+		p := 1 / (1 + rho)
+		q := 1 - p
+		if want := p * p * (1 + q); w12.Y[i]-want > 1e-12 || want-w12.Y[i] > 1e-12 {
+			t.Fatalf("rho=%v: 1+2w = %v, want p^2(1+q) = %v", rho, w12.Y[i], want)
+		}
+		if rho > 0 && w12.Y[i] >= full2.Y[i] {
+			t.Fatalf("rho=%v: 1+2w (%v) not below 2 full copies (%v)", rho, w12.Y[i], full2.Y[i])
+		}
+	}
+	if !strings.Contains(fig.Series[1].Label, "witness") {
+		t.Fatalf("label = %q", fig.Series[1].Label)
+	}
+}
+
+func TestFigureEqualAvailabilityShape(t *testing.T) {
+	fig, err := FigureEqualAvailability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(fig.Series))
+	}
+	v, ac, na := fig.Series[0], fig.Series[1], fig.Series[2]
+	if len(v.X) != 4 {
+		t.Fatalf("targets = %d, want 4", len(v.X))
+	}
+	for i := range v.X {
+		if !(na.Y[i] <= ac.Y[i] && ac.Y[i] < v.Y[i]) {
+			t.Fatalf("target idx %d: ordering broken: na=%v ac=%v v=%v", i, na.Y[i], ac.Y[i], v.Y[i])
+		}
+		// Voting's cost is steep: strictly increasing in the target.
+		if i > 0 && v.Y[i] <= v.Y[i-1] {
+			t.Fatalf("voting cost not increasing at target idx %d", i)
+		}
+	}
+	// §5: "much steeper" — at the highest target voting is an order of
+	// magnitude above naive.
+	last := len(v.X) - 1
+	if v.Y[last]/na.Y[last] < 10 {
+		t.Fatalf("voting/naive at 5 nines = %v, want >= 10", v.Y[last]/na.Y[last])
+	}
+}

@@ -1,0 +1,199 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRhoRange(t *testing.T) {
+	r := RhoRange(21)
+	if len(r) != 21 || r[0] != 0 || r[20] != 0.20 {
+		t.Fatalf("RhoRange = %v", r)
+	}
+	if len(RhoRange(0)) != 21 {
+		t.Fatal("default points mismatch")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	fig, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(fig.Series))
+	}
+	// At every plotted rho > 0: AC(3) >= NA(3) > V(6), and all curves
+	// decreasing in rho.
+	ac, na, v := fig.Series[0], fig.Series[1], fig.Series[2]
+	for i := range ac.X {
+		if ac.Y[i] < na.Y[i]-1e-12 {
+			t.Fatalf("rho=%v: AC %v < NA %v", ac.X[i], ac.Y[i], na.Y[i])
+		}
+		if ac.X[i] > 0.01 && na.Y[i] <= v.Y[i] {
+			t.Fatalf("rho=%v: NA %v <= V %v", ac.X[i], na.Y[i], v.Y[i])
+		}
+		if i > 0 {
+			for _, s := range fig.Series {
+				if s.Y[i] > s.Y[i-1]+1e-12 {
+					t.Fatalf("series %q increases at rho=%v", s.Label, s.X[i])
+				}
+			}
+		}
+	}
+	// The curves start at 1 (perfect sites).
+	for _, s := range fig.Series {
+		if s.Y[0] != 1 {
+			t.Fatalf("series %q starts at %v, want 1", s.Label, s.Y[0])
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	fig, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same dominance, 4 copies vs 8 voting copies.
+	ac, na, v := fig.Series[0], fig.Series[1], fig.Series[2]
+	last := len(ac.X) - 1
+	if !(ac.Y[last] > na.Y[last] && na.Y[last] > v.Y[last]) {
+		t.Fatalf("at rho=0.2: AC %v, NA %v, V %v — expected strict ordering",
+			ac.Y[last], na.Y[last], v.Y[last])
+	}
+	if !strings.Contains(fig.Title, "4 Available Copies and 8 Voting Copies") {
+		t.Fatalf("title = %q", fig.Title)
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	fig, err := Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d, want 5 (3 voting ratios + 2 AC)", len(fig.Series))
+	}
+	// Voting curves ordered by read ratio, all above AC, AC above naive;
+	// naive is flat at 1 (one multicast per write).
+	v1, v2, v4 := fig.Series[0], fig.Series[1], fig.Series[2]
+	ac, na := fig.Series[3], fig.Series[4]
+	for i := range v1.X {
+		if !(v1.Y[i] < v2.Y[i] && v2.Y[i] < v4.Y[i]) {
+			t.Fatalf("n=%v: voting ratio ordering broken", v1.X[i])
+		}
+		if !(na.Y[i] < ac.Y[i] && ac.Y[i] < v1.Y[i]) {
+			t.Fatalf("n=%v: scheme ordering broken: na=%v ac=%v v=%v",
+				v1.X[i], na.Y[i], ac.Y[i], v1.Y[i])
+		}
+		if na.Y[i] != 1 {
+			t.Fatalf("naive multicast cost = %v, want 1", na.Y[i])
+		}
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	fig, err := Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, ac, na := fig.Series[0], fig.Series[3], fig.Series[4]
+	for i, n := range v1.X {
+		if !(na.Y[i] < ac.Y[i] && ac.Y[i] < v1.Y[i]) {
+			t.Fatalf("n=%v: unicast ordering broken", n)
+		}
+		// Naive unicast write is exactly n-1.
+		if na.Y[i] != n-1 {
+			t.Fatalf("naive unicast cost at n=%v is %v, want %v", n, na.Y[i], n-1)
+		}
+		// Everything grows with n in the unicast environment.
+		if i > 0 && (v1.Y[i] <= v1.Y[i-1] || ac.Y[i] <= ac.Y[i-1]) {
+			t.Fatalf("unicast costs not increasing at n=%v", n)
+		}
+	}
+}
+
+func TestWithSimulation(t *testing.T) {
+	fig, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err = WithSimulation(fig, 3, 30000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSeries := fig.Series[len(fig.Series)-1]
+	if len(simSeries.X) != 4 {
+		t.Fatalf("simulated points = %d", len(simSeries.X))
+	}
+	for _, y := range simSeries.Y {
+		if y < 0.9 || y > 1 {
+			t.Fatalf("simulated availability %v implausible", y)
+		}
+	}
+}
+
+func TestTheorem41AllHold(t *testing.T) {
+	rows, err := Theorem41()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if !r.Holds {
+			t.Fatalf("theorem violated at n=%d rho=%v: AC=%v V=%v", r.N, r.Rho, r.AC, r.Voting)
+		}
+	}
+}
+
+func TestCostTable(t *testing.T) {
+	rows, err := CostTable([]int{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 2 n x 3 schemes x 2 modes
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Write <= 0 {
+			t.Fatalf("non-positive write cost: %+v", r)
+		}
+		if r.Scheme == "voting" && r.Recovery != 0 {
+			t.Fatalf("voting recovery cost = %v, want 0", r.Recovery)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	fig, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := CSV(fig)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 22 { // header + 21 rho values
+		t.Fatalf("lines = %d, want 22", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "x,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if got := strings.Count(lines[1], ","); got != 3 {
+		t.Fatalf("columns = %d, want 3 series", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	fig, err := Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(fig, 60, 16)
+	if !strings.Contains(out, "figure11") || !strings.Contains(out, "A = ") {
+		t.Fatalf("render output missing metadata:\n%s", out)
+	}
+	if len(strings.Split(out, "\n")) < 16 {
+		t.Fatal("render output too short")
+	}
+}

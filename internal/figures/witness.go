@@ -1,0 +1,64 @@
+package figures
+
+import (
+	"fmt"
+
+	"relidev/internal/analysis"
+)
+
+// FigureWitness is an extension figure (not in the paper; from its
+// reference [10], Pâris's variable-number-of-copies voting): the
+// availability of 2 data copies + 1 witness tracks 3 full voting copies
+// exactly while storing only ~2/3 of the data, and 1 data copy + 2
+// witnesses shows the price of witness-majority quorums.
+func FigureWitness() (Figure, error) {
+	rhos := RhoRange(21)
+	type cfg struct {
+		label string
+		eval  func(rho float64) (float64, error)
+	}
+	blocksFor := func(d, w int) float64 {
+		blocks, err := analysis.WitnessStorageBlocks(d, w, 128, 512)
+		if err != nil {
+			return 0
+		}
+		return blocks
+	}
+	configs := []cfg{
+		{
+			label: fmt.Sprintf("3 full copies (storage %.0f blocks)", blocksFor(3, 0)),
+			eval:  func(rho float64) (float64, error) { return analysis.AvailabilityVoting(3, rho) },
+		},
+		{
+			label: fmt.Sprintf("2 copies + 1 witness (storage %.0f blocks)", blocksFor(2, 1)),
+			eval:  func(rho float64) (float64, error) { return analysis.AvailabilityVotingWitnesses(2, 1, rho) },
+		},
+		{
+			label: fmt.Sprintf("1 copy + 2 witnesses (storage %.0f blocks)", blocksFor(1, 2)),
+			eval:  func(rho float64) (float64, error) { return analysis.AvailabilityVotingWitnesses(1, 2, rho) },
+		},
+		{
+			label: fmt.Sprintf("2 full copies (storage %.0f blocks)", blocksFor(2, 0)),
+			eval:  func(rho float64) (float64, error) { return analysis.AvailabilityVoting(2, rho) },
+		},
+	}
+	var series []Series
+	for _, c := range configs {
+		s := Series{Label: c.label, X: rhos}
+		for _, rho := range rhos {
+			a, err := c.eval(rho)
+			if err != nil {
+				return Figure{}, err
+			}
+			s.Y = append(s.Y, a)
+		}
+		series = append(series, s)
+	}
+	return Figure{
+		ID:     "witness",
+		Title:  "Extension: Voting with Witnesses [10] — availability vs storage",
+		XLabel: "rho = lambda/mu",
+		YLabel: "availability",
+		Series: series,
+	}, nil
+}

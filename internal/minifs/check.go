@@ -1,0 +1,231 @@
+package minifs
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"relidev/internal/block"
+)
+
+// Rename moves a file or directory to a new path. The destination must
+// not exist, and a directory cannot be moved into itself.
+func (fs *FS) Rename(ctx context.Context, oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	oldDirIno, oldDirIn, oldName, err := fs.lookupParent(ctx, oldPath)
+	if err != nil {
+		return err
+	}
+	d, oldOff, err := fs.findDirent(ctx, oldDirIn, oldName)
+	if err != nil {
+		return err
+	}
+	if oldOff < 0 {
+		return fmt.Errorf("minifs: rename %q: %w", oldPath, ErrNotExist)
+	}
+	// Reject moving a directory under itself: the destination parent
+	// lookup would traverse the moved directory.
+	oldParts, err := splitPath(oldPath)
+	if err != nil {
+		return err
+	}
+	newParts, err := splitPath(newPath)
+	if err != nil {
+		return err
+	}
+	if len(newParts) > len(oldParts) {
+		prefix := true
+		for i := range oldParts {
+			if newParts[i] != oldParts[i] {
+				prefix = false
+				break
+			}
+		}
+		if prefix {
+			return fmt.Errorf("minifs: rename %q into itself (%q): %w", oldPath, newPath, ErrBadPath)
+		}
+	}
+	newDirIno, newDirIn, newName, err := fs.lookupParent(ctx, newPath)
+	if err != nil {
+		return err
+	}
+	if _, off, err := fs.findDirent(ctx, newDirIn, newName); err != nil {
+		return err
+	} else if off >= 0 {
+		return fmt.Errorf("minifs: rename to %q: %w", newPath, ErrExist)
+	}
+	if err := fs.addDirent(ctx, newDirIno, newDirIn, dirent{Ino: d.Ino, Name: newName}); err != nil {
+		return err
+	}
+	// Re-resolve the old slot: adding the new entry may have grown the
+	// same directory and moved nothing, but the offset is still valid
+	// because entries never move; only new slots are appended or reused.
+	if oldDirIno == newDirIno {
+		// The directory contents changed; reload before clearing.
+		oldDirIn, err = fs.readInode(ctx, oldDirIno)
+		if err != nil {
+			return err
+		}
+		_, oldOff, err = fs.findDirent(ctx, oldDirIn, oldName)
+		if err != nil {
+			return err
+		}
+		if oldOff < 0 {
+			return fmt.Errorf("minifs: rename lost %q mid-flight: %w", oldPath, ErrNotExist)
+		}
+	}
+	return fs.removeDirent(ctx, oldDirIno, oldDirIn, oldOff)
+}
+
+// CheckReport is the result of a file system consistency check.
+type CheckReport struct {
+	// Files and Directories count reachable objects.
+	Files, Directories int
+	// UsedBlocks counts data + metadata blocks in use.
+	UsedBlocks int
+	// LeakedBlocks counts blocks marked used in the bitmap but not
+	// referenced by any reachable object or metadata region.
+	LeakedBlocks int
+	// Errors lists hard inconsistencies (cross-linked blocks, bad
+	// pointers, corrupt directory entries).
+	Errors []string
+}
+
+// Ok reports whether the check found no hard errors.
+func (r CheckReport) Ok() bool { return len(r.Errors) == 0 }
+
+// Check walks the whole file system and verifies its invariants, in the
+// spirit of fsck: every reachable directory entry points to an allocated
+// inode; every block pointer is in the data area, marked used, and
+// referenced exactly once; the bitmap contains no unreferenced blocks
+// (reported as leaks, which are lost space rather than corruption).
+func (fs *FS) Check(ctx context.Context) (CheckReport, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	var rep CheckReport
+	refs := make(map[uint32]int) // device block -> reference count
+
+	var walkInode func(ino uint32, path string) error
+	seen := make(map[uint32]string)
+
+	collectBlocks := func(in *inode, path string) error {
+		claim := func(b uint32, what string) {
+			if b == 0 {
+				return
+			}
+			if b < fs.sb.DataStart || b >= fs.sb.NumBlocks {
+				rep.Errors = append(rep.Errors,
+					fmt.Sprintf("%s: %s block %d outside data area [%d,%d)", path, what, b, fs.sb.DataStart, fs.sb.NumBlocks))
+				return
+			}
+			refs[b]++
+			if refs[b] > 1 {
+				rep.Errors = append(rep.Errors,
+					fmt.Sprintf("%s: %s block %d is cross-linked", path, what, b))
+			}
+		}
+		for i := 0; i < direct; i++ {
+			claim(in.Direct[i], "direct")
+		}
+		if in.Indirect != 0 {
+			claim(in.Indirect, "indirect")
+			ibuf, err := fs.dev.ReadBlock(ctx, block.Index(in.Indirect))
+			if err != nil {
+				return err
+			}
+			for off := 0; off+4 <= len(ibuf); off += 4 {
+				claim(binary.LittleEndian.Uint32(ibuf[off:]), "indirect-data")
+			}
+		}
+		return nil
+	}
+
+	walkInode = func(ino uint32, path string) error {
+		if prev, dup := seen[ino]; dup {
+			rep.Errors = append(rep.Errors,
+				fmt.Sprintf("%s: inode %d already reachable as %s", path, ino, prev))
+			return nil
+		}
+		seen[ino] = path
+		in, err := fs.readInode(ctx, ino)
+		if err != nil {
+			return err
+		}
+		switch in.Type {
+		case typeFile:
+			rep.Files++
+			return collectBlocks(in, path)
+		case typeDirectory:
+			rep.Directories++
+			if err := collectBlocks(in, path); err != nil {
+				return err
+			}
+			ents, err := fs.readDirents(ctx, in)
+			if err != nil {
+				return err
+			}
+			for _, d := range ents {
+				if d.Ino < 1 || d.Ino > fs.sb.InodeCount {
+					rep.Errors = append(rep.Errors,
+						fmt.Sprintf("%s/%s: dirent points to invalid inode %d", path, d.Name, d.Ino))
+					continue
+				}
+				child, err := fs.readInode(ctx, d.Ino)
+				if err != nil {
+					return err
+				}
+				if child.Type == typeFree {
+					rep.Errors = append(rep.Errors,
+						fmt.Sprintf("%s/%s: dirent points to free inode %d", path, d.Name, d.Ino))
+					continue
+				}
+				if err := walkInode(d.Ino, path+"/"+d.Name); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			rep.Errors = append(rep.Errors,
+				fmt.Sprintf("%s: inode %d has invalid type %d", path, ino, in.Type))
+			return nil
+		}
+	}
+	if err := walkInode(rootInode, ""); err != nil {
+		return rep, err
+	}
+
+	// Compare the reference map against the bitmap.
+	for b := uint32(0); b < fs.sb.NumBlocks; b++ {
+		used, err := fs.bitmapUsed(ctx, b)
+		if err != nil {
+			return rep, err
+		}
+		isMeta := b < fs.sb.DataStart
+		referenced := refs[b] > 0
+		switch {
+		case isMeta && !used:
+			rep.Errors = append(rep.Errors, fmt.Sprintf("metadata block %d not marked used", b))
+		case referenced && !used:
+			rep.Errors = append(rep.Errors, fmt.Sprintf("block %d referenced but free in bitmap", b))
+		case used && !isMeta && !referenced:
+			rep.LeakedBlocks++
+		}
+		if used {
+			rep.UsedBlocks++
+		}
+	}
+	return rep, nil
+}
+
+// bitmapUsed reports whether block b is marked used. Callers hold fs.mu.
+func (fs *FS) bitmapUsed(ctx context.Context, b uint32) (bool, error) {
+	blk, off, mask := fs.bitmapLocation(b)
+	buf, err := fs.dev.ReadBlock(ctx, blk)
+	if err != nil {
+		return false, fmt.Errorf("minifs: read bitmap: %w", err)
+	}
+	return buf[off]&mask != 0, nil
+}

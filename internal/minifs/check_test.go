@@ -1,0 +1,218 @@
+package minifs
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRename(t *testing.T) {
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	if err := fs.MkdirAll(ctx, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/a/b/file", []byte("contents")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(ctx, "/a/b/file", "/a/moved"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if _, err := fs.Stat(ctx, "/a/b/file"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("old path still exists: %v", err)
+	}
+	got, err := fs.ReadFile(ctx, "/a/moved")
+	if err != nil || string(got) != "contents" {
+		t.Fatalf("moved read = %q, %v", got, err)
+	}
+	// Same-directory rename.
+	if err := fs.Rename(ctx, "/a/moved", "/a/renamed"); err != nil {
+		t.Fatalf("same-dir rename: %v", err)
+	}
+	if _, err := fs.Stat(ctx, "/a/renamed"); err != nil {
+		t.Fatal(err)
+	}
+	// Directories move too, carrying their contents.
+	if err := fs.WriteFile(ctx, "/a/b/inner", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(ctx, "/a/b", "/c"); err != nil {
+		t.Fatalf("dir rename: %v", err)
+	}
+	if _, err := fs.ReadFile(ctx, "/c/inner"); err != nil {
+		t.Fatalf("moved dir content: %v", err)
+	}
+}
+
+func TestRenameErrors(t *testing.T) {
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	if err := fs.Mkdir(ctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(ctx, "/missing", "/x"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("rename missing = %v", err)
+	}
+	if err := fs.Rename(ctx, "/f", "/d"); !errors.Is(err, ErrExist) {
+		t.Fatalf("rename onto existing = %v", err)
+	}
+	if err := fs.Rename(ctx, "/d", "/d/sub"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("rename into itself = %v", err)
+	}
+	if err := fs.Rename(ctx, "/f", "/missing/x"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("rename into missing dir = %v", err)
+	}
+}
+
+func TestCheckCleanFS(t *testing.T) {
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	if err := fs.MkdirAll(ctx, "/x/y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/x/y/big", make([]byte, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/small", []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(ctx, "/small"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fs.Check(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("clean fs reported errors: %v", rep.Errors)
+	}
+	if rep.Files != 1 || rep.Directories != 3 { // /, /x, /x/y
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.LeakedBlocks != 0 {
+		t.Fatalf("leaked blocks = %d", rep.LeakedBlocks)
+	}
+	if rep.UsedBlocks == 0 {
+		t.Fatal("no used blocks counted")
+	}
+}
+
+func TestCheckDetectsLeak(t *testing.T) {
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	// Allocate a block behind the file system's back and mark it used
+	// without referencing it anywhere.
+	b, err := fs.allocBlock(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b
+	rep, err := fs.Check(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LeakedBlocks != 1 {
+		t.Fatalf("leaked = %d, want 1", rep.LeakedBlocks)
+	}
+	if !rep.Ok() {
+		t.Fatalf("a leak is not a hard error: %v", rep.Errors)
+	}
+}
+
+func TestCheckDetectsCrossLink(t *testing.T) {
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	if err := fs.WriteFile(ctx, "/a", make([]byte, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/b", make([]byte, 600)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: point b's first direct block at a's.
+	inoA, inA, err := fs.lookupPath(ctx, "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = inoA
+	inoB, inB, err := fs.lookupPath(ctx, "/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inB.Direct[0] = inA.Direct[0]
+	if err := fs.writeInode(ctx, inoB, inB); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fs.Check(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("cross-link not detected")
+	}
+}
+
+func TestCheckDetectsDanglingDirent(t *testing.T) {
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	if err := fs.WriteFile(ctx, "/doomed", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Free the inode behind the directory's back.
+	ino, in, err := fs.lookupPath(ctx, "/doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.truncateInode(ctx, ino, in); err != nil {
+		t.Fatal(err)
+	}
+	gone := inode{}
+	if err := fs.writeInode(ctx, ino, &gone); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fs.Check(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("dangling dirent not detected")
+	}
+}
+
+func TestCheckOverReliableDevice(t *testing.T) {
+	// The checker works identically over a replicated device, including
+	// after crash + recovery.
+	for name, open := range devices(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			dev, cl := open(t)
+			fs, err := Mkfs(ctx, dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.WriteFile(ctx, "/data", make([]byte, 3000)); err != nil {
+				t.Fatal(err)
+			}
+			if cl != nil {
+				if err := cl.Fail(1); err != nil {
+					t.Fatal(err)
+				}
+				if err := fs.WriteFile(ctx, "/more", []byte("late")); err != nil {
+					t.Fatal(err)
+				}
+				if err := cl.Restart(ctx, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rep, err := fs.Check(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("check failed: %v", rep.Errors)
+			}
+		})
+	}
+}

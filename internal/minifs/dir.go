@@ -1,0 +1,333 @@
+package minifs
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// DirEntry is one directory listing entry.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+	Size  int64
+	Inode uint32
+}
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Name  string
+	IsDir bool
+	Size  int64
+	Inode uint32
+}
+
+// dirent is the 32-byte on-disk directory entry.
+type dirent struct {
+	Ino  uint32
+	Name string
+}
+
+func encodeDirent(buf []byte, d dirent) {
+	binary.LittleEndian.PutUint32(buf[0:], d.Ino)
+	buf[4] = byte(len(d.Name))
+	copy(buf[5:5+maxNameLen], d.Name)
+}
+
+func decodeDirent(buf []byte) dirent {
+	n := int(buf[4])
+	if n > maxNameLen {
+		n = maxNameLen
+	}
+	return dirent{
+		Ino:  binary.LittleEndian.Uint32(buf[0:]),
+		Name: string(buf[5 : 5+n]),
+	}
+}
+
+// splitPath normalises and splits an absolute or relative slash path.
+func splitPath(path string) ([]string, error) {
+	parts := make([]string, 0, 8)
+	for _, p := range strings.Split(path, "/") {
+		switch p {
+		case "", ".":
+			continue
+		case "..":
+			return nil, fmt.Errorf("minifs: %q: parent references unsupported: %w", path, ErrBadPath)
+		}
+		if len(p) > maxNameLen {
+			return nil, fmt.Errorf("minifs: name %q exceeds %d bytes: %w", p, maxNameLen, ErrBadPath)
+		}
+		parts = append(parts, p)
+	}
+	return parts, nil
+}
+
+// readDirents returns the live entries of a directory inode.
+func (fs *FS) readDirents(ctx context.Context, in *inode) ([]dirent, error) {
+	data := make([]byte, in.Size)
+	if in.Size > 0 {
+		if _, err := fs.readAt(ctx, in, data, 0); err != nil {
+			return nil, err
+		}
+	}
+	var out []dirent
+	for off := 0; off+dirEntrySize <= len(data); off += dirEntrySize {
+		d := decodeDirent(data[off:])
+		if d.Ino != 0 {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// findDirent locates name within the directory, returning its byte
+// offset or -1.
+func (fs *FS) findDirent(ctx context.Context, in *inode, name string) (dirent, int64, error) {
+	data := make([]byte, in.Size)
+	if in.Size > 0 {
+		if _, err := fs.readAt(ctx, in, data, 0); err != nil {
+			return dirent{}, -1, err
+		}
+	}
+	for off := 0; off+dirEntrySize <= len(data); off += dirEntrySize {
+		d := decodeDirent(data[off:])
+		if d.Ino != 0 && d.Name == name {
+			return d, int64(off), nil
+		}
+	}
+	return dirent{}, -1, nil
+}
+
+// addDirent inserts an entry, reusing a free slot if one exists.
+func (fs *FS) addDirent(ctx context.Context, dirIno uint32, dirIn *inode, d dirent) error {
+	data := make([]byte, dirIn.Size)
+	if dirIn.Size > 0 {
+		if _, err := fs.readAt(ctx, dirIn, data, 0); err != nil {
+			return err
+		}
+	}
+	slot := int64(len(data))
+	for off := 0; off+dirEntrySize <= len(data); off += dirEntrySize {
+		if binary.LittleEndian.Uint32(data[off:]) == 0 {
+			slot = int64(off)
+			break
+		}
+	}
+	buf := make([]byte, dirEntrySize)
+	encodeDirent(buf, d)
+	_, err := fs.writeAt(ctx, dirIno, dirIn, buf, slot)
+	return err
+}
+
+// removeDirent clears the entry at the given offset.
+func (fs *FS) removeDirent(ctx context.Context, dirIno uint32, dirIn *inode, off int64) error {
+	buf := make([]byte, dirEntrySize)
+	_, err := fs.writeAt(ctx, dirIno, dirIn, buf, off)
+	return err
+}
+
+// lookupPath resolves a path to its inode. Callers hold fs.mu.
+func (fs *FS) lookupPath(ctx context.Context, path string) (uint32, *inode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	ino := uint32(rootInode)
+	in, err := fs.readInode(ctx, ino)
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, name := range parts {
+		if in.Type != typeDirectory {
+			return 0, nil, fmt.Errorf("minifs: %q: %w", path, ErrNotDir)
+		}
+		d, off, err := fs.findDirent(ctx, in, name)
+		if err != nil {
+			return 0, nil, err
+		}
+		if off < 0 {
+			return 0, nil, fmt.Errorf("minifs: %q: %w", path, ErrNotExist)
+		}
+		ino = d.Ino
+		if in, err = fs.readInode(ctx, ino); err != nil {
+			return 0, nil, err
+		}
+	}
+	return ino, in, nil
+}
+
+// lookupParent resolves the directory containing the last path element.
+func (fs *FS) lookupParent(ctx context.Context, path string) (uint32, *inode, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if len(parts) == 0 {
+		return 0, nil, "", fmt.Errorf("minifs: %q names the root: %w", path, ErrBadPath)
+	}
+	dirPath := strings.Join(parts[:len(parts)-1], "/")
+	ino, in, err := fs.lookupPath(ctx, dirPath)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if in.Type != typeDirectory {
+		return 0, nil, "", fmt.Errorf("minifs: %q: %w", path, ErrNotDir)
+	}
+	return ino, in, parts[len(parts)-1], nil
+}
+
+// createNode allocates an inode of the given type and links it at path.
+// Callers hold fs.mu.
+func (fs *FS) createNode(ctx context.Context, path string, typ uint16) (uint32, error) {
+	dirIno, dirIn, name, err := fs.lookupParent(ctx, path)
+	if err != nil {
+		return 0, err
+	}
+	if _, off, err := fs.findDirent(ctx, dirIn, name); err != nil {
+		return 0, err
+	} else if off >= 0 {
+		return 0, fmt.Errorf("minifs: %q: %w", path, ErrExist)
+	}
+	ino, err := fs.allocInode(ctx, typ)
+	if err != nil {
+		return 0, err
+	}
+	if err := fs.addDirent(ctx, dirIno, dirIn, dirent{Ino: ino, Name: name}); err != nil {
+		return 0, err
+	}
+	return ino, nil
+}
+
+// Create makes an empty regular file.
+func (fs *FS) Create(ctx context.Context, path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, err := fs.createNode(ctx, path, typeFile)
+	return err
+}
+
+// Mkdir makes a directory.
+func (fs *FS) Mkdir(ctx context.Context, path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, err := fs.createNode(ctx, path, typeDirectory)
+	return err
+}
+
+// MkdirAll makes a directory and any missing parents.
+func (fs *FS) MkdirAll(ctx context.Context, path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	cur := ""
+	for _, p := range parts {
+		cur += "/" + p
+		_, in, err := fs.lookupPath(ctx, cur)
+		switch {
+		case err == nil:
+			if in.Type != typeDirectory {
+				return fmt.Errorf("minifs: %q: %w", cur, ErrNotDir)
+			}
+		default:
+			if _, err := fs.createNode(ctx, cur, typeDirectory); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadDir lists a directory.
+func (fs *FS) ReadDir(ctx context.Context, path string) ([]DirEntry, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, in, err := fs.lookupPath(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if in.Type != typeDirectory {
+		return nil, fmt.Errorf("minifs: %q: %w", path, ErrNotDir)
+	}
+	ents, err := fs.readDirents(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, 0, len(ents))
+	for _, d := range ents {
+		child, err := fs.readInode(ctx, d.Ino)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DirEntry{
+			Name:  d.Name,
+			IsDir: child.Type == typeDirectory,
+			Size:  int64(child.Size),
+			Inode: d.Ino,
+		})
+	}
+	return out, nil
+}
+
+// Stat describes the file or directory at path.
+func (fs *FS) Stat(ctx context.Context, path string) (FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, in, err := fs.lookupPath(ctx, path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	parts, _ := splitPath(path)
+	name := "/"
+	if len(parts) > 0 {
+		name = parts[len(parts)-1]
+	}
+	return FileInfo{
+		Name:  name,
+		IsDir: in.Type == typeDirectory,
+		Size:  int64(in.Size),
+		Inode: ino,
+	}, nil
+}
+
+// Remove deletes a file or an empty directory.
+func (fs *FS) Remove(ctx context.Context, path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dirIno, dirIn, name, err := fs.lookupParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	d, off, err := fs.findDirent(ctx, dirIn, name)
+	if err != nil {
+		return err
+	}
+	if off < 0 {
+		return fmt.Errorf("minifs: %q: %w", path, ErrNotExist)
+	}
+	in, err := fs.readInode(ctx, d.Ino)
+	if err != nil {
+		return err
+	}
+	if in.Type == typeDirectory {
+		children, err := fs.readDirents(ctx, in)
+		if err != nil {
+			return err
+		}
+		if len(children) > 0 {
+			return fmt.Errorf("minifs: %q: %w", path, ErrDirNotEmpty)
+		}
+	}
+	if err := fs.truncateInode(ctx, d.Ino, in); err != nil {
+		return err
+	}
+	gone := inode{}
+	if err := fs.writeInode(ctx, d.Ino, &gone); err != nil {
+		return err
+	}
+	return fs.removeDirent(ctx, dirIno, dirIn, off)
+}

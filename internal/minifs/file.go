@@ -1,0 +1,215 @@
+package minifs
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"relidev/internal/block"
+)
+
+// readAt reads up to len(p) bytes from the inode starting at off.
+func (fs *FS) readAt(ctx context.Context, in *inode, p []byte, off int64) (int, error) {
+	size := int64(in.Size)
+	if off < 0 {
+		return 0, fmt.Errorf("minifs: negative offset %d: %w", off, ErrBadPath)
+	}
+	if off >= size {
+		return 0, io.EOF
+	}
+	if max := size - off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	bs := int64(fs.sb.BlockSize)
+	read := 0
+	for read < len(p) {
+		fb := uint32((off + int64(read)) / bs)
+		inOff := (off + int64(read)) % bs
+		// ino is only needed for allocation; reads never allocate.
+		b, err := fs.mapBlock(ctx, 0, in, fb, false)
+		if err != nil {
+			return read, err
+		}
+		n := int(bs - inOff)
+		if n > len(p)-read {
+			n = len(p) - read
+		}
+		if b == 0 {
+			// Hole: zero fill.
+			for i := 0; i < n; i++ {
+				p[read+i] = 0
+			}
+		} else {
+			buf, err := fs.dev.ReadBlock(ctx, block.Index(b))
+			if err != nil {
+				return read, fmt.Errorf("minifs: read data block %d: %w", b, err)
+			}
+			copy(p[read:read+n], buf[inOff:])
+		}
+		read += n
+	}
+	return read, nil
+}
+
+// writeAt writes p at offset off, growing the file as needed.
+func (fs *FS) writeAt(ctx context.Context, ino uint32, in *inode, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("minifs: negative offset %d: %w", off, ErrBadPath)
+	}
+	if off+int64(len(p)) > fs.MaxFileSize() {
+		return 0, ErrFileTooBig
+	}
+	bs := int64(fs.sb.BlockSize)
+	written := 0
+	for written < len(p) {
+		fb := uint32((off + int64(written)) / bs)
+		inOff := (off + int64(written)) % bs
+		b, err := fs.mapBlock(ctx, ino, in, fb, true)
+		if err != nil {
+			return written, err
+		}
+		n := int(bs - inOff)
+		if n > len(p)-written {
+			n = len(p) - written
+		}
+		var buf []byte
+		if inOff == 0 && n == int(bs) {
+			buf = p[written : written+n]
+		} else {
+			buf, err = fs.dev.ReadBlock(ctx, block.Index(b))
+			if err != nil {
+				return written, fmt.Errorf("minifs: read data block %d: %w", b, err)
+			}
+			copy(buf[inOff:], p[written:written+n])
+		}
+		if err := fs.dev.WriteBlock(ctx, block.Index(b), buf); err != nil {
+			return written, fmt.Errorf("minifs: write data block %d: %w", b, err)
+		}
+		written += n
+	}
+	if newSize := off + int64(written); newSize > int64(in.Size) {
+		in.Size = uint32(newSize)
+		if err := fs.writeInode(ctx, ino, in); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// File is an open regular file.
+type File struct {
+	fs  *FS
+	ino uint32
+}
+
+// Open opens an existing regular file.
+func (fs *FS) Open(ctx context.Context, path string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, in, err := fs.lookupPath(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if in.Type == typeDirectory {
+		return nil, fmt.Errorf("minifs: open %q: %w", path, ErrIsDir)
+	}
+	return &File{fs: fs, ino: ino}, nil
+}
+
+// ReadAt reads len(p) bytes at offset off. It returns io.EOF at or past
+// the end of the file, like os.File.
+func (f *File) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	in, err := f.fs.readInode(ctx, f.ino)
+	if err != nil {
+		return 0, err
+	}
+	n, err := f.fs.readAt(ctx, in, p, off)
+	if err == nil && n < len(p) {
+		err = io.EOF
+	}
+	return n, err
+}
+
+// WriteAt writes p at offset off, growing the file as needed.
+func (f *File) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	in, err := f.fs.readInode(ctx, f.ino)
+	if err != nil {
+		return 0, err
+	}
+	return f.fs.writeAt(ctx, f.ino, in, p, off)
+}
+
+// Size returns the current file size.
+func (f *File) Size(ctx context.Context) (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	in, err := f.fs.readInode(ctx, f.ino)
+	if err != nil {
+		return 0, err
+	}
+	return int64(in.Size), nil
+}
+
+// Truncate discards the file's contents.
+func (f *File) Truncate(ctx context.Context) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	in, err := f.fs.readInode(ctx, f.ino)
+	if err != nil {
+		return err
+	}
+	return f.fs.truncateInode(ctx, f.ino, in)
+}
+
+// WriteFile creates (or truncates) the file at path with the given
+// contents, like os.WriteFile.
+func (fs *FS) WriteFile(ctx context.Context, path string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, in, err := fs.lookupPath(ctx, path)
+	switch {
+	case err == nil:
+		if in.Type == typeDirectory {
+			return fmt.Errorf("minifs: write %q: %w", path, ErrIsDir)
+		}
+		if err := fs.truncateInode(ctx, ino, in); err != nil {
+			return err
+		}
+	default:
+		ino, err = fs.createNode(ctx, path, typeFile)
+		if err != nil {
+			return err
+		}
+		in, err = fs.readInode(ctx, ino)
+		if err != nil {
+			return err
+		}
+	}
+	_, err = fs.writeAt(ctx, ino, in, data, 0)
+	return err
+}
+
+// ReadFile returns the whole contents of the file at path.
+func (fs *FS) ReadFile(ctx context.Context, path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, in, err := fs.lookupPath(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if in.Type == typeDirectory {
+		return nil, fmt.Errorf("minifs: read %q: %w", path, ErrIsDir)
+	}
+	out := make([]byte, in.Size)
+	if in.Size == 0 {
+		return out, nil
+	}
+	if _, err := fs.readAt(ctx, in, out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

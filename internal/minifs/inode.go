@@ -1,0 +1,255 @@
+package minifs
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"relidev/internal/block"
+)
+
+// inode is the 64-byte on-disk inode.
+type inode struct {
+	Type     uint16
+	Nlink    uint16
+	Size     uint32
+	Direct   [direct]uint32
+	Indirect uint32
+}
+
+func (in *inode) encode(buf []byte) {
+	le := binary.LittleEndian
+	le.PutUint16(buf[0:], in.Type)
+	le.PutUint16(buf[2:], in.Nlink)
+	le.PutUint32(buf[4:], in.Size)
+	for i := 0; i < direct; i++ {
+		le.PutUint32(buf[8+4*i:], in.Direct[i])
+	}
+	le.PutUint32(buf[8+4*direct:], in.Indirect)
+}
+
+func (in *inode) decode(buf []byte) {
+	le := binary.LittleEndian
+	in.Type = le.Uint16(buf[0:])
+	in.Nlink = le.Uint16(buf[2:])
+	in.Size = le.Uint32(buf[4:])
+	for i := 0; i < direct; i++ {
+		in.Direct[i] = le.Uint32(buf[8+4*i:])
+	}
+	in.Indirect = le.Uint32(buf[8+4*direct:])
+}
+
+// inodeLocation returns the block and in-block offset of inode ino.
+func (fs *FS) inodeLocation(ino uint32) (block.Index, int, error) {
+	if ino < 1 || ino > fs.sb.InodeCount {
+		return 0, 0, fmt.Errorf("minifs: inode %d out of range: %w", ino, ErrNotExist)
+	}
+	perBlock := fs.sb.BlockSize / inodeSize
+	idx := (ino - 1) / perBlock
+	off := ((ino - 1) % perBlock) * inodeSize
+	return block.Index(fs.sb.InodeStart + idx), int(off), nil
+}
+
+func (fs *FS) readInode(ctx context.Context, ino uint32) (*inode, error) {
+	blk, off, err := fs.inodeLocation(ino)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := fs.dev.ReadBlock(ctx, blk)
+	if err != nil {
+		return nil, fmt.Errorf("minifs: read inode %d: %w", ino, err)
+	}
+	var in inode
+	in.decode(buf[off : off+inodeSize])
+	return &in, nil
+}
+
+func (fs *FS) writeInode(ctx context.Context, ino uint32, in *inode) error {
+	blk, off, err := fs.inodeLocation(ino)
+	if err != nil {
+		return err
+	}
+	buf, err := fs.dev.ReadBlock(ctx, blk)
+	if err != nil {
+		return fmt.Errorf("minifs: read inode block for %d: %w", ino, err)
+	}
+	in.encode(buf[off : off+inodeSize])
+	if err := fs.dev.WriteBlock(ctx, blk, buf); err != nil {
+		return fmt.Errorf("minifs: write inode %d: %w", ino, err)
+	}
+	return nil
+}
+
+// allocInode finds a free inode and initialises it.
+func (fs *FS) allocInode(ctx context.Context, typ uint16) (uint32, error) {
+	for ino := uint32(1); ino <= fs.sb.InodeCount; ino++ {
+		in, err := fs.readInode(ctx, ino)
+		if err != nil {
+			return 0, err
+		}
+		if in.Type == typeFree {
+			fresh := inode{Type: typ, Nlink: 1}
+			if err := fs.writeInode(ctx, ino, &fresh); err != nil {
+				return 0, err
+			}
+			return ino, nil
+		}
+	}
+	return 0, fmt.Errorf("minifs: inode table full: %w", ErrNoSpace)
+}
+
+// bitmap helpers ------------------------------------------------------
+
+func (fs *FS) bitmapLocation(b uint32) (block.Index, int, byte) {
+	bitsPerBlock := fs.sb.BlockSize * 8
+	blk := fs.sb.BitmapStart + b/bitsPerBlock
+	bit := b % bitsPerBlock
+	return block.Index(blk), int(bit / 8), byte(1 << (bit % 8))
+}
+
+func (fs *FS) setBitmap(ctx context.Context, b uint32, used bool) error {
+	blk, off, mask := fs.bitmapLocation(b)
+	buf, err := fs.dev.ReadBlock(ctx, blk)
+	if err != nil {
+		return fmt.Errorf("minifs: read bitmap: %w", err)
+	}
+	if used {
+		buf[off] |= mask
+	} else {
+		buf[off] &^= mask
+	}
+	if err := fs.dev.WriteBlock(ctx, blk, buf); err != nil {
+		return fmt.Errorf("minifs: write bitmap: %w", err)
+	}
+	return nil
+}
+
+// allocBlock finds, marks and zeroes a free data block.
+func (fs *FS) allocBlock(ctx context.Context) (uint32, error) {
+	bitsPerBlock := fs.sb.BlockSize * 8
+	for blkOff := uint32(0); blkOff < fs.sb.BitmapBlocks; blkOff++ {
+		buf, err := fs.dev.ReadBlock(ctx, block.Index(fs.sb.BitmapStart+blkOff))
+		if err != nil {
+			return 0, fmt.Errorf("minifs: read bitmap: %w", err)
+		}
+		for i, by := range buf {
+			if by == 0xFF {
+				continue
+			}
+			for bit := 0; bit < 8; bit++ {
+				if by&(1<<bit) != 0 {
+					continue
+				}
+				b := blkOff*bitsPerBlock + uint32(i*8+bit)
+				if b < fs.sb.DataStart {
+					continue
+				}
+				if b >= fs.sb.NumBlocks {
+					return 0, ErrNoSpace
+				}
+				buf[i] |= 1 << bit
+				if err := fs.dev.WriteBlock(ctx, block.Index(fs.sb.BitmapStart+blkOff), buf); err != nil {
+					return 0, fmt.Errorf("minifs: write bitmap: %w", err)
+				}
+				zero := make([]byte, fs.sb.BlockSize)
+				if err := fs.dev.WriteBlock(ctx, block.Index(b), zero); err != nil {
+					return 0, fmt.Errorf("minifs: zero block %d: %w", b, err)
+				}
+				return b, nil
+			}
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+func (fs *FS) freeBlock(ctx context.Context, b uint32) error {
+	if b == 0 {
+		return nil
+	}
+	return fs.setBitmap(ctx, b, false)
+}
+
+// block mapping -------------------------------------------------------
+
+// mapBlock returns the device block holding file block fb of the inode,
+// allocating it (and the indirect block) when alloc is set. A zero
+// return with nil error means a hole (only possible when alloc is
+// false).
+func (fs *FS) mapBlock(ctx context.Context, ino uint32, in *inode, fb uint32, alloc bool) (uint32, error) {
+	ptrsPerBlock := fs.sb.BlockSize / 4
+	switch {
+	case fb < direct:
+		if in.Direct[fb] == 0 && alloc {
+			b, err := fs.allocBlock(ctx)
+			if err != nil {
+				return 0, err
+			}
+			in.Direct[fb] = b
+			if err := fs.writeInode(ctx, ino, in); err != nil {
+				return 0, err
+			}
+		}
+		return in.Direct[fb], nil
+	case fb < direct+ptrsPerBlock:
+		if in.Indirect == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			b, err := fs.allocBlock(ctx)
+			if err != nil {
+				return 0, err
+			}
+			in.Indirect = b
+			if err := fs.writeInode(ctx, ino, in); err != nil {
+				return 0, err
+			}
+		}
+		ibuf, err := fs.dev.ReadBlock(ctx, block.Index(in.Indirect))
+		if err != nil {
+			return 0, fmt.Errorf("minifs: read indirect block: %w", err)
+		}
+		slot := (fb - direct) * 4
+		ptr := binary.LittleEndian.Uint32(ibuf[slot:])
+		if ptr == 0 && alloc {
+			b, err := fs.allocBlock(ctx)
+			if err != nil {
+				return 0, err
+			}
+			binary.LittleEndian.PutUint32(ibuf[slot:], b)
+			if err := fs.dev.WriteBlock(ctx, block.Index(in.Indirect), ibuf); err != nil {
+				return 0, fmt.Errorf("minifs: write indirect block: %w", err)
+			}
+			ptr = b
+		}
+		return ptr, nil
+	default:
+		return 0, ErrFileTooBig
+	}
+}
+
+// truncateInode frees every data block of the inode and zeroes its size.
+func (fs *FS) truncateInode(ctx context.Context, ino uint32, in *inode) error {
+	for i := 0; i < direct; i++ {
+		if err := fs.freeBlock(ctx, in.Direct[i]); err != nil {
+			return err
+		}
+		in.Direct[i] = 0
+	}
+	if in.Indirect != 0 {
+		ibuf, err := fs.dev.ReadBlock(ctx, block.Index(in.Indirect))
+		if err != nil {
+			return fmt.Errorf("minifs: read indirect block: %w", err)
+		}
+		for off := 0; off+4 <= len(ibuf); off += 4 {
+			if err := fs.freeBlock(ctx, binary.LittleEndian.Uint32(ibuf[off:])); err != nil {
+				return err
+			}
+		}
+		if err := fs.freeBlock(ctx, in.Indirect); err != nil {
+			return err
+		}
+		in.Indirect = 0
+	}
+	in.Size = 0
+	return fs.writeInode(ctx, ino, in)
+}

@@ -1,0 +1,438 @@
+package minifs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"relidev/internal/block"
+	"relidev/internal/core"
+	"relidev/internal/store"
+)
+
+var testGeom = block.Geometry{BlockSize: 256, NumBlocks: 512}
+
+// devices returns one factory per device flavour the file system must be
+// oblivious to: a plain local disk and a reliable device under each
+// consistency scheme. The returned cluster is nil for the local device.
+func devices(t *testing.T) map[string]func(t *testing.T) (core.Device, *core.Cluster) {
+	t.Helper()
+	mk := func(kind core.SchemeKind) func(t *testing.T) (core.Device, *core.Cluster) {
+		return func(t *testing.T) (core.Device, *core.Cluster) {
+			cl, err := core.NewCluster(core.ClusterConfig{
+				Sites:    3,
+				Geometry: testGeom,
+				Scheme:   kind,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev, err := cl.Device(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dev, cl
+		}
+	}
+	return map[string]func(t *testing.T) (core.Device, *core.Cluster){
+		"local": func(t *testing.T) (core.Device, *core.Cluster) {
+			st, err := store.NewMem(testGeom)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return core.NewLocalDevice(st), nil
+		},
+		"reliable-voting": mk(core.Voting),
+		"reliable-ac":     mk(core.AvailableCopy),
+		"reliable-naive":  mk(core.NaiveAvailableCopy),
+	}
+}
+
+func TestMkfsMountRoundtrip(t *testing.T) {
+	for name, open := range devices(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			dev, _ := open(t)
+			fs, err := Mkfs(ctx, dev)
+			if err != nil {
+				t.Fatalf("Mkfs: %v", err)
+			}
+			if err := fs.WriteFile(ctx, "/hello.txt", []byte("hello, device")); err != nil {
+				t.Fatalf("WriteFile: %v", err)
+			}
+			// Remount from the same device: everything persists.
+			fs2, err := Mount(ctx, dev)
+			if err != nil {
+				t.Fatalf("Mount: %v", err)
+			}
+			got, err := fs2.ReadFile(ctx, "/hello.txt")
+			if err != nil {
+				t.Fatalf("ReadFile: %v", err)
+			}
+			if string(got) != "hello, device" {
+				t.Fatalf("ReadFile = %q", got)
+			}
+		})
+	}
+}
+
+func TestMountRejectsUnformattedDevice(t *testing.T) {
+	st, _ := store.NewMem(testGeom)
+	dev := core.NewLocalDevice(st)
+	if _, err := Mount(context.Background(), dev); !errors.Is(err, ErrNotFormatted) {
+		t.Fatalf("Mount = %v, want ErrNotFormatted", err)
+	}
+}
+
+func TestMkfsRejectsTinyBlocks(t *testing.T) {
+	st, _ := store.NewMem(block.Geometry{BlockSize: 64, NumBlocks: 32})
+	if _, err := Mkfs(context.Background(), core.NewLocalDevice(st)); err == nil {
+		t.Fatal("Mkfs accepted 64-byte blocks")
+	}
+}
+
+func newLocalFS(t *testing.T) *FS {
+	t.Helper()
+	st, err := store.NewMem(testGeom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mkfs(context.Background(), core.NewLocalDevice(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFileSizesAcrossBlockBoundaries(t *testing.T) {
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	sizes := []int{0, 1, 255, 256, 257, 1000, 2560, 2561, 5000}
+	for _, size := range sizes {
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		path := fmt.Sprintf("/f%d", size)
+		if err := fs.WriteFile(ctx, path, data); err != nil {
+			t.Fatalf("write %d bytes: %v", size, err)
+		}
+		got, err := fs.ReadFile(ctx, path)
+		if err != nil {
+			t.Fatalf("read %d bytes: %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("roundtrip of %d bytes corrupted", size)
+		}
+		info, err := fs.Stat(ctx, path)
+		if err != nil || info.Size != int64(size) {
+			t.Fatalf("Stat size = %d, want %d (%v)", info.Size, size, err)
+		}
+	}
+}
+
+func TestIndirectBlocks(t *testing.T) {
+	// 10 direct blocks of 256B = 2560; anything beyond exercises the
+	// indirect block.
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	data := make([]byte, 18000) // max is (10+64)*256 = 18944 here
+	rnd := rand.New(rand.NewSource(1))
+	rnd.Read(data)
+	if err := fs.WriteFile(ctx, "/big", data); err != nil {
+		t.Fatalf("big write: %v", err)
+	}
+	got, err := fs.ReadFile(ctx, "/big")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("big roundtrip failed: %v", err)
+	}
+}
+
+func TestMaxFileSizeEnforced(t *testing.T) {
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	if err := fs.WriteFile(ctx, "/huge", make([]byte, fs.MaxFileSize()+1)); !errors.Is(err, ErrFileTooBig) {
+		t.Fatalf("err = %v, want ErrFileTooBig", err)
+	}
+}
+
+func TestDirectoryTree(t *testing.T) {
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	if err := fs.MkdirAll(ctx, "/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/a/b/c/leaf", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/a/top", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(ctx, "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range ents {
+		names[e.Name] = e.IsDir
+	}
+	if !names["b"] || names["top"] {
+		t.Fatalf("ReadDir(/a) = %+v", ents)
+	}
+	info, err := fs.Stat(ctx, "/a/b/c")
+	if err != nil || !info.IsDir {
+		t.Fatalf("Stat dir: %+v, %v", info, err)
+	}
+	if _, err := fs.ReadDir(ctx, "/a/top"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("ReadDir on file = %v, want ErrNotDir", err)
+	}
+	if _, err := fs.ReadFile(ctx, "/a/b"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("ReadFile on dir = %v, want ErrIsDir", err)
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	if _, err := fs.ReadFile(ctx, "/nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing file = %v, want ErrNotExist", err)
+	}
+	if err := fs.Create(ctx, "/x/y"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing parent = %v, want ErrNotExist", err)
+	}
+	if err := fs.Create(ctx, "/"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("create root = %v, want ErrBadPath", err)
+	}
+	if err := fs.Create(ctx, "/a/../b"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("dotdot = %v, want ErrBadPath", err)
+	}
+	long := "/this-name-is-way-too-long-for-a-direntry-slot"
+	if err := fs.Create(ctx, long); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("long name = %v, want ErrBadPath", err)
+	}
+	if err := fs.Create(ctx, "/dup"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create(ctx, "/dup"); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate = %v, want ErrExist", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	if err := fs.WriteFile(ctx, "/f", bytes.Repeat([]byte("z"), 3000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(ctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/d/inner", []byte("i")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(ctx, "/d"); !errors.Is(err, ErrDirNotEmpty) {
+		t.Fatalf("remove non-empty dir = %v, want ErrDirNotEmpty", err)
+	}
+	if err := fs.Remove(ctx, "/d/inner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(ctx, "/d"); err != nil {
+		t.Fatalf("remove empty dir: %v", err)
+	}
+	if err := fs.Remove(ctx, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(ctx, "/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("stat removed = %v, want ErrNotExist", err)
+	}
+	if err := fs.Remove(ctx, "/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double remove = %v, want ErrNotExist", err)
+	}
+}
+
+func TestBlocksAreRecycled(t *testing.T) {
+	// Writing and removing files repeatedly must not exhaust the device.
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	payload := make([]byte, 40*256) // 40 blocks
+	for i := 0; i < 30; i++ {
+		if err := fs.WriteFile(ctx, "/cycle", payload); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if err := fs.Remove(ctx, "/cycle"); err != nil {
+			t.Fatalf("iteration %d remove: %v", i, err)
+		}
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	st, _ := store.NewMem(block.Geometry{BlockSize: 256, NumBlocks: 40})
+	fs, err := Mkfs(context.Background(), core.NewLocalDevice(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var firstErr error
+	for i := 0; i < 100 && firstErr == nil; i++ {
+		firstErr = fs.WriteFile(ctx, fmt.Sprintf("/f%02d", i), make([]byte, 1024))
+	}
+	if !errors.Is(firstErr, ErrNoSpace) {
+		t.Fatalf("filling the device = %v, want ErrNoSpace", firstErr)
+	}
+}
+
+func TestFileHandleReadWriteAt(t *testing.T) {
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	if err := fs.Create(ctx, "/h"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open(ctx, "/h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(ctx, []byte("abcdef"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the middle across no boundary.
+	if _, err := f.WriteAt(ctx, []byte("XY"), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Sparse write far out (creates holes).
+	if _, err := f.WriteAt(ctx, []byte("end"), 700); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := f.ReadAt(ctx, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abXYef" {
+		t.Fatalf("ReadAt = %q", buf)
+	}
+	// Hole reads as zeros.
+	hole := make([]byte, 4)
+	if _, err := f.ReadAt(ctx, hole, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hole, make([]byte, 4)) {
+		t.Fatalf("hole = %v", hole)
+	}
+	if sz, _ := f.Size(ctx); sz != 703 {
+		t.Fatalf("Size = %d, want 703", sz)
+	}
+	// EOF semantics.
+	if _, err := f.ReadAt(ctx, buf, 703); !errors.Is(err, io.EOF) {
+		t.Fatalf("read at end = %v, want io.EOF", err)
+	}
+	n, err := f.ReadAt(ctx, buf, 700)
+	if n != 3 || !errors.Is(err, io.EOF) {
+		t.Fatalf("short read = %d, %v; want 3, io.EOF", n, err)
+	}
+	if err := f.Truncate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(ctx); sz != 0 {
+		t.Fatalf("Size after truncate = %d", sz)
+	}
+	// Opening a directory fails.
+	if err := fs.Mkdir(ctx, "/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open(ctx, "/dir"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("Open dir = %v, want ErrIsDir", err)
+	}
+}
+
+// The headline demonstration: a file system naive to replication keeps
+// working while replica sites crash and recover underneath it.
+func TestFileSystemSurvivesSiteFailures(t *testing.T) {
+	for _, kind := range []core.SchemeKind{core.Voting, core.AvailableCopy, core.NaiveAvailableCopy} {
+		t.Run(kind.String(), func(t *testing.T) {
+			ctx := context.Background()
+			cl, err := core.NewCluster(core.ClusterConfig{Sites: 3, Geometry: testGeom, Scheme: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev, _ := cl.Device(0)
+			fs, err := Mkfs(ctx, dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.WriteFile(ctx, "/before", []byte("written with all sites up")); err != nil {
+				t.Fatal(err)
+			}
+			// Crash one replica; the file system neither knows nor cares.
+			if err := cl.Fail(2); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.WriteFile(ctx, "/during", []byte("written with a site down")); err != nil {
+				t.Fatalf("write during failure: %v", err)
+			}
+			got, err := fs.ReadFile(ctx, "/before")
+			if err != nil || string(got) != "written with all sites up" {
+				t.Fatalf("read during failure: %q, %v", got, err)
+			}
+			// Recover, then read everything from a *different* site's
+			// device: the replicated state is coherent.
+			if err := cl.Restart(ctx, 2); err != nil {
+				t.Fatal(err)
+			}
+			dev2, _ := cl.Device(2)
+			fs2, err := Mount(ctx, dev2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = fs2.ReadFile(ctx, "/during")
+			if err != nil || string(got) != "written with a site down" {
+				t.Fatalf("read at recovered site: %q, %v", got, err)
+			}
+		})
+	}
+}
+
+// Property-style: random file operations against an in-memory oracle.
+func TestRandomisedAgainstOracle(t *testing.T) {
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(9))
+	oracle := map[string][]byte{}
+	names := []string{"/p0", "/p1", "/p2", "/p3", "/p4"}
+	for step := 0; step < 400; step++ {
+		name := names[rng.Intn(len(names))]
+		switch rng.Intn(3) {
+		case 0: // write
+			data := make([]byte, rng.Intn(4000))
+			rng.Read(data)
+			if err := fs.WriteFile(ctx, name, data); err != nil {
+				t.Fatalf("step %d write: %v", step, err)
+			}
+			oracle[name] = data
+		case 1: // read
+			got, err := fs.ReadFile(ctx, name)
+			want, exists := oracle[name]
+			if !exists {
+				if !errors.Is(err, ErrNotExist) {
+					t.Fatalf("step %d: read of missing = %v", step, err)
+				}
+				continue
+			}
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("step %d: read mismatch (%v)", step, err)
+			}
+		case 2: // remove
+			err := fs.Remove(ctx, name)
+			if _, exists := oracle[name]; exists {
+				if err != nil {
+					t.Fatalf("step %d remove: %v", step, err)
+				}
+				delete(oracle, name)
+			} else if !errors.Is(err, ErrNotExist) {
+				t.Fatalf("step %d: remove of missing = %v", step, err)
+			}
+		}
+	}
+}

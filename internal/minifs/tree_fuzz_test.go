@@ -1,0 +1,209 @@
+package minifs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// oracleNode mirrors the expected file system state in memory.
+type oracleNode struct {
+	isDir    bool
+	data     []byte
+	children map[string]*oracleNode
+}
+
+func newOracleDir() *oracleNode {
+	return &oracleNode{isDir: true, children: map[string]*oracleNode{}}
+}
+
+func (n *oracleNode) lookup(parts []string) *oracleNode {
+	cur := n
+	for _, p := range parts {
+		if cur == nil || !cur.isDir {
+			return nil
+		}
+		cur = cur.children[p]
+	}
+	return cur
+}
+
+// TestTreeFuzzAgainstOracle performs random tree operations (mkdir,
+// write, rename, remove, readdir, read) against an in-memory oracle and
+// runs the consistency checker periodically. It hardens exactly the
+// code Rename and Remove share: directory entry bookkeeping.
+func TestTreeFuzzAgainstOracle(t *testing.T) {
+	const steps = 1200
+	rng := rand.New(rand.NewSource(77))
+	fs := newLocalFS(t)
+	ctx := context.Background()
+	oracle := newOracleDir()
+
+	names := []string{"a", "b", "c", "d"}
+	randomPath := func(depth int) ([]string, string) {
+		n := 1 + rng.Intn(depth)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = names[rng.Intn(len(names))]
+		}
+		return parts, "/" + strings.Join(parts, "/")
+	}
+
+	for step := 0; step < steps; step++ {
+		parts, path := randomPath(3)
+		parent := oracle.lookup(parts[:len(parts)-1])
+		leaf := parts[len(parts)-1]
+		switch rng.Intn(12) {
+		case 0, 1: // mkdir
+			err := fs.Mkdir(ctx, path)
+			switch {
+			case parent == nil || !parent.isDir:
+				if err == nil {
+					t.Fatalf("step %d: mkdir %s succeeded without parent", step, path)
+				}
+			case parent.children[leaf] != nil:
+				if !errors.Is(err, ErrExist) {
+					t.Fatalf("step %d: mkdir %s over existing = %v", step, path, err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("step %d: mkdir %s: %v", step, path, err)
+				}
+				parent.children[leaf] = newOracleDir()
+			}
+		case 2, 3, 4: // write file
+			data := make([]byte, rng.Intn(700))
+			rng.Read(data)
+			err := fs.WriteFile(ctx, path, data)
+			switch {
+			case parent == nil || !parent.isDir:
+				if err == nil {
+					t.Fatalf("step %d: write %s succeeded without parent", step, path)
+				}
+			case parent.children[leaf] != nil && parent.children[leaf].isDir:
+				if !errors.Is(err, ErrIsDir) {
+					t.Fatalf("step %d: write over dir %s = %v", step, path, err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("step %d: write %s: %v", step, path, err)
+				}
+				parent.children[leaf] = &oracleNode{data: append([]byte(nil), data...)}
+			}
+		case 5, 6: // read file
+			got, err := fs.ReadFile(ctx, path)
+			node := oracle.lookup(parts)
+			switch {
+			case node == nil:
+				if err == nil {
+					t.Fatalf("step %d: read missing %s succeeded", step, path)
+				}
+			case node.isDir:
+				if !errors.Is(err, ErrIsDir) {
+					t.Fatalf("step %d: read dir %s = %v", step, path, err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("step %d: read %s: %v", step, path, err)
+				}
+				if !bytes.Equal(got, node.data) {
+					t.Fatalf("step %d: read %s mismatch (%d vs %d bytes)",
+						step, path, len(got), len(node.data))
+				}
+			}
+		case 7, 8: // remove
+			err := fs.Remove(ctx, path)
+			node := oracle.lookup(parts)
+			switch {
+			case node == nil:
+				if err == nil {
+					t.Fatalf("step %d: remove missing %s succeeded", step, path)
+				}
+			case node.isDir && len(node.children) > 0:
+				if !errors.Is(err, ErrDirNotEmpty) {
+					t.Fatalf("step %d: remove non-empty %s = %v", step, path, err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("step %d: remove %s: %v", step, path, err)
+				}
+				delete(parent.children, leaf)
+			}
+		case 9: // rename
+			dstParts, dstPath := randomPath(3)
+			srcNode := oracle.lookup(parts)
+			dstParent := oracle.lookup(dstParts[:len(dstParts)-1])
+			dstLeaf := dstParts[len(dstParts)-1]
+			err := fs.Rename(ctx, path, dstPath)
+			selfPrefix := len(dstParts) > len(parts) && strings.HasPrefix(dstPath, path+"/")
+			switch {
+			case srcNode == nil,
+				dstParent == nil || !dstParent.isDir,
+				dstParent.children[dstLeaf] != nil && dstPath != path,
+				dstPath == path,
+				selfPrefix:
+				if err == nil {
+					// Allowed success only if it is a legal move the
+					// oracle missed; be strict: recompute legality.
+					t.Fatalf("step %d: rename %s -> %s unexpectedly succeeded", step, path, dstPath)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("step %d: rename %s -> %s: %v", step, path, dstPath, err)
+				}
+				delete(parent.children, leaf)
+				dstParent.children[dstLeaf] = srcNode
+			}
+		case 10: // readdir and compare names
+			node := oracle.lookup(parts)
+			ents, err := fs.ReadDir(ctx, path)
+			switch {
+			case node == nil:
+				if err == nil {
+					t.Fatalf("step %d: readdir missing %s succeeded", step, path)
+				}
+			case !node.isDir:
+				if !errors.Is(err, ErrNotDir) {
+					t.Fatalf("step %d: readdir file %s = %v", step, path, err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("step %d: readdir %s: %v", step, path, err)
+				}
+				var got, want []string
+				for _, e := range ents {
+					got = append(got, e.Name)
+				}
+				for name := range node.children {
+					want = append(want, name)
+				}
+				sort.Strings(got)
+				sort.Strings(want)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("step %d: readdir %s = %v, want %v", step, path, got, want)
+				}
+			}
+		default: // periodic consistency check
+			rep, err := fs.Check(ctx)
+			if err != nil {
+				t.Fatalf("step %d: check: %v", step, err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("step %d: check errors: %v", step, rep.Errors)
+			}
+			if rep.LeakedBlocks != 0 {
+				t.Fatalf("step %d: %d leaked blocks", step, rep.LeakedBlocks)
+			}
+		}
+	}
+	// Final full check.
+	rep, err := fs.Check(ctx)
+	if err != nil || !rep.Ok() || rep.LeakedBlocks != 0 {
+		t.Fatalf("final check: %+v, %v", rep, err)
+	}
+}

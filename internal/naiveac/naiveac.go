@@ -1,0 +1,173 @@
+// Package naiveac implements the naive available copy consistency scheme
+// of §3.3 — the paper's algorithm of choice.
+//
+// It behaves like the available copy scheme with the was-available sets
+// frozen at W_s = S: no failure bookkeeping is kept at all. Writes are a
+// single broadcast (the reliable delivery assumption covers the
+// acknowledgements), reads are local, and after a total failure the
+// recovery procedure of Figure 6 waits until *every* site has recovered,
+// then adopts the copy with the highest version.
+package naiveac
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"relidev/internal/block"
+	"relidev/internal/protocol"
+	"relidev/internal/scheme"
+)
+
+// Controller is the naive available copy engine at one site.
+type Controller struct {
+	env scheme.Env
+
+	// mu serialises operations issued at this site.
+	mu sync.Mutex
+}
+
+var _ scheme.Controller = (*Controller)(nil)
+
+// New builds a naive available copy controller.
+func New(env scheme.Env) (*Controller, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{env: env}, nil
+}
+
+// Name implements scheme.Controller.
+func (c *Controller) Name() string { return "naive" }
+
+// Read serves the block locally, exactly as the available copy scheme
+// does: zero network traffic.
+func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.env.Self.State() != protocol.StateAvailable {
+		return nil, fmt.Errorf("naive read of %v at %v (%v): %w",
+			idx, c.env.Self.ID(), c.env.Self.State(), scheme.ErrNotAvailable)
+	}
+	data, _, err := c.env.Self.ReadLocal(idx)
+	if err != nil {
+		return nil, fmt.Errorf("naive read of %v: %w", idx, err)
+	}
+	return data, nil
+}
+
+// Write broadcasts the block to all sites with no acknowledgement
+// traffic: one high-level transmission in a multi-cast network, n-1 with
+// unique addressing (§5). Because no was-available information is
+// maintained, nothing is piggybacked.
+func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	self := c.env.Self
+	if self.State() != protocol.StateAvailable {
+		return fmt.Errorf("naive write of %v at %v (%v): %w",
+			idx, self.ID(), self.State(), scheme.ErrNotAvailable)
+	}
+	localVer, err := self.VersionLocal(idx)
+	if err != nil {
+		return fmt.Errorf("naive write of %v: %w", idx, err)
+	}
+	newVer := localVer + 1
+	put := protocol.PutRequest{Block: idx, Data: data, Version: newVer}
+	// Fire-and-forget: failed sites miss the write and repair later;
+	// comatose sites reject it (they must not mix old and new blocks).
+	c.env.Transport.Notify(ctx, self.ID(), c.env.Remotes(), put)
+	if err := self.WriteLocal(idx, data, newVer); err != nil {
+		return fmt.Errorf("naive write of %v: %w", idx, err)
+	}
+	return nil
+}
+
+// Recover implements Figure 6: if some site is available, repair from it;
+// otherwise wait until every site has recovered and repair from (or
+// become) the one with the highest version.
+func (c *Controller) Recover(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	self := c.env.Self
+	if self.State() == protocol.StateAvailable {
+		return nil
+	}
+	self.SetState(protocol.StateComatose)
+
+	results := c.env.Transport.Broadcast(ctx, self.ID(), c.env.Remotes(), protocol.StatusRequest{})
+
+	type status struct {
+		state protocol.SiteState
+		sum   uint64
+	}
+	states := map[protocol.SiteID]status{
+		self.ID(): {state: protocol.StateComatose, sum: self.VersionSum()},
+	}
+	for id, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		st, ok := res.Resp.(protocol.StatusReply)
+		if !ok {
+			return fmt.Errorf("naive recovery: site %v answered %T", id, res.Resp)
+		}
+		states[id] = status{state: st.State, sum: st.VersionSum}
+	}
+
+	// Case 1: ∃u ∈ S: state(u) = available.
+	var best protocol.SiteID = -1
+	var bestSum uint64
+	for id, st := range states {
+		if st.state != protocol.StateAvailable {
+			continue
+		}
+		if best == -1 || st.sum > bestSum || (st.sum == bestSum && id < best) {
+			best, bestSum = id, st.sum
+		}
+	}
+	if best != -1 {
+		return c.repairFrom(ctx, best)
+	}
+
+	// Case 2: all sites have recovered — pick the most current copy.
+	if len(states) < len(c.env.Sites) {
+		return fmt.Errorf("naive recovery at %v: %d of %d sites recovered: %w",
+			self.ID(), len(states), len(c.env.Sites), scheme.ErrAwaitingSites)
+	}
+	best, bestSum = -1, 0
+	for _, id := range c.env.Sites { // deterministic order
+		st := states[id]
+		if best == -1 || st.sum > bestSum {
+			best, bestSum = id, st.sum
+		}
+	}
+	if best == self.ID() {
+		self.SetState(protocol.StateAvailable)
+		return nil
+	}
+	return c.repairFrom(ctx, best)
+}
+
+// repairFrom runs the version-vector exchange of Figure 6 against t. No
+// was-available set is involved (JoinW false).
+func (c *Controller) repairFrom(ctx context.Context, t protocol.SiteID) error {
+	self := c.env.Self
+	req := protocol.RecoveryRequest{Vector: self.Vector()}
+	resp, err := c.env.Transport.Call(ctx, self.ID(), t, req)
+	if err != nil {
+		return fmt.Errorf("naive recovery of %v from %v: %w", self.ID(), t, err)
+	}
+	rec, ok := resp.(protocol.RecoveryReply)
+	if !ok {
+		return fmt.Errorf("naive recovery: unexpected reply %T", resp)
+	}
+	if err := self.ApplyRecovery(rec); err != nil {
+		return err
+	}
+	self.SetState(protocol.StateAvailable)
+	return nil
+}

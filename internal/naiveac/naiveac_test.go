@@ -1,0 +1,295 @@
+package naiveac
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"relidev/internal/block"
+	"relidev/internal/protocol"
+	"relidev/internal/scheme"
+	"relidev/internal/simnet"
+	"relidev/internal/site"
+	"relidev/internal/store"
+)
+
+var testGeom = block.Geometry{BlockSize: 16, NumBlocks: 4}
+
+type rig struct {
+	net      *simnet.Network
+	replicas []*site.Replica
+	ctrls    []*Controller
+}
+
+func newRig(t *testing.T, n int, mode simnet.Mode) *rig {
+	t.Helper()
+	r := &rig{net: simnet.New(mode)}
+	ids := make([]protocol.SiteID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = protocol.SiteID(i)
+	}
+	for i := 0; i < n; i++ {
+		st, err := store.NewMem(testGeom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := site.New(site.Config{ID: ids[i], Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.replicas = append(r.replicas, rep)
+		r.net.Attach(ids[i], rep)
+	}
+	for i := 0; i < n; i++ {
+		ctrl, err := New(scheme.Env{Self: r.replicas[i], Transport: r.net, Sites: ids})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.ctrls = append(r.ctrls, ctrl)
+	}
+	return r
+}
+
+func (r *rig) fail(id protocol.SiteID) {
+	r.replicas[id].SetState(protocol.StateFailed)
+	r.net.SetUp(id, false)
+}
+
+func (r *rig) restart(id protocol.SiteID) {
+	r.replicas[id].SetState(protocol.StateComatose)
+	r.net.SetUp(id, true)
+}
+
+func (r *rig) driveRecovery(t *testing.T) {
+	t.Helper()
+	ctx := context.Background()
+	for {
+		progress := false
+		for i, rep := range r.replicas {
+			if rep.State() != protocol.StateComatose {
+				continue
+			}
+			err := r.ctrls[i].Recover(ctx)
+			switch {
+			case err == nil:
+				progress = true
+			case errors.Is(err, scheme.ErrAwaitingSites):
+			default:
+				t.Fatalf("recovery of site %d: %v", i, err)
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func pad(s string) []byte {
+	out := make([]byte, testGeom.BlockSize)
+	copy(out, s)
+	return out
+}
+
+func TestReadWriteRoundtrip(t *testing.T) {
+	r := newRig(t, 3, simnet.Multicast)
+	ctx := context.Background()
+	if err := r.ctrls[0].Write(ctx, 1, pad("naive")); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range r.ctrls {
+		got, err := c.Read(ctx, 1)
+		if err != nil || string(got[:5]) != "naive" {
+			t.Fatalf("read at %d = %q, %v", i, got[:5], err)
+		}
+	}
+}
+
+func TestWriteIsOneMulticastMessage(t *testing.T) {
+	// §5.1: "the naive available copy scheme need only broadcast one
+	// message when a write is performed".
+	r := newRig(t, 6, simnet.Multicast)
+	ctx := context.Background()
+	r.net.ResetStats()
+	if err := r.ctrls[0].Write(ctx, 0, pad("w")); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.net.Stats().Transmissions; got != 1 {
+		t.Fatalf("write traffic = %d, want 1", got)
+	}
+}
+
+func TestWriteIsNMinusOneUnicastMessages(t *testing.T) {
+	// §5.2: n-1 individually addressed messages, regardless of who is up.
+	n := 5
+	r := newRig(t, n, simnet.Unicast)
+	ctx := context.Background()
+	r.fail(3)
+	r.net.ResetStats()
+	if err := r.ctrls[0].Write(ctx, 0, pad("w")); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.net.Stats().Transmissions; got != uint64(n-1) {
+		t.Fatalf("write traffic = %d, want %d", got, n-1)
+	}
+}
+
+func TestReadIsFree(t *testing.T) {
+	r := newRig(t, 3, simnet.Multicast)
+	ctx := context.Background()
+	if err := r.ctrls[0].Write(ctx, 0, pad("w")); err != nil {
+		t.Fatal(err)
+	}
+	r.net.ResetStats()
+	if _, err := r.ctrls[1].Read(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.net.Stats(); st.Transmissions != 0 {
+		t.Fatalf("read cost %d transmissions", st.Transmissions)
+	}
+}
+
+func TestSurvivesAllButOneFailure(t *testing.T) {
+	r := newRig(t, 4, simnet.Multicast)
+	ctx := context.Background()
+	r.fail(0)
+	r.fail(1)
+	r.fail(2)
+	if err := r.ctrls[3].Write(ctx, 2, pad("last")); err != nil {
+		t.Fatalf("write on last copy: %v", err)
+	}
+	got, err := r.ctrls[3].Read(ctx, 2)
+	if err != nil || string(got[:4]) != "last" {
+		t.Fatalf("read = %q, %v", got[:4], err)
+	}
+}
+
+func TestRecoveryFromAvailableSite(t *testing.T) {
+	r := newRig(t, 3, simnet.Multicast)
+	ctx := context.Background()
+	r.fail(1)
+	if err := r.ctrls[0].Write(ctx, 0, pad("newer")); err != nil {
+		t.Fatal(err)
+	}
+	r.restart(1)
+	r.driveRecovery(t)
+	if st := r.replicas[1].State(); st != protocol.StateAvailable {
+		t.Fatalf("state = %v", st)
+	}
+	got, err := r.ctrls[1].Read(ctx, 0)
+	if err != nil || string(got[:5]) != "newer" {
+		t.Fatalf("read = %q, %v", got[:5], err)
+	}
+}
+
+func TestTotalFailureWaitsForAllSites(t *testing.T) {
+	// Figure 6 / §4.3: after a total failure the naive scheme waits until
+	// *all* copies have recovered — even sites that failed long before
+	// the last write cannot unblock recovery.
+	r := newRig(t, 4, simnet.Multicast)
+	ctx := context.Background()
+	if err := r.ctrls[0].Write(ctx, 0, pad("w1")); err != nil {
+		t.Fatal(err)
+	}
+	r.fail(3)
+	if err := r.ctrls[0].Write(ctx, 0, pad("w2")); err != nil {
+		t.Fatal(err)
+	}
+	r.fail(0)
+	r.fail(1)
+	r.fail(2) // total failure; site 2 was among the last up
+
+	// Three of four restart — including every site that held w2 — but
+	// the naive scheme still waits for site 3.
+	r.restart(0)
+	r.restart(1)
+	r.restart(2)
+	r.driveRecovery(t)
+	for i := 0; i <= 2; i++ {
+		if st := r.replicas[i].State(); st != protocol.StateComatose {
+			t.Fatalf("site %d state = %v, want comatose (naive waits for all)", i, st)
+		}
+	}
+	if _, err := r.ctrls[2].Read(ctx, 0); !errors.Is(err, scheme.ErrNotAvailable) {
+		t.Fatalf("read during wait = %v, want ErrNotAvailable", err)
+	}
+
+	r.restart(3)
+	r.driveRecovery(t)
+	for i, rep := range r.replicas {
+		if st := rep.State(); st != protocol.StateAvailable {
+			t.Fatalf("site %d state = %v after all recovered", i, st)
+		}
+	}
+	// The highest-version copy won: w2, not the stale w1 on site 3.
+	for i, c := range r.ctrls {
+		got, err := c.Read(ctx, 0)
+		if err != nil || string(got[:2]) != "w2" {
+			t.Fatalf("read at %d = %q, %v; want w2", i, got[:2], err)
+		}
+	}
+}
+
+func TestRecoveryTrafficMulticast(t *testing.T) {
+	// §5.1: recovery = U + 2, same shape as available copy.
+	n := 4
+	r := newRig(t, n, simnet.Multicast)
+	ctx := context.Background()
+	r.fail(3)
+	if err := r.ctrls[0].Write(ctx, 0, pad("w")); err != nil {
+		t.Fatal(err)
+	}
+	r.restart(3)
+	r.net.ResetStats()
+	if err := r.ctrls[3].Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.net.Stats().Transmissions; got != uint64(n+2) {
+		t.Fatalf("recovery traffic = %d, want %d", got, n+2)
+	}
+}
+
+func TestRecoverAtAvailableSiteIsNoop(t *testing.T) {
+	r := newRig(t, 2, simnet.Multicast)
+	r.net.ResetStats()
+	if err := r.ctrls[0].Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.net.Stats(); st.Transmissions != 0 {
+		t.Fatalf("no-op recover cost %d transmissions", st.Transmissions)
+	}
+}
+
+func TestComatoseRejectsNaiveWrites(t *testing.T) {
+	r := newRig(t, 3, simnet.Multicast)
+	ctx := context.Background()
+	r.fail(2)
+	r.restart(2) // comatose
+	if err := r.ctrls[0].Write(ctx, 0, pad("w")); err != nil {
+		t.Fatalf("write with comatose peer: %v", err)
+	}
+	if ver, _ := r.replicas[2].VersionLocal(0); ver != 0 {
+		t.Fatalf("comatose site absorbed a naive write (version %v)", ver)
+	}
+}
+
+func TestSingleSiteCluster(t *testing.T) {
+	r := newRig(t, 1, simnet.Multicast)
+	ctx := context.Background()
+	if err := r.ctrls[0].Write(ctx, 0, pad("solo")); err != nil {
+		t.Fatal(err)
+	}
+	r.fail(0)
+	r.restart(0)
+	r.driveRecovery(t)
+	got, err := r.ctrls[0].Read(ctx, 0)
+	if err != nil || string(got[:4]) != "solo" {
+		t.Fatalf("read = %q, %v", got[:4], err)
+	}
+}
+
+func TestName(t *testing.T) {
+	r := newRig(t, 1, simnet.Multicast)
+	if r.ctrls[0].Name() != "naive" {
+		t.Fatalf("Name = %q", r.ctrls[0].Name())
+	}
+}

@@ -1,0 +1,149 @@
+package protocol
+
+import (
+	"encoding/gob"
+
+	"relidev/internal/block"
+)
+
+// VoteRequest asks a site for its vote on one block (Figures 3 and 4):
+// the site answers with the block's version number and the weight
+// assigned to the site.
+type VoteRequest struct {
+	Block block.Index
+}
+
+// Kind implements Request.
+func (VoteRequest) Kind() string { return "vote" }
+
+// VoteReply is a site's vote.
+type VoteReply struct {
+	Version block.Version
+	// Weight is the site's voting weight in thousandths, so that the
+	// even-n tie-breaking adjustment of §4.1 (one copy's weight nudged by
+	// a small quantity) is representable exactly.
+	Weight int64
+	State  SiteState
+	// Witness marks a site that votes with version numbers but stores no
+	// block data ([10]); witnesses cannot serve fetches or repairs.
+	Witness bool
+}
+
+// RespKind implements Response.
+func (VoteReply) RespKind() string { return "vote-reply" }
+
+// FetchRequest asks for a copy of one block (voting read repair, Figure
+// 3: request_block(t, k, B)).
+type FetchRequest struct {
+	Block block.Index
+}
+
+// Kind implements Request.
+func (FetchRequest) Kind() string { return "fetch" }
+
+// FetchReply returns the block contents.
+type FetchReply struct {
+	Data    []byte
+	Version block.Version
+}
+
+// RespKind implements Response.
+func (FetchReply) RespKind() string { return "fetch-reply" }
+
+// PutRequest installs a block at a new version on the receiving site
+// (voting: send_block(Q, k, B, v); available copy: the write broadcast).
+//
+// For the available copy schemes the request piggybacks the writer's
+// current was-available set; recipients replace their stored set with it
+// (§3.2: the information may be delayed by one write, which is how the
+// atomic broadcast assumption is relaxed).
+type PutRequest struct {
+	Block   block.Index
+	Data    []byte
+	Version block.Version
+	// HasW indicates WasAvail is meaningful (available copy scheme only).
+	HasW     bool
+	WasAvail SiteSet
+	// ReplaceW makes the receiver replace its stored was-available set
+	// with WasAvail (plus itself and the writer) instead of merging. Set
+	// only by the immediate-W ablation, where the coordinator knows the
+	// exact recipient set.
+	ReplaceW bool
+}
+
+// Kind implements Request.
+func (PutRequest) Kind() string { return "put" }
+
+// PutReply acknowledges a PutRequest.
+type PutReply struct{}
+
+// RespKind implements Response.
+func (PutReply) RespKind() string { return "put-reply" }
+
+// StatusRequest asks a site for its recovery-relevant state. A recovering
+// site broadcasts it to learn which sites are up, their states, their
+// was-available sets and how current they are (§3.2, §5.1).
+type StatusRequest struct{}
+
+// Kind implements Request.
+func (StatusRequest) Kind() string { return "status" }
+
+// StatusReply describes the responding site.
+type StatusReply struct {
+	State SiteState
+	// WasAvail is the responder's stored was-available set (AC only).
+	WasAvail SiteSet
+	// VersionSum is the responder's whole-device currency measure
+	// (Figures 5-6 compare sites by version(t)).
+	VersionSum uint64
+	// Witness marks a voting witness; witnesses cannot serve as repair
+	// sources since they hold no data.
+	Witness bool
+}
+
+// RespKind implements Response.
+func (StatusReply) RespKind() string { return "status-reply" }
+
+// RecoveryRequest is the version-vector exchange of Figure 5: the
+// recovering site s sends its vector v to the repair source t. The
+// request also carries s's identity so that t can fold s into its
+// was-available set (send(t, W_s) folded into the same high-level
+// exchange; §5.1 counts the whole repair as one request + one response).
+type RecoveryRequest struct {
+	Vector block.Vector
+	// JoinW asks the responder to add the sender to its was-available
+	// set (available copy scheme only).
+	JoinW bool
+}
+
+// Kind implements Request.
+func (RecoveryRequest) Kind() string { return "recovery" }
+
+// RecoveryReply returns the correct vector v' and copies of every block
+// that changed while the requester was down.
+type RecoveryReply struct {
+	Vector block.Vector
+	Blocks []BlockCopy
+	// WasAvail is the responder's was-available set after the join, so
+	// the recovering site starts from the merged set.
+	WasAvail SiteSet
+}
+
+// RespKind implements Response.
+func (RecoveryReply) RespKind() string { return "recovery-reply" }
+
+// RegisterGob registers all protocol messages with encoding/gob so that
+// rpcnet can ship them as interface values. Safe to call more than once
+// only from a single init path; rpcnet calls it exactly once.
+func RegisterGob() {
+	gob.Register(VoteRequest{})
+	gob.Register(VoteReply{})
+	gob.Register(FetchRequest{})
+	gob.Register(FetchReply{})
+	gob.Register(PutRequest{})
+	gob.Register(PutReply{})
+	gob.Register(StatusRequest{})
+	gob.Register(StatusReply{})
+	gob.Register(RecoveryRequest{})
+	gob.Register(RecoveryReply{})
+}

@@ -1,0 +1,326 @@
+// Package rpcnet carries the inter-site protocol over TCP with gob
+// encoding, turning the reliable device into what the paper actually
+// describes: "a set of server processes on several sites" (§1).
+//
+// A Server exposes one replica's protocol handler on a TCP address; a
+// Client implements protocol.Transport against a map of peer addresses.
+// The same consistency controllers that run over the simulated network
+// run unchanged over rpcnet — transports are interchangeable.
+//
+// Unlike simnet, rpcnet does not meter §5 transmission counts (a real
+// network's cost is measured, not modelled); it maps connection failures
+// to protocol.ErrSiteDown so that fail-stop semantics hold: a crashed
+// server process simply stops answering.
+package rpcnet
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"relidev/internal/protocol"
+	"relidev/internal/site"
+)
+
+// wire error codes let sentinel errors cross the process boundary so that
+// scheme logic (which matches them with errors.Is) works identically over
+// TCP.
+const (
+	errNone = iota
+	errGeneric
+	errComatose
+	errNotOperational
+)
+
+type rpcRequest struct {
+	From protocol.SiteID
+	Req  protocol.Request
+}
+
+type rpcResponse struct {
+	Resp    protocol.Response
+	ErrCode int
+	ErrText string
+}
+
+func encodeErr(err error) (int, string) {
+	switch {
+	case err == nil:
+		return errNone, ""
+	case errors.Is(err, site.ErrComatose):
+		return errComatose, err.Error()
+	case errors.Is(err, site.ErrNotOperational):
+		return errNotOperational, err.Error()
+	default:
+		return errGeneric, err.Error()
+	}
+}
+
+func decodeErr(code int, text string) error {
+	switch code {
+	case errNone:
+		return nil
+	case errComatose:
+		return fmt.Errorf("%s: %w", text, site.ErrComatose)
+	case errNotOperational:
+		return fmt.Errorf("%s: %w", text, site.ErrNotOperational)
+	default:
+		return errors.New(text)
+	}
+}
+
+var registerOnce sync.Once
+
+func registerWire() {
+	registerOnce.Do(protocol.RegisterGob)
+}
+
+// Server exposes a protocol handler on a TCP listener.
+type Server struct {
+	ln      net.Listener
+	handler protocol.Handler
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0") and serving the
+// handler. Close stops it.
+func Serve(addr string, h protocol.Handler) (*Server, error) {
+	if h == nil {
+		return nil, errors.New("rpcnet: nil handler")
+	}
+	registerWire()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnet: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all connections, then waits for the
+// serving goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req rpcRequest
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupt
+		}
+		resp, err := s.handler.Handle(req.From, req.Req)
+		code, text := encodeErr(err)
+		out := rpcResponse{Resp: resp, ErrCode: code, ErrText: text}
+		if err := enc.Encode(out); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a protocol.Transport over TCP. It maintains one lazily dialed
+// connection per peer and reconnects transparently after failures.
+type Client struct {
+	self    protocol.SiteID
+	timeout time.Duration
+
+	mu    sync.Mutex
+	addrs map[protocol.SiteID]string
+	conns map[protocol.SiteID]*peerConn
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+var _ protocol.Transport = (*Client)(nil)
+
+// NewClient builds a transport for the given site talking to peers at
+// the given addresses. timeout bounds each remote call (zero means 5s).
+func NewClient(self protocol.SiteID, addrs map[protocol.SiteID]string, timeout time.Duration) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("rpcnet: client needs peer addresses")
+	}
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	registerWire()
+	m := make(map[protocol.SiteID]string, len(addrs))
+	for id, a := range addrs {
+		m[id] = a
+	}
+	return &Client{
+		self:    self,
+		timeout: timeout,
+		addrs:   m,
+		conns:   make(map[protocol.SiteID]*peerConn),
+	}, nil
+}
+
+// Close drops all peer connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, pc := range c.conns {
+		pc.mu.Lock()
+		if pc.conn != nil {
+			pc.conn.Close()
+		}
+		pc.mu.Unlock()
+		delete(c.conns, id)
+	}
+	return nil
+}
+
+func (c *Client) peer(to protocol.SiteID) (*peerConn, string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addr, ok := c.addrs[to]
+	if !ok {
+		return nil, "", fmt.Errorf("rpcnet: no address for %v: %w", to, protocol.ErrSiteDown)
+	}
+	pc, ok := c.conns[to]
+	if !ok {
+		pc = &peerConn{}
+		c.conns[to] = pc
+	}
+	return pc, addr, nil
+}
+
+// roundTrip performs one request/response over the (possibly re-dialed)
+// peer connection.
+func (c *Client) roundTrip(ctx context.Context, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+	pc, addr, err := c.peer(to)
+	if err != nil {
+		return nil, err
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+
+	deadline := time.Now().Add(c.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if pc.conn == nil {
+		d := net.Dialer{Deadline: deadline}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("rpcnet: dial %v (%s): %v: %w", to, addr, err, protocol.ErrSiteDown)
+		}
+		pc.conn = conn
+		pc.enc = gob.NewEncoder(conn)
+		pc.dec = gob.NewDecoder(conn)
+	}
+	pc.conn.SetDeadline(deadline)
+	if err := pc.enc.Encode(rpcRequest{From: c.self, Req: req}); err != nil {
+		pc.reset()
+		return nil, fmt.Errorf("rpcnet: send to %v: %v: %w", to, err, protocol.ErrSiteDown)
+	}
+	var resp rpcResponse
+	if err := pc.dec.Decode(&resp); err != nil {
+		pc.reset()
+		return nil, fmt.Errorf("rpcnet: receive from %v: %v: %w", to, err, protocol.ErrSiteDown)
+	}
+	if err := decodeErr(resp.ErrCode, resp.ErrText); err != nil {
+		return nil, err
+	}
+	return resp.Resp, nil
+}
+
+// reset drops a broken connection; the next call re-dials. Callers hold
+// pc.mu.
+func (pc *peerConn) reset() {
+	if pc.conn != nil {
+		pc.conn.Close()
+	}
+	pc.conn, pc.enc, pc.dec = nil, nil, nil
+}
+
+// Call implements protocol.Transport.
+func (c *Client) Call(ctx context.Context, from, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+	return c.roundTrip(ctx, to, req)
+}
+
+// Fetch implements protocol.Transport.
+func (c *Client) Fetch(ctx context.Context, from, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+	return c.roundTrip(ctx, to, req)
+}
+
+// Broadcast implements protocol.Transport. TCP has no multicast; the
+// logical broadcast is one call per destination.
+func (c *Client) Broadcast(ctx context.Context, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) map[protocol.SiteID]protocol.Result {
+	out := make(map[protocol.SiteID]protocol.Result, len(dests))
+	for _, to := range dests {
+		if to == from {
+			continue
+		}
+		resp, err := c.roundTrip(ctx, to, req)
+		out[to] = protocol.Result{Resp: resp, Err: err}
+	}
+	return out
+}
+
+// Notify implements protocol.Transport. The underlying TCP exchange
+// still returns the handler result (reliable delivery needs the stream
+// anyway), so errors are reported; semantically this matches simnet's
+// Notify, which reports errors but charges no reply traffic.
+func (c *Client) Notify(ctx context.Context, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) map[protocol.SiteID]protocol.Result {
+	return c.Broadcast(ctx, from, dests, req)
+}

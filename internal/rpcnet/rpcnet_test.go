@@ -1,0 +1,334 @@
+package rpcnet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"relidev/internal/block"
+	"relidev/internal/protocol"
+	"relidev/internal/scheme"
+	"relidev/internal/site"
+	"relidev/internal/store"
+	"relidev/internal/voting"
+)
+
+var testGeom = block.Geometry{BlockSize: 32, NumBlocks: 8}
+
+func newReplica(t *testing.T, id protocol.SiteID) *site.Replica {
+	t.Helper()
+	st, err := store.NewMem(testGeom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := site.New(site.Config{ID: id, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func pad(s string) []byte {
+	out := make([]byte, testGeom.BlockSize)
+	copy(out, s)
+	return out
+}
+
+// startCluster launches n replica servers on loopback and returns their
+// replicas, addresses, and a cleanup-registered server list.
+func startCluster(t *testing.T, n int) ([]*site.Replica, map[protocol.SiteID]string) {
+	t.Helper()
+	replicas := make([]*site.Replica, n)
+	addrs := make(map[protocol.SiteID]string, n)
+	for i := 0; i < n; i++ {
+		id := protocol.SiteID(i)
+		replicas[i] = newReplica(t, id)
+		srv, err := Serve("127.0.0.1:0", replicas[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[id] = srv.Addr()
+	}
+	return replicas, addrs
+}
+
+func TestServeValidation(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil); err == nil {
+		t.Fatal("accepted nil handler")
+	}
+	if _, err := Serve("256.256.256.256:99999", newReplica(t, 0)); err == nil {
+		t.Fatal("accepted bad address")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	if _, err := NewClient(0, nil, 0); err == nil {
+		t.Fatal("accepted empty address map")
+	}
+}
+
+func TestRoundTripAllMessageTypes(t *testing.T) {
+	replicas, addrs := startCluster(t, 2)
+	cli, err := NewClient(0, addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	// Put, then Vote, Fetch, Status, Recovery.
+	if _, err := cli.Call(ctx, 0, 1, protocol.PutRequest{Block: 2, Data: pad("tcp"), Version: 5}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	resp, err := cli.Call(ctx, 0, 1, protocol.VoteRequest{Block: 2})
+	if err != nil {
+		t.Fatalf("vote: %v", err)
+	}
+	if v := resp.(protocol.VoteReply); v.Version != 5 || v.Weight != 1000 {
+		t.Fatalf("vote reply = %+v", v)
+	}
+	resp, err = cli.Fetch(ctx, 0, 1, protocol.FetchRequest{Block: 2})
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if f := resp.(protocol.FetchReply); string(f.Data[:3]) != "tcp" || f.Version != 5 {
+		t.Fatalf("fetch reply = %+v", f)
+	}
+	resp, err = cli.Call(ctx, 0, 1, protocol.StatusRequest{})
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if s := resp.(protocol.StatusReply); s.State != protocol.StateAvailable || s.VersionSum != 5 {
+		t.Fatalf("status reply = %+v", s)
+	}
+	vec := block.NewVector(testGeom.NumBlocks)
+	resp, err = cli.Call(ctx, 0, 1, protocol.RecoveryRequest{Vector: vec, JoinW: true})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	rec := resp.(protocol.RecoveryReply)
+	if len(rec.Blocks) != 1 || rec.Blocks[0].Index != 2 {
+		t.Fatalf("recovery reply blocks = %v", rec.Blocks)
+	}
+	if !replicas[1].WasAvailable().Has(0) {
+		t.Fatal("JoinW did not reach the server replica")
+	}
+}
+
+func TestSentinelErrorsCrossTheWire(t *testing.T) {
+	replicas, addrs := startCluster(t, 2)
+	cli, err := NewClient(0, addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	replicas[1].SetState(protocol.StateComatose)
+	_, err = cli.Call(ctx, 0, 1, protocol.PutRequest{Block: 0, Data: pad(""), Version: 1})
+	if !errors.Is(err, site.ErrComatose) {
+		t.Fatalf("err = %v, want ErrComatose across TCP", err)
+	}
+	replicas[1].SetState(protocol.StateFailed)
+	_, err = cli.Call(ctx, 0, 1, protocol.StatusRequest{})
+	if !errors.Is(err, site.ErrNotOperational) {
+		t.Fatalf("err = %v, want ErrNotOperational across TCP", err)
+	}
+}
+
+func TestDeadServerMapsToSiteDown(t *testing.T) {
+	_, addrs := startCluster(t, 1)
+	// Add an address nobody listens on.
+	addrs[protocol.SiteID(1)] = "127.0.0.1:1"
+	cli, err := NewClient(0, addrs, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_, err = cli.Call(context.Background(), 0, 1, protocol.StatusRequest{})
+	if !errors.Is(err, protocol.ErrSiteDown) {
+		t.Fatalf("err = %v, want ErrSiteDown", err)
+	}
+	// Unknown site id as well.
+	_, err = cli.Call(context.Background(), 0, 9, protocol.StatusRequest{})
+	if !errors.Is(err, protocol.ErrSiteDown) {
+		t.Fatalf("unknown id err = %v, want ErrSiteDown", err)
+	}
+}
+
+func TestReconnectAfterServerRestart(t *testing.T) {
+	rep := newReplica(t, 1)
+	srv, err := Serve("127.0.0.1:0", rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli, err := NewClient(0, map[protocol.SiteID]string{1: addr}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	if _, err := cli.Call(ctx, 0, 1, protocol.StatusRequest{}); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	// Crash the server process (fail-stop).
+	srv.Close()
+	if _, err := cli.Call(ctx, 0, 1, protocol.StatusRequest{}); !errors.Is(err, protocol.ErrSiteDown) {
+		t.Fatalf("call to crashed server = %v, want ErrSiteDown", err)
+	}
+	// Restart on the same address; the client must re-dial transparently.
+	srv2, err := Serve(addr, rep)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer srv2.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err = cli.Call(ctx, 0, 1, protocol.StatusRequest{}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("call after restart: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestBroadcastAndNotifyOverTCP(t *testing.T) {
+	replicas, addrs := startCluster(t, 3)
+	cli, err := NewClient(0, addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	res := cli.Broadcast(ctx, 0, []protocol.SiteID{1, 2}, protocol.StatusRequest{})
+	if len(res) != 2 || res[1].Err != nil || res[2].Err != nil {
+		t.Fatalf("broadcast results = %+v", res)
+	}
+	res = cli.Notify(ctx, 0, []protocol.SiteID{1, 2}, protocol.PutRequest{Block: 1, Data: pad("n"), Version: 1})
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("notify to %v: %v", id, r.Err)
+		}
+	}
+	for _, rep := range replicas[1:] {
+		if ver, _ := rep.VersionLocal(1); ver != 1 {
+			t.Fatal("notify did not install the block")
+		}
+	}
+}
+
+// A full voting controller working over TCP: the same scheme code that
+// runs over simnet coordinates real server processes.
+func TestVotingControllerOverTCP(t *testing.T) {
+	replicas, addrs := startCluster(t, 3)
+	localRep := replicas[0]
+	cli, err := NewClient(0, addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ids := []protocol.SiteID{0, 1, 2}
+	ctrl, err := voting.New(scheme.Env{
+		Self:      localRep,
+		Transport: cli,
+		Sites:     ids,
+		Weights:   []int64{1000, 1000, 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := ctrl.Write(ctx, 3, pad("over-tcp")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ctrl.Read(ctx, 3)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(got[:8]) != "over-tcp" {
+		t.Fatalf("read = %q", got[:8])
+	}
+	// Remote replicas received the quorum write.
+	for i, rep := range replicas[1:] {
+		if ver, _ := rep.VersionLocal(3); ver != 1 {
+			t.Fatalf("remote replica %d version = %v", i+1, ver)
+		}
+	}
+}
+
+func TestServerCloseIsIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", newReplica(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentClientCalls exercises one Client from many goroutines:
+// the per-peer connection must serialise correctly and reconnect cleanly
+// under contention.
+func TestConcurrentClientCalls(t *testing.T) {
+	replicas, addrs := startCluster(t, 3)
+	cli, err := NewClient(0, addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			to := protocol.SiteID(1 + w%2)
+			for i := 0; i < 100; i++ {
+				if _, err := cli.Call(ctx, 0, to, protocol.VoteRequest{Block: 1}); err != nil {
+					t.Errorf("worker %d call %d: %v", w, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Servers saw all the traffic and stayed healthy.
+	for _, rep := range replicas[1:] {
+		if rep.State() != protocol.StateAvailable {
+			t.Fatal("server degraded under concurrent load")
+		}
+	}
+}
+
+func TestContextDeadlineRespected(t *testing.T) {
+	_, addrs := startCluster(t, 1)
+	addrs[protocol.SiteID(1)] = "10.255.255.1:9" // blackhole
+	cli, err := NewClient(0, addrs, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cli.Call(ctx, 0, 1, protocol.StatusRequest{})
+	if err == nil {
+		t.Fatal("call to blackhole succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("context deadline ignored: call took %v", elapsed)
+	}
+}

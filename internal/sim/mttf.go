@@ -1,0 +1,42 @@
+package sim
+
+import "fmt"
+
+// MeasureMTTF estimates the mean time to first block inaccessibility by
+// independent replication: each episode starts a fresh all-up system and
+// runs until the model first reports the block unavailable. It validates
+// the absorbing-chain MTTF analysis (internal/analysis/mttf.go).
+func MeasureMTTF(newModel func() (Model, error), n int, rho float64, episodes int, seed int64) (float64, error) {
+	if newModel == nil {
+		return 0, fmt.Errorf("sim: nil model factory")
+	}
+	if episodes < 1 {
+		return 0, fmt.Errorf("sim: episodes %d must be positive", episodes)
+	}
+	if rho <= 0 {
+		return 0, fmt.Errorf("sim: rho %v must be positive (MTTF infinite otherwise)", rho)
+	}
+	var total float64
+	for ep := 0; ep < episodes; ep++ {
+		m, err := newModel()
+		if err != nil {
+			return 0, err
+		}
+		proc, err := NewFailureProcess(n, rho, 1, seed+int64(ep))
+		if err != nil {
+			return 0, err
+		}
+		for {
+			e, ok := proc.Next()
+			if !ok {
+				return 0, fmt.Errorf("sim: event stream ended before first failure")
+			}
+			m.Apply(e)
+			if !m.Available() {
+				total += e.At
+				break
+			}
+		}
+	}
+	return total / float64(episodes), nil
+}

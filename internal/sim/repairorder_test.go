@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDistProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const samples = 100000
+
+	check := func(d Dist, wantMean, wantCV float64) {
+		t.Helper()
+		var sum, sumSq float64
+		for i := 0; i < samples; i++ {
+			v := d.Sample(rng)
+			if v < 0 {
+				t.Fatalf("%s: negative sample", d.Name())
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / samples
+		variance := sumSq/samples - mean*mean
+		cv := math.Sqrt(variance) / mean
+		if math.Abs(mean-wantMean) > 0.02*wantMean {
+			t.Fatalf("%s: mean %v, want %v", d.Name(), mean, wantMean)
+		}
+		if math.Abs(cv-wantCV) > 0.03 {
+			t.Fatalf("%s: CV %v, want %v", d.Name(), cv, wantCV)
+		}
+		if math.Abs(d.CV()-wantCV) > 1e-9 {
+			t.Fatalf("%s: declared CV %v, want %v", d.Name(), d.CV(), wantCV)
+		}
+	}
+	check(Exponential{Rate: 2}, 0.5, 1)
+	check(Erlang{K: 4, Mean: 1}, 1, 0.5)
+	check(Erlang{K: 16, Mean: 2}, 2, 0.25)
+}
+
+func TestErlangDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if !math.IsInf((Erlang{K: 0, Mean: 1}).Sample(rng), 1) {
+		t.Fatal("invalid Erlang should sample +Inf")
+	}
+	if (Erlang{K: 3, Mean: 1}).Name() != "erlang-3" {
+		t.Fatal("name mismatch")
+	}
+}
+
+func TestMeasureRepairOrderValidation(t *testing.T) {
+	if _, err := MeasureRepairOrder(RepairOrderConfig{Sites: 1, Rho: 0.2, Horizon: 100}); err == nil {
+		t.Fatal("accepted one site")
+	}
+	if _, err := MeasureRepairOrder(RepairOrderConfig{Sites: 3, Rho: 0, Horizon: 100}); err == nil {
+		t.Fatal("accepted rho=0")
+	}
+	if _, err := MeasureRepairOrder(RepairOrderConfig{Sites: 3, Rho: 0.2, Horizon: 0}); err == nil {
+		t.Fatal("accepted zero horizon")
+	}
+}
+
+// §4.4: "observed repair time distributions are characterized by
+// coefficients of variation less than one. Under such conditions, sites
+// will tend to recover in the same order as they failed [and] the
+// conventional available copy algorithm will be unable to recover faster
+// than our naive algorithm."
+func TestLowVarianceRepairsCloseTheNaiveGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	const (
+		sites   = 3
+		rho     = 0.2 // failure-heavy so total failures are frequent
+		horizon = 200000.0
+	)
+	run := func(d Dist) RepairOrderResult {
+		t.Helper()
+		res, err := MeasureRepairOrder(RepairOrderConfig{
+			Sites: sites, Rho: rho, Repair: d, Horizon: horizon, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Episodes < 100 {
+			t.Fatalf("%s: only %d total-failure episodes", d.Name(), res.Episodes)
+		}
+		return res
+	}
+	expo := run(Exponential{Rate: 1})
+	erlang := run(Erlang{K: 16, Mean: 1})
+
+	// Sanity: naive never beats conventional AC.
+	for _, r := range []RepairOrderResult{expo, erlang} {
+		if r.MeanOutageNaive < r.MeanOutageAC-1e-9 {
+			t.Fatalf("naive outage %v below AC outage %v", r.MeanOutageNaive, r.MeanOutageAC)
+		}
+	}
+	// With CV = 1 the last-to-recover is often NOT the last that failed,
+	// so the naive scheme pays extra; with CV = 0.25 the schemes match in
+	// twice as many episodes (the remainder are episodes where a comatose
+	// site failed *again* before the last one returned) and the
+	// mean-outage gap shrinks by more than half. Measured at these
+	// parameters: matched 0.28 -> 0.61, gap 0.93 -> 0.20 time units.
+	if erlang.FractionMatched() < expo.FractionMatched()+0.2 {
+		t.Fatalf("matching fraction did not clearly improve: exp %v, erlang %v",
+			expo.FractionMatched(), erlang.FractionMatched())
+	}
+	if erlang.FractionMatched() < 0.55 {
+		t.Fatalf("erlang-16 matching fraction = %v, want >= 0.55", erlang.FractionMatched())
+	}
+	gapExpo := expo.MeanOutageNaive - expo.MeanOutageAC
+	gapErlang := erlang.MeanOutageNaive - erlang.MeanOutageAC
+	if gapErlang > gapExpo/2 {
+		t.Fatalf("outage gap did not shrink by half: exp %v, erlang %v", gapExpo, gapErlang)
+	}
+}

@@ -1,0 +1,327 @@
+// Package simnet is an in-process network connecting replica sites.
+//
+// It provides the communication model of the paper (§2, §5): reliable
+// message delivery, no spontaneous partitions (partitions can be injected
+// explicitly for tests of the voting scheme), fail-stop sites that simply
+// do not answer, and — crucially — exact accounting of *high-level
+// transmissions* in both network flavours analysed in §5:
+//
+//   - Multicast: one transmission reaches any number of destinations;
+//     each individually addressed reply is one transmission.
+//   - Unique addressing: one transmission per destination, whether or not
+//     the destination is up (the sender cannot know).
+//
+// The accounting deliberately mirrors the paper's conventions: low-level
+// acknowledgements guaranteed by the reliable-delivery assumption are not
+// counted (a naive available copy write is exactly one transmission), and
+// a lazy block fetch during a voting read costs one transmission — only
+// the block transfer itself is charged (§5.1: "at most U_V+1 if the local
+// version is not up to date").
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"relidev/internal/protocol"
+)
+
+// Mode selects the §5 network flavour.
+type Mode int
+
+// Network modes.
+const (
+	// Multicast models §5.1: a single transmission may be received by
+	// several sites.
+	Multicast Mode = iota + 1
+	// Unicast models §5.2: transmissions are addressed to an individual
+	// site, so a logical broadcast costs one transmission per destination.
+	Unicast
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Multicast:
+		return "multicast"
+	case Unicast:
+		return "unicast"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Stats counts high-level transmissions as defined in §5, plus the
+// byte-level alternative metric §5 mentions ("it is possible to instead
+// focus on the sizes of the messages").
+type Stats struct {
+	// Transmissions is the total number of high-level transmissions.
+	Transmissions uint64
+	// Requests counts transmissions that carried a request.
+	Requests uint64
+	// Replies counts transmissions that carried a reply.
+	Replies uint64
+	// Bytes is the total estimated wire volume of all transmissions. A
+	// multicast transmission's payload is charged once regardless of how
+	// many sites receive it; unique addressing charges per destination.
+	Bytes uint64
+	// ByKind breaks down request transmissions by request kind.
+	ByKind map[string]uint64
+}
+
+func (s *Stats) clone() Stats {
+	out := *s
+	out.ByKind = make(map[string]uint64, len(s.ByKind))
+	for k, v := range s.ByKind {
+		out.ByKind[k] = v
+	}
+	return out
+}
+
+// Network connects up to protocol.MaxSites sites. The zero value is not
+// usable; use New.
+type Network struct {
+	mu        sync.Mutex
+	mode      Mode
+	handlers  map[protocol.SiteID]protocol.Handler
+	up        map[protocol.SiteID]bool
+	partition map[protocol.SiteID]int
+	stats     Stats
+}
+
+var _ protocol.Transport = (*Network)(nil)
+
+// New returns an empty network in the given mode.
+func New(mode Mode) *Network {
+	return &Network{
+		mode:      mode,
+		handlers:  make(map[protocol.SiteID]protocol.Handler),
+		up:        make(map[protocol.SiteID]bool),
+		partition: make(map[protocol.SiteID]int),
+		stats:     Stats{ByKind: make(map[string]uint64)},
+	}
+}
+
+// Mode returns the network flavour.
+func (n *Network) Mode() Mode {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mode
+}
+
+// SetMode switches the network flavour. Tests use this to compare §5.1
+// and §5.2 accounting over identical protocol runs.
+func (n *Network) SetMode(m Mode) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mode = m
+}
+
+// Attach registers the handler serving site id and marks the site up.
+func (n *Network) Attach(id protocol.SiteID, h protocol.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[id] = h
+	n.up[id] = true
+}
+
+// SetUp marks a site's process up or down. A down site neither receives
+// requests nor produces replies (fail-stop).
+func (n *Network) SetUp(id protocol.SiteID, up bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.up[id] = up
+}
+
+// Up reports whether the site's process is running.
+func (n *Network) Up(id protocol.SiteID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.up[id]
+}
+
+// SetPartition places a site in a partition group. Sites in different
+// groups cannot exchange messages. The default group is 0. This exists
+// only to demonstrate the §6 caveat that available copy requires a
+// partition-free network; no production path creates partitions.
+func (n *Network) SetPartition(id protocol.SiteID, group int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition[id] = group
+}
+
+// HealPartitions returns every site to partition group 0.
+func (n *Network) HealPartitions() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range n.partition {
+		n.partition[id] = 0
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats.clone()
+}
+
+// ResetStats zeroes the traffic counters.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{ByKind: make(map[string]uint64)}
+}
+
+// route returns the handler for `to` if it is up and reachable from
+// `from`, without holding the lock during the handler call.
+func (n *Network) route(from, to protocol.SiteID) (protocol.Handler, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.up[to] {
+		return nil, fmt.Errorf("%v -> %v: %w", from, to, protocol.ErrSiteDown)
+	}
+	if n.partition[from] != n.partition[to] {
+		return nil, fmt.Errorf("%v -> %v: %w", from, to, protocol.ErrSiteUnreachable)
+	}
+	h, ok := n.handlers[to]
+	if !ok {
+		return nil, fmt.Errorf("%v -> %v: %w", from, to, protocol.ErrSiteDown)
+	}
+	return h, nil
+}
+
+func (n *Network) countRequest(kind string, transmissions, bytes uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Transmissions += transmissions
+	n.stats.Requests += transmissions
+	n.stats.Bytes += bytes
+	n.stats.ByKind[kind] += transmissions
+}
+
+func (n *Network) countReply(resp protocol.Response) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Transmissions++
+	n.stats.Replies++
+	n.stats.Bytes += uint64(protocol.WireSize(resp))
+}
+
+// Call sends a request to one site and waits for the response. It is
+// charged as two transmissions: the request and the response (this is how
+// §5.1 counts the recovery version-vector exchange). A site calling
+// itself is free: local operations generate no network traffic.
+func (n *Network) Call(ctx context.Context, from, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if from == to {
+		h, err := n.route(from, to)
+		if err != nil {
+			return nil, err
+		}
+		return h.Handle(from, req)
+	}
+	h, err := n.route(from, to)
+	if err != nil {
+		return nil, err
+	}
+	n.countRequest(req.Kind(), 1, uint64(protocol.WireSize(req)))
+	resp, err := h.Handle(from, req)
+	if err != nil {
+		return nil, err
+	}
+	n.countReply(resp)
+	return resp, nil
+}
+
+// Fetch pulls data from one site and is charged as a single transmission:
+// the block transfer itself. The request is piggybacked on state the
+// destination already returned during quorum collection (§5.1 charges a
+// voting read repair exactly one extra message).
+func (n *Network) Fetch(ctx context.Context, from, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if from == to {
+		h, err := n.route(from, to)
+		if err != nil {
+			return nil, err
+		}
+		return h.Handle(from, req)
+	}
+	h, err := n.route(from, to)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.Handle(from, req)
+	if err != nil {
+		return nil, err
+	}
+	n.countReply(resp)
+	return resp, nil
+}
+
+// Broadcast sends a request to every site in dests and collects the
+// per-site results. Charged as one transmission in multicast mode or one
+// per destination in unicast mode, plus one transmission per reply
+// received. The sender itself is never a destination; callers pass the
+// remote sites.
+func (n *Network) Broadcast(ctx context.Context, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) map[protocol.SiteID]protocol.Result {
+	results := n.deliver(ctx, from, dests, req, true)
+	return results
+}
+
+// Notify sends a request to every site in dests without charging for
+// replies: the reliable-delivery assumption stands in for per-site
+// acknowledgements (§5.1: a naive available copy write is one message;
+// the voting block update after quorum collection is likewise one).
+// Handler errors are still reported to the caller for correctness.
+func (n *Network) Notify(ctx context.Context, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) map[protocol.SiteID]protocol.Result {
+	return n.deliver(ctx, from, dests, req, false)
+}
+
+func (n *Network) deliver(ctx context.Context, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request, countReplies bool) map[protocol.SiteID]protocol.Result {
+	results := make(map[protocol.SiteID]protocol.Result, len(dests))
+	if err := ctx.Err(); err != nil {
+		for _, to := range dests {
+			results[to] = protocol.Result{Err: err}
+		}
+		return results
+	}
+	if len(dests) == 0 {
+		return results
+	}
+	mode := n.Mode()
+	reqBytes := uint64(protocol.WireSize(req))
+	switch mode {
+	case Unicast:
+		n.countRequest(req.Kind(), uint64(len(dests)), reqBytes*uint64(len(dests)))
+	default:
+		// One transmission reaches every destination; the payload goes
+		// over the wire once.
+		n.countRequest(req.Kind(), 1, reqBytes)
+	}
+	for _, to := range dests {
+		if to == from {
+			continue
+		}
+		h, err := n.route(from, to)
+		if err != nil {
+			results[to] = protocol.Result{Err: err}
+			continue
+		}
+		resp, err := h.Handle(from, req)
+		if err != nil {
+			results[to] = protocol.Result{Err: err}
+			continue
+		}
+		results[to] = protocol.Result{Resp: resp}
+		if countReplies {
+			n.countReply(resp)
+		}
+	}
+	return results
+}

@@ -1,0 +1,307 @@
+// Package site implements a replica server: one of the n server
+// processes that together realise the reliable device (§2).
+//
+// A Replica owns a versioned block store (stable storage), a voting
+// weight, the §3.2 site state (failed / comatose / available) and the
+// was-available set of the available copy scheme. It serves the inter-site
+// protocol: votes, block fetches, block installs, status queries and the
+// recovery version-vector exchange. The consistency *policy* lives in the
+// scheme packages (voting, availcopy, naiveac); the Replica is the
+// mechanism they all share.
+package site
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"relidev/internal/block"
+	"relidev/internal/protocol"
+	"relidev/internal/store"
+)
+
+// Protocol-level errors a replica returns to peers.
+var (
+	// ErrNotOperational is returned when a request reaches a replica
+	// whose process is halted. With a correctly configured transport this
+	// cannot happen (fail-stop sites do not answer); it guards against
+	// harness bugs.
+	ErrNotOperational = errors.New("site: replica is not operational")
+
+	// ErrComatose is returned to a write reaching a site that has
+	// restarted but not yet repaired: a comatose site must not accept new
+	// data before it holds the most recent versions, or it would hold a
+	// mix of old and new blocks.
+	ErrComatose = errors.New("site: replica is comatose")
+
+	// ErrUnknownRequest is returned for request types the replica does
+	// not understand.
+	ErrUnknownRequest = errors.New("site: unknown request type")
+)
+
+// Replica is one site's server process plus its stable storage.
+type Replica struct {
+	id      protocol.SiteID
+	weight  int64
+	witness bool
+
+	mu       sync.Mutex
+	st       store.Store
+	state    protocol.SiteState
+	wasAvail protocol.SiteSet
+}
+
+var _ protocol.Handler = (*Replica)(nil)
+
+// Config parameterises a replica.
+type Config struct {
+	// ID is the site's identity.
+	ID protocol.SiteID
+	// Store is the site's stable storage.
+	Store store.Store
+	// Weight is the site's voting weight in thousandths (1000 = one
+	// vote). Zero means 1000. §4.1 breaks even-n ties by nudging one
+	// site's weight by a small quantity.
+	Weight int64
+	// InitialState is the state the replica starts in; zero means
+	// StateAvailable (a freshly formatted, consistent copy).
+	InitialState protocol.SiteState
+	// Witness marks a site that votes but stores no data ([10]); pair it
+	// with a store.VersionOnlyStore.
+	Witness bool
+}
+
+// New builds a replica. The was-available set is loaded from stable
+// storage when present; a fresh store starts with the full site set
+// unknown, represented as "everyone" only once the scheme initialises it.
+func New(cfg Config) (*Replica, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("site: config requires a store")
+	}
+	if cfg.ID < 0 || cfg.ID >= protocol.MaxSites {
+		return nil, fmt.Errorf("site: id %d out of range [0,%d)", cfg.ID, protocol.MaxSites)
+	}
+	w := cfg.Weight
+	if w == 0 {
+		w = 1000
+	}
+	st := cfg.InitialState
+	if st == 0 {
+		st = protocol.StateAvailable
+	}
+	r := &Replica{id: cfg.ID, weight: w, witness: cfg.Witness, st: cfg.Store, state: st}
+	meta, err := cfg.Store.LoadMeta()
+	if err != nil {
+		return nil, fmt.Errorf("load replica meta: %w", err)
+	}
+	if len(meta) >= 8 {
+		r.wasAvail = protocol.SiteSet(binary.LittleEndian.Uint64(meta))
+	}
+	return r, nil
+}
+
+// ID returns the site identity.
+func (r *Replica) ID() protocol.SiteID { return r.id }
+
+// Weight returns the voting weight in thousandths.
+func (r *Replica) Weight() int64 { return r.weight }
+
+// Witness reports whether this site is a witness: it votes with version
+// numbers but holds no block data.
+func (r *Replica) Witness() bool { return r.witness }
+
+// Geometry returns the device shape.
+func (r *Replica) Geometry() block.Geometry { return r.st.Geometry() }
+
+// State returns the current site state.
+func (r *Replica) State() protocol.SiteState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// SetState forces the site state. The cluster orchestration uses it for
+// fail (-> StateFailed), restart (-> StateComatose) and recovery
+// completion (-> StateAvailable).
+func (r *Replica) SetState(s protocol.SiteState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.state = s
+}
+
+// WasAvailable returns the stored was-available set.
+func (r *Replica) WasAvailable() protocol.SiteSet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.wasAvail
+}
+
+// SetWasAvailable replaces the was-available set and persists it.
+func (r *Replica) SetWasAvailable(w protocol.SiteSet) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.setWasAvailLocked(w)
+}
+
+// MergeWasAvailable unions sites into the stored was-available set.
+func (r *Replica) MergeWasAvailable(w protocol.SiteSet) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.setWasAvailLocked(r.wasAvail.Union(w))
+}
+
+func (r *Replica) setWasAvailLocked(w protocol.SiteSet) error {
+	r.wasAvail = w
+	var meta [8]byte
+	binary.LittleEndian.PutUint64(meta[:], uint64(w))
+	if err := r.st.SaveMeta(meta[:]); err != nil {
+		return fmt.Errorf("persist was-available set: %w", err)
+	}
+	return nil
+}
+
+// Vector returns the replica's full version vector.
+func (r *Replica) Vector() block.Vector { return r.st.Vector() }
+
+// VersionSum returns the whole-device currency measure used by the
+// recovery selection rules of Figures 5 and 6.
+func (r *Replica) VersionSum() uint64 { return r.st.Vector().Sum() }
+
+// ReadLocal reads a block from the site's own store (no network).
+func (r *Replica) ReadLocal(idx block.Index) ([]byte, block.Version, error) {
+	return r.st.Read(idx)
+}
+
+// WriteLocal installs a block in the site's own store (no network).
+func (r *Replica) WriteLocal(idx block.Index, data []byte, ver block.Version) error {
+	return r.st.Write(idx, data, ver)
+}
+
+// VersionLocal returns the local version of one block.
+func (r *Replica) VersionLocal(idx block.Index) (block.Version, error) {
+	return r.st.Version(idx)
+}
+
+// Handle implements protocol.Handler: the server side of the inter-site
+// protocol.
+func (r *Replica) Handle(from protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+	r.mu.Lock()
+	state := r.state
+	r.mu.Unlock()
+	if state == protocol.StateFailed {
+		return nil, ErrNotOperational
+	}
+
+	switch q := req.(type) {
+	case protocol.VoteRequest:
+		ver, err := r.st.Version(q.Block)
+		if err != nil {
+			return nil, err
+		}
+		return protocol.VoteReply{Version: ver, Weight: r.weight, State: state, Witness: r.witness}, nil
+
+	case protocol.FetchRequest:
+		data, ver, err := r.st.Read(q.Block)
+		if err != nil {
+			return nil, err
+		}
+		return protocol.FetchReply{Data: data, Version: ver}, nil
+
+	case protocol.PutRequest:
+		if state == protocol.StateComatose {
+			return nil, ErrComatose
+		}
+		if err := r.st.Write(q.Block, q.Data, q.Version); err != nil {
+			return nil, err
+		}
+		if q.HasW {
+			// Receiving a write means this site is among its recipients;
+			// the piggybacked set describes the previous write (§3.2's
+			// delayed-information relaxation). Union keeps the stored set
+			// a superset of every site that may hold newer data, which is
+			// safe: recovery may wait for more sites than strictly
+			// necessary, never fewer.
+			next := r.wasAvailAfterWrite(q.WasAvail, from, q.ReplaceW)
+			r.mu.Lock()
+			err := r.setWasAvailLocked(next)
+			r.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return protocol.PutReply{}, nil
+
+	case protocol.StatusRequest:
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return protocol.StatusReply{
+			State:      r.state,
+			WasAvail:   r.wasAvail,
+			VersionSum: r.st.Vector().Sum(),
+			Witness:    r.witness,
+		}, nil
+
+	case protocol.RecoveryRequest:
+		return r.handleRecovery(from, q)
+
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownRequest, req)
+	}
+}
+
+func (r *Replica) wasAvailAfterWrite(piggyback protocol.SiteSet, writer protocol.SiteID, replace bool) protocol.SiteSet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if replace {
+		// The coordinator asserts it knows the exact recipient set.
+		return piggyback.Add(r.id).Add(writer)
+	}
+	return r.wasAvail.Union(piggyback).Add(r.id).Add(writer)
+}
+
+// handleRecovery serves the version-vector exchange of Figure 5: compare
+// the requester's vector with ours, return the correct vector plus copies
+// of every block the requester is missing, and (for the available copy
+// scheme) fold the requester into our was-available set — "all of those
+// sites which have repaired from site s" belong to W_s.
+func (r *Replica) handleRecovery(from protocol.SiteID, q protocol.RecoveryRequest) (protocol.Response, error) {
+	mine := r.st.Vector()
+	var blocks []protocol.BlockCopy
+	for _, idx := range q.Vector.StaleAgainst(mine) {
+		data, ver, err := r.st.Read(idx)
+		if err != nil {
+			return nil, fmt.Errorf("recovery read: %w", err)
+		}
+		blocks = append(blocks, protocol.BlockCopy{Index: idx, Data: data, Version: ver})
+	}
+	// A requester with a shorter history than ours may also hold blocks
+	// *newer* than ours only if it was available more recently, in which
+	// case the scheme selected the wrong source; the scheme layers
+	// guarantee the source dominates, and the property tests check it.
+	reply := protocol.RecoveryReply{Vector: mine, Blocks: blocks}
+	if q.JoinW {
+		r.mu.Lock()
+		err := r.setWasAvailLocked(r.wasAvail.Add(r.id).Add(from))
+		reply.WasAvail = r.wasAvail
+		r.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reply, nil
+}
+
+// ApplyRecovery installs the blocks and vector received from the repair
+// source: "repair those blocks that differ in v'; v <- v'" (Figure 5).
+func (r *Replica) ApplyRecovery(reply protocol.RecoveryReply) error {
+	for _, c := range reply.Blocks {
+		if err := r.st.Write(c.Index, c.Data, c.Version); err != nil {
+			return fmt.Errorf("apply recovery block %v: %w", c.Index, err)
+		}
+	}
+	return nil
+}
+
+// Store exposes the underlying stable storage (examples and tests only).
+func (r *Replica) Store() store.Store { return r.st }

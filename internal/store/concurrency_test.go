@@ -1,0 +1,66 @@
+package store
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"relidev/internal/block"
+)
+
+// TestConcurrentStoreAccess drives every Store implementation from many
+// goroutines; with -race this proves the locking discipline.
+func TestConcurrentStoreAccess(t *testing.T) {
+	impls := map[string]Store{}
+	if m, err := NewMem(testGeom); err == nil {
+		impls["mem"] = m
+	}
+	if f, err := CreateFile(filepath.Join(t.TempDir(), "img"), testGeom); err == nil {
+		impls["file"] = f
+	}
+	if v, err := NewVersionOnly(testGeom); err == nil {
+		impls["versiononly"] = v
+	}
+	for name, s := range impls {
+		s := s
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					buf := fill(byte(w), testGeom.BlockSize)
+					for i := 0; i < 200; i++ {
+						idx := block.Index((w + i) % testGeom.NumBlocks)
+						if err := s.Write(idx, buf, block.Version(i)); err != nil {
+							t.Error(err)
+							return
+						}
+						if _, _, err := s.Read(idx); err != nil && name != "versiononly" {
+							t.Error(err)
+							return
+						}
+						if _, err := s.Version(idx); err != nil {
+							t.Error(err)
+							return
+						}
+						_ = s.Vector()
+						if i%50 == 0 {
+							if err := s.SaveMeta([]byte{byte(w)}); err != nil {
+								t.Error(err)
+								return
+							}
+							if _, err := s.LoadMeta(); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,254 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"relidev/internal/block"
+)
+
+// FileStore layout (little endian):
+//
+//	header   : magic[8] blockSize[4] numBlocks[4] metaCap[4] metaLen[4]
+//	meta     : metaCap bytes
+//	versions : numBlocks * 8 bytes
+//	data     : numBlocks * blockSize bytes
+const (
+	fileMagic      = "RELIDEV1"
+	fileHeaderSize = 8 + 4 + 4 + 4 + 4
+	defaultMetaCap = 4096
+)
+
+// ErrBadImage is returned when a backing file is not a valid store image.
+var ErrBadImage = errors.New("store: not a relidev store image")
+
+// FileStore is a Store backed by a single ordinary file, giving a replica
+// server process genuinely durable state: version numbers and scheme
+// metadata are persisted next to the data so that a restarted process
+// recovers exactly the state it crashed with.
+type FileStore struct {
+	mu     sync.Mutex
+	f      *os.File
+	geom   block.Geometry
+	closed bool
+}
+
+var _ Store = (*FileStore)(nil)
+
+// CreateFile creates (or truncates) path as an all-zero store image.
+func CreateFile(path string, geom block.Geometry) (*FileStore, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("create store image: %w", err)
+	}
+	hdr := make([]byte, fileHeaderSize)
+	copy(hdr, fileMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(geom.BlockSize))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(geom.NumBlocks))
+	binary.LittleEndian.PutUint32(hdr[16:], defaultMetaCap)
+	binary.LittleEndian.PutUint32(hdr[20:], 0)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("write store header: %w", err)
+	}
+	total := int64(fileHeaderSize) + defaultMetaCap + int64(geom.NumBlocks)*8 + geom.Size()
+	if err := f.Truncate(total); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("size store image: %w", err)
+	}
+	return &FileStore{f: f, geom: geom}, nil
+}
+
+// OpenFile opens an existing store image.
+func OpenFile(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("open store image: %w", err)
+	}
+	hdr := make([]byte, fileHeaderSize)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, fileHeaderSize), hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("read store header: %w", err)
+	}
+	if string(hdr[:8]) != fileMagic {
+		f.Close()
+		return nil, ErrBadImage
+	}
+	geom := block.Geometry{
+		BlockSize: int(binary.LittleEndian.Uint32(hdr[8:])),
+		NumBlocks: int(binary.LittleEndian.Uint32(hdr[12:])),
+	}
+	if err := geom.Validate(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("open store image: %w", err)
+	}
+	return &FileStore{f: f, geom: geom}, nil
+}
+
+// Geometry returns the device shape.
+func (s *FileStore) Geometry() block.Geometry { return s.geom }
+
+func (s *FileStore) versionOffset(idx block.Index) int64 {
+	return fileHeaderSize + defaultMetaCap + int64(idx)*8
+}
+
+func (s *FileStore) dataOffset(idx block.Index) int64 {
+	return fileHeaderSize + defaultMetaCap + int64(s.geom.NumBlocks)*8 + int64(idx)*int64(s.geom.BlockSize)
+}
+
+// Read returns block idx and its version.
+func (s *FileStore) Read(idx block.Index) ([]byte, block.Version, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, ErrClosed
+	}
+	if err := checkAccess(s.geom, idx); err != nil {
+		return nil, 0, err
+	}
+	buf := make([]byte, s.geom.BlockSize)
+	if _, err := s.f.ReadAt(buf, s.dataOffset(idx)); err != nil {
+		return nil, 0, fmt.Errorf("read block %d: %w", idx, err)
+	}
+	ver, err := s.versionLocked(idx)
+	if err != nil {
+		return nil, 0, err
+	}
+	return buf, ver, nil
+}
+
+// Write replaces block idx with data at version ver.
+func (s *FileStore) Write(idx block.Index, data []byte, ver block.Version) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := checkWrite(s.geom, idx, data); err != nil {
+		return err
+	}
+	if _, err := s.f.WriteAt(data, s.dataOffset(idx)); err != nil {
+		return fmt.Errorf("write block %d: %w", idx, err)
+	}
+	var vb [8]byte
+	binary.LittleEndian.PutUint64(vb[:], uint64(ver))
+	if _, err := s.f.WriteAt(vb[:], s.versionOffset(idx)); err != nil {
+		return fmt.Errorf("write version of block %d: %w", idx, err)
+	}
+	return nil
+}
+
+// Version returns the version of block idx.
+func (s *FileStore) Version(idx block.Index) (block.Version, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if err := checkAccess(s.geom, idx); err != nil {
+		return 0, err
+	}
+	return s.versionLocked(idx)
+}
+
+func (s *FileStore) versionLocked(idx block.Index) (block.Version, error) {
+	var vb [8]byte
+	if _, err := s.f.ReadAt(vb[:], s.versionOffset(idx)); err != nil {
+		return 0, fmt.Errorf("read version of block %d: %w", idx, err)
+	}
+	return block.Version(binary.LittleEndian.Uint64(vb[:])), nil
+}
+
+// Vector returns the full version vector.
+func (s *FileStore) Vector() block.Vector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := block.NewVector(s.geom.NumBlocks)
+	if s.closed {
+		return v
+	}
+	raw := make([]byte, 8*s.geom.NumBlocks)
+	if _, err := s.f.ReadAt(raw, fileHeaderSize+defaultMetaCap); err != nil {
+		return v
+	}
+	for i := range v {
+		v[i] = block.Version(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return v
+}
+
+// LoadMeta returns the metadata area contents.
+func (s *FileStore) LoadMeta() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	hdr := make([]byte, fileHeaderSize)
+	if _, err := s.f.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("read store header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[20:])
+	if n == 0 {
+		return nil, nil
+	}
+	if n > defaultMetaCap {
+		return nil, ErrBadImage
+	}
+	meta := make([]byte, n)
+	if _, err := s.f.ReadAt(meta, fileHeaderSize); err != nil {
+		return nil, fmt.Errorf("read store meta: %w", err)
+	}
+	return meta, nil
+}
+
+// SaveMeta replaces the metadata area.
+func (s *FileStore) SaveMeta(meta []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(meta) > defaultMetaCap {
+		return fmt.Errorf("store: metadata %d bytes exceeds capacity %d", len(meta), defaultMetaCap)
+	}
+	if len(meta) > 0 {
+		if _, err := s.f.WriteAt(meta, fileHeaderSize); err != nil {
+			return fmt.Errorf("write store meta: %w", err)
+		}
+	}
+	var nb [4]byte
+	binary.LittleEndian.PutUint32(nb[:], uint32(len(meta)))
+	if _, err := s.f.WriteAt(nb[:], 20); err != nil {
+		return fmt.Errorf("write store meta length: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the image to disk.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.f.Sync()
+}
+
+// Close closes the backing file.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}

@@ -1,0 +1,94 @@
+// Package store provides versioned block storage for a replica site.
+//
+// Each site participating in the replication holds a full copy of the
+// device: for every block, the data plus the per-block version number the
+// consistency algorithms rely on (paper §3). Stores model *stable*
+// storage: their contents survive a fail-stop crash of the site (the site
+// process halts, the disk does not lose data), which is exactly the
+// failure model of §2 and [11].
+//
+// Two implementations are provided: MemStore (fast, for simulation and
+// tests) and FileStore (a single backing file, for real server
+// processes). Both also offer a small metadata area used by the available
+// copy scheme to persist its was-available set across crashes.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"relidev/internal/block"
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// OutOfRangeError reports an access outside the device geometry.
+type OutOfRangeError struct {
+	Index     block.Index
+	NumBlocks int
+}
+
+// Error implements the error interface.
+func (e *OutOfRangeError) Error() string {
+	return fmt.Sprintf("store: block %d out of range (device has %d blocks)", e.Index, e.NumBlocks)
+}
+
+// SizeError reports a write whose payload does not match the block size.
+type SizeError struct {
+	Got, Want int
+}
+
+// Error implements the error interface.
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("store: payload is %d bytes, block size is %d", e.Got, e.Want)
+}
+
+// Store is stable versioned block storage for one site.
+//
+// Implementations must be safe for concurrent use: a site serves local
+// file system requests and remote protocol requests at the same time.
+type Store interface {
+	// Geometry returns the device shape.
+	Geometry() block.Geometry
+
+	// Read returns the data and version of block idx. The returned slice
+	// is a copy owned by the caller.
+	Read(idx block.Index) ([]byte, block.Version, error)
+
+	// Write replaces block idx with data at version ver. Payloads shorter
+	// than the block size are rejected; the caller pads.
+	Write(idx block.Index, data []byte, ver block.Version) error
+
+	// Version returns the version of block idx without reading the data.
+	Version(idx block.Index) (block.Version, error)
+
+	// Vector returns a copy of the full version vector.
+	Vector() block.Vector
+
+	// LoadMeta returns the scheme metadata area (nil when never written).
+	LoadMeta() ([]byte, error)
+
+	// SaveMeta atomically replaces the scheme metadata area.
+	SaveMeta(meta []byte) error
+
+	// Close releases resources. Further operations fail with ErrClosed.
+	Close() error
+}
+
+func checkAccess(g block.Geometry, idx block.Index) error {
+	if !g.Contains(idx) {
+		return &OutOfRangeError{Index: idx, NumBlocks: g.NumBlocks}
+	}
+	return nil
+}
+
+func checkWrite(g block.Geometry, idx block.Index, data []byte) error {
+	if err := checkAccess(g, idx); err != nil {
+		return err
+	}
+	if len(data) != g.BlockSize {
+		return &SizeError{Got: len(data), Want: g.BlockSize}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package store
+
+import (
+	"errors"
+	"sync"
+
+	"relidev/internal/block"
+)
+
+// ErrNoData is returned by reads of a version-only store: witnesses
+// record how current every block is, never the block contents.
+var ErrNoData = errors.New("store: witness store holds versions only, no data")
+
+// VersionOnlyStore backs a *witness* site (Pâris, "Voting with a Variable
+// Number of Copies" [10]): it participates in quorums by tracking
+// per-block version numbers but stores no block data, cutting the
+// storage cost of a copy to a few bytes per block. Reads fail with
+// ErrNoData; writes record the version and discard the payload.
+type VersionOnlyStore struct {
+	mu       sync.RWMutex
+	geom     block.Geometry
+	versions block.Vector
+	meta     []byte
+	closed   bool
+}
+
+var _ Store = (*VersionOnlyStore)(nil)
+
+// NewVersionOnly returns an empty version-only store with the given
+// geometry.
+func NewVersionOnly(geom block.Geometry) (*VersionOnlyStore, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	return &VersionOnlyStore{geom: geom, versions: block.NewVector(geom.NumBlocks)}, nil
+}
+
+// Geometry returns the device shape.
+func (s *VersionOnlyStore) Geometry() block.Geometry { return s.geom }
+
+// Read always fails: witnesses hold no data.
+func (s *VersionOnlyStore) Read(idx block.Index) ([]byte, block.Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, 0, ErrClosed
+	}
+	if err := checkAccess(s.geom, idx); err != nil {
+		return nil, 0, err
+	}
+	return nil, s.versions[idx], ErrNoData
+}
+
+// Write records the version and discards the data.
+func (s *VersionOnlyStore) Write(idx block.Index, data []byte, ver block.Version) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := checkWrite(s.geom, idx, data); err != nil {
+		return err
+	}
+	s.versions[idx] = ver
+	return nil
+}
+
+// Version returns the recorded version of block idx.
+func (s *VersionOnlyStore) Version(idx block.Index) (block.Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if err := checkAccess(s.geom, idx); err != nil {
+		return 0, err
+	}
+	return s.versions[idx], nil
+}
+
+// Vector returns a copy of the version vector.
+func (s *VersionOnlyStore) Vector() block.Vector {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.versions.Clone()
+}
+
+// LoadMeta returns the metadata area.
+func (s *VersionOnlyStore) LoadMeta() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.meta == nil {
+		return nil, nil
+	}
+	out := make([]byte, len(s.meta))
+	copy(out, s.meta)
+	return out, nil
+}
+
+// SaveMeta replaces the metadata area.
+func (s *VersionOnlyStore) SaveMeta(meta []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.meta = make([]byte, len(meta))
+	copy(s.meta, meta)
+	return nil
+}
+
+// Close marks the store closed.
+func (s *VersionOnlyStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

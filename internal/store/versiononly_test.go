@@ -1,0 +1,95 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"relidev/internal/block"
+)
+
+func TestVersionOnlyValidation(t *testing.T) {
+	if _, err := NewVersionOnly(block.Geometry{BlockSize: 0, NumBlocks: 4}); err == nil {
+		t.Fatal("accepted invalid geometry")
+	}
+}
+
+func TestVersionOnlySemantics(t *testing.T) {
+	s, err := NewVersionOnly(testGeom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Writes record the version, discard the data.
+	if err := s.Write(2, fill(0xAA, testGeom.BlockSize), 7); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := s.Version(2)
+	if err != nil || ver != 7 {
+		t.Fatalf("Version = %v, %v", ver, err)
+	}
+	data, ver, err := s.Read(2)
+	if !errors.Is(err, ErrNoData) {
+		t.Fatalf("Read = %v, want ErrNoData", err)
+	}
+	if data != nil {
+		t.Fatal("Read returned data from a witness store")
+	}
+	if ver != 7 {
+		t.Fatalf("Read version = %v, want 7 (still reported)", ver)
+	}
+	// Vector reflects writes.
+	v := s.Vector()
+	if v.Get(2) != 7 || v.Get(0) != 0 {
+		t.Fatalf("Vector = %v", v)
+	}
+}
+
+func TestVersionOnlyBoundsAndSize(t *testing.T) {
+	s, _ := NewVersionOnly(testGeom)
+	defer s.Close()
+	if err := s.Write(99, fill(0, testGeom.BlockSize), 1); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	if err := s.Write(0, []byte{1}, 1); err == nil {
+		t.Fatal("short write accepted")
+	}
+	if _, _, err := s.Read(99); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if _, err := s.Version(99); err == nil {
+		t.Fatal("out-of-range version accepted")
+	}
+}
+
+func TestVersionOnlyMetaAndClose(t *testing.T) {
+	s, _ := NewVersionOnly(testGeom)
+	if m, err := s.LoadMeta(); err != nil || m != nil {
+		t.Fatalf("fresh meta = %v, %v", m, err)
+	}
+	if err := s.SaveMeta([]byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.LoadMeta()
+	if err != nil || len(m) != 2 {
+		t.Fatalf("meta = %v, %v", m, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(0, fill(0, testGeom.BlockSize), 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close = %v", err)
+	}
+	if _, _, err := s.Read(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close = %v", err)
+	}
+	if _, err := s.Version(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("version after close = %v", err)
+	}
+	if _, err := s.LoadMeta(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("meta after close = %v", err)
+	}
+	if err := s.SaveMeta(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("save meta after close = %v", err)
+	}
+}

@@ -1,0 +1,334 @@
+// Package voting implements the majority consensus voting consistency
+// scheme of §3.1, adapted to block-level replication exactly as the paper
+// describes: per-block version numbers, weighted quorums, and *lazy*
+// recovery — an out-of-date block is repaired only when the file system
+// touches it, so a recovering site generates no network traffic at all
+// (§5.1: "the voting algorithm presented in this paper incurs no traffic
+// upon recovery").
+//
+// The read algorithm is Figure 3, the write algorithm Figure 4.
+package voting
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"relidev/internal/block"
+	"relidev/internal/protocol"
+	"relidev/internal/scheme"
+)
+
+// Option customises a Controller.
+type Option func(*Controller)
+
+// WithThresholds overrides the read and write quorum thresholds, in
+// thousandths of a vote. A quorum is present when the collected weight is
+// strictly greater than the threshold. Gifford's constraints require
+// read+write thresholds >= total weight and 2*write threshold >= total
+// weight; New rejects violations.
+func WithThresholds(read, write int64) Option {
+	return func(c *Controller) {
+		c.readThreshold = read
+		c.writeThreshold = write
+	}
+}
+
+// WithEagerRecovery makes Recover bring every local block up to date
+// immediately by running a version-vector exchange against the most
+// current reachable site. This is the file-level behaviour the paper
+// argues block-level replication renders unnecessary; it exists for the
+// ablation benchmarks (DESIGN.md §5).
+func WithEagerRecovery() Option {
+	return func(c *Controller) { c.eager = true }
+}
+
+// Controller is the voting consistency engine at one site.
+type Controller struct {
+	env            scheme.Env
+	readThreshold  int64
+	writeThreshold int64
+	eager          bool
+
+	// mu serialises operations issued at this site. The paper explicitly
+	// leaves multi-writer concurrency control (commit protocols) out of
+	// scope (§5); cross-site writes are last-writer-wins.
+	mu sync.Mutex
+}
+
+var _ scheme.Controller = (*Controller)(nil)
+
+// New builds a voting controller. By default both quorums are simple
+// majorities of the total weight: a quorum holds when the collected
+// weight strictly exceeds half the total. With the even-n tie-breaking
+// weight adjustment of §4.1 applied by the caller, draws are impossible.
+func New(env scheme.Env, opts ...Option) (*Controller, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if env.Weights == nil {
+		return nil, fmt.Errorf("voting: env requires site weights")
+	}
+	total := env.TotalWeight()
+	c := &Controller{
+		env:            env,
+		readThreshold:  total / 2,
+		writeThreshold: total / 2,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	// A quorum holds with collected weight strictly greater than the
+	// threshold, i.e. weight >= threshold+1. Gifford's intersection
+	// constraints (read+write quorums overlap; any two write quorums
+	// overlap) therefore become:
+	if c.readThreshold+c.writeThreshold < total-1 {
+		return nil, fmt.Errorf("voting: read+write thresholds %d+%d cannot guarantee quorum intersection over total weight %d",
+			c.readThreshold, c.writeThreshold, total)
+	}
+	if 2*c.writeThreshold < total-1 {
+		return nil, fmt.Errorf("voting: write threshold %d cannot guarantee write-quorum intersection over total weight %d",
+			c.writeThreshold, total)
+	}
+	return c, nil
+}
+
+// Name implements scheme.Controller.
+func (c *Controller) Name() string { return "voting" }
+
+// ErrNoCurrentCopy is returned when a quorum is present but no
+// reachable non-witness site holds the most recent version of the block:
+// witnesses prove how current the data *should* be without being able to
+// supply it ([10]).
+var ErrNoCurrentCopy = errors.New("voting: no reachable current data copy")
+
+// vote is one collected vote.
+type vote struct {
+	from    protocol.SiteID
+	version block.Version
+	weight  int64
+	witness bool
+}
+
+// collect gathers votes for block idx from every reachable site,
+// including the local one (which costs no traffic). It returns the votes
+// and the total collected weight.
+func (c *Controller) collect(ctx context.Context, idx block.Index) ([]vote, int64, error) {
+	localVer, err := c.env.Self.VersionLocal(idx)
+	if err != nil {
+		return nil, 0, fmt.Errorf("voting: local version: %w", err)
+	}
+	votes := []vote{{
+		from:    c.env.Self.ID(),
+		version: localVer,
+		weight:  c.env.Self.Weight(),
+		witness: c.env.Self.Witness(),
+	}}
+	weight := c.env.Self.Weight()
+
+	results := c.env.Transport.Broadcast(ctx, c.env.Self.ID(), c.env.Remotes(), protocol.VoteRequest{Block: idx})
+	for id, res := range results {
+		if res.Err != nil {
+			continue // unreachable or failed site: no vote
+		}
+		reply, ok := res.Resp.(protocol.VoteReply)
+		if !ok {
+			return nil, 0, fmt.Errorf("voting: site %v answered %T to a vote request", id, res.Resp)
+		}
+		votes = append(votes, vote{from: id, version: reply.Version, weight: reply.Weight, witness: reply.Witness})
+		weight += reply.Weight
+	}
+	return votes, weight, nil
+}
+
+func maxVote(votes []vote) vote {
+	best := votes[0]
+	for _, v := range votes[1:] {
+		if v.version > best.version {
+			best = v
+		}
+	}
+	return best
+}
+
+// currentDataSite returns a non-witness voter holding version ver, if
+// any; the lowest id wins for determinism.
+func currentDataSite(votes []vote, ver block.Version) (vote, bool) {
+	var best vote
+	found := false
+	for _, v := range votes {
+		if v.witness || v.version != ver {
+			continue
+		}
+		if !found || v.from < best.from {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// Read implements Figure 3: collect votes, check the read quorum, repair
+// the local copy from the most current site if it is out of date (one
+// extra transmission), then read locally.
+func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	votes, weight, err := c.collect(ctx, idx)
+	if err != nil {
+		return nil, err
+	}
+	if weight <= c.readThreshold {
+		return nil, fmt.Errorf("voting read of %v: collected weight %d of %d required: %w",
+			idx, weight, c.readThreshold+1, scheme.ErrNoQuorum)
+	}
+	best := maxVote(votes)
+	self := c.env.Self
+	localVer, _ := self.VersionLocal(idx)
+	if self.Witness() || localVer < best.version {
+		src, ok := currentDataSite(votes, best.version)
+		if !ok {
+			return nil, fmt.Errorf("voting read of %v: version %v held only by witnesses: %w",
+				idx, best.version, ErrNoCurrentCopy)
+		}
+		if src.from == self.ID() {
+			// Only possible when the local copy already holds the maximal
+			// version; fall through to the local read.
+		} else {
+			resp, err := c.env.Transport.Fetch(ctx, self.ID(), src.from, protocol.FetchRequest{Block: idx})
+			if err != nil {
+				return nil, fmt.Errorf("voting read repair of %v from %v: %w", idx, src.from, err)
+			}
+			f, ok := resp.(protocol.FetchReply)
+			if !ok {
+				return nil, fmt.Errorf("voting read repair of %v: unexpected reply %T", idx, resp)
+			}
+			if self.Witness() {
+				// A witness cannot cache data; serve the fetched block
+				// directly (its store records the version on writes only).
+				return f.Data, nil
+			}
+			if err := self.WriteLocal(idx, f.Data, f.Version); err != nil {
+				return nil, fmt.Errorf("voting read repair of %v: %w", idx, err)
+			}
+		}
+	}
+	data, _, err := self.ReadLocal(idx)
+	if err != nil {
+		return nil, fmt.Errorf("voting read of %v: %w", idx, err)
+	}
+	return data, nil
+}
+
+// Write implements Figure 4: collect votes, check the write quorum, bump
+// the maximal version number and send the block to every site in the
+// quorum — which repairs all reachable out-of-date copies as a side
+// effect.
+func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	votes, weight, err := c.collect(ctx, idx)
+	if err != nil {
+		return err
+	}
+	if weight <= c.writeThreshold {
+		return fmt.Errorf("voting write of %v: collected weight %d of %d required: %w",
+			idx, weight, c.writeThreshold+1, scheme.ErrNoQuorum)
+	}
+	newVer := maxVote(votes).version + 1
+	dataSites := 0
+	for _, v := range votes {
+		if !v.witness {
+			dataSites++
+		}
+	}
+	if dataSites == 0 {
+		// A quorum of witnesses alone could version a write whose data no
+		// site would hold; refuse it.
+		return fmt.Errorf("voting write of %v: quorum holds no data site: %w", idx, ErrNoCurrentCopy)
+	}
+
+	// Send the update to every remote site in the quorum. The quorum
+	// intersection property guarantees at least one of them already held
+	// the highest version, so after this write every reachable copy is
+	// current. Acknowledgements ride on the reliable delivery assumption
+	// (Notify): §5.1 charges the update as a single broadcast.
+	quorum := make([]protocol.SiteID, 0, len(votes)-1)
+	for _, v := range votes {
+		if v.from != c.env.Self.ID() {
+			quorum = append(quorum, v.from)
+		}
+	}
+	put := protocol.PutRequest{Block: idx, Data: data, Version: newVer}
+	for id, res := range c.env.Transport.Notify(ctx, c.env.Self.ID(), quorum, put) {
+		if res.Err != nil {
+			// A site that voted but failed before the update arrives is a
+			// benign race: the quorum that remains still intersects every
+			// future quorum. Surface genuine store errors.
+			if !isTransportError(res.Err) {
+				return fmt.Errorf("voting write of %v at site %v: %w", idx, id, res.Err)
+			}
+		}
+	}
+	if err := c.env.Self.WriteLocal(idx, data, newVer); err != nil {
+		return fmt.Errorf("voting write of %v: %w", idx, err)
+	}
+	return nil
+}
+
+func isTransportError(err error) bool {
+	return errors.Is(err, protocol.ErrSiteDown) || errors.Is(err, protocol.ErrSiteUnreachable)
+}
+
+// Recover implements the block-level voting recovery policy: nothing.
+// Out-of-date blocks are repaired lazily on access; the restarted site is
+// immediately operational because quorum intersection protects readers
+// from its stale copies. With WithEagerRecovery the controller instead
+// refreshes the whole device from the most current reachable site, which
+// is the file-level behaviour the paper improves upon.
+func (c *Controller) Recover(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	self := c.env.Self
+	if !c.eager {
+		self.SetState(protocol.StateAvailable)
+		return nil
+	}
+
+	// Eager (ablation): find the most current reachable site and run the
+	// version-vector exchange against it.
+	results := c.env.Transport.Broadcast(ctx, self.ID(), c.env.Remotes(), protocol.StatusRequest{})
+	var best protocol.SiteID = -1
+	var bestSum uint64
+	for id, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		st, ok := res.Resp.(protocol.StatusReply)
+		if !ok || st.Witness {
+			continue // witnesses cannot supply blocks
+		}
+		if best == -1 || st.VersionSum > bestSum {
+			best, bestSum = id, st.VersionSum
+		}
+	}
+	if best == -1 || bestSum <= self.VersionSum() {
+		self.SetState(protocol.StateAvailable)
+		return nil
+	}
+	resp, err := c.env.Transport.Call(ctx, self.ID(), best, protocol.RecoveryRequest{Vector: self.Vector()})
+	if err != nil {
+		return fmt.Errorf("voting eager recovery from %v: %w", best, err)
+	}
+	rec, ok := resp.(protocol.RecoveryReply)
+	if !ok {
+		return fmt.Errorf("voting eager recovery: unexpected reply %T", resp)
+	}
+	if err := self.ApplyRecovery(rec); err != nil {
+		return err
+	}
+	self.SetState(protocol.StateAvailable)
+	return nil
+}

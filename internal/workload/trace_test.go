@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"relidev/internal/block"
+	"relidev/internal/core"
+	"relidev/internal/store"
+)
+
+func TestSynthesize(t *testing.T) {
+	p, _ := NewUniform(8, 1)
+	g, _ := NewGenerator(p, 2.5, 2)
+	tr, err := Synthesize(g, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 1000 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	reads, writes := tr.Counts()
+	if reads+writes != 1000 {
+		t.Fatalf("counts = %d + %d", reads, writes)
+	}
+	ratio := float64(reads) / float64(writes)
+	if ratio < 2.0 || ratio > 3.1 {
+		t.Fatalf("ratio = %v, want ~2.5", ratio)
+	}
+	if _, err := Synthesize(nil, 5); err == nil {
+		t.Fatal("nil generator accepted")
+	}
+	if _, err := Synthesize(g, -1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestTraceSerialisationRoundtrip(t *testing.T) {
+	tr := Trace{
+		{Kind: Read, Index: 3},
+		{Kind: Write, Index: 0},
+		{Kind: Read, Index: 15},
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tr) {
+		t.Fatalf("len = %d", len(back))
+	}
+	for i := range tr {
+		if back[i] != tr[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, back[i], tr[i])
+		}
+	}
+}
+
+func TestParseTraceFormat(t *testing.T) {
+	in := strings.NewReader("# comment\n\nr 1\nW 2\n")
+	tr, err := ParseTrace(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 2 || tr[0].Kind != Read || tr[1].Kind != Write || tr[1].Index != 2 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	bad := []string{"x 1\n", "r\n", "r one\n", "r 1 2\n"}
+	for _, b := range bad {
+		if _, err := ParseTrace(strings.NewReader(b)); err == nil {
+			t.Fatalf("accepted %q", b)
+		}
+	}
+}
+
+func TestReplay(t *testing.T) {
+	st, err := store.NewMem(block.Geometry{BlockSize: 32, NumBlocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := core.NewLocalDevice(st)
+	ctx := context.Background()
+	tr := Trace{
+		{Kind: Write, Index: 2},
+		{Kind: Read, Index: 2},
+		{Kind: Write, Index: 7},
+		{Kind: Read, Index: 0},
+	}
+	stats, err := tr.Replay(ctx, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reads != 2 || stats.Writes != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Writes landed with deterministic payloads.
+	got, _ := dev.ReadBlock(ctx, 2)
+	if got[0] != 0 || got[1] != 1 { // op index 0: payload[b] = byte(0+b)
+		t.Fatalf("payload = %v", got[:2])
+	}
+	// Out-of-range op fails.
+	if _, err := (Trace{{Kind: Read, Index: 99}}).Replay(ctx, dev); err == nil {
+		t.Fatal("out-of-range replay accepted")
+	}
+	if _, err := tr.Replay(ctx, nil); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	if _, err := (Trace{{Kind: OpKind(9), Index: 0}}).Replay(ctx, dev); err == nil {
+		t.Fatal("bad op kind accepted")
+	}
+}
+
+// Replaying the same synthetic trace over each scheme gives the §5
+// ordering directly.
+func TestReplayTrafficOrdering(t *testing.T) {
+	geom := block.Geometry{BlockSize: 32, NumBlocks: 8}
+	p, _ := NewUniform(8, 7)
+	g, _ := NewGenerator(p, DefaultReadRatio, 8)
+	tr, err := Synthesize(g, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	traffic := map[core.SchemeKind]uint64{}
+	for _, kind := range []core.SchemeKind{core.Voting, core.AvailableCopy, core.NaiveAvailableCopy} {
+		cl, err := core.NewCluster(core.ClusterConfig{Sites: 4, Geometry: geom, Scheme: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, _ := cl.Device(0)
+		if _, err := tr.Replay(ctx, dev); err != nil {
+			t.Fatal(err)
+		}
+		traffic[kind] = cl.Network().Stats().Transmissions
+	}
+	if !(traffic[core.NaiveAvailableCopy] < traffic[core.AvailableCopy] &&
+		traffic[core.AvailableCopy] < traffic[core.Voting]) {
+		t.Fatalf("trace traffic ordering broken: %+v", traffic)
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"relidev/internal/block"
+)
+
+func TestPatternValidation(t *testing.T) {
+	if _, err := NewUniform(0, 1); err == nil {
+		t.Fatal("uniform accepted n=0")
+	}
+	if _, err := NewZipf(0, 1.5, 1); err == nil {
+		t.Fatal("zipf accepted n=0")
+	}
+	if _, err := NewZipf(10, 1.0, 1); err == nil {
+		t.Fatal("zipf accepted s=1")
+	}
+	if _, err := NewSequential(-1); err == nil {
+		t.Fatal("sequential accepted n=-1")
+	}
+}
+
+func TestUniformPatternInRange(t *testing.T) {
+	p, err := NewUniform(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[block.Index]bool)
+	for i := 0; i < 2000; i++ {
+		idx := p.Next()
+		if int(idx) >= 16 {
+			t.Fatalf("index %v out of range", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("uniform over 16 blocks touched only %d", len(seen))
+	}
+	if p.Name() != "uniform" {
+		t.Fatal("name mismatch")
+	}
+}
+
+func TestZipfPatternIsSkewed(t *testing.T) {
+	p, err := NewZipf(64, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 64)
+	for i := 0; i < 20000; i++ {
+		idx := p.Next()
+		if int(idx) >= 64 {
+			t.Fatalf("index %v out of range", idx)
+		}
+		counts[idx]++
+	}
+	if counts[0] <= counts[32]*4 {
+		t.Fatalf("zipf not skewed: counts[0]=%d counts[32]=%d", counts[0], counts[32])
+	}
+	if p.Name() != "zipf" {
+		t.Fatal("name mismatch")
+	}
+}
+
+func TestSequentialPatternWraps(t *testing.T) {
+	p, err := NewSequential(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []block.Index{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := p.Next(); got != w {
+			t.Fatalf("step %d = %v, want %v", i, got, w)
+		}
+	}
+	if p.Name() != "sequential" {
+		t.Fatal("name mismatch")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(nil, 2.5, 1); err == nil {
+		t.Fatal("accepted nil pattern")
+	}
+	p, _ := NewUniform(4, 1)
+	if _, err := NewGenerator(p, -1, 1); err == nil {
+		t.Fatal("accepted negative ratio")
+	}
+}
+
+func TestGeneratorRatioConverges(t *testing.T) {
+	for _, ratio := range []float64{0, 1, DefaultReadRatio, 4} {
+		p, _ := NewUniform(8, 3)
+		g, err := NewGenerator(p, ratio, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const ops = 60000
+		for i := 0; i < ops; i++ {
+			op := g.Next()
+			if op.Kind != Read && op.Kind != Write {
+				t.Fatalf("bad op kind %v", op.Kind)
+			}
+		}
+		reads, writes := g.Counts()
+		if reads+writes != ops {
+			t.Fatalf("counts %d+%d != %d", reads, writes, ops)
+		}
+		wantReadFrac := ratio / (ratio + 1)
+		gotReadFrac := float64(reads) / float64(ops)
+		if math.Abs(gotReadFrac-wantReadFrac) > 0.01 {
+			t.Fatalf("ratio %v: read fraction %v, want %v", ratio, gotReadFrac, wantReadFrac)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("OpKind.String mismatch")
+	}
+	if OpKind(7).String() != "op(7)" {
+		t.Fatal("invalid OpKind.String mismatch")
+	}
+}
+
+func TestGeneratorZeroRatioIsAllWrites(t *testing.T) {
+	p, _ := NewUniform(4, 5)
+	g, _ := NewGenerator(p, 0, 6)
+	for i := 0; i < 100; i++ {
+		if op := g.Next(); op.Kind != Write {
+			t.Fatal("ratio 0 produced a read")
+		}
+	}
+}

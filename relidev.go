@@ -1,0 +1,289 @@
+// Package relidev implements the reliable device of Carroll, Long and
+// Pâris, "Block-Level Consistency of Replicated Files" (ICDCS 1987): a
+// virtual block-structured device replicated across several server
+// sites, with consistency maintained by one of three algorithms —
+// majority consensus voting, available copy, or naive available copy.
+//
+// A reliable device looks exactly like an ordinary disk, so file systems
+// (and anything else speaking blocks) run on it unmodified while gaining
+// the availability of replication:
+//
+//	cluster, err := relidev.New(3, relidev.NaiveAvailableCopy)
+//	if err != nil { ... }
+//	dev, err := cluster.Device(0)
+//	if err != nil { ... }
+//	err = dev.WriteBlock(ctx, 7, payload)   // replicated write
+//	data, err := dev.ReadBlock(ctx, 7)      // local read, zero messages
+//
+// Sites can fail (fail-stop) and recover at any time:
+//
+//	cluster.Fail(2)
+//	// ... the device keeps working ...
+//	cluster.Restart(ctx, 2) // runs the scheme's recovery procedure
+//
+// The package also exposes the paper's analytical machinery (§4
+// availability formulas, §5 traffic cost models) and a TCP deployment so
+// the device can genuinely span OS processes. The companion packages
+// under cmd/ regenerate every figure of the paper's evaluation; see
+// EXPERIMENTS.md.
+package relidev
+
+import (
+	"context"
+	"fmt"
+
+	"relidev/internal/availcopy"
+	"relidev/internal/block"
+	"relidev/internal/core"
+	"relidev/internal/protocol"
+	"relidev/internal/simnet"
+	"relidev/internal/store"
+	"relidev/internal/voting"
+)
+
+// Geometry describes a device: block size in bytes and number of blocks.
+type Geometry = block.Geometry
+
+// Index addresses one block of a device.
+type Index = block.Index
+
+// Scheme selects one of the paper's three consistency control
+// algorithms.
+type Scheme int
+
+// The §3 consistency schemes.
+const (
+	// Voting is weighted majority consensus voting with per-block lazy
+	// recovery (§3.1): operations require a quorum; recovering sites
+	// generate no traffic.
+	Voting Scheme = iota + 1
+	// AvailableCopy writes to all available copies and reads locally,
+	// tracking was-available sets so that recovery after a total failure
+	// only waits for the closure of the last sites to fail (§3.2).
+	AvailableCopy
+	// NaiveAvailableCopy is available copy without any failure
+	// bookkeeping: single-message writes, but after a total failure every
+	// site must recover before the device is accessible again (§3.3).
+	// The paper's analysis concludes it is the algorithm of choice.
+	NaiveAvailableCopy
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string { return s.kind().String() }
+
+func (s Scheme) kind() core.SchemeKind {
+	switch s {
+	case Voting:
+		return core.Voting
+	case AvailableCopy:
+		return core.AvailableCopy
+	case NaiveAvailableCopy:
+		return core.NaiveAvailableCopy
+	default:
+		return core.SchemeKind(int(s))
+	}
+}
+
+// SiteState reports a site's §3.2 state.
+type SiteState = protocol.SiteState
+
+// Site states.
+const (
+	// StateFailed means the site process has halted.
+	StateFailed = protocol.StateFailed
+	// StateComatose means the site restarted but has not yet confirmed it
+	// holds current data.
+	StateComatose = protocol.StateComatose
+	// StateAvailable means the site serves the device.
+	StateAvailable = protocol.StateAvailable
+)
+
+// Device is the ordinary block-device interface a file system sees.
+type Device interface {
+	// Geometry returns the device shape.
+	Geometry() Geometry
+	// ReadBlock returns the contents of one block.
+	ReadBlock(ctx context.Context, idx Index) ([]byte, error)
+	// WriteBlock replaces one block; the payload must be exactly one
+	// block long.
+	WriteBlock(ctx context.Context, idx Index, data []byte) error
+}
+
+// Option customises a cluster.
+type Option func(*options)
+
+type options struct {
+	geometry   Geometry
+	unicast    bool
+	weights    []int64
+	eager      bool
+	immediateW bool
+	storeDir   string
+	witnesses  int
+}
+
+// WithGeometry sets the device shape (default 512-byte blocks, 128
+// blocks).
+func WithGeometry(g Geometry) Option {
+	return func(o *options) { o.geometry = g }
+}
+
+// WithUnicastNetwork models the §5.2 unique-addressing network instead
+// of the default multicast network; it changes only traffic accounting,
+// never semantics.
+func WithUnicastNetwork() Option {
+	return func(o *options) { o.unicast = true }
+}
+
+// WithWeights assigns per-site voting weights in thousandths of a vote
+// (ignored by the available copy schemes). By default all sites weigh
+// 1000, with site 0 nudged to 1001 when the site count is even (§4.1
+// tie-breaking).
+func WithWeights(weights []int64) Option {
+	return func(o *options) {
+		o.weights = make([]int64, len(weights))
+		copy(o.weights, weights)
+	}
+}
+
+// WithEagerVotingRecovery makes voting sites refresh all blocks on
+// restart instead of lazily on access — the file-level behaviour the
+// paper improves upon; provided for ablation.
+func WithEagerVotingRecovery() Option {
+	return func(o *options) { o.eager = true }
+}
+
+// WithImmediateWasAvailable makes available copy coordinators push exact
+// recipient sets instead of piggybacking one write late (§3.2 ablation).
+func WithImmediateWasAvailable() Option {
+	return func(o *options) { o.immediateW = true }
+}
+
+// WithFileStores keeps each site's blocks in a file under dir instead of
+// memory, so simulated crashes exercise genuinely persistent state.
+func WithFileStores(dir string) Option {
+	return func(o *options) { o.storeDir = dir }
+}
+
+// WithWitnesses turns the last w sites into voting witnesses (Pâris
+// [10]): full quorum participants that track per-block version numbers
+// but store no data. Witnesses buy voting-grade consistency guarantees
+// at a fraction of the storage cost; valid only with the Voting scheme.
+func WithWitnesses(w int) Option {
+	return func(o *options) { o.witnesses = w }
+}
+
+// TrafficStats counts high-level network transmissions as defined in §5,
+// plus the byte-volume alternative metric §5 mentions.
+type TrafficStats struct {
+	// Transmissions is the total number of high-level transmissions.
+	Transmissions uint64
+	// Requests and Replies split the total by direction.
+	Requests, Replies uint64
+	// Bytes is the estimated total wire volume.
+	Bytes uint64
+}
+
+// Cluster is an in-process reliable device: n replica sites joined by a
+// simulated network, each exposing the device.
+type Cluster struct {
+	inner *core.Cluster
+}
+
+// New builds a cluster of n sites running the given consistency scheme.
+// All sites start available with zeroed stores.
+func New(n int, scheme Scheme, opts ...Option) (*Cluster, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := core.ClusterConfig{
+		Sites:     n,
+		Geometry:  o.geometry,
+		Scheme:    scheme.kind(),
+		Weights:   o.weights,
+		Witnesses: o.witnesses,
+	}
+	if o.unicast {
+		cfg.Mode = simnet.Unicast
+	}
+	if o.eager {
+		cfg.VotingOptions = append(cfg.VotingOptions, voting.WithEagerRecovery())
+	}
+	if o.immediateW {
+		cfg.AvailCopyOptions = append(cfg.AvailCopyOptions, availcopy.WithImmediateW())
+	}
+	if o.storeDir != "" {
+		dir := o.storeDir
+		cfg.NewStore = func(id protocol.SiteID, geom Geometry) (store.Store, error) {
+			return store.CreateFile(fmt.Sprintf("%s/site%d.img", dir, id), geom)
+		}
+	}
+	inner, err := core.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// Sites returns the number of replica sites.
+func (c *Cluster) Sites() int { return c.inner.Sites() }
+
+// Geometry returns the device shape.
+func (c *Cluster) Geometry() Geometry { return c.inner.Geometry() }
+
+// Device returns the reliable device as served at the given site. Any
+// site's device views the same replicated contents.
+func (c *Cluster) Device(site int) (Device, error) {
+	return c.inner.Device(protocol.SiteID(site))
+}
+
+// Fail crashes a site (fail-stop; its stable storage is preserved).
+func (c *Cluster) Fail(site int) error {
+	return c.inner.Fail(protocol.SiteID(site))
+}
+
+// Restart brings a failed site back and drives the scheme's recovery
+// procedure, cascading to any other site whose recovery was waiting.
+func (c *Cluster) Restart(ctx context.Context, site int) error {
+	return c.inner.Restart(ctx, protocol.SiteID(site))
+}
+
+// State returns a site's current state.
+func (c *Cluster) State(site int) (SiteState, error) {
+	return c.inner.State(protocol.SiteID(site))
+}
+
+// AvailableSites returns how many sites currently serve the device.
+func (c *Cluster) AvailableSites() int { return c.inner.AvailableCount() }
+
+// Grow adds one replica site to the running cluster and brings it
+// current through the scheme's ordinary recovery procedure — the
+// introduction's "increasing the order of replication". Returns the new
+// site's id. Previously obtained Device handles remain valid and see the
+// new membership.
+func (c *Cluster) Grow(ctx context.Context) (int, error) {
+	id, err := c.inner.Grow(ctx)
+	return int(id), err
+}
+
+// Remove retires the highest-numbered site. It refuses configurations
+// that would discard the most recent data (no other available site)
+// unless force is set.
+func (c *Cluster) Remove(ctx context.Context, force bool) error {
+	return c.inner.Remove(ctx, force)
+}
+
+// Traffic returns a snapshot of the network traffic counters.
+func (c *Cluster) Traffic() TrafficStats {
+	st := c.inner.Network().Stats()
+	return TrafficStats{
+		Transmissions: st.Transmissions,
+		Requests:      st.Requests,
+		Replies:       st.Replies,
+		Bytes:         st.Bytes,
+	}
+}
+
+// ResetTraffic zeroes the traffic counters.
+func (c *Cluster) ResetTraffic() { c.inner.Network().ResetStats() }

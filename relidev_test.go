@@ -1,0 +1,414 @@
+package relidev_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"relidev"
+)
+
+func allSchemes() []relidev.Scheme {
+	return []relidev.Scheme{relidev.Voting, relidev.AvailableCopy, relidev.NaiveAvailableCopy}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := relidev.New(0, relidev.Voting); err == nil {
+		t.Fatal("accepted zero sites")
+	}
+	if _, err := relidev.New(3, relidev.Scheme(42)); err == nil {
+		t.Fatal("accepted unknown scheme")
+	}
+	if _, err := relidev.New(3, relidev.Voting,
+		relidev.WithGeometry(relidev.Geometry{BlockSize: -1, NumBlocks: 2})); err == nil {
+		t.Fatal("accepted invalid geometry")
+	}
+	if _, err := relidev.New(3, relidev.Voting, relidev.WithWeights([]int64{1})); err == nil {
+		t.Fatal("accepted mismatched weights")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	want := map[relidev.Scheme]string{
+		relidev.Voting:             "voting",
+		relidev.AvailableCopy:      "available-copy",
+		relidev.NaiveAvailableCopy: "naive",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Fatalf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+}
+
+func TestPublicDeviceLifecycle(t *testing.T) {
+	for _, scheme := range allSchemes() {
+		t.Run(scheme.String(), func(t *testing.T) {
+			ctx := context.Background()
+			cluster, err := relidev.New(3, scheme,
+				relidev.WithGeometry(relidev.Geometry{BlockSize: 64, NumBlocks: 8}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev, err := cluster.Device(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := make([]byte, 64)
+			copy(payload, "public api")
+			if err := dev.WriteBlock(ctx, 3, payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := cluster.Fail(0); err != nil {
+				t.Fatal(err)
+			}
+			if st, _ := cluster.State(0); st != relidev.StateFailed {
+				t.Fatalf("state = %v", st)
+			}
+			got, err := dev.ReadBlock(ctx, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got[:10]) != "public api" {
+				t.Fatalf("read = %q", got[:10])
+			}
+			if err := cluster.Restart(ctx, 0); err != nil {
+				t.Fatal(err)
+			}
+			if cluster.AvailableSites() != 3 {
+				t.Fatalf("available = %d", cluster.AvailableSites())
+			}
+			if cluster.Sites() != 3 {
+				t.Fatalf("sites = %d", cluster.Sites())
+			}
+		})
+	}
+}
+
+func TestTrafficCountersViaPublicAPI(t *testing.T) {
+	ctx := context.Background()
+	cluster, err := relidev.New(4, relidev.NaiveAvailableCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := cluster.Device(0)
+	payload := make([]byte, cluster.Geometry().BlockSize)
+	cluster.ResetTraffic()
+	for i := 0; i < 10; i++ {
+		if err := dev.WriteBlock(ctx, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cluster.Traffic(); st.Transmissions != 10 {
+		t.Fatalf("10 naive writes cost %d transmissions, want 10", st.Transmissions)
+	}
+}
+
+func TestUnicastOption(t *testing.T) {
+	ctx := context.Background()
+	cluster, err := relidev.New(4, relidev.NaiveAvailableCopy, relidev.WithUnicastNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := cluster.Device(0)
+	payload := make([]byte, cluster.Geometry().BlockSize)
+	cluster.ResetTraffic()
+	if err := dev.WriteBlock(ctx, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if st := cluster.Traffic(); st.Transmissions != 3 {
+		t.Fatalf("unicast naive write cost %d, want n-1 = 3", st.Transmissions)
+	}
+}
+
+func TestFileStoresOption(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cluster, err := relidev.New(2, relidev.AvailableCopy,
+		relidev.WithFileStores(dir),
+		relidev.WithGeometry(relidev.Geometry{BlockSize: 128, NumBlocks: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := cluster.Device(0)
+	payload := make([]byte, 128)
+	copy(payload, "on disk")
+	if err := dev.WriteBlock(ctx, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := filepath.Glob(filepath.Join(dir, "site*.img")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "site*.img"))
+	if len(matches) != 2 {
+		t.Fatalf("store files = %v, want 2", matches)
+	}
+}
+
+func TestReconfigurationViaPublicAPI(t *testing.T) {
+	ctx := context.Background()
+	cluster, err := relidev.New(2, relidev.NaiveAvailableCopy,
+		relidev.WithGeometry(relidev.Geometry{BlockSize: 64, NumBlocks: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := cluster.Device(0)
+	payload := make([]byte, 64)
+	copy(payload, "grown")
+	if err := dev.WriteBlock(ctx, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cluster.Grow(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 || cluster.Sites() != 3 {
+		t.Fatalf("id=%d sites=%d", id, cluster.Sites())
+	}
+	devNew, err := cluster.Device(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := devNew.ReadBlock(ctx, 0)
+	if err != nil || string(got[:5]) != "grown" {
+		t.Fatalf("read at grown site = %q, %v", got[:5], err)
+	}
+	if err := cluster.Remove(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	if cluster.Sites() != 2 {
+		t.Fatalf("sites after remove = %d", cluster.Sites())
+	}
+}
+
+func TestWitnessesViaPublicAPI(t *testing.T) {
+	ctx := context.Background()
+	cluster, err := relidev.New(3, relidev.Voting, relidev.WithWitnesses(1),
+		relidev.WithGeometry(relidev.Geometry{BlockSize: 64, NumBlocks: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := cluster.Device(0)
+	payload := make([]byte, 64)
+	copy(payload, "w")
+	if err := dev.WriteBlock(ctx, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Data site + witness quorum survives a data-site failure.
+	if err := cluster.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.ReadBlock(ctx, 0); err != nil {
+		t.Fatalf("read with data+witness quorum: %v", err)
+	}
+	// Witnesses are rejected outside the voting scheme.
+	if _, err := relidev.New(3, relidev.NaiveAvailableCopy, relidev.WithWitnesses(1)); err == nil {
+		t.Fatal("witnesses accepted for naive scheme")
+	}
+	if _, err := relidev.New(2, relidev.Voting, relidev.WithWitnesses(2)); err == nil {
+		t.Fatal("all-witness cluster accepted")
+	}
+}
+
+func TestAvailabilityFacade(t *testing.T) {
+	// The public formulas reproduce the §4 identities.
+	na2, err := relidev.Availability(relidev.NaiveAvailableCopy, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := relidev.Availability(relidev.Voting, 3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(na2-v3) > 1e-12 {
+		t.Fatalf("A_NA(2)=%v != A_V(3)=%v", na2, v3)
+	}
+	ac3, err := relidev.Availability(relidev.AvailableCopy, 3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v6, err := relidev.Availability(relidev.Voting, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac3 <= v6 {
+		t.Fatalf("A_A(3)=%v <= A_V(6)=%v", ac3, v6)
+	}
+	if _, err := relidev.Availability(relidev.Scheme(9), 3, 0.1); err == nil {
+		t.Fatal("accepted unknown scheme")
+	}
+	if got := relidev.SiteAvailability(0.25); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("SiteAvailability = %v", got)
+	}
+}
+
+func TestTrafficCostsFacade(t *testing.T) {
+	for _, multicast := range []bool{true, false} {
+		v, err := relidev.TrafficCosts(relidev.Voting, 5, 0.05, multicast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		na, err := relidev.TrafficCosts(relidev.NaiveAvailableCopy, 5, 0.05, multicast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if na.Write >= v.Write {
+			t.Fatalf("multicast=%v: naive write %v >= voting write %v", multicast, na.Write, v.Write)
+		}
+	}
+	if _, err := relidev.TrafficCosts(relidev.Scheme(9), 5, 0.05, true); err == nil {
+		t.Fatal("accepted unknown scheme")
+	}
+}
+
+// A full three-process-shaped deployment in one test process: three
+// RemoteSites over loopback TCP, writes at one site, reads at another,
+// crash and recovery of a third.
+func TestRemoteDeploymentEndToEnd(t *testing.T) {
+	for _, scheme := range allSchemes() {
+		t.Run(scheme.String(), func(t *testing.T) {
+			ctx := context.Background()
+			geom := relidev.Geometry{BlockSize: 128, NumBlocks: 16}
+
+			// Reserve addresses by starting sites one by one on :0 and
+			// rebuilding the peer map afterwards. Simpler: fixed
+			// ephemeral-port discovery via two passes.
+			addrs := make(map[int]string, 3)
+			var boot []*relidev.RemoteSite
+			for i := 0; i < 3; i++ {
+				s, err := relidev.OpenRemote(relidev.RemoteConfig{
+					Self:     i,
+					Peers:    map[int]string{i: "127.0.0.1:0"},
+					Scheme:   scheme,
+					Geometry: geom,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				addrs[i] = s.Addr()
+				boot = append(boot, s)
+			}
+			for _, s := range boot {
+				s.Close()
+			}
+			sites := make([]*relidev.RemoteSite, 3)
+			stores := make([]string, 3)
+			dir := t.TempDir()
+			for i := 0; i < 3; i++ {
+				stores[i] = filepath.Join(dir, fmt.Sprintf("s%d.img", i))
+				s, err := relidev.OpenRemote(relidev.RemoteConfig{
+					Self:      i,
+					Peers:     addrs,
+					Scheme:    scheme,
+					Geometry:  geom,
+					StorePath: stores[i],
+					Timeout:   time.Second,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sites[i] = s
+				defer func() { s.Close() }()
+			}
+
+			payload := make([]byte, 128)
+			copy(payload, "across processes")
+			if err := sites[0].Device().WriteBlock(ctx, 5, payload); err != nil {
+				t.Fatalf("remote write: %v", err)
+			}
+			got, err := sites[2].Device().ReadBlock(ctx, 5)
+			if err != nil {
+				t.Fatalf("remote read: %v", err)
+			}
+			if string(got[:16]) != "across processes" {
+				t.Fatalf("read = %q", got[:16])
+			}
+
+			// Crash site 2 (close its server), write again, restart it
+			// comatose from its store file and recover.
+			if err := sites[2].Close(); err != nil {
+				t.Fatal(err)
+			}
+			copy(payload, "written while down")
+			if err := sites[0].Device().WriteBlock(ctx, 5, payload); err != nil {
+				t.Fatalf("write with a site down: %v", err)
+			}
+			restarted, err := relidev.OpenRemote(relidev.RemoteConfig{
+				Self:      2,
+				Peers:     addrs,
+				Scheme:    scheme,
+				Geometry:  geom,
+				StorePath: stores[2],
+				Timeout:   time.Second,
+				Comatose:  true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer restarted.Close()
+			if err := restarted.Recover(ctx); err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			if restarted.State() != relidev.StateAvailable {
+				t.Fatalf("state = %v", restarted.State())
+			}
+			got, err = restarted.Device().ReadBlock(ctx, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got[:18]) != "written while down" {
+				t.Fatalf("read after recovery = %q", got[:18])
+			}
+		})
+	}
+}
+
+func TestRemoteConfigValidation(t *testing.T) {
+	if _, err := relidev.OpenRemote(relidev.RemoteConfig{Self: 0, Scheme: relidev.Voting}); err == nil {
+		t.Fatal("accepted empty peers")
+	}
+	if _, err := relidev.OpenRemote(relidev.RemoteConfig{
+		Self:   1,
+		Peers:  map[int]string{0: "127.0.0.1:0"},
+		Scheme: relidev.Voting,
+	}); err == nil {
+		t.Fatal("accepted peers without self")
+	}
+	if _, err := relidev.OpenRemote(relidev.RemoteConfig{
+		Self:   0,
+		Peers:  map[int]string{0: "127.0.0.1:0"},
+		Scheme: relidev.Scheme(77),
+	}); err == nil {
+		t.Fatal("accepted unknown scheme")
+	}
+}
+
+func TestErrMustWaitSurfaces(t *testing.T) {
+	// A lone naive site restarted comatose in a 2-site group whose peer
+	// is down must wait.
+	geom := relidev.Geometry{BlockSize: 128, NumBlocks: 4}
+	s, err := relidev.OpenRemote(relidev.RemoteConfig{
+		Self:     0,
+		Peers:    map[int]string{0: "127.0.0.1:0", 1: "127.0.0.1:1"},
+		Scheme:   relidev.NaiveAvailableCopy,
+		Geometry: geom,
+		Comatose: true,
+		Timeout:  200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Recover(context.Background()); !errors.Is(err, relidev.ErrMustWait) {
+		t.Fatalf("recover = %v, want ErrMustWait", err)
+	}
+	if s.State() != relidev.StateComatose {
+		t.Fatalf("state = %v, want comatose", s.State())
+	}
+}

@@ -1,0 +1,227 @@
+package relidev
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"time"
+
+	"relidev/internal/availcopy"
+	"relidev/internal/block"
+	"relidev/internal/core"
+	"relidev/internal/naiveac"
+	"relidev/internal/protocol"
+	"relidev/internal/rpcnet"
+	"relidev/internal/scheme"
+	"relidev/internal/site"
+	"relidev/internal/store"
+	"relidev/internal/voting"
+)
+
+// RemoteConfig describes one site of a reliable device deployed as real
+// OS processes over TCP (the deployment of §1: "a set of server
+// processes on several sites").
+type RemoteConfig struct {
+	// Self is this process's site id (0..n-1).
+	Self int
+	// Peers maps every site id — including Self — to its TCP address.
+	// Self's entry is the address this process listens on.
+	Peers map[int]string
+	// Scheme selects the consistency algorithm; it must match across all
+	// sites.
+	Scheme Scheme
+	// Geometry is the device shape; the zero value defaults to 512x128.
+	// It must match across all sites.
+	Geometry Geometry
+	// StorePath optionally persists this site's blocks in a file; empty
+	// keeps them in memory. An existing image is reopened, which is how
+	// a restarted server process recovers its pre-crash state.
+	StorePath string
+	// Timeout bounds each remote call; zero means 5 seconds.
+	Timeout time.Duration
+	// Comatose starts the site in the comatose state, forcing it through
+	// the scheme's recovery procedure before it serves data. Use it when
+	// restarting after a crash.
+	Comatose bool
+}
+
+// RemoteSite is one running site of a TCP-deployed reliable device: a
+// replica server plus the local consistency controller and the device
+// interface it serves.
+type RemoteSite struct {
+	cfg     RemoteConfig
+	replica *site.Replica
+	server  *rpcnet.Server
+	client  *rpcnet.Client
+	ctrl    scheme.Controller
+	device  *core.ReliableDevice
+}
+
+// OpenRemote starts a site: it opens (or creates) the local store,
+// listens on the configured address, and connects the consistency
+// controller to its peers. Call Recover before serving if the site
+// starts comatose.
+func OpenRemote(cfg RemoteConfig) (*RemoteSite, error) {
+	if cfg.Geometry == (Geometry{}) {
+		cfg.Geometry = Geometry{BlockSize: 512, NumBlocks: 128}
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("relidev: remote config needs peer addresses")
+	}
+	selfAddr, ok := cfg.Peers[cfg.Self]
+	if !ok {
+		return nil, fmt.Errorf("relidev: peers map has no entry for self (%d)", cfg.Self)
+	}
+
+	var st store.Store
+	var err error
+	if cfg.StorePath == "" {
+		st, err = store.NewMem(cfg.Geometry)
+	} else {
+		st, err = store.OpenFile(cfg.StorePath)
+		if errors.Is(err, store.ErrBadImage) || isNotExist(err) {
+			st, err = store.CreateFile(cfg.StorePath, cfg.Geometry)
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("relidev: open store: %w", err)
+	}
+
+	initial := protocol.StateAvailable
+	if cfg.Comatose {
+		initial = protocol.StateComatose
+	}
+	replica, err := site.New(site.Config{
+		ID:           protocol.SiteID(cfg.Self),
+		Store:        st,
+		InitialState: initial,
+	})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+
+	addrs := make(map[protocol.SiteID]string, len(cfg.Peers))
+	ids := make([]protocol.SiteID, 0, len(cfg.Peers))
+	for id, addr := range cfg.Peers {
+		addrs[protocol.SiteID(id)] = addr
+		ids = append(ids, protocol.SiteID(id))
+	}
+	sortSiteIDs(ids)
+	client, err := rpcnet.NewClient(protocol.SiteID(cfg.Self), addrs, cfg.Timeout)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+
+	weights := make([]int64, len(ids))
+	for i := range weights {
+		weights[i] = 1000
+	}
+	if len(ids)%2 == 0 {
+		weights[0]++
+	}
+	env := scheme.Env{Self: replica, Transport: client, Sites: ids, Weights: weights}
+	var ctrl scheme.Controller
+	switch cfg.Scheme {
+	case Voting:
+		ctrl, err = voting.New(env)
+	case AvailableCopy:
+		ctrl, err = availcopy.New(env)
+	case NaiveAvailableCopy:
+		ctrl, err = naiveac.New(env)
+	default:
+		err = fmt.Errorf("relidev: unknown scheme %v", cfg.Scheme)
+	}
+	if err != nil {
+		client.Close()
+		st.Close()
+		return nil, err
+	}
+
+	server, err := rpcnet.Serve(selfAddr, replica)
+	if err != nil {
+		client.Close()
+		st.Close()
+		return nil, err
+	}
+	dev, err := core.NewReliableDevice(cfg.Geometry, ctrl)
+	if err != nil {
+		server.Close()
+		client.Close()
+		st.Close()
+		return nil, err
+	}
+	return &RemoteSite{
+		cfg:     cfg,
+		replica: replica,
+		server:  server,
+		client:  client,
+		ctrl:    ctrl,
+		device:  dev,
+	}, nil
+}
+
+func isNotExist(err error) bool {
+	return errors.Is(err, fs.ErrNotExist)
+}
+
+func sortSiteIDs(ids []protocol.SiteID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// Addr returns the address this site's server is listening on.
+func (r *RemoteSite) Addr() string { return r.server.Addr() }
+
+// Device returns this site's view of the reliable device.
+func (r *RemoteSite) Device() Device { return r.device }
+
+// State returns this site's current state.
+func (r *RemoteSite) State() SiteState { return r.replica.State() }
+
+// Recover runs the consistency scheme's recovery procedure. It returns
+// ErrMustWait when recovery cannot complete yet (the site stays comatose
+// and the caller should retry after other sites come back).
+func (r *RemoteSite) Recover(ctx context.Context) error {
+	err := r.ctrl.Recover(ctx)
+	if errors.Is(err, scheme.ErrAwaitingSites) {
+		return fmt.Errorf("%v: %w", err, ErrMustWait)
+	}
+	return err
+}
+
+// FetchFrom reads one block directly from a specific peer site,
+// bypassing the consistency scheme. Diagnostics and tests only: it shows
+// what a single replica currently holds, stale or not.
+func (r *RemoteSite) FetchFrom(ctx context.Context, siteID int, idx int) ([]byte, uint64, error) {
+	resp, err := r.client.Fetch(ctx, protocol.SiteID(r.cfg.Self), protocol.SiteID(siteID),
+		protocol.FetchRequest{Block: block.Index(idx)})
+	if err != nil {
+		return nil, 0, err
+	}
+	f, ok := resp.(protocol.FetchReply)
+	if !ok {
+		return nil, 0, fmt.Errorf("relidev: unexpected fetch reply %T", resp)
+	}
+	return f.Data, uint64(f.Version), nil
+}
+
+// Close shuts the site down: server, peer connections, store.
+func (r *RemoteSite) Close() error {
+	errServer := r.server.Close()
+	errClient := r.client.Close()
+	errStore := r.replica.Store().Close()
+	if errServer != nil {
+		return errServer
+	}
+	if errClient != nil {
+		return errClient
+	}
+	return errStore
+}
+
+// ErrMustWait is returned by RemoteSite.Recover while the recovery
+// protocol has to wait for more sites to come back (§3.2-3.3).
+var ErrMustWait = errors.New("relidev: recovery must wait for more sites")
