@@ -1,0 +1,155 @@
+// Command benchjson converts the text output of the parallel data-path
+// benchmarks (go test -bench=Parallel) into machine-readable JSON, so
+// runs can be archived and diffed (see BENCH_parallel.json and the
+// "running the parallel benchmarks" section of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=Parallel . | benchjson -o BENCH_parallel.json
+//	benchjson bench.txt            read from a file instead of stdin
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(report{Benchmarks: results}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+type report struct {
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// result is one benchmark line, decomposed. Scheme, Sites and Latency
+// are filled in when the sub-benchmark name follows the parallel
+// benchmarks' <scheme>/n<sites>[/lat<...>] convention.
+type result struct {
+	Name       string  `json:"name"`
+	Benchmark  string  `json:"benchmark"`
+	Scheme     string  `json:"scheme,omitempty"`
+	Sites      int     `json:"sites,omitempty"`
+	Latency    string  `json:"latency,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec,omitempty"`
+}
+
+func parse(in io.Reader) ([]result, error) {
+	var out []result
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		r, ok := parseLine(sc.Text())
+		if ok {
+			out = append(out, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return out, nil
+}
+
+// parseLine decodes one `go test -bench` result line:
+//
+//	BenchmarkParallelWrite/voting/n5/lat100us-1  100  9000 ns/op  111.7 ops/sec
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	var r result
+	r.Name = trimProcs(fields[0])
+	var err error
+	if _, e := fmt.Sscan(fields[1], &r.Iterations); e != nil {
+		return result{}, false
+	}
+	// The remainder alternates value / unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		var v float64
+		if _, err = fmt.Sscan(fields[i], &v); err != nil {
+			return result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "ops/sec":
+			r.OpsPerSec = v
+		}
+	}
+	decomposeName(&r)
+	return r, true
+}
+
+// trimProcs drops the trailing -GOMAXPROCS suffix go test appends.
+func trimProcs(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		c := name[i]
+		if c == '-' {
+			return name[:i]
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+	}
+	return name
+}
+
+// decomposeName splits Benchmark<X>/<scheme>/n<sites>[/lat<...>].
+func decomposeName(r *result) {
+	parts := strings.Split(r.Name, "/")
+	r.Benchmark = parts[0]
+	if len(parts) < 3 {
+		return
+	}
+	var sites int
+	if _, err := fmt.Sscanf(parts[2], "n%d", &sites); err != nil {
+		return
+	}
+	r.Scheme = parts[1]
+	r.Sites = sites
+	if len(parts) > 3 {
+		r.Latency = parts[3]
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	line := "BenchmarkParallelWrite/voting/n5/lat100us-1 \t 100\t  9000000 ns/op\t  111.7 ops/sec"
+	r, ok := parseLine(line)
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if r.Name != "BenchmarkParallelWrite/voting/n5/lat100us" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if r.Benchmark != "BenchmarkParallelWrite" || r.Scheme != "voting" || r.Sites != 5 || r.Latency != "lat100us" {
+		t.Fatalf("decomposed = %+v", r)
+	}
+	if r.Iterations != 100 || r.NsPerOp != 9000000 || r.OpsPerSec != 111.7 {
+		t.Fatalf("metrics = %+v", r)
+	}
+}
+
+func TestParseLineRPCNameWithoutLatency(t *testing.T) {
+	r, ok := parseLine("BenchmarkParallelWriteRPC/naive/n3-1  5000  42187 ns/op  23703 ops/sec")
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if r.Scheme != "naive" || r.Sites != 3 || r.Latency != "" {
+		t.Fatalf("decomposed = %+v", r)
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+BenchmarkParallelRead/voting/n3/lat0-1   416738   812.6 ns/op   1230630 ops/sec
+PASS
+ok  	relidev	1.0s
+`
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Scheme != "voting" {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("no benchmarks here\n")); err == nil {
+		t.Fatal("accepted input without benchmark lines")
+	}
+}

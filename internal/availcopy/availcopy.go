@@ -27,7 +27,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 
 	"relidev/internal/block"
 	"relidev/internal/protocol"
@@ -51,9 +50,15 @@ type Controller struct {
 	env        scheme.Env
 	immediateW bool
 
-	// mu serialises operations issued at this site (see voting.Controller
-	// for the concurrency scope the paper assumes).
-	mu sync.Mutex
+	// locks serialises same-block operations while letting distinct
+	// blocks proceed concurrently; recovery excludes all in-flight
+	// operations (see voting.Controller for the concurrency scope the
+	// paper assumes). The site-wide was-available set stays safe under
+	// concurrent writes because every recipient set a coordinator installs
+	// contains the coordinator itself, which holds the newest version of
+	// every block it wrote — whichever concurrent reset lands last, the
+	// closure still reaches a site with current data.
+	locks scheme.OpLocks
 }
 
 var _ scheme.Controller = (*Controller)(nil)
@@ -83,8 +88,8 @@ func (c *Controller) Name() string { return "available-copy" }
 // Read serves the block from the local copy: every available site holds
 // the most recent version of every block, so reads cost no messages.
 func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.locks.LockOp(idx)
+	defer c.locks.UnlockOp(idx)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -105,8 +110,8 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) 
 // delayed-information scheme); the coordinator then learns the exact
 // recipient set from the acknowledgements and resets its own W to it.
 func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.locks.LockOp(idx)
+	defer c.locks.UnlockOp(idx)
 	self := c.env.Self
 	if self.State() != protocol.StateAvailable {
 		return fmt.Errorf("available copy write of %v at %v (%v): %w",
@@ -181,8 +186,8 @@ type status struct {
 //     itself, just become available), or
 //   - otherwise: recovery must wait (ErrAwaitingSites).
 func (c *Controller) Recover(ctx context.Context) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.locks.LockRecovery()
+	defer c.locks.UnlockRecovery()
 	self := c.env.Self
 	if self.State() == protocol.StateAvailable {
 		return nil

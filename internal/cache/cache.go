@@ -32,20 +32,44 @@ type Stats struct {
 	Evictions uint64
 }
 
+// cacheStripes is the number of per-block write locks; writes to blocks
+// in different stripes overlap their (potentially slow, replicated)
+// inner writes.
+const cacheStripes = 64
+
 // Device is a write-through LRU block cache implementing core.Device.
+// Inner device I/O happens outside the cache lock, so concurrent
+// operations on distinct blocks overlap; a per-block stripe serialises
+// same-block writes so the cache can never hold an older write than the
+// device, and in-flight miss fills are tracked so a slow fill completing
+// after a concurrent write cannot clobber the fresher data.
 type Device struct {
 	inner    core.Device
 	capacity int
 
+	// wstripes serialise same-block writes across the inner write and
+	// the cache update.
+	wstripes [cacheStripes]sync.Mutex
+
 	mu      sync.Mutex
 	entries map[block.Index]*list.Element
 	lru     *list.List // front = most recently used
+	fills   map[block.Index]*fill
 	stats   Stats
 }
 
 type entry struct {
 	idx  block.Index
 	data []byte
+}
+
+// fill tracks one in-flight miss fill so concurrent misses on the same
+// block share a single inner read, and writes can mark it stale.
+type fill struct {
+	done  chan struct{}
+	data  []byte
+	err   error
+	stale bool // a write or invalidation overtook this fill
 }
 
 var _ core.Device = (*Device)(nil)
@@ -63,6 +87,7 @@ func New(inner core.Device, capacity int) (*Device, error) {
 		capacity: capacity,
 		entries:  make(map[block.Index]*list.Element, capacity),
 		lru:      list.New(),
+		fills:    make(map[block.Index]*fill),
 	}, nil
 }
 
@@ -70,7 +95,9 @@ func New(inner core.Device, capacity int) (*Device, error) {
 func (d *Device) Geometry() block.Geometry { return d.inner.Geometry() }
 
 // ReadBlock implements core.Device: cache hits answer locally without
-// touching the underlying device.
+// touching the underlying device. Concurrent misses on the same block
+// share one inner read; the fill is discarded when a write overtakes it,
+// so a slow fill can never reinstall data older than the cache has seen.
 func (d *Device) ReadBlock(ctx context.Context, idx block.Index) ([]byte, error) {
 	d.mu.Lock()
 	if el, ok := d.entries[idx]; ok {
@@ -82,37 +109,87 @@ func (d *Device) ReadBlock(ctx context.Context, idx block.Index) ([]byte, error)
 		return out, nil
 	}
 	d.stats.Misses++
+	if f, ok := d.fills[idx]; ok {
+		// Another goroutine is already fetching this block; share its
+		// result instead of issuing a duplicate quorum collection.
+		d.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-f.done:
+		}
+		d.mu.Lock()
+		stale, data, err := f.stale, f.data, f.err
+		d.mu.Unlock()
+		if err == nil && !stale {
+			out := make([]byte, len(data))
+			copy(out, data)
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		// The shared fill was overtaken by a write; fetch fresh data
+		// without caching it (the write already installed the newest).
+		return d.inner.ReadBlock(ctx, idx)
+	}
+	f := &fill{done: make(chan struct{})}
+	d.fills[idx] = f
 	d.mu.Unlock()
 
 	data, err := d.inner.ReadBlock(ctx, idx)
+
+	d.mu.Lock()
+	delete(d.fills, idx)
+	f.data, f.err = data, err
+	if err == nil && !f.stale {
+		d.insertLocked(idx, data)
+	}
+	d.mu.Unlock()
+	close(f.done)
 	if err != nil {
 		return nil, err
 	}
-	d.insert(idx, data)
 	out := make([]byte, len(data))
 	copy(out, data)
 	return out, nil
 }
 
 // WriteBlock implements core.Device: write-through, so the replicated
-// copies are always as current as the cache.
+// copies are always as current as the cache. A per-block stripe keeps
+// same-block writes ordered end to end (inner write, then cache update)
+// while distinct blocks overlap their inner writes.
 func (d *Device) WriteBlock(ctx context.Context, idx block.Index, data []byte) error {
-	if err := d.inner.WriteBlock(ctx, idx, data); err != nil {
+	s := &d.wstripes[uint64(idx)%cacheStripes]
+	s.Lock()
+	defer s.Unlock()
+
+	err := d.inner.WriteBlock(ctx, idx, data)
+	d.mu.Lock()
+	if f, ok := d.fills[idx]; ok {
+		// An in-flight miss fill read the block before this write; its
+		// result must not be installed over the newer data.
+		f.stale = true
+	}
+	if err != nil {
 		// A failed replicated write must not linger in the cache as if it
 		// had happened.
-		d.invalidateOne(idx)
-		return err
+		if el, ok := d.entries[idx]; ok {
+			d.lru.Remove(el)
+			delete(d.entries, idx)
+		}
+	} else {
+		d.insertLocked(idx, data)
 	}
-	d.insert(idx, data)
-	return nil
+	d.mu.Unlock()
+	return err
 }
 
-// insert stores a copy of data for idx, evicting the LRU entry if full.
-func (d *Device) insert(idx block.Index, data []byte) {
+// insertLocked stores a copy of data for idx, evicting the LRU entry if
+// full. Callers hold d.mu.
+func (d *Device) insertLocked(idx block.Index, data []byte) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if el, ok := d.entries[idx]; ok {
 		el.Value.(*entry).data = cp
 		d.lru.MoveToFront(el)
@@ -130,22 +207,17 @@ func (d *Device) insert(idx block.Index, data []byte) {
 	d.entries[idx] = d.lru.PushFront(&entry{idx: idx, data: cp})
 }
 
-func (d *Device) invalidateOne(idx block.Index) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if el, ok := d.entries[idx]; ok {
-		d.lru.Remove(el)
-		delete(d.entries, idx)
-	}
-}
-
 // Invalidate drops every cached block; subsequent reads go to the
 // device. Call it after another mount may have written the device.
+// In-flight miss fills are discarded too: their data predates the call.
 func (d *Device) Invalidate() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.entries = make(map[block.Index]*list.Element, d.capacity)
 	d.lru.Init()
+	for _, f := range d.fills {
+		f.stale = true
+	}
 }
 
 // Len returns the number of cached blocks.

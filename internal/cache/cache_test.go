@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"relidev/internal/block"
 	"relidev/internal/core"
@@ -226,5 +229,110 @@ func TestGeometryPassthrough(t *testing.T) {
 	d, _ := New(newLocal(t), 2)
 	if d.Geometry() != testGeom {
 		t.Fatal("geometry mismatch")
+	}
+}
+
+// gateDevice wraps a device so a test can hold a miss fill in flight:
+// ReadBlock captures the data, signals entered, then waits for release
+// before returning — modelling a slow quorum read that completes after
+// a concurrent write.
+type gateDevice struct {
+	core.Device
+	reads   atomic.Int32
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *gateDevice) ReadBlock(ctx context.Context, idx block.Index) ([]byte, error) {
+	data, err := g.Device.ReadBlock(ctx, idx)
+	g.reads.Add(1)
+	g.once.Do(func() { close(g.entered) })
+	<-g.release
+	return data, err
+}
+
+// TestRacingFillDoesNotClobberWrite pins the miss-fill/write race: a
+// read misses, captures the old block, and completes only after a
+// concurrent write has installed new data. The stale fill must not be
+// inserted over the newer write.
+func TestRacingFillDoesNotClobberWrite(t *testing.T) {
+	ctx := context.Background()
+	inner := newLocal(t)
+	if err := inner.WriteBlock(ctx, 1, pad("old")); err != nil {
+		t.Fatal(err)
+	}
+	gate := &gateDevice{Device: inner, entered: make(chan struct{}), release: make(chan struct{})}
+	d, err := New(gate, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := d.ReadBlock(ctx, 1); err != nil {
+			t.Errorf("racing read: %v", err)
+		}
+	}()
+	<-gate.entered // the fill holds the old data
+	if err := d.WriteBlock(ctx, 1, pad("new")); err != nil {
+		t.Fatal(err)
+	}
+	close(gate.release) // the stale fill now completes
+	<-done
+
+	got, err := d.ReadBlock(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:3]) != "new" {
+		t.Fatalf("cache serves %q after write; stale fill clobbered it", got[:3])
+	}
+}
+
+// TestConcurrentMissesShareOneFill checks that simultaneous misses on
+// one block issue a single inner read (one quorum collection) and all
+// receive its result.
+func TestConcurrentMissesShareOneFill(t *testing.T) {
+	ctx := context.Background()
+	inner := newLocal(t)
+	if err := inner.WriteBlock(ctx, 2, pad("shared")); err != nil {
+		t.Fatal(err)
+	}
+	gate := &gateDevice{Device: inner, entered: make(chan struct{}), release: make(chan struct{})}
+	d, err := New(gate, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(chan []byte, 2)
+	go func() {
+		data, err := d.ReadBlock(ctx, 2)
+		if err != nil {
+			t.Errorf("first read: %v", err)
+		}
+		results <- data
+	}()
+	<-gate.entered // fill registered; a second miss must join it
+	go func() {
+		data, err := d.ReadBlock(ctx, 2)
+		if err != nil {
+			t.Errorf("second read: %v", err)
+		}
+		results <- data
+	}()
+	// Give the second reader a moment to park on the shared fill, then
+	// let the single inner read finish.
+	time.Sleep(10 * time.Millisecond)
+	close(gate.release)
+	for i := 0; i < 2; i++ {
+		if data := <-results; string(data[:6]) != "shared" {
+			t.Fatalf("reader %d got %q", i, data[:6])
+		}
+	}
+	if n := gate.reads.Load(); n != 1 {
+		t.Fatalf("inner reads = %d, want 1 (shared fill)", n)
+	}
+	if st := d.Stats(); st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", st.Misses)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"relidev/internal/availcopy"
 	"relidev/internal/block"
@@ -67,6 +68,10 @@ type ClusterConfig struct {
 	VotingOptions []voting.Option
 	// AvailCopyOptions are passed to available copy controllers.
 	AvailCopyOptions []availcopy.Option
+	// Latency simulates a per-round-trip network delay on the simulated
+	// network; zero keeps it instantaneous. Traffic accounting is
+	// unaffected.
+	Latency time.Duration
 }
 
 func (c *ClusterConfig) applyDefaults() error {
@@ -142,6 +147,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		ctrls:    make([]scheme.Controller, cfg.Sites),
 		devices:  make([]*ReliableDevice, cfg.Sites),
 	}
+	cl.net.SetLatency(cfg.Latency)
 	ids := make([]protocol.SiteID, cfg.Sites)
 	for i := range ids {
 		ids[i] = protocol.SiteID(i)

@@ -12,7 +12,6 @@ package naiveac
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"relidev/internal/block"
 	"relidev/internal/protocol"
@@ -23,8 +22,10 @@ import (
 type Controller struct {
 	env scheme.Env
 
-	// mu serialises operations issued at this site.
-	mu sync.Mutex
+	// locks serialises same-block operations while letting distinct
+	// blocks proceed concurrently; recovery excludes all in-flight
+	// operations.
+	locks scheme.OpLocks
 }
 
 var _ scheme.Controller = (*Controller)(nil)
@@ -43,8 +44,8 @@ func (c *Controller) Name() string { return "naive" }
 // Read serves the block locally, exactly as the available copy scheme
 // does: zero network traffic.
 func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.locks.LockOp(idx)
+	defer c.locks.UnlockOp(idx)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -64,8 +65,8 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) 
 // unique addressing (§5). Because no was-available information is
 // maintained, nothing is piggybacked.
 func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.locks.LockOp(idx)
+	defer c.locks.UnlockOp(idx)
 	self := c.env.Self
 	if self.State() != protocol.StateAvailable {
 		return fmt.Errorf("naive write of %v at %v (%v): %w",
@@ -90,8 +91,8 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) er
 // otherwise wait until every site has recovered and repair from (or
 // become) the one with the highest version.
 func (c *Controller) Recover(ctx context.Context) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.locks.LockRecovery()
+	defer c.locks.UnlockRecovery()
 	self := c.env.Self
 	if self.State() == protocol.StateAvailable {
 		return nil

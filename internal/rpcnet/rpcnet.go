@@ -172,22 +172,81 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Client is a protocol.Transport over TCP. It maintains one lazily dialed
-// connection per peer and reconnects transparently after failures.
+// maxIdleConnsPerPeer bounds the per-peer connection pool. Connections
+// beyond the bound are closed when returned; concurrent round trips may
+// still dial more than the bound, they just don't all linger idle.
+const maxIdleConnsPerPeer = 4
+
+// Client is a protocol.Transport over TCP. It keeps a small pool of
+// lazily dialed connections per peer so that concurrent round trips to
+// the same peer proceed in parallel instead of queueing on one stream,
+// and it reconnects transparently after failures.
 type Client struct {
 	self    protocol.SiteID
 	timeout time.Duration
 
 	mu    sync.Mutex
 	addrs map[protocol.SiteID]string
-	conns map[protocol.SiteID]*peerConn
+	pools map[protocol.SiteID]*peerPool
 }
 
-type peerConn struct {
-	mu   sync.Mutex
+// peerPool holds a peer's idle connections (LIFO: the most recently
+// used connection is the least likely to have gone stale).
+type peerPool struct {
+	addr string
+
+	mu     sync.Mutex
+	idle   []*wireConn
+	closed bool
+}
+
+// wireConn is one gob-encoded TCP stream. It is used by one round trip
+// at a time; the gob codec state lives with the connection.
+type wireConn struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+}
+
+func (w *wireConn) close() {
+	w.conn.Close()
+}
+
+// get pops an idle connection, or returns nil when the caller must dial.
+func (p *peerPool) get() *wireConn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.idle); n > 0 {
+		w := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		return w
+	}
+	return nil
+}
+
+// put returns a healthy connection to the pool, closing it instead when
+// the pool is full or the client has shut down.
+func (p *peerPool) put(w *wireConn) {
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= maxIdleConnsPerPeer {
+		p.mu.Unlock()
+		w.close()
+		return
+	}
+	p.idle = append(p.idle, w)
+	p.mu.Unlock()
+}
+
+// close drains the pool and marks it closed.
+func (p *peerPool) close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, w := range idle {
+		w.close()
+	}
 }
 
 var _ protocol.Transport = (*Client)(nil)
@@ -210,87 +269,76 @@ func NewClient(self protocol.SiteID, addrs map[protocol.SiteID]string, timeout t
 		self:    self,
 		timeout: timeout,
 		addrs:   m,
-		conns:   make(map[protocol.SiteID]*peerConn),
+		pools:   make(map[protocol.SiteID]*peerPool),
 	}, nil
 }
 
-// Close drops all peer connections.
+// Close drops all idle peer connections. Connections checked out by
+// in-flight round trips are closed as they are returned.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for id, pc := range c.conns {
-		pc.mu.Lock()
-		if pc.conn != nil {
-			pc.conn.Close()
-		}
-		pc.mu.Unlock()
-		delete(c.conns, id)
+	pools := make([]*peerPool, 0, len(c.pools))
+	for id, p := range c.pools {
+		pools = append(pools, p)
+		delete(c.pools, id)
+	}
+	c.mu.Unlock()
+	for _, p := range pools {
+		p.close()
 	}
 	return nil
 }
 
-func (c *Client) peer(to protocol.SiteID) (*peerConn, string, error) {
+func (c *Client) peer(to protocol.SiteID) (*peerPool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	addr, ok := c.addrs[to]
+	p, ok := c.pools[to]
 	if !ok {
-		return nil, "", fmt.Errorf("rpcnet: no address for %v: %w", to, protocol.ErrSiteDown)
+		addr, ok := c.addrs[to]
+		if !ok {
+			return nil, fmt.Errorf("rpcnet: no address for %v: %w", to, protocol.ErrSiteDown)
+		}
+		p = &peerPool{addr: addr}
+		c.pools[to] = p
 	}
-	pc, ok := c.conns[to]
-	if !ok {
-		pc = &peerConn{}
-		c.conns[to] = pc
-	}
-	return pc, addr, nil
+	return p, nil
 }
 
-// roundTrip performs one request/response over the (possibly re-dialed)
-// peer connection.
+// roundTrip performs one request/response over a pooled (or freshly
+// dialed) peer connection. Concurrent callers each get their own stream.
 func (c *Client) roundTrip(ctx context.Context, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
-	pc, addr, err := c.peer(to)
+	p, err := c.peer(to)
 	if err != nil {
 		return nil, err
 	}
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-
 	deadline := time.Now().Add(c.timeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	if pc.conn == nil {
+	w := p.get()
+	if w == nil {
 		d := net.Dialer{Deadline: deadline}
-		conn, err := d.DialContext(ctx, "tcp", addr)
+		conn, err := d.DialContext(ctx, "tcp", p.addr)
 		if err != nil {
-			return nil, fmt.Errorf("rpcnet: dial %v (%s): %v: %w", to, addr, err, protocol.ErrSiteDown)
+			return nil, fmt.Errorf("rpcnet: dial %v (%s): %v: %w", to, p.addr, err, protocol.ErrSiteDown)
 		}
-		pc.conn = conn
-		pc.enc = gob.NewEncoder(conn)
-		pc.dec = gob.NewDecoder(conn)
+		w = &wireConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 	}
-	pc.conn.SetDeadline(deadline)
-	if err := pc.enc.Encode(rpcRequest{From: c.self, Req: req}); err != nil {
-		pc.reset()
+	w.conn.SetDeadline(deadline)
+	if err := w.enc.Encode(rpcRequest{From: c.self, Req: req}); err != nil {
+		w.close()
 		return nil, fmt.Errorf("rpcnet: send to %v: %v: %w", to, err, protocol.ErrSiteDown)
 	}
 	var resp rpcResponse
-	if err := pc.dec.Decode(&resp); err != nil {
-		pc.reset()
+	if err := w.dec.Decode(&resp); err != nil {
+		w.close()
 		return nil, fmt.Errorf("rpcnet: receive from %v: %v: %w", to, err, protocol.ErrSiteDown)
 	}
+	p.put(w)
 	if err := decodeErr(resp.ErrCode, resp.ErrText); err != nil {
 		return nil, err
 	}
 	return resp.Resp, nil
-}
-
-// reset drops a broken connection; the next call re-dials. Callers hold
-// pc.mu.
-func (pc *peerConn) reset() {
-	if pc.conn != nil {
-		pc.conn.Close()
-	}
-	pc.conn, pc.enc, pc.dec = nil, nil, nil
 }
 
 // Call implements protocol.Transport.
@@ -304,16 +352,40 @@ func (c *Client) Fetch(ctx context.Context, from, to protocol.SiteID, req protoc
 }
 
 // Broadcast implements protocol.Transport. TCP has no multicast; the
-// logical broadcast is one call per destination.
+// logical broadcast is one call per destination, issued concurrently so
+// the slowest peer bounds latency instead of the sum of all peers.
 func (c *Client) Broadcast(ctx context.Context, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) map[protocol.SiteID]protocol.Result {
-	out := make(map[protocol.SiteID]protocol.Result, len(dests))
+	targets := make([]protocol.SiteID, 0, len(dests))
 	for _, to := range dests {
-		if to == from {
-			continue
+		if to != from {
+			targets = append(targets, to)
 		}
+	}
+	out := make(map[protocol.SiteID]protocol.Result, len(targets))
+	if len(targets) == 0 {
+		return out
+	}
+	if len(targets) == 1 {
+		to := targets[0]
 		resp, err := c.roundTrip(ctx, to, req)
 		out[to] = protocol.Result{Resp: resp, Err: err}
+		return out
 	}
+	var (
+		rm sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, to := range targets {
+		wg.Add(1)
+		go func(to protocol.SiteID) {
+			defer wg.Done()
+			resp, err := c.roundTrip(ctx, to, req)
+			rm.Lock()
+			out[to] = protocol.Result{Resp: resp, Err: err}
+			rm.Unlock()
+		}(to)
+	}
+	wg.Wait()
 	return out
 }
 

@@ -313,6 +313,181 @@ func TestConcurrentClientCalls(t *testing.T) {
 	}
 }
 
+// TestConnectionPoolBoundsIdleConns drives one peer from many goroutines
+// and checks that concurrent round trips each got a stream (no queueing
+// deadlock) while the idle pool stays within its bound afterwards.
+func TestConnectionPoolBoundsIdleConns(t *testing.T) {
+	_, addrs := startCluster(t, 2)
+	cli, err := NewClient(0, addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := cli.Call(ctx, 0, 1, protocol.VoteRequest{Block: 1}); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	p, err := cli.peer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	idle := len(p.idle)
+	p.mu.Unlock()
+	if idle == 0 {
+		t.Fatal("pool kept no idle connection for reuse")
+	}
+	if idle > maxIdleConnsPerPeer {
+		t.Fatalf("pool holds %d idle conns, bound is %d", idle, maxIdleConnsPerPeer)
+	}
+	// A sequential call must reuse a pooled connection, leaving the idle
+	// count unchanged.
+	if _, err := cli.Call(ctx, 0, 1, protocol.VoteRequest{Block: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	after := len(p.idle)
+	p.mu.Unlock()
+	if after != idle {
+		t.Fatalf("idle conns changed %d -> %d on a sequential call; expected reuse", idle, after)
+	}
+}
+
+// TestConcurrentWritersWithServerRestart hammers distinct blocks through
+// a voting controller over TCP from many goroutines while one remote
+// server process crashes and restarts repeatedly. Every worker must read
+// back its own last successful write; the quorum of the two stable sites
+// keeps the device available throughout.
+func TestConcurrentWritersWithServerRestart(t *testing.T) {
+	replicas, addrs := startCluster(t, 2) // sites 0, 1 stay up
+	chaosRep := newReplica(t, 2)
+	chaosSrv, err := Serve("127.0.0.1:0", chaosRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosAddr := chaosSrv.Addr()
+	addrs[protocol.SiteID(2)] = chaosAddr
+
+	cli, err := NewClient(0, addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ids := []protocol.SiteID{0, 1, 2}
+	ctrl, err := voting.New(scheme.Env{
+		Self:      replicas[0],
+		Transport: cli,
+		Sites:     ids,
+		Weights:   []int64{1000, 1000, 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	const (
+		workers = 8
+		rounds  = 40
+	)
+	stop := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		srv := chaosSrv
+		for {
+			select {
+			case <-stop:
+				srv.Close()
+				return
+			default:
+			}
+			srv.Close()
+			time.Sleep(5 * time.Millisecond)
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				next, err := Serve(chaosAddr, chaosRep)
+				if err == nil {
+					srv = next
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Errorf("chaos restart: %v", err)
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	lastOK := make([]byte, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idx := block.Index(w)
+			for i := 1; i <= rounds; i++ {
+				payload := pad("x")
+				payload[1] = byte(w)
+				payload[2] = byte(i)
+				if err := ctrl.Write(ctx, idx, payload); err != nil {
+					if errors.Is(err, scheme.ErrNoQuorum) {
+						continue
+					}
+					t.Errorf("worker %d write %d: %v", w, i, err)
+					return
+				}
+				lastOK[w] = byte(i)
+				got, err := ctrl.Read(ctx, idx)
+				if err != nil {
+					if errors.Is(err, scheme.ErrNoQuorum) {
+						continue
+					}
+					t.Errorf("worker %d read %d: %v", w, i, err)
+					return
+				}
+				if got[1] != byte(w) || got[2] != lastOK[w] {
+					t.Errorf("worker %d read back w=%d i=%d, want w=%d i=%d",
+						w, got[1], got[2], w, lastOK[w])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	chaosWG.Wait()
+	if t.Failed() {
+		return
+	}
+	for w := 0; w < workers; w++ {
+		got, err := ctrl.Read(context.Background(), block.Index(w))
+		if err != nil {
+			t.Fatalf("final read of block %d: %v", w, err)
+		}
+		if got[1] != byte(w) || got[2] != lastOK[w] {
+			t.Fatalf("block %d lost write: read w=%d i=%d, want w=%d i=%d",
+				w, got[1], got[2], w, lastOK[w])
+		}
+	}
+}
+
 func TestContextDeadlineRespected(t *testing.T) {
 	_, addrs := startCluster(t, 1)
 	addrs[protocol.SiteID(1)] = "10.255.255.1:9" // blackhole

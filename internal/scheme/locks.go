@@ -1,0 +1,52 @@
+package scheme
+
+import (
+	"sync"
+
+	"relidev/internal/block"
+)
+
+// opStripes is the number of lock stripes in an OpLocks. Operations on
+// blocks that hash to different stripes proceed concurrently; 64 stripes
+// keep the collision probability low for realistic client counts while
+// costing a few KB per controller.
+const opStripes = 64
+
+// OpLocks is the concurrency regime shared by the three consistency
+// controllers: data operations (read/write of one block) take a stripe
+// keyed by the block index, so operations on distinct blocks run
+// concurrently while two local operations on the *same* block still
+// serialise — preserving the paper's per-block semantics exactly as the
+// old controller-wide mutex did. Recovery takes the whole structure
+// exclusively: it mutates site-wide state (version vectors, was-available
+// sets) and must not interleave with in-flight operations.
+//
+// Cross-site concurrency control is explicitly out of scope for the
+// paper (§5: no commit protocols); concurrent writes to one block from
+// different sites remain last-writer-wins, unchanged by this type.
+type OpLocks struct {
+	// state is held shared by block operations and exclusively by
+	// recovery, so recovery drains and excludes all in-flight operations.
+	state sync.RWMutex
+	// stripes serialise same-block (and same-stripe) operations.
+	stripes [opStripes]sync.Mutex
+}
+
+// LockOp acquires the operation lock for one block.
+func (l *OpLocks) LockOp(idx block.Index) {
+	l.state.RLock()
+	l.stripes[uint64(idx)%opStripes].Lock()
+}
+
+// UnlockOp releases what LockOp acquired.
+func (l *OpLocks) UnlockOp(idx block.Index) {
+	l.stripes[uint64(idx)%opStripes].Unlock()
+	l.state.RUnlock()
+}
+
+// LockRecovery acquires the structure exclusively, waiting out every
+// in-flight block operation and blocking new ones.
+func (l *OpLocks) LockRecovery() { l.state.Lock() }
+
+// UnlockRecovery releases LockRecovery.
+func (l *OpLocks) UnlockRecovery() { l.state.Unlock() }

@@ -23,6 +23,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"relidev/internal/protocol"
 )
@@ -52,9 +54,9 @@ func (m Mode) String() string {
 	}
 }
 
-// Stats counts high-level transmissions as defined in §5, plus the
-// byte-level alternative metric §5 mentions ("it is possible to instead
-// focus on the sizes of the messages").
+// Stats is a snapshot of the high-level transmission counters defined
+// in §5, plus the byte-level alternative metric §5 mentions ("it is
+// possible to instead focus on the sizes of the messages").
 type Stats struct {
 	// Transmissions is the total number of high-level transmissions.
 	Transmissions uint64
@@ -70,15 +72,6 @@ type Stats struct {
 	ByKind map[string]uint64
 }
 
-func (s *Stats) clone() Stats {
-	out := *s
-	out.ByKind = make(map[string]uint64, len(s.ByKind))
-	for k, v := range s.ByKind {
-		out.ByKind[k] = v
-	}
-	return out
-}
-
 // Network connects up to protocol.MaxSites sites. The zero value is not
 // usable; use New.
 type Network struct {
@@ -87,7 +80,24 @@ type Network struct {
 	handlers  map[protocol.SiteID]protocol.Handler
 	up        map[protocol.SiteID]bool
 	partition map[protocol.SiteID]int
-	stats     Stats
+
+	// Traffic counters are contention-free atomics: metering sits on
+	// every message of the data path and must not serialize concurrent
+	// deliveries behind the configuration mutex. A snapshot (Stats) is
+	// only guaranteed internally consistent on a quiescent network.
+	transmissions atomic.Uint64
+	requests      atomic.Uint64
+	replies       atomic.Uint64
+	bytes         atomic.Uint64
+	// ByKind stays a map under its own narrow mutex: kinds are few and
+	// the map is touched once per logical broadcast, not per delivery.
+	kindMu sync.Mutex
+	byKind map[string]uint64
+
+	// latency is the simulated round-trip time per remote interaction,
+	// in nanoseconds. Zero (the default) keeps the network instantaneous;
+	// it never affects §5 transmission accounting.
+	latency atomic.Int64
 }
 
 var _ protocol.Transport = (*Network)(nil)
@@ -99,7 +109,7 @@ func New(mode Mode) *Network {
 		handlers:  make(map[protocol.SiteID]protocol.Handler),
 		up:        make(map[protocol.SiteID]bool),
 		partition: make(map[protocol.SiteID]int),
-		stats:     Stats{ByKind: make(map[string]uint64)},
+		byKind:    make(map[string]uint64),
 	}
 }
 
@@ -160,18 +170,60 @@ func (n *Network) HealPartitions() {
 	}
 }
 
-// Stats returns a snapshot of the traffic counters.
+// SetLatency sets the simulated round-trip time charged to every remote
+// interaction (one per destination of a broadcast). It models wire and
+// peer service time so that benchmarks can observe round-trip overlap;
+// §5 transmission accounting is unaffected. Zero restores an
+// instantaneous network.
+func (n *Network) SetLatency(d time.Duration) {
+	n.latency.Store(int64(d))
+}
+
+// sleepLatency blocks for the configured simulated round-trip time,
+// honoring ctx cancellation. It returns ctx.Err when cancelled.
+func (n *Network) sleepLatency(ctx context.Context) error {
+	d := time.Duration(n.latency.Load())
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Stats returns a snapshot of the traffic counters. Counters advance
+// independently, so a snapshot taken while deliveries are in flight may
+// be mid-update; quiesce the network for exact totals.
 func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats.clone()
+	out := Stats{
+		Transmissions: n.transmissions.Load(),
+		Requests:      n.requests.Load(),
+		Replies:       n.replies.Load(),
+		Bytes:         n.bytes.Load(),
+	}
+	n.kindMu.Lock()
+	out.ByKind = make(map[string]uint64, len(n.byKind))
+	for k, v := range n.byKind {
+		out.ByKind[k] = v
+	}
+	n.kindMu.Unlock()
+	return out
 }
 
 // ResetStats zeroes the traffic counters.
 func (n *Network) ResetStats() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.stats = Stats{ByKind: make(map[string]uint64)}
+	n.transmissions.Store(0)
+	n.requests.Store(0)
+	n.replies.Store(0)
+	n.bytes.Store(0)
+	n.kindMu.Lock()
+	n.byKind = make(map[string]uint64)
+	n.kindMu.Unlock()
 }
 
 // route returns the handler for `to` if it is up and reachable from
@@ -193,20 +245,18 @@ func (n *Network) route(from, to protocol.SiteID) (protocol.Handler, error) {
 }
 
 func (n *Network) countRequest(kind string, transmissions, bytes uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.stats.Transmissions += transmissions
-	n.stats.Requests += transmissions
-	n.stats.Bytes += bytes
-	n.stats.ByKind[kind] += transmissions
+	n.transmissions.Add(transmissions)
+	n.requests.Add(transmissions)
+	n.bytes.Add(bytes)
+	n.kindMu.Lock()
+	n.byKind[kind] += transmissions
+	n.kindMu.Unlock()
 }
 
 func (n *Network) countReply(resp protocol.Response) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.stats.Transmissions++
-	n.stats.Replies++
-	n.stats.Bytes += uint64(protocol.WireSize(resp))
+	n.transmissions.Add(1)
+	n.replies.Add(1)
+	n.bytes.Add(uint64(protocol.WireSize(resp)))
 }
 
 // Call sends a request to one site and waits for the response. It is
@@ -229,6 +279,9 @@ func (n *Network) Call(ctx context.Context, from, to protocol.SiteID, req protoc
 		return nil, err
 	}
 	n.countRequest(req.Kind(), 1, uint64(protocol.WireSize(req)))
+	if err := n.sleepLatency(ctx); err != nil {
+		return nil, err
+	}
 	resp, err := h.Handle(from, req)
 	if err != nil {
 		return nil, err
@@ -256,6 +309,9 @@ func (n *Network) Fetch(ctx context.Context, from, to protocol.SiteID, req proto
 	if err != nil {
 		return nil, err
 	}
+	if err := n.sleepLatency(ctx); err != nil {
+		return nil, err
+	}
 	resp, err := h.Handle(from, req)
 	if err != nil {
 		return nil, err
@@ -267,8 +323,9 @@ func (n *Network) Fetch(ctx context.Context, from, to protocol.SiteID, req proto
 // Broadcast sends a request to every site in dests and collects the
 // per-site results. Charged as one transmission in multicast mode or one
 // per destination in unicast mode, plus one transmission per reply
-// received. The sender itself is never a destination; callers pass the
-// remote sites.
+// received. A destination equal to the sender is skipped and never
+// charged: local operations cost no traffic (§5). Destinations are
+// contacted concurrently; the round trips overlap.
 func (n *Network) Broadcast(ctx context.Context, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) map[protocol.SiteID]protocol.Result {
 	results := n.deliver(ctx, from, dests, req, true)
 	return results
@@ -291,37 +348,74 @@ func (n *Network) deliver(ctx context.Context, from protocol.SiteID, dests []pro
 		}
 		return results
 	}
-	if len(dests) == 0 {
+	// A destination equal to the sender is skipped before accounting: a
+	// self-send is a local operation and costs no traffic per §5.
+	targets := dests
+	for _, to := range dests {
+		if to == from {
+			targets = make([]protocol.SiteID, 0, len(dests)-1)
+			for _, t := range dests {
+				if t != from {
+					targets = append(targets, t)
+				}
+			}
+			break
+		}
+	}
+	if len(targets) == 0 {
 		return results
 	}
-	mode := n.Mode()
 	reqBytes := uint64(protocol.WireSize(req))
-	switch mode {
+	switch n.Mode() {
 	case Unicast:
-		n.countRequest(req.Kind(), uint64(len(dests)), reqBytes*uint64(len(dests)))
+		// One transmission per destination, whether or not it is up: the
+		// sender cannot know (§5.2).
+		n.countRequest(req.Kind(), uint64(len(targets)), reqBytes*uint64(len(targets)))
 	default:
 		// One transmission reaches every destination; the payload goes
 		// over the wire once.
 		n.countRequest(req.Kind(), 1, reqBytes)
 	}
-	for _, to := range dests {
-		if to == from {
-			continue
-		}
-		h, err := n.route(from, to)
-		if err != nil {
-			results[to] = protocol.Result{Err: err}
-			continue
-		}
-		resp, err := h.Handle(from, req)
-		if err != nil {
-			results[to] = protocol.Result{Err: err}
-			continue
-		}
-		results[to] = protocol.Result{Resp: resp}
-		if countReplies {
-			n.countReply(resp)
-		}
+	if len(targets) == 1 {
+		// Nothing to fan out; skip the goroutine machinery.
+		results[targets[0]] = n.deliverOne(ctx, from, targets[0], req, countReplies)
+		return results
 	}
+	// Fan out: each destination's round trip proceeds concurrently, so a
+	// quorum collection costs one round-trip time, not one per site.
+	var (
+		wg sync.WaitGroup
+		rm sync.Mutex
+	)
+	for _, to := range targets {
+		wg.Add(1)
+		go func(to protocol.SiteID) {
+			defer wg.Done()
+			res := n.deliverOne(ctx, from, to, req, countReplies)
+			rm.Lock()
+			results[to] = res
+			rm.Unlock()
+		}(to)
+	}
+	wg.Wait()
 	return results
+}
+
+// deliverOne performs the round trip to a single destination.
+func (n *Network) deliverOne(ctx context.Context, from, to protocol.SiteID, req protocol.Request, countReply bool) protocol.Result {
+	h, err := n.route(from, to)
+	if err != nil {
+		return protocol.Result{Err: err}
+	}
+	if err := n.sleepLatency(ctx); err != nil {
+		return protocol.Result{Err: err}
+	}
+	resp, err := h.Handle(from, req)
+	if err != nil {
+		return protocol.Result{Err: err}
+	}
+	if countReply {
+		n.countReply(resp)
+	}
+	return protocol.Result{Resp: resp}
 }

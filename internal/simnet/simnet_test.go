@@ -4,20 +4,23 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"relidev/internal/protocol"
 )
 
-// echoHandler records calls and answers StatusRequests.
+// echoHandler records calls and answers StatusRequests. Handlers are
+// invoked concurrently by the network's fan-out, so the counter is
+// atomic.
 type echoHandler struct {
 	id    protocol.SiteID
-	calls int
+	calls atomic.Int64
 	fail  error
 }
 
 func (h *echoHandler) Handle(from protocol.SiteID, req protocol.Request) (protocol.Response, error) {
-	h.calls++
+	h.calls.Add(1)
 	if h.fail != nil {
 		return nil, h.fail
 	}
@@ -54,8 +57,8 @@ func TestCallCountsTwoTransmissions(t *testing.T) {
 	if _, ok := resp.(protocol.StatusReply); !ok {
 		t.Fatalf("resp = %T, want StatusReply", resp)
 	}
-	if hs[1].calls != 1 {
-		t.Fatalf("handler calls = %d, want 1", hs[1].calls)
+	if hs[1].calls.Load() != 1 {
+		t.Fatalf("handler calls = %d, want 1", hs[1].calls.Load())
 	}
 	st := net.Stats()
 	if st.Transmissions != 2 || st.Requests != 1 || st.Replies != 1 {
@@ -68,8 +71,8 @@ func TestSelfCallIsFree(t *testing.T) {
 	if _, err := net.Call(context.Background(), 0, 0, protocol.StatusRequest{}); err != nil {
 		t.Fatalf("self Call: %v", err)
 	}
-	if hs[0].calls != 1 {
-		t.Fatalf("handler calls = %d, want 1", hs[0].calls)
+	if hs[0].calls.Load() != 1 {
+		t.Fatalf("handler calls = %d, want 1", hs[0].calls.Load())
 	}
 	if st := net.Stats(); st.Transmissions != 0 {
 		t.Fatalf("self call cost %d transmissions, want 0", st.Transmissions)
@@ -135,8 +138,8 @@ func TestNotifyChargesNoReplies(t *testing.T) {
 				}
 			}
 			for _, h := range hs[1:] {
-				if h.calls != 1 {
-					t.Fatalf("handler calls = %d, want 1", h.calls)
+				if h.calls.Load() != 1 {
+					t.Fatalf("handler calls = %d, want 1", h.calls.Load())
 				}
 			}
 			st := net.Stats()
@@ -158,7 +161,7 @@ func TestDownSiteDoesNotAnswer(t *testing.T) {
 	if !errors.Is(err, protocol.ErrSiteDown) {
 		t.Fatalf("err = %v, want ErrSiteDown", err)
 	}
-	if hs[1].calls != 0 {
+	if hs[1].calls.Load() != 0 {
 		t.Fatal("down site's handler was invoked")
 	}
 	net.SetUp(1, true)
@@ -207,7 +210,7 @@ func TestCancelledContext(t *testing.T) {
 	if res[1].Err == nil {
 		t.Fatal("Broadcast with cancelled context succeeded")
 	}
-	if hs[1].calls != 0 {
+	if hs[1].calls.Load() != 0 {
 		t.Fatal("handler invoked despite cancelled context")
 	}
 	if st := net.Stats(); st.Transmissions != 0 {
@@ -242,6 +245,32 @@ func TestStatsSnapshotIsIsolated(t *testing.T) {
 	snap.ByKind["vote"] = 999
 	if net.Stats().ByKind["vote"] == 999 {
 		t.Fatal("Stats exposed internal map")
+	}
+}
+
+// TestBroadcastSelfDestinationIsFree pins the §5 rule that a site never
+// pays wire traffic to talk to itself: a unicast broadcast whose
+// destination list includes the sender charges one request per *remote*
+// destination, i.e. len(dests)-1, and the self entry produces no result.
+func TestBroadcastSelfDestinationIsFree(t *testing.T) {
+	net, hs := buildNet(t, Unicast, 4)
+	dests := []protocol.SiteID{0, 1, 2, 3} // includes self (0)
+	res := net.Broadcast(context.Background(), 0, dests, protocol.StatusRequest{})
+	if len(res) != 3 {
+		t.Fatalf("results = %d, want 3 (self filtered)", len(res))
+	}
+	if _, ok := res[0]; ok {
+		t.Fatal("broadcast delivered to the sender itself")
+	}
+	if hs[0].calls.Load() != 0 {
+		t.Fatal("sender handled its own broadcast")
+	}
+	st := net.Stats()
+	if st.Requests != uint64(len(dests)-1) {
+		t.Fatalf("requests = %d, want %d (self-send is free)", st.Requests, len(dests)-1)
+	}
+	if st.Replies != 3 {
+		t.Fatalf("replies = %d, want 3", st.Replies)
 	}
 }
 

@@ -221,12 +221,11 @@ func (r *Replica) Handle(from protocol.SiteID, req protocol.Request) (protocol.R
 			// delayed-information relaxation). Union keeps the stored set
 			// a superset of every site that may hold newer data, which is
 			// safe: recovery may wait for more sites than strictly
-			// necessary, never fewer.
-			next := r.wasAvailAfterWrite(q.WasAvail, from, q.ReplaceW)
-			r.mu.Lock()
-			err := r.setWasAvailLocked(next)
-			r.mu.Unlock()
-			if err != nil {
+			// necessary, never fewer. The read-modify-write must happen
+			// under one lock hold: puts for distinct blocks arrive
+			// concurrently, and a lost merge could shrink W below the set
+			// of sites holding newer data.
+			if err := r.applyWasAvailFromWrite(q.WasAvail, from, q.ReplaceW); err != nil {
 				return nil, err
 			}
 		}
@@ -250,14 +249,15 @@ func (r *Replica) Handle(from protocol.SiteID, req protocol.Request) (protocol.R
 	}
 }
 
-func (r *Replica) wasAvailAfterWrite(piggyback protocol.SiteSet, writer protocol.SiteID, replace bool) protocol.SiteSet {
+func (r *Replica) applyWasAvailFromWrite(piggyback protocol.SiteSet, writer protocol.SiteID, replace bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	next := r.wasAvail.Union(piggyback).Add(r.id).Add(writer)
 	if replace {
 		// The coordinator asserts it knows the exact recipient set.
-		return piggyback.Add(r.id).Add(writer)
+		next = piggyback.Add(r.id).Add(writer)
 	}
-	return r.wasAvail.Union(piggyback).Add(r.id).Add(writer)
+	return r.setWasAvailLocked(next)
 }
 
 // handleRecovery serves the version-vector exchange of Figure 5: compare

@@ -13,7 +13,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 
 	"relidev/internal/block"
 	"relidev/internal/protocol"
@@ -51,10 +50,12 @@ type Controller struct {
 	writeThreshold int64
 	eager          bool
 
-	// mu serialises operations issued at this site. The paper explicitly
-	// leaves multi-writer concurrency control (commit protocols) out of
-	// scope (§5); cross-site writes are last-writer-wins.
-	mu sync.Mutex
+	// locks serialises same-block operations issued at this site while
+	// letting distinct blocks proceed concurrently; recovery excludes all
+	// in-flight operations. The paper explicitly leaves multi-writer
+	// concurrency control (commit protocols) out of scope (§5);
+	// cross-site writes are last-writer-wins.
+	locks scheme.OpLocks
 }
 
 var _ scheme.Controller = (*Controller)(nil)
@@ -172,8 +173,8 @@ func currentDataSite(votes []vote, ver block.Version) (vote, bool) {
 // the local copy from the most current site if it is out of date (one
 // extra transmission), then read locally.
 func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.locks.LockOp(idx)
+	defer c.locks.UnlockOp(idx)
 
 	votes, weight, err := c.collect(ctx, idx)
 	if err != nil {
@@ -226,8 +227,8 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) 
 // quorum — which repairs all reachable out-of-date copies as a side
 // effect.
 func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.locks.LockOp(idx)
+	defer c.locks.UnlockOp(idx)
 
 	votes, weight, err := c.collect(ctx, idx)
 	if err != nil {
@@ -289,8 +290,8 @@ func isTransportError(err error) bool {
 // refreshes the whole device from the most current reachable site, which
 // is the file-level behaviour the paper improves upon.
 func (c *Controller) Recover(ctx context.Context) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.locks.LockRecovery()
+	defer c.locks.UnlockRecovery()
 	self := c.env.Self
 	if !c.eager {
 		self.SetState(protocol.StateAvailable)

@@ -1,0 +1,232 @@
+// Parallel data-path benchmarks: many clients hammering *distinct*
+// blocks of one reliable device concurrently. The paper scopes
+// consistency per block (§5), so operations on distinct blocks are
+// independent and a data path that serializes them is leaving
+// throughput on the table.
+//
+// Two network settings are measured per scheme and cluster size:
+//
+//   - lat0: an instantaneous simulated network — isolates CPU overhead
+//     of the protocol plumbing.
+//   - lat100us: every remote round trip costs 100µs (simulated wire +
+//     peer service time) — shows how the data path overlaps quorum
+//     round trips, which is where concurrent fan-out pays off.
+//
+// The RPC variants run the same workload over real loopback TCP between
+// in-process server endpoints.
+//
+// Run: go test -bench=Parallel -benchtime=1s
+// Results are tracked in EXPERIMENTS.md and BENCH_parallel.json.
+package relidev_test
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"relidev"
+)
+
+const (
+	parBlocks    = 256
+	parBlockSize = 512
+	parLatency   = 100 * time.Microsecond
+)
+
+func parallelSchemes() []relidev.Scheme {
+	return []relidev.Scheme{relidev.Voting, relidev.AvailableCopy, relidev.NaiveAvailableCopy}
+}
+
+func parallelSimCluster(b *testing.B, scheme relidev.Scheme, n int, latency time.Duration) relidev.Device {
+	b.Helper()
+	opts := []relidev.Option{
+		relidev.WithGeometry(relidev.Geometry{BlockSize: parBlockSize, NumBlocks: parBlocks}),
+	}
+	if latency > 0 {
+		opts = append(opts, relidev.WithSimulatedLatency(latency))
+	}
+	cluster, err := relidev.New(n, scheme, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := cluster.Device(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dev
+}
+
+// hammerParallel runs op from b.RunParallel goroutines, each owning a
+// distinct block, and reports throughput as ops/sec.
+func hammerParallel(b *testing.B, op func(goroutine int, idx relidev.Index) error) {
+	b.Helper()
+	var next atomic.Int64
+	var failed atomic.Value
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := int(next.Add(1) - 1)
+		idx := relidev.Index(g % parBlocks)
+		for pb.Next() {
+			if err := op(g, idx); err != nil {
+				failed.Store(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err, ok := failed.Load().(error); ok {
+		b.Fatal(err)
+	}
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "ops/sec")
+	}
+}
+
+func latName(d time.Duration) string {
+	if d == 0 {
+		return "lat0"
+	}
+	return fmt.Sprintf("lat%dus", d.Microseconds())
+}
+
+// BenchmarkParallelWrite measures concurrent writes to distinct blocks
+// through one site's device. Before the concurrent data path, every
+// write serialized behind a device-wide mutex and a destination-at-a-
+// time broadcast loop; the striped per-block locks and concurrent
+// quorum fan-out let independent blocks proceed at once.
+func BenchmarkParallelWrite(b *testing.B) {
+	b.SetParallelism(8)
+	for _, scheme := range parallelSchemes() {
+		for _, n := range []int{3, 5, 7} {
+			for _, lat := range []time.Duration{0, parLatency} {
+				b.Run(fmt.Sprintf("%v/n%d/%s", scheme, n, latName(lat)), func(b *testing.B) {
+					dev := parallelSimCluster(b, scheme, n, lat)
+					ctx := context.Background()
+					hammerParallel(b, func(g int, idx relidev.Index) error {
+						payload := make([]byte, parBlockSize)
+						payload[0] = byte(g)
+						return dev.WriteBlock(ctx, idx, payload)
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkParallelRead measures concurrent reads of distinct blocks.
+// Voting collects a quorum per read (round-trip bound); the available
+// copy schemes read locally, so their numbers isolate lock overhead.
+func BenchmarkParallelRead(b *testing.B) {
+	b.SetParallelism(8)
+	for _, scheme := range parallelSchemes() {
+		for _, n := range []int{3, 5, 7} {
+			for _, lat := range []time.Duration{0, parLatency} {
+				b.Run(fmt.Sprintf("%v/n%d/%s", scheme, n, latName(lat)), func(b *testing.B) {
+					dev := parallelSimCluster(b, scheme, n, lat)
+					ctx := context.Background()
+					payload := make([]byte, parBlockSize)
+					for i := 0; i < parBlocks; i++ {
+						if err := dev.WriteBlock(ctx, relidev.Index(i), payload); err != nil {
+							b.Fatal(err)
+						}
+					}
+					hammerParallel(b, func(g int, idx relidev.Index) error {
+						_, err := dev.ReadBlock(ctx, idx)
+						return err
+					})
+				})
+			}
+		}
+	}
+}
+
+// parallelRPCCluster boots n replica server endpoints over loopback TCP
+// (two passes: reserve ephemeral ports, then open the full mesh) and
+// returns site 0's device.
+func parallelRPCCluster(b *testing.B, scheme relidev.Scheme, n int) relidev.Device {
+	b.Helper()
+	geom := relidev.Geometry{BlockSize: parBlockSize, NumBlocks: parBlocks}
+	addrs := make(map[int]string, n)
+	var boot []*relidev.RemoteSite
+	for i := 0; i < n; i++ {
+		s, err := relidev.OpenRemote(relidev.RemoteConfig{
+			Self:     i,
+			Peers:    map[int]string{i: "127.0.0.1:0"},
+			Scheme:   scheme,
+			Geometry: geom,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = s.Addr()
+		boot = append(boot, s)
+	}
+	for _, s := range boot {
+		s.Close()
+	}
+	sites := make([]*relidev.RemoteSite, n)
+	for i := 0; i < n; i++ {
+		s, err := relidev.OpenRemote(relidev.RemoteConfig{
+			Self:     i,
+			Peers:    addrs,
+			Scheme:   scheme,
+			Geometry: geom,
+			Timeout:  10 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sites[i] = s
+	}
+	b.Cleanup(func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	})
+	return sites[0].Device()
+}
+
+// BenchmarkParallelWriteRPC is BenchmarkParallelWrite over real loopback
+// TCP: the per-peer connection pool and concurrent fan-out must overlap
+// genuine kernel round trips.
+func BenchmarkParallelWriteRPC(b *testing.B) {
+	b.SetParallelism(8)
+	for _, scheme := range parallelSchemes() {
+		for _, n := range []int{3, 5, 7} {
+			b.Run(fmt.Sprintf("%v/n%d", scheme, n), func(b *testing.B) {
+				dev := parallelRPCCluster(b, scheme, n)
+				ctx := context.Background()
+				hammerParallel(b, func(g int, idx relidev.Index) error {
+					payload := make([]byte, parBlockSize)
+					payload[0] = byte(g)
+					return dev.WriteBlock(ctx, idx, payload)
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkParallelReadRPC measures concurrent reads over TCP; only the
+// voting scheme produces network traffic on reads.
+func BenchmarkParallelReadRPC(b *testing.B) {
+	b.SetParallelism(8)
+	for _, n := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("voting/n%d", n), func(b *testing.B) {
+			dev := parallelRPCCluster(b, relidev.Voting, n)
+			ctx := context.Background()
+			payload := make([]byte, parBlockSize)
+			for i := 0; i < parBlocks; i++ {
+				if err := dev.WriteBlock(ctx, relidev.Index(i), payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			hammerParallel(b, func(g int, idx relidev.Index) error {
+				_, err := dev.ReadBlock(ctx, idx)
+				return err
+			})
+		})
+	}
+}

@@ -31,6 +31,7 @@ package relidev
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"relidev/internal/availcopy"
 	"relidev/internal/block"
@@ -120,6 +121,7 @@ type options struct {
 	immediateW bool
 	storeDir   string
 	witnesses  int
+	latency    time.Duration
 }
 
 // WithGeometry sets the device shape (default 512-byte blocks, 128
@@ -165,6 +167,14 @@ func WithFileStores(dir string) Option {
 	return func(o *options) { o.storeDir = dir }
 }
 
+// WithSimulatedLatency charges every remote round trip on the simulated
+// network the given delay, modelling wire and peer service time. Traffic
+// accounting (§5 transmission counts) is unchanged; the knob exists so
+// benchmarks can observe how the data path overlaps round trips.
+func WithSimulatedLatency(d time.Duration) Option {
+	return func(o *options) { o.latency = d }
+}
+
 // WithWitnesses turns the last w sites into voting witnesses (Pâris
 // [10]): full quorum participants that track per-block version numbers
 // but store no data. Witnesses buy voting-grade consistency guarantees
@@ -203,6 +213,7 @@ func New(n int, scheme Scheme, opts ...Option) (*Cluster, error) {
 		Scheme:    scheme.kind(),
 		Weights:   o.weights,
 		Witnesses: o.witnesses,
+		Latency:   o.latency,
 	}
 	if o.unicast {
 		cfg.Mode = simnet.Unicast
