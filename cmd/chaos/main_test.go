@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllSchemes(t *testing.T) {
+	for _, scheme := range []string{"voting", "ac", "nac"} {
+		var buf bytes.Buffer
+		ok, err := run(&buf, scheme, 4, 8, 3, 40, 4, 0.25, false)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if !ok {
+			t.Fatalf("%s: invariant violations:\n%s", scheme, buf.String())
+		}
+		if !strings.Contains(buf.String(), "invariants OK") {
+			t.Fatalf("%s: unexpected output:\n%s", scheme, buf.String())
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	ok, err := run(&buf, "voting", 4, 8, 3, 20, 2, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("violations:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"digest"`) {
+		t.Fatalf("JSON output missing digest:\n%s", buf.String())
+	}
+}
+
+func TestRunDigestStableAcrossInvocations(t *testing.T) {
+	digest := func() string {
+		var buf bytes.Buffer
+		if _, err := run(&buf, "voting", 4, 8, 11, 30, 4, 0.25, true); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := digest(), digest(); a != b {
+		t.Fatalf("reports diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRunRejectsBadScheme(t *testing.T) {
+	if _, err := run(&bytes.Buffer{}, "nope", 4, 8, 1, 10, 2, 0.25, false); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

@@ -139,6 +139,14 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) er
 		switch {
 		case res.Err == nil:
 			recipients = recipients.Add(id)
+		case errors.Is(res.Err, protocol.ErrTransient):
+			// A transient wire failure against a peer *not* known to be
+			// down must fail the whole write rather than silently drop
+			// the peer: excluding a live site from the recipient set
+			// would shrink W_s below the set of sites holding the most
+			// recent write, and a later recovery could then adopt a
+			// stale copy. The caller retries; W_s is left untouched.
+			return fmt.Errorf("available copy write of %v: outcome at site %v indeterminate: %w", idx, id, res.Err)
 		case errors.Is(res.Err, protocol.ErrSiteDown),
 			errors.Is(res.Err, protocol.ErrSiteUnreachable),
 			errors.Is(res.Err, site.ErrComatose),
@@ -255,6 +263,12 @@ func (c *Controller) repairFrom(ctx context.Context, t protocol.SiteID) error {
 	req := protocol.RecoveryRequest{Vector: self.Vector(), JoinW: true}
 	resp, err := c.env.Transport.Call(ctx, self.ID(), t, req)
 	if err != nil {
+		if scheme.IsTransportError(err) {
+			// The repair source vanished between the status exchange and
+			// the version-vector exchange. Stay comatose; the next
+			// membership change re-runs recovery against a live source.
+			return fmt.Errorf("available copy recovery of %v from %v: %v: %w", self.ID(), t, err, scheme.ErrAwaitingSites)
+		}
 		return fmt.Errorf("available copy recovery of %v from %v: %w", self.ID(), t, err)
 	}
 	rec, ok := resp.(protocol.RecoveryReply)

@@ -1,0 +1,610 @@
+// Package chaos drives a live replica cluster through a seeded schedule
+// of failures, repairs, partitions, and message faults, interleaved
+// with a read/write workload, and checks the paper's consistency claims
+// as machine invariants at every quiescent point.
+//
+// The schedule comes from the same Poisson failure/repair process the
+// analytical simulator uses (internal/sim), compiled into real
+// Cluster.Fail/Restart calls; message faults come from a faultnet
+// decorator spliced between the controllers and the simulated network.
+// Everything is seeded, the workload is sequential, and faultnet's
+// decision streams are per-link, so a run is a pure function of its
+// Config: the Report's digest is bit-identical across replays.
+//
+// The invariants, per scheme:
+//
+//   - version monotonicity: no site's version of any block ever
+//     decreases, across failures, repairs, and recoveries;
+//   - freshness: a successful read of a block returns a write sequence
+//     number no older than the newest committed write and no newer than
+//     the newest issued write (sequential workload, so this is exactly
+//     linearizability of the read), and reads never go backwards;
+//   - was-available safety (available copy only): for every site s, the
+//     closure C*(W_s ∪ {s}) contains a site holding the globally newest
+//     version of every block — the §3.2 claim that recovery from the
+//     most current closure member never adopts a stale copy;
+//   - convergence: after a forced total failure every site recovers and
+//     (for the available copy schemes) all version vectors are equal.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math/rand"
+
+	"relidev/internal/availcopy"
+	"relidev/internal/block"
+	"relidev/internal/core"
+	"relidev/internal/faultnet"
+	"relidev/internal/protocol"
+	"relidev/internal/scheme"
+	"relidev/internal/sim"
+)
+
+// Config parameterises one chaos run. The zero value is not valid; use
+// Defaults as a base.
+type Config struct {
+	// Scheme selects the consistency algorithm under test.
+	Scheme core.SchemeKind
+	// Sites is the cluster size.
+	Sites int
+	// Blocks is the device size in blocks.
+	Blocks int
+	// Seed drives the failure process, the workload, and faultnet.
+	Seed int64
+	// Events is the number of failure/repair events to apply.
+	Events int
+	// OpsPerEvent is the number of workload operations between events.
+	OpsPerEvent int
+	// Rho is the per-site failure-to-repair rate ratio lambda/mu of the
+	// Poisson process (repair rate fixed at 1).
+	Rho float64
+}
+
+// Defaults returns a Config sized for a quick but meaningful run.
+func Defaults(kind core.SchemeKind) Config {
+	return Config{
+		Scheme:      kind,
+		Sites:       5,
+		Blocks:      12,
+		Seed:        1,
+		Events:      200,
+		OpsPerEvent: 8,
+		Rho:         0.25,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Sites < 2 || c.Sites > protocol.MaxSites {
+		return fmt.Errorf("chaos: need 2..%d sites, got %d", protocol.MaxSites, c.Sites)
+	}
+	if c.Blocks < 1 {
+		return fmt.Errorf("chaos: need at least one block, got %d", c.Blocks)
+	}
+	if c.Events < 1 {
+		return fmt.Errorf("chaos: need at least one event, got %d", c.Events)
+	}
+	if c.OpsPerEvent < 0 {
+		return fmt.Errorf("chaos: negative ops per event %d", c.OpsPerEvent)
+	}
+	if c.Rho <= 0 {
+		return fmt.Errorf("chaos: rho must be positive, got %v", c.Rho)
+	}
+	return nil
+}
+
+// menu is the per-scheme fault menu. Voting is exercised against the
+// full §6 horror show — lost messages, lost replies, timeouts, and
+// partitions — because quorum intersection is supposed to survive all
+// of it. The available copy schemes get crash/repair and latency only:
+// §6 states they require a reliable, partition-free network, so feeding
+// them message loss would manufacture violations the paper already
+// predicts.
+func menu(kind core.SchemeKind, seed int64) faultnet.Config {
+	switch kind {
+	case core.Voting:
+		return faultnet.Config{
+			Seed:          seed,
+			DropProb:      0.04,
+			ReplyLossProb: 0.03,
+			TimeoutProb:   0.03,
+			LatencyProb:   0.02,
+			NoDropKinds:   []string{"put"},
+		}
+	default:
+		return faultnet.Config{
+			Seed:        seed,
+			LatencyProb: 0.02,
+		}
+	}
+}
+
+// Report is the JSON-serialisable outcome of a run.
+type Report struct {
+	Scheme        string         `json:"scheme"`
+	Sites         int            `json:"sites"`
+	Blocks        int            `json:"blocks"`
+	Seed          int64          `json:"seed"`
+	Rho           float64        `json:"rho"`
+	EventsApplied int            `json:"events_applied"`
+	EventsSkipped int            `json:"events_skipped"`
+	Fails         int            `json:"fails"`
+	Repairs       int            `json:"repairs"`
+	TotalFailures int            `json:"total_failures"`
+	Ops           int            `json:"ops"`
+	Reads         int            `json:"reads"`
+	Writes        int            `json:"writes"`
+	OpErrors      int            `json:"op_errors"`
+	Faults        faultnet.Stats `json:"faults"`
+	Violations    []string       `json:"violations"`
+	Digest        string         `json:"digest"`
+}
+
+// engine is the mutable state of one run.
+type engine struct {
+	cfg Config
+	cl  *core.Cluster
+	fn  *faultnet.Network
+	rng *rand.Rand
+
+	// maxIssued and committed bracket, per block, the write sequence
+	// numbers a read may legally return. committed also absorbs every
+	// successfully read sequence number: sequential reads must never go
+	// backwards.
+	maxIssued []uint64
+	committed []uint64
+
+	// highWater is the per-site per-block version floor for the
+	// monotonicity invariant.
+	highWater []block.Vector
+
+	hash   hash.Hash64
+	report *Report
+}
+
+// Run executes one chaos schedule and returns its report. The report is
+// returned (with partial counts) even when violations were found; the
+// error is reserved for setup problems and context cancellation.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e)),
+		maxIssued: make([]uint64, cfg.Blocks),
+		committed: make([]uint64, cfg.Blocks),
+		hash:      fnv.New64a(),
+		report: &Report{
+			Scheme: cfg.Scheme.String(),
+			Sites:  cfg.Sites,
+			Blocks: cfg.Blocks,
+			Seed:   cfg.Seed,
+			Rho:    cfg.Rho,
+		},
+	}
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Sites:    cfg.Sites,
+		Geometry: block.Geometry{BlockSize: 32, NumBlocks: cfg.Blocks},
+		Scheme:   cfg.Scheme,
+		WrapTransport: func(inner protocol.Transport) protocol.Transport {
+			fn, ferr := faultnet.New(inner, menu(cfg.Scheme, cfg.Seed))
+			if ferr != nil {
+				return nil
+			}
+			e.fn = fn
+			return fn
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.cl = cl
+	e.highWater = make([]block.Vector, cfg.Sites)
+	for i := 0; i < cfg.Sites; i++ {
+		e.highWater[i] = block.NewVector(cfg.Blocks)
+	}
+
+	if err := e.run(ctx); err != nil {
+		return e.report, err
+	}
+	e.report.Faults = e.fn.Stats()
+	e.report.Digest = fmt.Sprintf("%016x", e.hash.Sum64())
+	return e.report, nil
+}
+
+func (e *engine) run(ctx context.Context) error {
+	proc, err := sim.NewFailureProcess(e.cfg.Sites, e.cfg.Rho, 1.0, e.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	for e.report.EventsApplied < e.cfg.Events {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e.workload(ctx)
+		ev, ok := proc.Next()
+		if !ok {
+			return errors.New("chaos: failure process ran dry")
+		}
+		e.applyEvent(ctx, ev)
+		e.checkpoint()
+	}
+	e.totalFailure(ctx)
+	e.checkpoint()
+	e.convergenceCheck(ctx)
+	return ctx.Err()
+}
+
+// applyEvent maps one Poisson event onto the live cluster. Events whose
+// precondition no longer holds (the process models a site as down that
+// chaos already restarted, or vice versa) are counted as skipped, never
+// silently dropped.
+func (e *engine) applyEvent(ctx context.Context, ev sim.Event) {
+	id := protocol.SiteID(ev.Site)
+	st, _ := e.cl.State(id)
+	switch ev.Kind {
+	case sim.EventFail:
+		if st == protocol.StateFailed {
+			e.report.EventsSkipped++
+			return
+		}
+		if err := e.cl.Fail(id); err != nil {
+			e.violatef("event fail %v: %v", id, err)
+			return
+		}
+		e.report.Fails++
+		e.stamp("F%d", id)
+		if e.allFailed() {
+			e.report.TotalFailures++
+			e.stamp("TF")
+		}
+	case sim.EventRepair:
+		if st != protocol.StateFailed {
+			e.report.EventsSkipped++
+			return
+		}
+		if err := e.cl.Restart(ctx, id); err != nil {
+			e.violatef("event repair %v: %v", id, err)
+			return
+		}
+		e.report.Repairs++
+		e.stamp("R%d", id)
+	}
+	e.report.EventsApplied++
+	// Give stuck comatose sites another recovery attempt under fresh
+	// fault draws; ErrAwaitingSites inside is not an error.
+	if err := e.cl.DriveRecovery(ctx); err != nil {
+		e.violatef("drive recovery: %v", err)
+	}
+}
+
+func (e *engine) allFailed() bool {
+	for _, st := range e.cl.States() {
+		if st != protocol.StateFailed {
+			return false
+		}
+	}
+	return true
+}
+
+// workload runs one batch of sequential read/write operations against
+// randomly chosen available sites, possibly under a short partition
+// window (voting only — §6 says the available copy schemes assume a
+// partition-free network).
+func (e *engine) workload(ctx context.Context) {
+	partition := e.cfg.Scheme == core.Voting && e.rng.Float64() < 0.08
+	if partition {
+		cut := 1 + e.rng.Intn(e.cfg.Sites/2)
+		for i := 0; i < cut; i++ {
+			e.fn.SetPartition(protocol.SiteID(e.rng.Intn(e.cfg.Sites)), 1)
+		}
+		e.stamp("P")
+	}
+	for i := 0; i < e.cfg.OpsPerEvent; i++ {
+		e.step(ctx)
+	}
+	if partition {
+		e.fn.Heal()
+		e.stamp("H")
+	}
+}
+
+// step performs one operation. Operation errors are expected under
+// chaos (no quorum, site not available, injected faults); anything
+// outside that closed set is a violation.
+func (e *engine) step(ctx context.Context) {
+	avail := make([]protocol.SiteID, 0, e.cfg.Sites)
+	for i, st := range e.cl.States() {
+		if st == protocol.StateAvailable {
+			avail = append(avail, protocol.SiteID(i))
+		}
+	}
+	// Draw site and block even when no site is available, so the
+	// workload stream stays aligned across runs that diverge only in
+	// how long a total outage lasts.
+	siteDraw := e.rng.Intn(e.cfg.Sites)
+	idx := block.Index(e.rng.Intn(e.cfg.Blocks))
+	write := e.rng.Float64() < 0.4
+	if len(avail) == 0 {
+		e.stamp("idle")
+		return
+	}
+	site := avail[siteDraw%len(avail)]
+	ctrl, err := e.cl.Controller(site)
+	if err != nil {
+		e.violatef("controller %v: %v", site, err)
+		return
+	}
+	e.report.Ops++
+	if write {
+		e.report.Writes++
+		seq := e.maxIssued[idx] + 1
+		e.maxIssued[idx] = seq
+		err := ctrl.Write(ctx, idx, payload(e.cl.Geometry().BlockSize, idx, seq))
+		switch {
+		case err == nil:
+			e.committed[idx] = seq
+			e.stamp("W%d@%d=%d ok", idx, site, seq)
+		case acceptable(err):
+			e.report.OpErrors++
+			e.stamp("W%d@%d=%d err", idx, site, seq)
+		default:
+			e.violatef("write %v at %v: %v", idx, site, err)
+		}
+		return
+	}
+	e.report.Reads++
+	data, err := ctrl.Read(ctx, idx)
+	switch {
+	case err == nil:
+		got, perr := parsePayload(data)
+		if perr != nil {
+			e.violatef("read %v at %v: %v", idx, site, perr)
+			return
+		}
+		if got.seq != 0 && got.block != idx {
+			// An all-zero (never-written) block parses as block 0 seq 0;
+			// only a real payload can witness cross-block corruption.
+			e.violatef("read %v at %v returned block %v's data", idx, site, got.block)
+			return
+		}
+		if got.seq < e.committed[idx] || got.seq > e.maxIssued[idx] {
+			e.violatef("read %v at %v: seq %d outside [%d, %d]",
+				idx, site, got.seq, e.committed[idx], e.maxIssued[idx])
+			return
+		}
+		// Reads must not go backwards either: raise the floor.
+		e.committed[idx] = got.seq
+		e.stamp("R%d@%d=%d", idx, site, got.seq)
+	case acceptable(err):
+		e.report.OpErrors++
+		e.stamp("R%d@%d err", idx, site)
+	default:
+		e.violatef("read %v at %v: %v", idx, site, err)
+	}
+}
+
+// checkpoint runs the quiescent-point invariants: per-site version
+// monotonicity for every scheme, was-available closure safety for the
+// available copy scheme.
+func (e *engine) checkpoint() {
+	for i := 0; i < e.cfg.Sites; i++ {
+		rep, err := e.cl.Replica(protocol.SiteID(i))
+		if err != nil {
+			e.violatef("replica %d: %v", i, err)
+			continue
+		}
+		vec := rep.Vector()
+		for b := 0; b < e.cfg.Blocks; b++ {
+			idx := block.Index(b)
+			if vec.Get(idx) < e.highWater[i].Get(idx) {
+				e.violatef("site %d block %v version regressed %v -> %v",
+					i, idx, e.highWater[i].Get(idx), vec.Get(idx))
+			}
+			e.highWater[i].Set(idx, vec.Get(idx))
+		}
+	}
+	if e.cfg.Scheme == core.AvailableCopy {
+		e.closureCheck()
+	}
+}
+
+// closureCheck verifies the §3.2 safety claim behind available copy
+// recovery: for every site s, the closure C*(W_s ∪ {s}) — computed with
+// omniscient access to every site's stored was-available set — contains
+// a holder of the globally newest version of every block. If it ever
+// did not, a recovery rooted at s could adopt a stale copy while
+// believing itself current.
+func (e *engine) closureCheck() {
+	vecs := make([]block.Vector, e.cfg.Sites)
+	wsets := make([]protocol.SiteSet, e.cfg.Sites)
+	for i := 0; i < e.cfg.Sites; i++ {
+		rep, err := e.cl.Replica(protocol.SiteID(i))
+		if err != nil {
+			e.violatef("replica %d: %v", i, err)
+			return
+		}
+		vecs[i] = rep.Vector()
+		wsets[i] = rep.WasAvailable()
+	}
+	lookup := func(u protocol.SiteID) (protocol.SiteSet, bool) {
+		return wsets[u], true
+	}
+	for s := 0; s < e.cfg.Sites; s++ {
+		closure := availcopy.Closure(wsets[s].Add(protocol.SiteID(s)), lookup)
+		for b := 0; b < e.cfg.Blocks; b++ {
+			idx := block.Index(b)
+			var globalMax, closureMax block.Version
+			for u := 0; u < e.cfg.Sites; u++ {
+				v := vecs[u].Get(idx)
+				if v > globalMax {
+					globalMax = v
+				}
+				if closure.Has(protocol.SiteID(u)) && v > closureMax {
+					closureMax = v
+				}
+			}
+			if closureMax < globalMax {
+				e.violatef("closure of W_%d %v holds %v of block %v, global max %v",
+					s, closure, closureMax, idx, globalMax)
+			}
+		}
+	}
+}
+
+// totalFailure forces the §3.3 worst case: every site crashes, then
+// every site comes back. Injected faults may legitimately delay
+// recovery, so after a bounded number of retries the engine turns
+// injection off — §6's "reliable network" condition — and requires
+// convergence.
+func (e *engine) totalFailure(ctx context.Context) {
+	e.stamp("forced-TF")
+	for i := 0; i < e.cfg.Sites; i++ {
+		id := protocol.SiteID(i)
+		if st, _ := e.cl.State(id); st != protocol.StateFailed {
+			if err := e.cl.Fail(id); err != nil {
+				e.violatef("forced fail %v: %v", id, err)
+			}
+		}
+	}
+	if !e.allFailed() {
+		e.violatef("forced total failure left a site up")
+	}
+	e.report.TotalFailures++
+	for i := 0; i < e.cfg.Sites; i++ {
+		id := protocol.SiteID(i)
+		if err := e.cl.Restart(ctx, id); err != nil {
+			e.violatef("restart %v after total failure: %v", id, err)
+		}
+	}
+	for retry := 0; retry < 25 && e.cl.AvailableCount() < e.cfg.Sites; retry++ {
+		if err := e.cl.DriveRecovery(ctx); err != nil {
+			e.violatef("recovery after total failure: %v", err)
+			return
+		}
+	}
+	if e.cl.AvailableCount() < e.cfg.Sites {
+		e.fn.SetInjection(false)
+		e.fn.Heal()
+		if err := e.cl.DriveRecovery(ctx); err != nil {
+			e.violatef("recovery on reliable network: %v", err)
+		}
+	}
+	if got := e.cl.AvailableCount(); got != e.cfg.Sites {
+		e.violatef("after total failure %d of %d sites recovered", got, e.cfg.Sites)
+	}
+}
+
+// convergenceCheck verifies the post-recovery state: the available copy
+// schemes must have driven every replica to identical version vectors,
+// and under every scheme a read of every block must return the newest
+// committed data. Faults are off at this point; a read error here is a
+// violation, not chaos.
+func (e *engine) convergenceCheck(ctx context.Context) {
+	e.fn.SetInjection(false)
+	e.fn.Heal()
+	if e.cfg.Scheme != core.Voting {
+		var first block.Vector
+		for i := 0; i < e.cfg.Sites; i++ {
+			rep, err := e.cl.Replica(protocol.SiteID(i))
+			if err != nil {
+				e.violatef("replica %d: %v", i, err)
+				return
+			}
+			if i == 0 {
+				first = rep.Vector()
+				continue
+			}
+			if !rep.Vector().Equal(first) {
+				e.violatef("site %d vector %v diverges from site 0 %v after recovery",
+					i, rep.Vector(), first)
+			}
+		}
+	}
+	ctrl, err := e.cl.Controller(0)
+	if err != nil {
+		e.violatef("controller 0: %v", err)
+		return
+	}
+	for b := 0; b < e.cfg.Blocks; b++ {
+		idx := block.Index(b)
+		data, err := ctrl.Read(ctx, idx)
+		if err != nil {
+			e.violatef("converged read %v: %v", idx, err)
+			continue
+		}
+		got, perr := parsePayload(data)
+		if perr != nil {
+			e.violatef("converged read %v: %v", idx, perr)
+			continue
+		}
+		if got.seq != 0 && got.block != idx {
+			e.violatef("converged read %v returned block %v's data", idx, got.block)
+			continue
+		}
+		if got.seq < e.committed[idx] || got.seq > e.maxIssued[idx] {
+			e.violatef("converged read %v: seq %d outside [%d, %d]",
+				idx, got.seq, e.committed[idx], e.maxIssued[idx])
+		}
+		e.stamp("C%d=%d", idx, got.seq)
+	}
+}
+
+// acceptable reports whether an operation error is an expected chaos
+// outcome rather than a broken controller.
+func acceptable(err error) bool {
+	return errors.Is(err, scheme.ErrNoQuorum) ||
+		errors.Is(err, scheme.ErrNotAvailable) ||
+		errors.Is(err, scheme.ErrAwaitingSites) ||
+		errors.Is(err, faultnet.ErrInjected) ||
+		scheme.IsTransportError(err)
+}
+
+// payload encodes (block, seq) into a block-sized buffer so every read
+// can be checked for freshness and cross-block corruption.
+func payload(size int, idx block.Index, seq uint64) []byte {
+	out := make([]byte, size)
+	copy(out, fmt.Sprintf("b%d.s%d", idx, seq))
+	return out
+}
+
+type decoded struct {
+	block block.Index
+	seq   uint64
+}
+
+// parsePayload inverts payload. An all-zero block (never written) reads
+// as sequence 0 of its own block.
+func parsePayload(data []byte) (decoded, error) {
+	if len(data) == 0 || data[0] == 0 {
+		return decoded{}, nil
+	}
+	var b, s uint64
+	if _, err := fmt.Sscanf(string(trimZeros(data)), "b%d.s%d", &b, &s); err != nil {
+		return decoded{}, fmt.Errorf("chaos: unparseable payload %q: %w", trimZeros(data), err)
+	}
+	return decoded{block: block.Index(b), seq: s}, nil
+}
+
+func trimZeros(data []byte) []byte {
+	end := len(data)
+	for end > 0 && data[end-1] == 0 {
+		end--
+	}
+	return data[:end]
+}
+
+// stamp folds one schedule event into the replay digest.
+func (e *engine) stamp(format string, args ...interface{}) {
+	fmt.Fprintf(e.hash, format+"\n", args...)
+}
+
+func (e *engine) violatef(format string, args ...interface{}) {
+	v := fmt.Sprintf(format, args...)
+	e.report.Violations = append(e.report.Violations, v)
+	e.stamp("VIOLATION %s", v)
+}

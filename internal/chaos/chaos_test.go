@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+
+	"relidev/internal/core"
+)
+
+func run(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+func short(kind core.SchemeKind, seed int64) Config {
+	cfg := Defaults(kind)
+	cfg.Seed = seed
+	cfg.Events = 60
+	cfg.OpsPerEvent = 4
+	return cfg
+}
+
+func TestChaosZeroViolationsAllSchemes(t *testing.T) {
+	for _, kind := range []core.SchemeKind{core.Voting, core.AvailableCopy, core.NaiveAvailableCopy} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rep := run(t, short(kind, 7))
+			if len(rep.Violations) != 0 {
+				t.Fatalf("violations: %v", rep.Violations)
+			}
+			if rep.EventsApplied < 60 {
+				t.Fatalf("applied %d events, want >= 60", rep.EventsApplied)
+			}
+			if rep.TotalFailures < 1 {
+				t.Fatal("schedule finished without a total failure")
+			}
+			if rep.Ops == 0 || rep.Reads == 0 || rep.Writes == 0 {
+				t.Fatalf("workload did not run: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestChaosReplayIsDeterministic(t *testing.T) {
+	for _, kind := range []core.SchemeKind{core.Voting, core.AvailableCopy, core.NaiveAvailableCopy} {
+		t.Run(kind.String(), func(t *testing.T) {
+			a := run(t, short(kind, 99))
+			b := run(t, short(kind, 99))
+			if a.Digest != b.Digest {
+				t.Fatalf("digests diverged: %s vs %s", a.Digest, b.Digest)
+			}
+			if a.Faults != b.Faults {
+				t.Fatalf("fault stats diverged: %+v vs %+v", a.Faults, b.Faults)
+			}
+			if a.Ops != b.Ops || a.OpErrors != b.OpErrors {
+				t.Fatalf("workload outcomes diverged: %+v vs %+v", a, b)
+			}
+		})
+	}
+}
+
+func TestChaosDifferentSeedsDifferentSchedules(t *testing.T) {
+	a := run(t, short(core.Voting, 1))
+	b := run(t, short(core.Voting, 2))
+	if a.Digest == b.Digest {
+		t.Fatal("seeds 1 and 2 produced identical runs")
+	}
+}
+
+func TestVotingMenuInjectsMessageFaults(t *testing.T) {
+	rep := run(t, short(core.Voting, 5))
+	if rep.Faults.Drops == 0 && rep.Faults.ReplyLosses == 0 && rep.Faults.Timeouts == 0 {
+		t.Fatalf("voting menu injected no message faults: %+v", rep.Faults)
+	}
+}
+
+func TestAvailCopyMenuIsLossFree(t *testing.T) {
+	for _, kind := range []core.SchemeKind{core.AvailableCopy, core.NaiveAvailableCopy} {
+		rep := run(t, short(kind, 5))
+		if rep.Faults.Drops != 0 || rep.Faults.ReplyLosses != 0 || rep.Faults.Timeouts != 0 {
+			t.Fatalf("%v menu injected message loss (§6 forbids it): %+v", kind, rep.Faults)
+		}
+	}
+}
+
+func TestChaosConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Scheme: core.Voting, Sites: 1, Blocks: 4, Events: 10, Rho: 0.2},
+		{Scheme: core.Voting, Sites: 3, Blocks: 0, Events: 10, Rho: 0.2},
+		{Scheme: core.Voting, Sites: 3, Blocks: 4, Events: 0, Rho: 0.2},
+		{Scheme: core.Voting, Sites: 3, Blocks: 4, Events: 10, Rho: 0},
+		{Scheme: core.Voting, Sites: 3, Blocks: 4, Events: 10, OpsPerEvent: -1, Rho: 0.2},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestChaosHonoursContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, short(core.Voting, 1)); err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+}

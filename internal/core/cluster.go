@@ -72,6 +72,12 @@ type ClusterConfig struct {
 	// network; zero keeps it instantaneous. Traffic accounting is
 	// unaffected.
 	Latency time.Duration
+	// WrapTransport optionally decorates the cluster's transport before
+	// the controllers see it — the hook the chaos harness uses to splice
+	// a fault-injecting faultnet.Network between the controllers and the
+	// simulated network. Applied once, to the shared transport, not per
+	// site. Nil leaves the transport bare.
+	WrapTransport func(protocol.Transport) protocol.Transport
 }
 
 func (c *ClusterConfig) applyDefaults() error {
@@ -171,10 +177,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cl.replicas[i] = rep
 		cl.net.Attach(ids[i], rep)
 	}
+	var transport protocol.Transport = cl.net
+	if cfg.WrapTransport != nil {
+		if transport = cfg.WrapTransport(cl.net); transport == nil {
+			return nil, errors.New("core: WrapTransport returned nil")
+		}
+	}
 	for i := range ids {
 		env := scheme.Env{
 			Self:      cl.replicas[i],
-			Transport: cl.net,
+			Transport: transport,
 			Sites:     ids,
 			Weights:   cfg.Weights,
 		}
@@ -278,10 +290,15 @@ func (cl *Cluster) check(id protocol.SiteID) error {
 	return nil
 }
 
-// Fail crashes a site: fail-stop, stable storage intact (§2).
+// Fail crashes a site: fail-stop, stable storage intact (§2). Failing a
+// site that is already down is rejected — a chaos schedule replaying
+// Poisson events must be able to tell an applied crash from a no-op.
 func (cl *Cluster) Fail(id protocol.SiteID) error {
 	if err := cl.check(id); err != nil {
 		return err
+	}
+	if cl.replicas[id].State() == protocol.StateFailed {
+		return fmt.Errorf("core: fail of %v which is already failed", id)
 	}
 	cl.replicas[id].SetState(protocol.StateFailed)
 	cl.net.SetUp(id, false)

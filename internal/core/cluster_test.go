@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"relidev/internal/block"
@@ -385,5 +386,128 @@ func TestRandomisedLinearHistory(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+func TestFailOfAlreadyFailedSiteRejected(t *testing.T) {
+	for _, kind := range allSchemes() {
+		t.Run(kind.String(), func(t *testing.T) {
+			cl := newTestCluster(t, 3, kind)
+			if err := cl.Fail(1); err != nil {
+				t.Fatalf("first fail: %v", err)
+			}
+			if err := cl.Fail(1); err == nil {
+				t.Fatal("second fail of the same site accepted")
+			}
+			// The rejection must not have disturbed the state.
+			if st, _ := cl.State(1); st != protocol.StateFailed {
+				t.Fatalf("state = %v, want failed", st)
+			}
+			if err := cl.Restart(context.Background(), 1); err != nil {
+				t.Fatalf("restart after double fail: %v", err)
+			}
+		})
+	}
+}
+
+func TestDriveRecoveryWithZeroAvailableSites(t *testing.T) {
+	for _, kind := range allSchemes() {
+		t.Run(kind.String(), func(t *testing.T) {
+			cl := newTestCluster(t, 3, kind)
+			for id := 0; id < 3; id++ {
+				if err := cl.Fail(protocol.SiteID(id)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Put every site in the comatose state without restarting any
+			// peer: recovery can make no progress anywhere, and must say so
+			// cleanly instead of wedging or panicking.
+			for id := 0; id < 3; id++ {
+				r, _ := cl.Replica(protocol.SiteID(id))
+				r.SetState(protocol.StateComatose)
+			}
+			cl.Network().SetUp(0, true) // only site 0's network returns
+			if err := cl.DriveRecovery(context.Background()); err != nil {
+				t.Fatalf("DriveRecovery: %v", err)
+			}
+			if got := cl.AvailableCount(); got != 0 && kind == NaiveAvailableCopy {
+				t.Fatalf("naive cluster recovered %d sites without all peers back", got)
+			}
+		})
+	}
+}
+
+func TestDriveRecoveryNoComatoseSitesIsNoOp(t *testing.T) {
+	cl := newTestCluster(t, 3, Voting)
+	if err := cl.DriveRecovery(context.Background()); err != nil {
+		t.Fatalf("DriveRecovery on healthy cluster: %v", err)
+	}
+	if got := cl.AvailableCount(); got != 3 {
+		t.Fatalf("available = %d, want 3", got)
+	}
+}
+
+// countingTransport proves WrapTransport's decorator sits on the
+// controllers' data path.
+type countingTransport struct {
+	protocol.Transport
+	calls atomic.Int64
+}
+
+func (c *countingTransport) Call(ctx context.Context, from, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+	c.calls.Add(1)
+	return c.Transport.Call(ctx, from, to, req)
+}
+
+func (c *countingTransport) Fetch(ctx context.Context, from, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+	c.calls.Add(1)
+	return c.Transport.Fetch(ctx, from, to, req)
+}
+
+func (c *countingTransport) Broadcast(ctx context.Context, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) map[protocol.SiteID]protocol.Result {
+	c.calls.Add(1)
+	return c.Transport.Broadcast(ctx, from, dests, req)
+}
+
+func (c *countingTransport) Notify(ctx context.Context, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) map[protocol.SiteID]protocol.Result {
+	c.calls.Add(1)
+	return c.Transport.Notify(ctx, from, dests, req)
+}
+
+func TestWrapTransportDecoratesControllerPath(t *testing.T) {
+	var ct *countingTransport
+	cl, err := NewCluster(ClusterConfig{
+		Sites:    3,
+		Geometry: block.Geometry{BlockSize: 32, NumBlocks: 4},
+		Scheme:   Voting,
+		WrapTransport: func(inner protocol.Transport) protocol.Transport {
+			ct = &countingTransport{Transport: inner}
+			return ct
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := cl.Device(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.ReadBlock(context.Background(), 0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if ct == nil || ct.calls.Load() == 0 {
+		t.Fatal("decorated transport saw no controller traffic")
+	}
+}
+
+func TestWrapTransportReturningNilRejected(t *testing.T) {
+	_, err := NewCluster(ClusterConfig{
+		Sites:         3,
+		Geometry:      block.Geometry{BlockSize: 32, NumBlocks: 4},
+		Scheme:        Voting,
+		WrapTransport: func(protocol.Transport) protocol.Transport { return nil },
+	})
+	if err == nil {
+		t.Fatal("nil-returning WrapTransport accepted")
 	}
 }

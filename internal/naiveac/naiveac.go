@@ -160,6 +160,12 @@ func (c *Controller) repairFrom(ctx context.Context, t protocol.SiteID) error {
 	req := protocol.RecoveryRequest{Vector: self.Vector()}
 	resp, err := c.env.Transport.Call(ctx, self.ID(), t, req)
 	if err != nil {
+		if scheme.IsTransportError(err) {
+			// The repair source vanished between the status exchange and
+			// the version-vector exchange; wait for the next membership
+			// change instead of failing the recovery driver.
+			return fmt.Errorf("naive recovery of %v from %v: %v: %w", self.ID(), t, err, scheme.ErrAwaitingSites)
+		}
 		return fmt.Errorf("naive recovery of %v from %v: %w", self.ID(), t, err)
 	}
 	rec, ok := resp.(protocol.RecoveryReply)

@@ -142,10 +142,17 @@ func (s SiteSet) String() string {
 // Transport errors. A transport returns ErrSiteDown when the destination
 // site has failed (fail-stop: a crashed process simply does not answer)
 // and ErrSiteUnreachable when a (test-injected) partition separates the
-// caller from an otherwise operational site.
+// caller from an otherwise operational site. ErrTransient reports a
+// single communication failure against a peer that is *not* suspected
+// down: a stale connection, a lost message, an injected timeout. The
+// distinction matters to the available copy scheme, whose was-available
+// sets must shrink only on genuine fail-stop failures — a transient
+// hiccup that ejected a live site from W_s would mis-state which sites
+// hold the most recent write.
 var (
 	ErrSiteDown        = errors.New("protocol: destination site is down")
 	ErrSiteUnreachable = errors.New("protocol: destination site is unreachable")
+	ErrTransient       = errors.New("protocol: transient communication failure")
 )
 
 // Request is the interface implemented by all protocol request messages.

@@ -8,9 +8,19 @@
 // run unchanged over rpcnet — transports are interchangeable.
 //
 // Unlike simnet, rpcnet does not meter §5 transmission counts (a real
-// network's cost is measured, not modelled); it maps connection failures
-// to protocol.ErrSiteDown so that fail-stop semantics hold: a crashed
-// server process simply stops answering.
+// network's cost is measured, not modelled).
+//
+// A real wire, unlike the paper's reliable network, produces failures
+// that do not mean the peer is down: a pooled connection gone stale, a
+// router hiccup, a slow dial. The client therefore separates *transient*
+// failures from *fail-stop* ones with a per-peer suspect list: a wire
+// error is first retried once on a freshly dialed connection (requests
+// are versioned and idempotent at the replica, so a duplicate delivery
+// is harmless), then reported as protocol.ErrTransient, and only after
+// SuspectThreshold consecutive failures does the peer get reported as
+// protocol.ErrSiteDown. The first successful exchange clears the
+// suspicion. Redials back off exponentially with jitter up to a cap so
+// a dead peer does not eat a dial timeout on every call.
 package rpcnet
 
 import (
@@ -18,8 +28,10 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"relidev/internal/protocol"
@@ -177,27 +189,77 @@ func (s *Server) serveConn(conn net.Conn) {
 // still dial more than the bound, they just don't all linger idle.
 const maxIdleConnsPerPeer = 4
 
+// Config tunes the client's failure handling. The zero value of any
+// field selects its default.
+type Config struct {
+	// CallTimeout bounds one round trip (request sent, response read).
+	// Default 5s. A context deadline shorter than this wins.
+	CallTimeout time.Duration
+	// DialTimeout bounds one connection attempt. Default CallTimeout.
+	DialTimeout time.Duration
+	// RetryBase is the redial backoff after the first failure against a
+	// peer. Default 25ms.
+	RetryBase time.Duration
+	// RetryMax caps the exponential redial backoff. Default 1s.
+	RetryMax time.Duration
+	// SuspectThreshold is the number of consecutive failed exchanges
+	// after which a peer is reported down (protocol.ErrSiteDown) rather
+	// than transiently unreachable (protocol.ErrTransient). Default 3.
+	SuspectThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 5 * time.Second
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = c.CallTimeout
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = time.Second
+	}
+	if c.SuspectThreshold == 0 {
+		c.SuspectThreshold = 3
+	}
+	return c
+}
+
 // Client is a protocol.Transport over TCP. It keeps a small pool of
 // lazily dialed connections per peer so that concurrent round trips to
 // the same peer proceed in parallel instead of queueing on one stream,
-// and it reconnects transparently after failures.
+// and it reconnects transparently after failures. A per-peer suspect
+// list distinguishes transient wire errors from fail-stop peers.
 type Client struct {
-	self    protocol.SiteID
-	timeout time.Duration
+	self protocol.SiteID
+	cfg  Config
 
 	mu    sync.Mutex
 	addrs map[protocol.SiteID]string
 	pools map[protocol.SiteID]*peerPool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // peerPool holds a peer's idle connections (LIFO: the most recently
-// used connection is the least likely to have gone stale).
+// used connection is the least likely to have gone stale) and the
+// peer's failure-detector state.
 type peerPool struct {
 	addr string
 
 	mu     sync.Mutex
 	idle   []*wireConn
 	closed bool
+
+	// Failure detector: fails counts consecutive failed exchanges;
+	// backoff/nextDialAt gate redials so a dead peer is probed, not
+	// hammered. All reset on the first successful exchange.
+	fails      int
+	backoff    time.Duration
+	nextDialAt time.Time
 }
 
 // wireConn is one gob-encoded TCP stream. It is used by one round trip
@@ -249,16 +311,79 @@ func (p *peerPool) close() {
 	}
 }
 
+// recordFault counts one failed exchange and arms the redial backoff.
+// It reports whether the peer has crossed the suspect threshold.
+func (p *peerPool) recordFault(cfg Config, jitter func(time.Duration) time.Duration) (fails int, down bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fails++
+	if p.backoff == 0 {
+		p.backoff = cfg.RetryBase
+	} else if p.backoff < cfg.RetryMax {
+		p.backoff *= 2
+		if p.backoff > cfg.RetryMax {
+			p.backoff = cfg.RetryMax
+		}
+	}
+	p.nextDialAt = time.Now().Add(jitter(p.backoff))
+	return p.fails, p.fails >= cfg.SuspectThreshold
+}
+
+// markDown records conclusive fail-stop evidence against the peer: it
+// jumps the failure counter straight to the suspect threshold and arms
+// the redial backoff.
+func (p *peerPool) markDown(cfg Config, jitter func(time.Duration) time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fails < cfg.SuspectThreshold {
+		p.fails = cfg.SuspectThreshold
+	}
+	if p.backoff == 0 {
+		p.backoff = cfg.RetryBase
+	}
+	p.nextDialAt = time.Now().Add(jitter(p.backoff))
+}
+
+// recordSuccess clears the failure detector: the first successful
+// exchange removes the peer from the suspect list.
+func (p *peerPool) recordSuccess() {
+	p.mu.Lock()
+	p.fails = 0
+	p.backoff = 0
+	p.nextDialAt = time.Time{}
+	p.mu.Unlock()
+}
+
+// dialGate reports whether a redial is currently gated by backoff, and
+// whether the peer is suspected down. Gated calls fail fast without
+// network activity and without counting as new evidence.
+func (p *peerPool) dialGate(threshold int) (gated, down bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return time.Now().Before(p.nextDialAt), p.fails >= threshold
+}
+
+func (p *peerPool) suspected(threshold int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fails >= threshold
+}
+
 var _ protocol.Transport = (*Client)(nil)
 
 // NewClient builds a transport for the given site talking to peers at
-// the given addresses. timeout bounds each remote call (zero means 5s).
+// the given addresses. timeout bounds each remote call (zero means 5s);
+// every other knob takes its default. Use NewClientConfig for full
+// control.
 func NewClient(self protocol.SiteID, addrs map[protocol.SiteID]string, timeout time.Duration) (*Client, error) {
+	return NewClientConfig(self, addrs, Config{CallTimeout: timeout})
+}
+
+// NewClientConfig builds a transport with explicit failure-handling
+// configuration.
+func NewClientConfig(self protocol.SiteID, addrs map[protocol.SiteID]string, cfg Config) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("rpcnet: client needs peer addresses")
-	}
-	if timeout == 0 {
-		timeout = 5 * time.Second
 	}
 	registerWire()
 	m := make(map[protocol.SiteID]string, len(addrs))
@@ -266,11 +391,53 @@ func NewClient(self protocol.SiteID, addrs map[protocol.SiteID]string, timeout t
 		m[id] = a
 	}
 	return &Client{
-		self:    self,
-		timeout: timeout,
-		addrs:   m,
-		pools:   make(map[protocol.SiteID]*peerPool),
+		self:  self,
+		cfg:   cfg.withDefaults(),
+		addrs: m,
+		pools: make(map[protocol.SiteID]*peerPool),
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}, nil
+}
+
+// Suspected reports whether the failure detector currently considers
+// the peer down (SuspectThreshold consecutive failures, no success
+// since).
+func (c *Client) Suspected(id protocol.SiteID) bool {
+	c.mu.Lock()
+	p, ok := c.pools[id]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return p.suspected(c.cfg.SuspectThreshold)
+}
+
+// SuspectSet returns the set of peers currently suspected down.
+func (c *Client) SuspectSet() protocol.SiteSet {
+	c.mu.Lock()
+	pools := make(map[protocol.SiteID]*peerPool, len(c.pools))
+	for id, p := range c.pools {
+		pools[id] = p
+	}
+	c.mu.Unlock()
+	var s protocol.SiteSet
+	for id, p := range pools {
+		if p.suspected(c.cfg.SuspectThreshold) {
+			s = s.Add(id)
+		}
+	}
+	return s
+}
+
+// jitter spreads a backoff over [d/2, d) so redials against a flapping
+// peer do not synchronise.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)))
 }
 
 // Close drops all idle peer connections. Connections checked out by
@@ -304,37 +471,105 @@ func (c *Client) peer(to protocol.SiteID) (*peerPool, error) {
 	return p, nil
 }
 
+// exchange runs one request/response on an established connection. On
+// success the connection returns to the pool; on error it is closed.
+func (c *Client) exchange(p *peerPool, w *wireConn, deadline time.Time, req protocol.Request) (rpcResponse, error) {
+	w.conn.SetDeadline(deadline)
+	if err := w.enc.Encode(rpcRequest{From: c.self, Req: req}); err != nil {
+		w.close()
+		return rpcResponse{}, fmt.Errorf("send: %w", err)
+	}
+	var resp rpcResponse
+	if err := w.dec.Decode(&resp); err != nil {
+		w.close()
+		return rpcResponse{}, fmt.Errorf("receive: %w", err)
+	}
+	p.put(w)
+	return resp, nil
+}
+
+// dial opens a fresh connection, honoring the backoff gate: while a
+// redial is gated the call fails fast — classified by the current
+// suspicion — without touching the network or counting new evidence.
+func (c *Client) dial(ctx context.Context, p *peerPool, to protocol.SiteID, deadline time.Time) (*wireConn, error) {
+	if gated, down := p.dialGate(c.cfg.SuspectThreshold); gated {
+		if down {
+			return nil, fmt.Errorf("rpcnet: %v suspected down, redial backed off: %w", to, protocol.ErrSiteDown)
+		}
+		return nil, fmt.Errorf("rpcnet: redial of %v backed off: %w", to, protocol.ErrTransient)
+	}
+	dd := time.Now().Add(c.cfg.DialTimeout)
+	if deadline.Before(dd) {
+		dd = deadline
+	}
+	d := net.Dialer{Deadline: dd}
+	conn, err := d.DialContext(ctx, "tcp", p.addr)
+	if err != nil {
+		return nil, c.fault(ctx, p, to, "dial", err)
+	}
+	return &wireConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// fault classifies one failed dial or exchange. Context cancellation is
+// the caller's doing, not evidence against the peer. A connection
+// refusal is conclusive: the host answered and no process listens
+// there — TCP's rendition of the §2 fail-stop signal — so the peer goes
+// straight onto the suspect list. Everything else (timeouts, resets,
+// EOF on an established stream) is ambiguous and feeds the failure
+// detector, which answers ErrSiteDown at the suspect threshold and
+// ErrTransient below it.
+func (c *Client) fault(ctx context.Context, p *peerPool, to protocol.SiteID, op string, cause error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("rpcnet: %s %v: %v: %w", op, to, cause, cerr)
+	}
+	if errors.Is(cause, syscall.ECONNREFUSED) {
+		p.markDown(c.cfg, c.jitter)
+		return fmt.Errorf("rpcnet: %s %v: %v: %w", op, to, cause, protocol.ErrSiteDown)
+	}
+	fails, down := p.recordFault(c.cfg, c.jitter)
+	if down {
+		return fmt.Errorf("rpcnet: %s %v (%d consecutive failures): %v: %w", op, to, fails, cause, protocol.ErrSiteDown)
+	}
+	return fmt.Errorf("rpcnet: %s %v: %v: %w", op, to, cause, protocol.ErrTransient)
+}
+
 // roundTrip performs one request/response over a pooled (or freshly
-// dialed) peer connection. Concurrent callers each get their own stream.
+// dialed) peer connection. Concurrent callers each get their own
+// stream. A wire error on a *pooled* connection — which may simply have
+// gone stale while idle — is retried once on a freshly dialed
+// connection before it counts against the peer: requests are versioned
+// and idempotent at the replica, so the possible duplicate delivery of
+// the first attempt is harmless.
 func (c *Client) roundTrip(ctx context.Context, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
 	p, err := c.peer(to)
 	if err != nil {
 		return nil, err
 	}
-	deadline := time.Now().Add(c.timeout)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("rpcnet: call to %v: %w", to, err)
+	}
+	deadline := time.Now().Add(c.cfg.CallTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	w := p.get()
-	if w == nil {
-		d := net.Dialer{Deadline: deadline}
-		conn, err := d.DialContext(ctx, "tcp", p.addr)
-		if err != nil {
-			return nil, fmt.Errorf("rpcnet: dial %v (%s): %v: %w", to, p.addr, err, protocol.ErrSiteDown)
-		}
-		w = &wireConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-	}
-	w.conn.SetDeadline(deadline)
-	if err := w.enc.Encode(rpcRequest{From: c.self, Req: req}); err != nil {
-		w.close()
-		return nil, fmt.Errorf("rpcnet: send to %v: %v: %w", to, err, protocol.ErrSiteDown)
-	}
 	var resp rpcResponse
-	if err := w.dec.Decode(&resp); err != nil {
-		w.close()
-		return nil, fmt.Errorf("rpcnet: receive from %v: %v: %w", to, err, protocol.ErrSiteDown)
+	done := false
+	if w := p.get(); w != nil {
+		if resp, err = c.exchange(p, w, deadline, req); err == nil {
+			done = true
+		}
+		// On error: fall through to one fresh-dial retry.
 	}
-	p.put(w)
+	if !done {
+		w, err := c.dial(ctx, p, to, deadline)
+		if err != nil {
+			return nil, err
+		}
+		if resp, err = c.exchange(p, w, deadline, req); err != nil {
+			return nil, c.fault(ctx, p, to, "exchange with", err)
+		}
+	}
+	p.recordSuccess()
 	if err := decodeErr(resp.ErrCode, resp.ErrText); err != nil {
 		return nil, err
 	}
@@ -363,6 +598,16 @@ func (c *Client) Broadcast(ctx context.Context, from protocol.SiteID, dests []pr
 	}
 	out := make(map[protocol.SiteID]protocol.Result, len(targets))
 	if len(targets) == 0 {
+		return out
+	}
+	// A cancelled context stops the fan-out before any dialing: every
+	// destination reports the cancellation instead of waiting out its
+	// timeout. roundTrip re-checks per destination, so a cancellation
+	// racing the fan-out stops the remaining round trips the same way.
+	if err := ctx.Err(); err != nil {
+		for _, to := range targets {
+			out[to] = protocol.Result{Err: fmt.Errorf("rpcnet: broadcast to %v: %w", to, err)}
+		}
 		return out
 	}
 	if len(targets) == 1 {

@@ -3,10 +3,12 @@ package rpcnet
 import (
 	"context"
 	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"relidev/internal/availcopy"
 	"relidev/internal/block"
 	"relidev/internal/protocol"
 	"relidev/internal/scheme"
@@ -139,23 +141,283 @@ func TestSentinelErrorsCrossTheWire(t *testing.T) {
 	}
 }
 
-func TestDeadServerMapsToSiteDown(t *testing.T) {
+// TestDeadServerSuspectedAfterThreshold: ambiguous wire failures — here
+// a listener that accepts connections and drops them mid-exchange — are
+// first reported as transient; only SuspectThreshold consecutive
+// failures promote the peer to ErrSiteDown (the suspect-list failure
+// detector). Contrast with connection refusal, which is conclusive
+// (TestConnectionRefusedIsConclusive).
+func TestDeadServerSuspectedAfterThreshold(t *testing.T) {
 	_, addrs := startCluster(t, 1)
-	// Add an address nobody listens on.
-	addrs[protocol.SiteID(1)] = "127.0.0.1:1"
-	cli, err := NewClient(0, addrs, 300*time.Millisecond)
+	// A listener that accepts and immediately closes every connection:
+	// the dial succeeds, the exchange dies — evidence, not proof.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, aerr := ln.Accept()
+			if aerr != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	addrs[protocol.SiteID(1)] = ln.Addr().String()
+	cli, err := NewClientConfig(0, addrs, Config{
+		CallTimeout: 300 * time.Millisecond,
+		RetryBase:   time.Millisecond,
+		RetryMax:    4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	_, err = cli.Call(ctx, 0, 1, protocol.StatusRequest{})
+	if !errors.Is(err, protocol.ErrTransient) {
+		t.Fatalf("first failure = %v, want ErrTransient", err)
+	}
+	if errors.Is(err, protocol.ErrSiteDown) {
+		t.Fatalf("first failure = %v, already ErrSiteDown", err)
+	}
+	if cli.Suspected(1) {
+		t.Fatal("suspected after a single failure")
+	}
+	// Keep calling (waiting out the redial backoff) until the detector
+	// gives up on the peer.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err = cli.Call(ctx, 0, 1, protocol.StatusRequest{})
+		if errors.Is(err, protocol.ErrSiteDown) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer never suspected down; last err = %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !cli.Suspected(1) {
+		t.Fatal("Suspected(1) = false after threshold failures")
+	}
+	if !cli.SuspectSet().Has(1) {
+		t.Fatal("SuspectSet misses site 1")
+	}
+	// Unknown site id is a configuration error, down immediately.
+	_, err = cli.Call(ctx, 0, 9, protocol.StatusRequest{})
+	if !errors.Is(err, protocol.ErrSiteDown) {
+		t.Fatalf("unknown id err = %v, want ErrSiteDown", err)
+	}
+}
+
+// TestConnectionRefusedIsConclusive: a refused connection means the
+// host is reachable and no process listens — the fail-stop signal. The
+// peer is suspected down on the very first call, no threshold needed.
+func TestConnectionRefusedIsConclusive(t *testing.T) {
+	_, addrs := startCluster(t, 1)
+	addrs[protocol.SiteID(1)] = "127.0.0.1:1" // nobody listens here
+	cli, err := NewClient(0, addrs, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cli.Close()
 	_, err = cli.Call(context.Background(), 0, 1, protocol.StatusRequest{})
 	if !errors.Is(err, protocol.ErrSiteDown) {
-		t.Fatalf("err = %v, want ErrSiteDown", err)
+		t.Fatalf("refused call = %v, want ErrSiteDown", err)
 	}
-	// Unknown site id as well.
-	_, err = cli.Call(context.Background(), 0, 9, protocol.StatusRequest{})
-	if !errors.Is(err, protocol.ErrSiteDown) {
-		t.Fatalf("unknown id err = %v, want ErrSiteDown", err)
+	if !cli.Suspected(1) {
+		t.Fatal("refused peer not suspected")
+	}
+}
+
+// TestStalePooledConnRetriesOnFreshDial is the acceptance test for the
+// stale-pool bug: a pooled connection killed server-side must be
+// retried once on a fresh dial, so the caller sees no error at all —
+// and a consistency controller above sees neither ErrSiteDown nor a
+// shrunken was-available set.
+func TestStalePooledConnRetriesOnFreshDial(t *testing.T) {
+	rep := newReplica(t, 1)
+	srv, err := Serve("127.0.0.1:0", rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli, err := NewClient(0, map[protocol.SiteID]string{1: addr}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	// Pool a connection, then kill it server-side by bouncing the
+	// server process. The pooled client end is now stale.
+	if _, err := cli.Call(ctx, 0, 1, protocol.StatusRequest{}); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	srv.Close()
+	srv2, err := Serve(addr, rep)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer srv2.Close()
+
+	// The next call picks the stale connection, hits a wire error, and
+	// must transparently retry on a fresh dial against the live peer.
+	if _, err := cli.Call(ctx, 0, 1, protocol.StatusRequest{}); err != nil {
+		t.Fatalf("call over stale pooled conn = %v, want transparent retry", err)
+	}
+	if cli.Suspected(1) {
+		t.Fatal("live peer entered the suspect list over one stale connection")
+	}
+}
+
+// TestTransientFailureDoesNotShrinkWasAvailable drives an available
+// copy write over a client whose pooled connection to a live peer has
+// gone stale: the write must succeed and the was-available set must
+// keep the peer (acceptance criterion — a single transient connection
+// error must not eject a live site from W_s).
+func TestTransientFailureDoesNotShrinkWasAvailable(t *testing.T) {
+	replicas, addrs := startCluster(t, 2)
+	localRep := replicas[0]
+
+	// Run site 1 on a bounceable server.
+	rep1 := replicas[1]
+	srv1, err := Serve("127.0.0.1:0", rep1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr1 := srv1.Addr()
+	addrs[protocol.SiteID(1)] = addr1
+
+	cli, err := NewClient(0, addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ids := []protocol.SiteID{0, 1}
+	ctrl, err := availcopy.New(scheme.Env{
+		Self:      localRep,
+		Transport: cli,
+		Sites:     ids,
+		Weights:   []int64{1000, 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// A first write pools connections and establishes W = {0, 1}.
+	if err := ctrl.Write(ctx, 0, pad("w0")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	full := protocol.NewSiteSet(0, 1)
+	if w := localRep.WasAvailable(); w != full {
+		t.Fatalf("W after first write = %v, want %v", w, full)
+	}
+
+	// Stale the pooled connection to the (live) peer.
+	srv1.Close()
+	srv2, err := Serve(addr1, rep1)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer srv2.Close()
+
+	// The next write rides the stale connection; the transparent retry
+	// must keep site 1 in the write's recipient set.
+	if err := ctrl.Write(ctx, 0, pad("w1")); err != nil {
+		t.Fatalf("write over stale conn: %v", err)
+	}
+	if w := localRep.WasAvailable(); w != full {
+		t.Fatalf("W after transient hiccup = %v, want %v (live site ejected)", w, full)
+	}
+	if ver, _ := rep1.VersionLocal(0); ver != 2 {
+		t.Fatalf("peer version = %v, want 2 (retried write must land)", ver)
+	}
+}
+
+// TestBroadcastStopsOnCancelledContext: a cancelled context must fail
+// the remaining destinations immediately with the context error rather
+// than waiting out the call timeout per destination.
+func TestBroadcastStopsOnCancelledContext(t *testing.T) {
+	_, addrs := startCluster(t, 1)
+	// Blackhole addresses that would each eat a long dial timeout.
+	addrs[protocol.SiteID(1)] = "10.255.255.1:9"
+	addrs[protocol.SiteID(2)] = "10.255.255.2:9"
+	addrs[protocol.SiteID(3)] = "10.255.255.3:9"
+	cli, err := NewClient(0, addrs, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res := cli.Broadcast(ctx, 0, []protocol.SiteID{1, 2, 3}, protocol.StatusRequest{})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled broadcast took %v", elapsed)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	for id, r := range res {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("dest %v err = %v, want context.Canceled", id, r.Err)
+		}
+	}
+}
+
+// TestSuspectListClearsOnFirstSuccess: a peer that comes back is
+// cleared from the suspect list by its first successful exchange.
+func TestSuspectListClearsOnFirstSuccess(t *testing.T) {
+	rep := newReplica(t, 1)
+	srv, err := Serve("127.0.0.1:0", rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	srv.Close()
+	cli, err := NewClientConfig(0, map[protocol.SiteID]string{1: addr}, Config{
+		CallTimeout: 300 * time.Millisecond,
+		RetryBase:   time.Millisecond,
+		RetryMax:    4 * time.Millisecond,
+		// Threshold 1: the very first failure suspects the peer, which
+		// keeps this test fast.
+		SuspectThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	if _, err := cli.Call(ctx, 0, 1, protocol.StatusRequest{}); !errors.Is(err, protocol.ErrSiteDown) {
+		t.Fatalf("err = %v, want ErrSiteDown at threshold 1", err)
+	}
+	if !cli.Suspected(1) {
+		t.Fatal("peer not suspected")
+	}
+	srv2, err := Serve(addr, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := cli.Call(ctx, 0, 1, protocol.StatusRequest{}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer never recovered: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if cli.Suspected(1) {
+		t.Fatal("suspicion not cleared by first success")
 	}
 }
 
@@ -176,7 +438,9 @@ func TestReconnectAfterServerRestart(t *testing.T) {
 	if _, err := cli.Call(ctx, 0, 1, protocol.StatusRequest{}); err != nil {
 		t.Fatalf("first call: %v", err)
 	}
-	// Crash the server process (fail-stop).
+	// Crash the server process (fail-stop). The stale pooled connection
+	// fails, and the fresh-dial retry is refused — conclusive fail-stop
+	// evidence, so the peer is down immediately.
 	srv.Close()
 	if _, err := cli.Call(ctx, 0, 1, protocol.StatusRequest{}); !errors.Is(err, protocol.ErrSiteDown) {
 		t.Fatalf("call to crashed server = %v, want ErrSiteDown", err)

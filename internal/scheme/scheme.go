@@ -31,10 +31,22 @@ var (
 	// ErrAwaitingSites is returned by Recover when the recovery protocol
 	// cannot complete yet: no site is available and the sites this one
 	// must wait for (C*(W_s), or all sites in the naive scheme) have not
-	// all recovered. The site stays comatose; recovery is retried when
-	// cluster membership changes.
+	// all recovered — or the chosen repair source vanished mid-exchange.
+	// The site stays comatose; recovery is retried when cluster
+	// membership changes.
 	ErrAwaitingSites = errors.New("scheme: recovery must wait for more sites")
 )
+
+// IsTransportError reports whether err is a communication-level failure
+// — the peer is down, unreachable, or suffered a transient wire error —
+// as opposed to a handler or storage error. Schemes treat transport
+// failures as missing answers (the §3 fail-stop model); everything else
+// is surfaced.
+func IsTransportError(err error) bool {
+	return errors.Is(err, protocol.ErrSiteDown) ||
+		errors.Is(err, protocol.ErrSiteUnreachable) ||
+		errors.Is(err, protocol.ErrTransient)
+}
 
 // Controller is one site's consistency control and data access engine.
 type Controller interface {

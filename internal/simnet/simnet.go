@@ -98,7 +98,37 @@ type Network struct {
 	// in nanoseconds. Zero (the default) keeps the network instantaneous;
 	// it never affects §5 transmission accounting.
 	latency atomic.Int64
+
+	// faultRule, when set, is consulted once per remote delivery (after
+	// routing, before the handler) and may fail or degrade it. It is the
+	// injection point the faultnet decorator uses: deciding inside the
+	// fan-out keeps faults per-destination while the §5 accounting of
+	// the enclosing broadcast stays exact.
+	faultMu   sync.RWMutex
+	faultRule FaultRule
 }
+
+// FaultDecision tells the network what to do with one delivery.
+type FaultDecision int
+
+// Fault decisions.
+const (
+	// Deliver proceeds normally.
+	Deliver FaultDecision = iota
+	// DropRequest fails the delivery without invoking the destination
+	// handler: the request was lost on the wire.
+	DropRequest
+	// DropReply invokes the destination handler (the request arrived and
+	// took effect) but discards its response: the caller cannot tell
+	// whether the request was processed. No reply traffic is charged.
+	DropReply
+)
+
+// FaultRule decides the fate of one remote delivery. It runs on the
+// delivering goroutine, so it may sleep to model added latency before
+// returning Deliver. The returned error is reported to the caller for
+// DropRequest and DropReply.
+type FaultRule func(from, to protocol.SiteID, req protocol.Request) (FaultDecision, error)
 
 var _ protocol.Transport = (*Network)(nil)
 
@@ -177,6 +207,35 @@ func (n *Network) HealPartitions() {
 // instantaneous network.
 func (n *Network) SetLatency(d time.Duration) {
 	n.latency.Store(int64(d))
+}
+
+// SetFaultRule installs (or, with nil, removes) the per-delivery fault
+// rule. Only test harnesses and the faultnet decorator call this; no
+// production path injects faults.
+func (n *Network) SetFaultRule(rule FaultRule) {
+	n.faultMu.Lock()
+	n.faultRule = rule
+	n.faultMu.Unlock()
+}
+
+// applyFault consults the fault rule for one remote delivery. It
+// reports whether the handler should still run and the injected error,
+// if any.
+func (n *Network) applyFault(from, to protocol.SiteID, req protocol.Request) (deliver bool, err error) {
+	n.faultMu.RLock()
+	rule := n.faultRule
+	n.faultMu.RUnlock()
+	if rule == nil {
+		return true, nil
+	}
+	switch dec, ferr := rule(from, to, req); dec {
+	case DropRequest:
+		return false, ferr
+	case DropReply:
+		return true, ferr
+	default:
+		return true, nil
+	}
 }
 
 // sleepLatency blocks for the configured simulated round-trip time,
@@ -279,10 +338,19 @@ func (n *Network) Call(ctx context.Context, from, to protocol.SiteID, req protoc
 		return nil, err
 	}
 	n.countRequest(req.Kind(), 1, uint64(protocol.WireSize(req)))
+	deliver, ferr := n.applyFault(from, to, req)
+	if !deliver {
+		return nil, ferr
+	}
 	if err := n.sleepLatency(ctx); err != nil {
 		return nil, err
 	}
 	resp, err := h.Handle(from, req)
+	if ferr != nil {
+		// Reply lost: the handler ran, but its outcome is invisible to
+		// the caller and no reply traffic is charged.
+		return nil, ferr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -309,10 +377,17 @@ func (n *Network) Fetch(ctx context.Context, from, to protocol.SiteID, req proto
 	if err != nil {
 		return nil, err
 	}
+	deliver, ferr := n.applyFault(from, to, req)
+	if !deliver {
+		return nil, ferr
+	}
 	if err := n.sleepLatency(ctx); err != nil {
 		return nil, err
 	}
 	resp, err := h.Handle(from, req)
+	if ferr != nil {
+		return nil, ferr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -407,10 +482,17 @@ func (n *Network) deliverOne(ctx context.Context, from, to protocol.SiteID, req 
 	if err != nil {
 		return protocol.Result{Err: err}
 	}
+	deliver, ferr := n.applyFault(from, to, req)
+	if !deliver {
+		return protocol.Result{Err: ferr}
+	}
 	if err := n.sleepLatency(ctx); err != nil {
 		return protocol.Result{Err: err}
 	}
 	resp, err := h.Handle(from, req)
+	if ferr != nil {
+		return protocol.Result{Err: ferr}
+	}
 	if err != nil {
 		return protocol.Result{Err: err}
 	}

@@ -290,3 +290,67 @@ func TestModeString(t *testing.T) {
 		t.Fatal("invalid Mode.String mismatch")
 	}
 }
+
+func TestFaultRuleDropRequest(t *testing.T) {
+	net, hs := buildNet(t, Multicast, 2)
+	sentinel := errors.New("injected")
+	net.SetFaultRule(func(from, to protocol.SiteID, req protocol.Request) (FaultDecision, error) {
+		return DropRequest, sentinel
+	})
+	_, err := net.Call(context.Background(), 0, 1, protocol.StatusRequest{})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want injected sentinel", err)
+	}
+	if hs[1].calls.Load() != 0 {
+		t.Fatal("handler ran despite dropped request")
+	}
+	net.SetFaultRule(nil)
+	if _, err := net.Call(context.Background(), 0, 1, protocol.StatusRequest{}); err != nil {
+		t.Fatalf("call after rule removed: %v", err)
+	}
+}
+
+func TestFaultRuleDropReplyRunsHandler(t *testing.T) {
+	net, hs := buildNet(t, Multicast, 2)
+	sentinel := errors.New("reply lost")
+	net.SetFaultRule(func(from, to protocol.SiteID, req protocol.Request) (FaultDecision, error) {
+		return DropReply, sentinel
+	})
+	_, err := net.Call(context.Background(), 0, 1, protocol.StatusRequest{})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want reply-lost sentinel", err)
+	}
+	if hs[1].calls.Load() != 1 {
+		t.Fatalf("handler calls = %d, want 1 (request delivered, reply lost)", hs[1].calls.Load())
+	}
+	st := net.Stats()
+	if st.Replies != 0 {
+		t.Fatalf("replies = %d, want 0 (lost reply must not be charged)", st.Replies)
+	}
+}
+
+func TestFaultRuleAppliesPerBroadcastDestination(t *testing.T) {
+	net, hs := buildNet(t, Multicast, 4)
+	sentinel := errors.New("link down")
+	net.SetFaultRule(func(from, to protocol.SiteID, req protocol.Request) (FaultDecision, error) {
+		if to == 2 {
+			return DropRequest, sentinel
+		}
+		return Deliver, nil
+	})
+	res := net.Broadcast(context.Background(), 0, remotes(4, 0), protocol.StatusRequest{})
+	if !errors.Is(res[2].Err, sentinel) {
+		t.Fatalf("dest 2: %v, want sentinel", res[2].Err)
+	}
+	for _, id := range []protocol.SiteID{1, 3} {
+		if res[id].Err != nil {
+			t.Fatalf("dest %v: %v, want nil", id, res[id].Err)
+		}
+	}
+	if hs[2].calls.Load() != 0 {
+		t.Fatal("dest 2 handled a dropped request")
+	}
+	if st := net.Stats(); st.Requests != 1 {
+		t.Fatalf("multicast requests = %d, want 1 (drop is per-link, transmission already charged)", st.Requests)
+	}
+}

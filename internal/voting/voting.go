@@ -17,6 +17,7 @@ import (
 	"relidev/internal/block"
 	"relidev/internal/protocol"
 	"relidev/internal/scheme"
+	"relidev/internal/site"
 )
 
 // Option customises a Controller.
@@ -257,30 +258,49 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) er
 	// current. Acknowledgements ride on the reliable delivery assumption
 	// (Notify): §5.1 charges the update as a single broadcast.
 	quorum := make([]protocol.SiteID, 0, len(votes)-1)
+	weightOf := make(map[protocol.SiteID]int64, len(votes))
 	for _, v := range votes {
 		if v.from != c.env.Self.ID() {
 			quorum = append(quorum, v.from)
 		}
+		weightOf[v.from] = v.weight
 	}
 	put := protocol.PutRequest{Block: idx, Data: data, Version: newVer}
-	for id, res := range c.env.Transport.Notify(ctx, c.env.Self.ID(), quorum, put) {
-		if res.Err != nil {
-			// A site that voted but failed before the update arrives is a
-			// benign race: the quorum that remains still intersects every
-			// future quorum. Surface genuine store errors.
-			if !isTransportError(res.Err) {
-				return fmt.Errorf("voting write of %v at site %v: %w", idx, id, res.Err)
-			}
-		}
-	}
+	// Install locally before the fan-out: even if the write ends up
+	// indeterminate, the coordinator then holds the new version, so any
+	// later vote quorum (which must intersect this one) sees it and
+	// cannot mint the same version number for different data.
 	if err := c.env.Self.WriteLocal(idx, data, newVer); err != nil {
 		return fmt.Errorf("voting write of %v: %w", idx, err)
 	}
+	installed := c.env.Self.Weight()
+	for id, res := range c.env.Transport.Notify(ctx, c.env.Self.ID(), quorum, put) {
+		switch {
+		case res.Err == nil:
+			installed += weightOf[id]
+		case scheme.IsTransportError(res.Err):
+			// The site voted but the update did not (provably) arrive —
+			// it crashed in between, or the message was lost on an
+			// unreliable wire. Its weight must not count toward the
+			// installed quorum: a version held by fewer than a write
+			// quorum of sites would let a later read quorum miss it.
+		case errors.Is(res.Err, site.ErrComatose), errors.Is(res.Err, site.ErrNotOperational):
+			// The site voted, then failed or restarted before the update
+			// arrived and rejected it. Same treatment as a crash between
+			// vote and put: its weight does not count.
+		default:
+			return fmt.Errorf("voting write of %v at site %v: %w", idx, id, res.Err)
+		}
+	}
+	if installed <= c.writeThreshold {
+		// The update landed on fewer sites than a write quorum. The
+		// write is indeterminate: some copies hold the new version (a
+		// later write will build on it), but the caller must not treat
+		// it as committed.
+		return fmt.Errorf("voting write of %v: update installed at weight %d of %d required: %w",
+			idx, installed, c.writeThreshold+1, scheme.ErrNoQuorum)
+	}
 	return nil
-}
-
-func isTransportError(err error) bool {
-	return errors.Is(err, protocol.ErrSiteDown) || errors.Is(err, protocol.ErrSiteUnreachable)
 }
 
 // Recover implements the block-level voting recovery policy: nothing.
@@ -321,6 +341,11 @@ func (c *Controller) Recover(ctx context.Context) error {
 	}
 	resp, err := c.env.Transport.Call(ctx, self.ID(), best, protocol.RecoveryRequest{Vector: self.Vector()})
 	if err != nil {
+		if scheme.IsTransportError(err) {
+			// The chosen source vanished mid-exchange; stay comatose and
+			// retry when membership changes instead of failing recovery.
+			return fmt.Errorf("voting eager recovery from %v: %v: %w", best, err, scheme.ErrAwaitingSites)
+		}
 		return fmt.Errorf("voting eager recovery from %v: %w", best, err)
 	}
 	rec, ok := resp.(protocol.RecoveryReply)
