@@ -1,0 +1,45 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race lint fuzz-smoke chaos-short
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bin/relidevlint: $(wildcard cmd/relidevlint/*.go internal/lint/*.go)
+	$(GO) build -o $@ ./cmd/relidevlint
+
+# lint runs the repo's own analyzer suite (locking, determinism,
+# transport-error, and context invariants — see DESIGN.md §9) over every
+# package, then govulncheck when it is installed (CI installs it;
+# offline dev boxes skip it).
+lint: bin/relidevlint
+	$(GO) vet -vettool=$(CURDIR)/bin/relidevlint ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping vulnerability scan (CI runs it)"; \
+	fi
+
+# fuzz-smoke gives each property fuzzer a short budget — enough to shake
+# out regressions in the quorum arithmetic, the was-available closure,
+# and the chaos payload codec without stalling CI.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzVersionQuorum -fuzztime=$(FUZZTIME) ./internal/voting
+	$(GO) test -run=NONE -fuzz=FuzzClosure -fuzztime=$(FUZZTIME) ./internal/availcopy
+	$(GO) test -run=NONE -fuzz=FuzzPayloadRoundTrip -fuzztime=$(FUZZTIME) ./internal/chaos
+
+# chaos-short replays the three seeded schedules CI runs, under the race
+# detector, one per consistency scheme.
+chaos-short:
+	$(GO) run -race ./cmd/chaos -scheme=voting -seed=7 -events=150 -ops-per-event=4
+	$(GO) run -race ./cmd/chaos -scheme=ac     -seed=7 -events=150 -ops-per-event=4
+	$(GO) run -race ./cmd/chaos -scheme=nac    -seed=7 -events=150 -ops-per-event=4

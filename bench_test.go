@@ -487,7 +487,7 @@ func BenchmarkMinifsOverReliableDevice(b *testing.B) {
 // experiment that backs the EXPERIMENTS.md tables.
 func BenchmarkSimulatedTrafficRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.SimulateTraffic(sim.TrafficConfig{
+		if _, err := sim.SimulateTraffic(context.Background(), sim.TrafficConfig{
 			Scheme: core.NaiveAvailableCopy,
 			Sites:  5,
 			Rho:    0.05,

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -158,7 +159,7 @@ func runTraffic(schemeName string, sites int, rho float64, netName string, ops i
 	if err != nil {
 		return err
 	}
-	res, err := sim.SimulateTraffic(sim.TrafficConfig{
+	res, err := sim.SimulateTraffic(context.Background(), sim.TrafficConfig{
 		Scheme:    kind,
 		Sites:     sites,
 		Rho:       rho,

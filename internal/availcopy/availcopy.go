@@ -75,6 +75,7 @@ func New(env scheme.Env, opts ...Option) (*Controller, error) {
 		opt(c)
 	}
 	if c.env.Self.WasAvailable().Empty() {
+		//relidev:allow locking: constructor runs single-threaded before the controller escapes; there is no concurrent operation to exclude yet
 		if err := c.env.Self.SetWasAvailable(env.FullSet()); err != nil {
 			return nil, fmt.Errorf("available copy: initialise was-available set: %w", err)
 		}
@@ -172,6 +173,7 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) er
 			Block: idx, Data: data, Version: newVer,
 			HasW: true, WasAvail: recipients, ReplaceW: true,
 		}
+		//relidev:allow transport: best-effort W-set tightening; a lost fix leaves recipients with a stale *superset*, which the merge rules keep safe until the next write
 		c.env.Transport.Notify(ctx, self.ID(), recipients.Remove(self.ID()).Members(), fix)
 	}
 	return nil

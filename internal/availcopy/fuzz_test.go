@@ -152,3 +152,65 @@ func TestClosureSafetyFuzz(t *testing.T) {
 		})
 	}
 }
+
+// FuzzClosure checks the was-available closure C*(W_s) of §3.2 against
+// an independent breadth-first reachability model over 8 sites. The
+// fuzz inputs pack one 8-bit was-available set per site into table
+// (byte i belongs to site i) and mask out sites without an entry via
+// present, mirroring a cluster where some status calls failed.
+func FuzzClosure(f *testing.F) {
+	f.Add(uint8(0b0001), uint64(0x0000000000000302), uint8(0b1111))
+	f.Add(uint8(0b1000), uint64(0x0102040810204080), uint8(0b11111111))
+	f.Add(uint8(0), uint64(0), uint8(0))
+	f.Add(uint8(0xff), uint64(^uint64(0)), uint8(0x0f))
+
+	f.Fuzz(func(t *testing.T, wRaw uint8, table uint64, present uint8) {
+		w := protocol.SiteSet(wRaw)
+		entry := func(id protocol.SiteID) (protocol.SiteSet, bool) {
+			if id < 0 || id >= 8 || present&(1<<uint(id)) == 0 {
+				return 0, false
+			}
+			return protocol.SiteSet((table >> (8 * uint(id))) & 0xff), true
+		}
+
+		got := Closure(w, entry)
+
+		// Reference model: reachability from w along was-available edges.
+		want := w
+		for queue := w.Members(); len(queue) > 0; {
+			u := queue[0]
+			queue = queue[1:]
+			wu, ok := entry(u)
+			if !ok {
+				continue
+			}
+			for _, v := range wu.Members() {
+				if !want.Has(v) {
+					want = want.Add(v)
+					queue = append(queue, v)
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("Closure(%b) = %b, reachability model says %b (table %#x, present %b)",
+				w, got, want, table, present)
+		}
+
+		// Closure laws the recovery protocol depends on.
+		if !w.SubsetOf(got) {
+			t.Fatalf("closure %b does not contain its seed %b", got, w)
+		}
+		if again := Closure(got, entry); again != got {
+			t.Fatalf("closure not idempotent: C*(%b) = %b but C*(C*) = %b", w, got, again)
+		}
+		for _, u := range got.Members() {
+			if wu, ok := entry(u); ok && !wu.SubsetOf(got) {
+				t.Fatalf("closure %b not closed under lookup: W_%d = %b escapes", got, u, wu)
+			}
+		}
+		bigger := Closure(w.Union(protocol.SiteSet(present)), entry)
+		if !got.SubsetOf(bigger) {
+			t.Fatalf("closure not monotone: C*(%b) = %b exceeds C* of a superset = %b", w, got, bigger)
+		}
+	})
+}

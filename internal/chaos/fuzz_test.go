@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"relidev/internal/block"
+)
+
+// FuzzPayloadRoundTrip fuzzes the freshness-check codec: payload must be
+// invertible by parsePayload whenever the encoding fits the block, and
+// parsePayload must accept arbitrary bytes (an injected-corruption read,
+// a torn block) without panicking.
+func FuzzPayloadRoundTrip(f *testing.F) {
+	f.Add(uint16(512), uint32(0), uint64(0), []byte(nil))
+	f.Add(uint16(64), uint32(17), uint64(12345), []byte("b1.s2"))
+	f.Add(uint16(8), uint32(4294967295), uint64(^uint64(0)), []byte{0xff, 0x00, 'b'})
+	f.Add(uint16(1), uint32(3), uint64(9), []byte("b-1.s-1"))
+
+	f.Fuzz(func(t *testing.T, sizeRaw uint16, idxRaw uint32, seq uint64, garbage []byte) {
+		size := 1 + int(sizeRaw)%1024
+		idx := block.Index(idxRaw)
+
+		enc := payload(size, idx, seq)
+		if len(enc) != size {
+			t.Fatalf("payload(%d, %v, %d) has length %d", size, idx, seq, len(enc))
+		}
+		dec, err := parsePayload(enc)
+		encoded := []byte(nil)
+		encoded = append(encoded, enc...)
+		switch {
+		case len(payloadText(idx, seq)) > size:
+			// The text was truncated by the block size; parsePayload may
+			// misread or reject it, but must not panic (checked above).
+		case err != nil:
+			t.Fatalf("parsePayload(payload(%d, %v, %d)) = %v", size, idx, seq, err)
+		case dec.block != idx || dec.seq != seq:
+			t.Fatalf("round trip of (%v, %d) in %d bytes came back (%v, %d)", idx, seq, size, dec.block, dec.seq)
+		}
+		if !bytes.Equal(enc, encoded) {
+			t.Fatalf("parsePayload mutated its input")
+		}
+
+		// Arbitrary bytes: error or a value, never a panic; and the
+		// all-zero (never-written) convention holds.
+		if d, err := parsePayload(garbage); err == nil && len(garbage) > 0 && garbage[0] == 0 && d != (decoded{}) {
+			t.Fatalf("zero-led payload %q decoded to %+v, want zero value", garbage, d)
+		}
+		if d, err := parsePayload(nil); err != nil || d != (decoded{}) {
+			t.Fatalf("parsePayload(nil) = %+v, %v", d, err)
+		}
+	})
+}
+
+// payloadText is the untruncated encoding, for deciding whether a
+// round trip is expected to succeed.
+func payloadText(idx block.Index, seq uint64) []byte {
+	return trimZeros(payload(64, idx, seq))
+}

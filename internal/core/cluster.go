@@ -133,11 +133,12 @@ func (c *ClusterConfig) applyDefaults() error {
 // sites whose recovery had to wait (comatose) whenever membership
 // changes.
 type Cluster struct {
-	cfg      ClusterConfig
-	net      *simnet.Network
-	replicas []*site.Replica
-	ctrls    []scheme.Controller
-	devices  []*ReliableDevice
+	cfg       ClusterConfig
+	net       *simnet.Network
+	transport protocol.Transport // cl.net after WrapTransport decoration
+	replicas  []*site.Replica
+	ctrls     []scheme.Controller
+	devices   []*ReliableDevice
 }
 
 // NewCluster builds and starts a cluster; all sites begin available with
@@ -177,16 +178,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cl.replicas[i] = rep
 		cl.net.Attach(ids[i], rep)
 	}
-	var transport protocol.Transport = cl.net
+	cl.transport = cl.net
 	if cfg.WrapTransport != nil {
-		if transport = cfg.WrapTransport(cl.net); transport == nil {
+		if cl.transport = cfg.WrapTransport(cl.net); cl.transport == nil {
 			return nil, errors.New("core: WrapTransport returned nil")
 		}
 	}
 	for i := range ids {
 		env := scheme.Env{
 			Self:      cl.replicas[i],
-			Transport: transport,
+			Transport: cl.transport,
 			Sites:     ids,
 			Weights:   cfg.Weights,
 		}
@@ -300,6 +301,7 @@ func (cl *Cluster) Fail(id protocol.SiteID) error {
 	if cl.replicas[id].State() == protocol.StateFailed {
 		return fmt.Errorf("core: fail of %v which is already failed", id)
 	}
+	//relidev:allow locking: crash injection models the fail-stop event itself (§3); it deliberately bypasses the protocol's critical sections, and Replica serializes the state flip internally
 	cl.replicas[id].SetState(protocol.StateFailed)
 	cl.net.SetUp(id, false)
 	return nil
@@ -316,6 +318,7 @@ func (cl *Cluster) Restart(ctx context.Context, id protocol.SiteID) error {
 	if cl.replicas[id].State() != protocol.StateFailed {
 		return fmt.Errorf("core: restart of %v which is %v", id, cl.replicas[id].State())
 	}
+	//relidev:allow locking: process restart precedes any protocol activity on the site; the replica is comatose and rejects operations until Recover runs under its own exclusion
 	cl.replicas[id].SetState(protocol.StateComatose)
 	cl.net.SetUp(id, true)
 	return cl.DriveRecovery(ctx)

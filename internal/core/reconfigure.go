@@ -93,6 +93,7 @@ func (cl *Cluster) Remove(ctx context.Context, force bool) error {
 	}
 
 	// Fail-stop the victim and detach it.
+	//relidev:allow locking: administrative removal is a deliberate fail-stop of the victim (§3); the site leaves the configuration rather than racing its own operations
 	victim.SetState(protocol.StateFailed)
 	cl.net.SetUp(id, false)
 	cl.cfg.Sites--
@@ -106,6 +107,7 @@ func (cl *Cluster) Remove(ctx context.Context, force bool) error {
 	// replication order would be in practice).
 	for _, r := range cl.replicas {
 		if w := r.WasAvailable(); w.Has(id) {
+			//relidev:allow locking: administrative stable-storage edit during reconfiguration; controllers are rebuilt immediately after, so no in-flight operation observes the interim set
 			if err := r.SetWasAvailable(w.Remove(id)); err != nil {
 				return err
 			}
@@ -127,7 +129,10 @@ func (cl *Cluster) rebuildControllers() error {
 	for i := range ids {
 		env := scheme.Env{
 			Self:      cl.replicas[i],
-			Transport: cl.net,
+			// Keep the WrapTransport decoration (fault injection,
+			// accounting): rebuilding over the bare network would
+			// silently strip it after Grow/Remove.
+			Transport: cl.transport,
 			Sites:     ids,
 			Weights:   cl.cfg.Weights,
 		}

@@ -289,3 +289,50 @@ func TestGrowWithFileStores(t *testing.T) {
 		t.Fatalf("Grow with file stores: %v", err)
 	}
 }
+
+// TestWrapTransportSurvivesReconfiguration is a regression test:
+// rebuildControllers used to hand the rebuilt controllers the bare
+// simulated network, silently stripping the WrapTransport decoration
+// (fault injection, accounting) after the first Grow or Remove.
+func TestWrapTransportSurvivesReconfiguration(t *testing.T) {
+	ctx := context.Background()
+	var ct *countingTransport
+	cl, err := NewCluster(ClusterConfig{
+		Sites:    2,
+		Geometry: block.Geometry{BlockSize: 32, NumBlocks: 4},
+		Scheme:   Voting,
+		WrapTransport: func(inner protocol.Transport) protocol.Transport {
+			ct = &countingTransport{Transport: inner}
+			return ct
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := cl.Grow(ctx); err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	before := ct.calls.Load()
+	dev, err := cl.Device(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.WriteBlock(ctx, 1, pad(cl, "post-grow")); err != nil {
+		t.Fatalf("write after Grow: %v", err)
+	}
+	if got := ct.calls.Load(); got <= before {
+		t.Fatalf("decorated transport saw no traffic after Grow (%d calls before, %d after): rebuildControllers dropped the decoration", before, got)
+	}
+
+	if err := cl.Remove(ctx, false); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	before = ct.calls.Load()
+	if err := dev.WriteBlock(ctx, 2, pad(cl, "post-remove")); err != nil {
+		t.Fatalf("write after Remove: %v", err)
+	}
+	if got := ct.calls.Load(); got <= before {
+		t.Fatalf("decorated transport saw no traffic after Remove (%d calls before, %d after)", before, got)
+	}
+}

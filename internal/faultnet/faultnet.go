@@ -293,6 +293,7 @@ func (n *Network) decide(from, to protocol.SiteID, kind string) (simnet.FaultDec
 		n.delays.Add(1)
 		d := time.Duration(v * float64(n.cfg.MaxLatency))
 		if d > 0 {
+			//relidev:allow nondeterminism: the *duration* is drawn from the seeded per-link stream; the sleep only paces real goroutines and never feeds the replay digest
 			time.Sleep(d)
 		}
 		return simnet.Deliver, nil

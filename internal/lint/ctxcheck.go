@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheck enforces context discipline: every operation on the data
+// path carries the caller's context (scheme.Controller's Read, Write
+// and Recover are all ctx-first), so deadlines and cancellation
+// propagate from the client through the controllers to the
+// transport.
+//
+// Repo-wide it flags:
+//
+//  1. functions whose context.Context parameter is not first;
+//  2. context.Background()/context.TODO() in library packages —
+//     minting a fresh root context severs the caller's deadline;
+//     only package main (cmd/, examples/) may create roots.
+var CtxCheck = &Analyzer{
+	Name:  "ctxcheck",
+	Topic: "context",
+	Doc: "context.Context must be the first parameter and library code " +
+		"must not mint root contexts with Background/TODO",
+	Run: runCtxCheck,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func runCtxCheck(p *Pass) {
+	isMain := p.Types.Name() == "main"
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxFirst(p, n.Type)
+			case *ast.FuncLit:
+				checkCtxFirst(p, n.Type)
+			case *ast.CallExpr:
+				if isMain {
+					return true
+				}
+				fn := calleeOf(p.Info, n)
+				if isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+					p.Reportf(n.Pos(),
+						"context.%s in library code severs the caller's deadline and cancellation: accept a ctx parameter instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxFirst reports context.Context parameters that are not the
+// first parameter of the signature.
+func checkCtxFirst(p *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // parameter index, counting each name in a field once
+	for fi, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t := p.Info.TypeOf(field.Type); t != nil && isContextType(t) {
+			if fi != 0 || pos != 0 {
+				p.Reportf(field.Pos(),
+					"context.Context must be the first parameter so call sites read request-scope first")
+			}
+		}
+		pos += n
+	}
+}

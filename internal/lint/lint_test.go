@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"testing"
+
+	"relidev/internal/lint"
+	"relidev/internal/lint/linttest"
+)
+
+const testdata = "testdata"
+
+func TestLockCheckFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/lockcheck/voting", lint.LockCheck)
+}
+
+func TestLockCheckOutOfScope(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/lockcheck/outofscope", lint.LockCheck)
+}
+
+func TestDetCheckFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/detcheck/chaos", lint.DetCheck)
+}
+
+func TestDetCheckOutOfScope(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/detcheck/other", lint.DetCheck)
+}
+
+func TestTransportCheckWirePath(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/transportcheck/rpcnet", lint.TransportCheck)
+}
+
+func TestTransportCheckRepoWide(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/transportcheck/client", lint.TransportCheck)
+}
+
+func TestCtxCheckFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/ctxcheck/lib", lint.CtxCheck)
+}
+
+func TestCtxCheckMainPackage(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/ctxcheck/cmd", lint.CtxCheck)
+}
+
+// TestSuiteStable pins the analyzer roster: CI wiring and the DESIGN
+// docs reference these names.
+func TestSuiteStable(t *testing.T) {
+	want := []string{"lockcheck", "detcheck", "transportcheck", "ctxcheck"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, an := range got {
+		if an.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, an.Name, want[i])
+		}
+		if an.Topic == "" || an.Doc == "" || an.Run == nil {
+			t.Errorf("analyzer %q is missing Topic/Doc/Run", an.Name)
+		}
+	}
+}
+
+// TestBareAllowDirective verifies that suppressions without a reason
+// are themselves findings.
+func TestBareAllowDirective(t *testing.T) {
+	pkg := linttest.Load(t, testdata, "fixtures/detcheck/chaos")
+	diags := lint.Run(pkg, nil)
+	for _, d := range diags {
+		t.Errorf("reasoned allow directives should not be flagged: %s", d)
+	}
+}

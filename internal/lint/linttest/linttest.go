@@ -1,0 +1,169 @@
+// Package linttest loads fixture packages from a GOPATH-style
+// testdata/src tree and checks analyzer findings against
+// `// want "regex"` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest but with no
+// dependencies: imports (including stand-ins for std packages like
+// time and math/rand) resolve recursively from the same tree, so the
+// tests run with an empty module cache and no export data.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"relidev/internal/lint"
+)
+
+// loader resolves import paths to packages rooted at <root>/src.
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+func newLoader(root string) *loader {
+	return &loader{root: root, fset: token.NewFileSet(), pkgs: make(map[string]*types.Package)}
+}
+
+// Import implements types.Importer over the fixture tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	pkg, _, _, err := l.check(path, nil)
+	return pkg, err
+}
+
+// check parses and type-checks one fixture package. When info is
+// non-nil the caller wants full type information (the analysis
+// target); dependencies are checked without it.
+func (l *loader) check(path string, info *types.Info) (*types.Package, []*ast.File, *token.FileSet, error) {
+	dir := filepath.Join(l.root, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("fixture package %q: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("fixture package %q has no Go files", path)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("fixture package %q: %v", path, err)
+	}
+	l.pkgs[path] = pkg
+	return pkg, files, l.fset, nil
+}
+
+// Load type-checks the fixture package at importPath under root
+// (typically "testdata") and returns it ready for analysis.
+func Load(t *testing.T, root, importPath string) *lint.Package {
+	t.Helper()
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	l := newLoader(root)
+	pkg, files, fset, err := l.check(importPath, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &lint.Package{Fset: fset, Files: files, Types: pkg, Info: info}
+}
+
+// wantRe matches one or more expectations in a comment:
+// // want "first" "second"
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	claimed bool
+}
+
+// Run analyzes the fixture package with the given analyzers and
+// fails the test unless findings and `// want` comments match 1:1.
+func Run(t *testing.T, root, importPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg := Load(t, root, importPath)
+
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 || !strings.HasPrefix(strings.TrimLeft(c.Text[2:], " \t"), "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					pattern := m[1]
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pattern})
+				}
+			}
+		}
+	}
+
+	diags := lint.Run(pkg, analyzers)
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.claimed || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.claimed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.claimed {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCheck enforces the OpLocks critical-section discipline on the
+// replicated-block data path (paper §3: a site is either operational
+// and follows the protocol, or it is down; there is no third state in
+// which it mutates replica state outside the protocol's mutual
+// exclusion).
+//
+// Within internal/{voting,availcopy,naiveac,core} it checks:
+//
+//  1. pairing: LockOp/LockRecovery must be immediately followed by a
+//     `defer` of the matching unlock on the same receiver and block
+//     index, and unlocks may only appear in defer position;
+//  2. ordering: a function must not acquire OpLocks twice — with
+//     deferred unlocks the first acquisition is held to return, so a
+//     second LockOp or LockRecovery self-deadlocks (stripe vs
+//     recovery exclusion must be split across functions);
+//  3. guarded mutation: calls to site.Replica mutators (WriteLocal,
+//     SetState, SetWasAvailable, ApplyRecovery) must happen in a
+//     locked context — the function acquires OpLocks itself or every
+//     intra-package caller does.
+var LockCheck = &Analyzer{
+	Name:  "lockcheck",
+	Topic: "locking",
+	Doc: "check OpLocks pairing/ordering and that per-site replica state " +
+		"is only mutated inside an OpLocks critical section",
+	Run: runLockCheck,
+}
+
+var lockScopeElems = []string{"voting", "availcopy", "naiveac", "core"}
+
+var replicaMutators = map[string]bool{
+	"WriteLocal":      true,
+	"SetState":        true,
+	"SetWasAvailable": true,
+	"ApplyRecovery":   true,
+}
+
+var lockPairs = map[string]string{
+	"LockOp":       "UnlockOp",
+	"LockRecovery": "UnlockRecovery",
+}
+
+// opLockMethod returns the OpLocks method name a call resolves to
+// ("LockOp", "UnlockOp", "LockRecovery", "UnlockRecovery"), or "".
+func opLockMethod(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || !samePkgPath(fn.Pkg().Path(), schemePkgPath) {
+		return ""
+	}
+	if recvBaseName(fn) != "OpLocks" {
+		return ""
+	}
+	switch name := fn.Name(); name {
+	case "LockOp", "UnlockOp", "LockRecovery", "UnlockRecovery":
+		return name
+	}
+	return ""
+}
+
+// isReplicaMutator reports whether a call mutates site.Replica state.
+func isReplicaMutator(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || !samePkgPath(fn.Pkg().Path(), sitePkgPath) {
+		return false
+	}
+	return replicaMutators[fn.Name()] && recvBaseName(fn) == "Replica"
+}
+
+// lockFnState is the lock behavior of one function decl or literal.
+type lockFnState struct {
+	obj      *types.Func // decl object; nil for literals
+	locked   bool        // acquires OpLocks in its own body
+	mutants  []*ast.CallExpr
+	acquires []*ast.CallExpr
+}
+
+func runLockCheck(p *Pass) {
+	if !pkgHasElement(p.Types, lockScopeElems...) {
+		return
+	}
+
+	states := make(map[ast.Node]*lockFnState)
+	declOf := make(map[*types.Func]*lockFnState)
+	callers := make(map[*types.Func]map[*types.Func]bool) // callee -> callers
+	trees := make([]*funcTree, len(p.Files))
+
+	// Phase 1: collect lock acquisitions, mutator calls, and the
+	// intra-package call graph across every file.
+	for fi, file := range p.Files {
+		checkLockPairing(p, file)
+
+		tree := buildFuncTree(file)
+		trees[fi] = tree
+		for _, fn := range tree.funcs {
+			st := &lockFnState{}
+			if decl, ok := fn.(*ast.FuncDecl); ok {
+				if obj, ok := p.Info.Defs[decl.Name].(*types.Func); ok {
+					st.obj = obj
+					declOf[obj] = st
+				}
+			}
+			states[fn] = st
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			owner := tree.owner[n]
+			if owner == nil {
+				return true // package-level initializer expression
+			}
+			st := states[owner]
+			switch opLockMethod(p.Info, call) {
+			case "LockOp", "LockRecovery":
+				st.locked = true
+				st.acquires = append(st.acquires, call)
+			}
+			if isReplicaMutator(p.Info, call) {
+				st.mutants = append(st.mutants, call)
+			}
+			// Record the intra-package call edge against the
+			// enclosing declaration (closures run in its context).
+			if callee := calleeOf(p.Info, call); callee != nil && callee.Pkg() == p.Types {
+				for o := owner; o != nil; o = tree.parent[o] {
+					if so := states[o]; so != nil && so.obj != nil {
+						if callers[callee] == nil {
+							callers[callee] = make(map[*types.Func]bool)
+						}
+						callers[callee][so.obj] = true
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: report ordering violations and unguarded mutations.
+	for fi := range p.Files {
+		tree := trees[fi]
+		for _, fn := range tree.funcs {
+			st := states[fn]
+			if len(st.acquires) < 2 {
+				continue
+			}
+			for _, extra := range st.acquires[1:] {
+				p.Reportf(extra.Pos(),
+					"OpLocks acquired while an earlier acquisition in the same function is still held (unlocks are deferred to return); stripe and recovery exclusion must not nest")
+			}
+		}
+
+		for _, fn := range tree.funcs {
+			st := states[fn]
+			if len(st.mutants) == 0 {
+				continue
+			}
+			// Lockedness flows from enclosing function literals,
+			// then from the intra-package callers.
+			guarded := false
+			for o := fn; o != nil; o = tree.parent[o] {
+				if states[o].locked {
+					guarded = true
+					break
+				}
+			}
+			if !guarded {
+				var obj *types.Func
+				for o := fn; o != nil; o = tree.parent[o] {
+					if states[o].obj != nil {
+						obj = states[o].obj
+						break
+					}
+				}
+				if obj != nil {
+					guarded = guardedByCallers(obj, declOf, callers, make(map[*types.Func]bool))
+				}
+			}
+			if guarded {
+				continue
+			}
+			for _, call := range st.mutants {
+				p.Reportf(call.Pos(),
+					"site.Replica.%s outside an OpLocks critical section: neither this function nor all of its intra-package callers hold the lock",
+					calleeOf(p.Info, call).Name())
+			}
+		}
+	}
+}
+
+// guardedByCallers reports whether every intra-package caller of fn
+// (transitively) holds OpLocks. A function with no known callers is
+// not guarded.
+func guardedByCallers(fn *types.Func, declOf map[*types.Func]*lockFnState, callers map[*types.Func]map[*types.Func]bool, visiting map[*types.Func]bool) bool {
+	if visiting[fn] {
+		return false // recursion: stay conservative
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+
+	callerSet := callers[fn]
+	if len(callerSet) == 0 {
+		return false
+	}
+	for caller := range callerSet {
+		st := declOf[caller]
+		if st == nil {
+			return false
+		}
+		if st.locked {
+			continue
+		}
+		if !guardedByCallers(caller, declOf, callers, visiting) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkLockPairing enforces, per statement list, that every lock
+// acquisition is immediately followed by a defer of the matching
+// unlock, and that unlocks only occur in defer position.
+func checkLockPairing(p *Pass, file *ast.File) {
+	forEachStmtList(file, func(list []ast.Stmt) {
+		for i, stmt := range list {
+			expr, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := expr.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			switch method := opLockMethod(p.Info, call); method {
+			case "UnlockOp", "UnlockRecovery":
+				p.Reportf(call.Pos(),
+					"OpLocks.%s outside a defer: unlocks must be deferred immediately after the acquisition so failures cannot leak the lock", method)
+			case "LockOp", "LockRecovery":
+				want := lockPairs[method]
+				if i+1 < len(list) {
+					if d, ok := list[i+1].(*ast.DeferStmt); ok && matchesUnlock(p, call, d.Call, want) {
+						continue
+					}
+				}
+				p.Reportf(call.Pos(),
+					"OpLocks.%s must be immediately followed by 'defer %s' on the same receiver and block index", method, want)
+			}
+		}
+	})
+}
+
+// matchesUnlock reports whether deferred is `recv.want(args...)` with
+// the same receiver and arguments as the acquisition.
+func matchesUnlock(p *Pass, acquire, deferred *ast.CallExpr, want string) bool {
+	if opLockMethod(p.Info, deferred) != want {
+		return false
+	}
+	aSel, aOK := ast.Unparen(acquire.Fun).(*ast.SelectorExpr)
+	dSel, dOK := ast.Unparen(deferred.Fun).(*ast.SelectorExpr)
+	if !aOK || !dOK {
+		return false
+	}
+	if nodeText(p.Fset, aSel.X) != nodeText(p.Fset, dSel.X) {
+		return false
+	}
+	if len(acquire.Args) != len(deferred.Args) {
+		return false
+	}
+	for i := range acquire.Args {
+		if nodeText(p.Fset, acquire.Args[i]) != nodeText(p.Fset, deferred.Args[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+// Stand-in for the standard errors package.
+package errors
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }
+
+func New(text string) error { return &errorString{text} }
+
+func Is(err, target error) bool { return err == target }
+
+func As(err error, target any) bool { return false }

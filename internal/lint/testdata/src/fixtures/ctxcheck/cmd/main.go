@@ -1,0 +1,15 @@
+// Negative fixture: package main owns the process lifetime and may
+// mint root contexts.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	run(ctx)
+}
+
+func run(ctx context.Context) {
+	_ = context.TODO()
+	_ = ctx
+}

@@ -1,0 +1,49 @@
+// Fixtures for ctxcheck: ctx-first signatures and no root contexts
+// in library code.
+package lib
+
+import "context"
+
+type Store struct{}
+
+// ok: canonical ctx-first signature.
+func (s *Store) Read(ctx context.Context, key string) ([]byte, error) { return nil, nil }
+
+func (s *Store) Write(key string, ctx context.Context, data []byte) error { // want "context.Context must be the first parameter"
+	return nil
+}
+
+func Lookup(name string, ctx context.Context) error { // want "context.Context must be the first parameter"
+	return nil
+}
+
+func Refresh(s *Store) error {
+	ctx := context.Background() // want "context.Background in library code"
+	_, err := s.Read(ctx, "refresh")
+	return err
+}
+
+func Drain(s *Store) error {
+	_, err := s.Read(context.TODO(), "drain") // want "context.TODO in library code"
+	return err
+}
+
+// ok: the closure keeps ctx first as well.
+func Walk(ctx context.Context, keys []string, s *Store) error {
+	visit := func(ctx context.Context, key string) error {
+		_, err := s.Read(ctx, key)
+		return err
+	}
+	for _, k := range keys {
+		if err := visit(ctx, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ok: a documented exception, e.g. detached background maintenance.
+func Background(s *Store) {
+	ctx := context.Background() //relidev:allow context: detached maintenance loop outlives any request
+	_, _ = s.Read(ctx, "gc")
+}

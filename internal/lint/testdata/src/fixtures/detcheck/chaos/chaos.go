@@ -1,0 +1,70 @@
+// Fixtures for detcheck: wall clock, global rand, and map-fed
+// output are flagged inside replay-deterministic packages.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+type digest struct{ sum uint64 }
+
+func (d *digest) Write(p []byte) (int, error) { d.sum += uint64(len(p)); return len(p), nil }
+
+type Engine struct {
+	rng  *rand.Rand
+	hash *digest
+}
+
+// ok: a seeded stream is the deterministic way to draw randomness.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed)), hash: &digest{}}
+}
+
+// ok: drawing from the per-engine stream, not the global source.
+func (e *Engine) Draw(n int) int { return e.rng.Intn(n) }
+
+// ok: logical clocks passed in as values are fine; only reading the
+// wall clock is nondeterministic.
+func Elapsed(start, end time.Time) time.Duration { return end.Sub(start) }
+
+func Stamp(e *Engine) int64 {
+	t := time.Now() // want "time.Now in a replay-deterministic package"
+	return t.UnixNano()
+}
+
+func Jitter() int {
+	return rand.Intn(10) // want "global rand.Intn draws from the process-seeded source"
+}
+
+func Backoff() {
+	time.Sleep(time.Millisecond) // want "time.Sleep in a replay-deterministic package"
+}
+
+func DumpVerdicts(e *Engine, verdicts map[string]bool) {
+	for name, ok := range verdicts { // want "map iteration order is nondeterministic"
+		fmt.Fprintf(e.hash, "%s=%v\n", name, ok)
+	}
+}
+
+func FeedDigest(e *Engine, counts map[int]int) {
+	for k := range counts { // want "map iteration order is nondeterministic"
+		e.hash.Write([]byte{byte(k)})
+	}
+}
+
+// ok: iterating to aggregate (no output/digest in the body) is
+// order-independent.
+func Total(counts map[int]int) int {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}
+
+// ok: documented exception with a reason.
+func ThrottledSleep() {
+	time.Sleep(time.Second) //relidev:allow nondeterminism: wall-clock pacing only, never digested
+}

@@ -1,0 +1,12 @@
+// Negative fixture: the same constructs outside the
+// replay-deterministic packages must not be flagged.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func WallClockIsFine() int64 { return time.Now().UnixNano() }
+
+func GlobalRandIsFine() int { return rand.Intn(10) }

@@ -1,0 +1,13 @@
+// Negative fixture: identical mutations outside the lockcheck scope
+// packages (voting/availcopy/naiveac/core) must not be flagged.
+package outofscope
+
+import "relidev/internal/site"
+
+func MutateFreely(r *site.Replica) error {
+	r.SetState(1)
+	if err := r.SetWasAvailable(nil); err != nil {
+		return err
+	}
+	return r.WriteLocal(0, nil, 1)
+}

@@ -1,0 +1,77 @@
+// Fixtures for lockcheck: positive cases carry // want comments;
+// compliant code (marked "ok:") must produce no findings.
+package voting
+
+import (
+	"relidev/internal/block"
+	"relidev/internal/scheme"
+	"relidev/internal/site"
+)
+
+type Controller struct {
+	locks scheme.OpLocks
+	self  *site.Replica
+}
+
+// ok: canonical pattern — acquire, defer the matching unlock, mutate.
+func (c *Controller) WriteGood(idx block.Index, data []byte) error {
+	c.locks.LockOp(idx)
+	defer c.locks.UnlockOp(idx)
+	return c.self.WriteLocal(idx, data, 1)
+}
+
+// ok: recovery exclusion with the matching deferred unlock.
+func (c *Controller) RecoverGood() error {
+	c.locks.LockRecovery()
+	defer c.locks.UnlockRecovery()
+	return c.self.ApplyRecovery(2)
+}
+
+// ok: helper with no lock of its own, but its only callers hold it.
+func (c *Controller) repairLocked(idx block.Index) error {
+	return c.self.WriteLocal(idx, nil, 3)
+}
+
+func (c *Controller) RecoverViaHelper(idx block.Index) error {
+	c.locks.LockRecovery()
+	defer c.locks.UnlockRecovery()
+	return c.repairLocked(idx)
+}
+
+func missingDefer(c *Controller, idx block.Index) error {
+	c.locks.LockOp(idx) // want "must be immediately followed by 'defer UnlockOp'"
+	err := c.self.WriteLocal(idx, nil, 1)
+	c.locks.UnlockOp(idx) // want "outside a defer"
+	return err
+}
+
+func wrongIndexDefer(c *Controller, idx, other block.Index) {
+	c.locks.LockOp(idx) // want "must be immediately followed by 'defer UnlockOp' on the same receiver and block index"
+	defer c.locks.UnlockOp(other)
+}
+
+func mismatchedKind(c *Controller, idx block.Index) {
+	c.locks.LockRecovery() // want "must be immediately followed by 'defer UnlockRecovery'"
+	defer c.locks.UnlockOp(idx)
+}
+
+func nestedAcquisition(c *Controller, idx block.Index) {
+	c.locks.LockOp(idx)
+	defer c.locks.UnlockOp(idx)
+	c.locks.LockRecovery() // want "still held" "must be immediately followed by 'defer UnlockRecovery'"
+}
+
+func unguardedMutation(c *Controller, idx block.Index) error {
+	return c.self.WriteLocal(idx, nil, 4) // want "WriteLocal outside an OpLocks critical section"
+}
+
+func unguardedSetState(c *Controller) {
+	c.self.SetState(1) // want "SetState outside an OpLocks critical section"
+}
+
+// ok: documented exception — constructor runs before the controller
+// is shared, so there is no concurrent reader yet.
+func unsharedInit(c *Controller) error {
+	//relidev:allow locking: runs single-threaded before the controller escapes
+	return c.self.SetWasAvailable(nil)
+}

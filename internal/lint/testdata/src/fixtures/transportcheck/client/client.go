@@ -1,0 +1,58 @@
+// Fixtures for transportcheck's repo-wide rules: sentinel identity
+// comparisons and discarded fan-out results are flagged in any
+// package, not just the transport implementations.
+package client
+
+import (
+	"context"
+	"errors"
+
+	"relidev/internal/protocol"
+)
+
+func Classify(err error) string {
+	if err == protocol.ErrSiteDown { // want "comparing against protocol.ErrSiteDown with =="
+		return "down"
+	}
+	if err != protocol.ErrTransient { // want "comparing against protocol.ErrTransient with !="
+		return "hard"
+	}
+	switch err {
+	case protocol.ErrSiteUnreachable: // want "switch case compares against protocol.ErrSiteUnreachable"
+		return "unreachable"
+	default:
+		return "other"
+	}
+}
+
+// ok: errors.Is sees through wrapping.
+func ClassifyGood(err error) string {
+	if errors.Is(err, protocol.ErrSiteDown) {
+		return "down"
+	}
+	return "other"
+}
+
+func PushAll(ctx context.Context, t protocol.Transport, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) {
+	t.Notify(ctx, from, dests, req) // want "Transport.Notify result discarded"
+}
+
+func FanOut(ctx context.Context, t protocol.Transport, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) {
+	t.Broadcast(ctx, from, dests, req) // want "Transport.Broadcast result discarded"
+}
+
+// ok: the result map is inspected.
+func FanOutGood(ctx context.Context, t protocol.Transport, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) error {
+	for _, res := range t.Broadcast(ctx, from, dests, req) {
+		if res.Err != nil {
+			return res.Err
+		}
+	}
+	return nil
+}
+
+// ok: a deliberate fire-and-forget carries a documented reason.
+func FireAndForget(ctx context.Context, t protocol.Transport, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) {
+	//relidev:allow transport: reliable-delivery model assumes the message arrives; accounting is on the receiver
+	t.Notify(ctx, from, dests, req)
+}

@@ -1,0 +1,66 @@
+// Fixtures for transportcheck's wire-path rules: a Transport
+// implementation whose reachable error constructors must classify
+// failures via the protocol sentinels.
+package rpcnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"relidev/internal/protocol"
+)
+
+type Client struct{ down bool }
+
+var errPoolClosed = errors.New("rpcnet: pool closed") // ok: package-level sentinel, not on the wire path
+
+func (c *Client) Call(ctx context.Context, from, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+	if c.down {
+		return nil, errors.New("connection refused") // want "bare errors.New on the wire path"
+	}
+	return c.roundTrip(ctx, to, req)
+}
+
+func (c *Client) Fetch(ctx context.Context, from, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+	if req == nil {
+		return nil, fmt.Errorf("rpcnet: nil request to %d", to) // want "fmt.Errorf without %w on the wire path"
+	}
+	// ok: wrapping a sentinel with %w keeps errors.Is working.
+	return nil, fmt.Errorf("rpcnet: fetch %d: %w", to, protocol.ErrTransient)
+}
+
+func (c *Client) Broadcast(ctx context.Context, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) map[protocol.SiteID]protocol.Result {
+	out := make(map[protocol.SiteID]protocol.Result, len(dests))
+	for _, d := range dests {
+		_, err := c.Call(context.Background(), from, d, req) // want "context.Background on the wire path"
+		out[d] = protocol.Result{Err: err}
+	}
+	return out
+}
+
+func (c *Client) Notify(ctx context.Context, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) map[protocol.SiteID]protocol.Result {
+	return c.Broadcast(ctx, from, dests, req)
+}
+
+// roundTrip is reachable from Call, so it is on the wire path too.
+func (c *Client) roundTrip(ctx context.Context, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+	if ctx.Err() != nil {
+		// ok: double-wrap that keeps the sentinel chain intact.
+		return nil, fmt.Errorf("rpcnet: call to %d: %w: %w", to, protocol.ErrSiteUnreachable, ctx.Err())
+	}
+	return nil, decodeErr("remote")
+}
+
+func decodeErr(text string) error {
+	return errors.New(text) // want "bare errors.New on the wire path"
+}
+
+// ok: helpers not reachable from the Transport methods may build
+// plain config errors.
+func Validate(addr string) error {
+	if addr == "" {
+		return errors.New("rpcnet: empty address")
+	}
+	return fmt.Errorf("rpcnet: unsupported address %q", addr)
+}

@@ -1,0 +1,17 @@
+// Stand-in for the standard fmt package.
+package fmt
+
+import "errors"
+
+type Writer interface{ Write(p []byte) (int, error) }
+
+func Errorf(format string, a ...any) error { return errors.New(format) }
+func Sprintf(format string, a ...any) string { return format }
+func Sprint(a ...any) string                 { return "" }
+
+func Fprintf(w Writer, format string, a ...any) (int, error) { return 0, nil }
+func Fprintln(w Writer, a ...any) (int, error)               { return 0, nil }
+func Fprint(w Writer, a ...any) (int, error)                 { return 0, nil }
+func Printf(format string, a ...any) (int, error)            { return 0, nil }
+func Println(a ...any) (int, error)                          { return 0, nil }
+func Print(a ...any) (int, error)                            { return 0, nil }

@@ -1,0 +1,37 @@
+// Stand-in for math/rand; see the time stub for why.
+package rand
+
+type Source interface{ Int63() int64 }
+
+type source struct{ s uint64 }
+
+func (s *source) Int63() int64 { s.s = s.s*6364136223846793005 + 1; return int64(s.s >> 1) }
+
+func NewSource(seed int64) Source { return &source{uint64(seed)} }
+
+type Rand struct{ src Source }
+
+func New(src Source) *Rand { return &Rand{src} }
+
+func (r *Rand) Int63() int64          { return r.src.Int63() }
+func (r *Rand) Intn(n int) int        { return int(r.src.Int63()) % n }
+func (r *Rand) Float64() float64      { return 0 }
+func (r *Rand) Perm(n int) []int      { return make([]int, n) }
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {}
+
+func Int() int              { return 0 }
+func Intn(n int) int        { return 0 }
+func Int31() int32          { return 0 }
+func Int31n(n int32) int32  { return 0 }
+func Int63() int64          { return 0 }
+func Int63n(n int64) int64  { return 0 }
+func Uint32() uint32        { return 0 }
+func Uint64() uint64        { return 0 }
+func Float32() float32      { return 0 }
+func Float64() float64      { return 0 }
+func ExpFloat64() float64   { return 0 }
+func NormFloat64() float64  { return 0 }
+func Perm(n int) []int      { return nil }
+func Seed(seed int64)       {}
+func Shuffle(n int, swap func(i, j int)) {}
+func Read(p []byte) (int, error)         { return 0, nil }

@@ -1,0 +1,7 @@
+// Stand-in for relidev/internal/block with the same import path, so
+// the analyzers' path-based matching works on fixtures.
+package block
+
+type Index uint32
+
+type Version uint64

@@ -1,0 +1,33 @@
+// Stand-in for relidev/internal/protocol with the same import path.
+package protocol
+
+import (
+	"context"
+	"errors"
+)
+
+type SiteID uint32
+
+type SiteSet map[SiteID]struct{}
+
+var (
+	ErrSiteDown        = errors.New("protocol: site down")
+	ErrSiteUnreachable = errors.New("protocol: site unreachable")
+	ErrTransient       = errors.New("protocol: transient failure")
+)
+
+type Request interface{ Kind() string }
+
+type Response interface{ OK() bool }
+
+type Result struct {
+	Resp Response
+	Err  error
+}
+
+type Transport interface {
+	Call(ctx context.Context, from, to SiteID, req Request) (Response, error)
+	Fetch(ctx context.Context, from, to SiteID, req Request) (Response, error)
+	Broadcast(ctx context.Context, from SiteID, dests []SiteID, req Request) map[SiteID]Result
+	Notify(ctx context.Context, from SiteID, dests []SiteID, req Request) map[SiteID]Result
+}

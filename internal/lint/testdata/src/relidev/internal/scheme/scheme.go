@@ -1,0 +1,13 @@
+// Stand-in for relidev/internal/scheme with the same import path.
+package scheme
+
+import "relidev/internal/block"
+
+type OpLocks struct{ held int }
+
+func (l *OpLocks) LockOp(idx block.Index)   { l.held++ }
+func (l *OpLocks) UnlockOp(idx block.Index) { l.held-- }
+func (l *OpLocks) LockRecovery()            { l.held++ }
+func (l *OpLocks) UnlockRecovery()          { l.held-- }
+
+func IsTransportError(err error) bool { return false }

@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TransportCheck enforces the fail-stop error contract (paper §3): a
+// transport failure is indistinguishable from a missing answer, so
+// every error that crosses the wire path must be classified through
+// the protocol sentinels that scheme.IsTransportError recognizes —
+// ErrSiteDown, ErrSiteUnreachable, ErrTransient.
+//
+// Within internal/{simnet,rpcnet,faultnet} (the Transport
+// implementations and decorators) it flags, on the call graph
+// reachable from Call/Fetch/Broadcast/Notify:
+//
+//  1. bare errors.New — the failure cannot be classified;
+//  2. fmt.Errorf whose format has no %w — wrapping that severs the
+//     sentinel chain errors.Is needs;
+//  3. context.Background/TODO — the caller's deadline and
+//     cancellation must flow through unchanged.
+//
+// Repo-wide it also flags:
+//
+//  4. ==/!= (or switch cases) against the protocol sentinels, which
+//     break on wrapped errors — use errors.Is;
+//  5. discarding the result map of a Transport Broadcast/Notify
+//     fan-out, which silently loses per-site failures and the
+//     transmission accounting the schemes are compared by.
+var TransportCheck = &Analyzer{
+	Name:  "transportcheck",
+	Topic: "transport",
+	Doc: "transport implementations must classify wire failures via the " +
+		"protocol sentinels, wrap with %w, and never drop fan-out results",
+	Run: runTransportCheck,
+}
+
+var transportScopeElems = []string{"simnet", "rpcnet", "faultnet"}
+
+var transportMethodNames = map[string]bool{
+	"Call": true, "Fetch": true, "Broadcast": true, "Notify": true,
+}
+
+var protocolSentinels = map[string]bool{
+	"ErrSiteDown":        true,
+	"ErrSiteUnreachable": true,
+	"ErrTransient":       true,
+}
+
+func runTransportCheck(p *Pass) {
+	iface := findTransportInterface(p.Types)
+
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(p, n)
+			case *ast.SwitchStmt:
+				checkSentinelSwitch(p, n)
+			case *ast.ExprStmt:
+				checkDiscardedFanOut(p, n, iface)
+			}
+			return true
+		})
+	}
+
+	if iface == nil || !pkgHasElement(p.Types, transportScopeElems...) {
+		return
+	}
+	wire := wireFuncs(p, iface)
+	for _, file := range p.Files {
+		tree := buildFuncTree(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !onWirePath(p, tree, n, wire) {
+				return true
+			}
+			fn := calleeOf(p.Info, call)
+			switch {
+			case isPkgFunc(fn, "errors", "New"):
+				p.Reportf(call.Pos(),
+					"bare errors.New on the wire path: classify the failure by wrapping a protocol sentinel (ErrSiteDown/ErrSiteUnreachable/ErrTransient) with %%w")
+			case isPkgFunc(fn, "fmt", "Errorf"):
+				if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING && !strings.Contains(lit.Value, "%w") {
+					p.Reportf(call.Pos(),
+						"fmt.Errorf without %%w on the wire path severs the sentinel chain scheme.IsTransportError relies on")
+				}
+			case isPkgFunc(fn, "context", "Background"), isPkgFunc(fn, "context", "TODO"):
+				p.Reportf(call.Pos(),
+					"context.%s on the wire path: the caller's ctx must flow through so deadlines and cancellation reach the remote call", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// findTransportInterface locates protocol.Transport among the
+// package itself and its imports.
+func findTransportInterface(pkg *types.Package) *types.Interface {
+	candidates := append([]*types.Package{pkg}, pkg.Imports()...)
+	for _, imp := range candidates {
+		if !samePkgPath(imp.Path(), protocolPkgPath) && imp.Name() != "protocol" {
+			continue
+		}
+		if tn, ok := imp.Scope().Lookup("Transport").(*types.TypeName); ok {
+			if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+// wireFuncs returns the set of package functions reachable from the
+// Transport methods of types in this package that implement the
+// interface.
+func wireFuncs(p *Pass, iface *types.Interface) map[*types.Func]bool {
+	wire := make(map[*types.Func]bool)
+	scope := p.Types.Scope()
+	implements := func(t types.Type) bool {
+		return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+	}
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || !implements(named) {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); transportMethodNames[m.Name()] {
+				wire[m] = true
+			}
+		}
+	}
+
+	// Close over the intra-package call graph.
+	edges := make(map[*types.Func]map[*types.Func]bool) // caller decl -> callees
+	for _, file := range p.Files {
+		tree := buildFuncTree(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(p.Info, call)
+			if callee == nil || callee.Pkg() != p.Types {
+				return true
+			}
+			for o := tree.owner[n]; o != nil; o = tree.parent[o] {
+				if decl, ok := o.(*ast.FuncDecl); ok {
+					if obj, ok := p.Info.Defs[decl.Name].(*types.Func); ok {
+						if edges[obj] == nil {
+							edges[obj] = make(map[*types.Func]bool)
+						}
+						edges[obj][callee] = true
+					}
+					break
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for caller, callees := range edges {
+			if !wire[caller] {
+				continue
+			}
+			for callee := range callees {
+				if !wire[callee] {
+					wire[callee] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return wire
+}
+
+// onWirePath reports whether node n sits inside a function whose
+// declaration belongs to the wire set.
+func onWirePath(p *Pass, tree *funcTree, n ast.Node, wire map[*types.Func]bool) bool {
+	for o := tree.owner[n]; o != nil; o = tree.parent[o] {
+		if decl, ok := o.(*ast.FuncDecl); ok {
+			obj, _ := p.Info.Defs[decl.Name].(*types.Func)
+			return obj != nil && wire[obj]
+		}
+	}
+	return false
+}
+
+// sentinelVar reports whether the expression resolves to one of the
+// protocol sentinel error variables.
+func sentinelVar(p *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	obj, ok := p.Info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || !protocolSentinels[obj.Name()] {
+		return "", false
+	}
+	if !samePkgPath(obj.Pkg().Path(), protocolPkgPath) && obj.Pkg().Name() != "protocol" {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+func checkSentinelCompare(p *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if name, ok := sentinelVar(p, side); ok {
+			p.Reportf(be.Pos(),
+				"comparing against protocol.%s with %s misses wrapped errors: use errors.Is", name, be.Op)
+			return
+		}
+	}
+}
+
+func checkSentinelSwitch(p *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(p.Info.TypeOf(sw.Tag)) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range clause.List {
+			if name, ok := sentinelVar(p, e); ok {
+				p.Reportf(e.Pos(),
+					"switch case compares against protocol.%s by identity and misses wrapped errors: use errors.Is", name)
+			}
+		}
+	}
+}
+
+// checkDiscardedFanOut flags statements that call Broadcast/Notify on
+// a Transport and drop the per-site result map on the floor.
+func checkDiscardedFanOut(p *Pass, stmt *ast.ExprStmt, iface *types.Interface) {
+	if iface == nil {
+		return
+	}
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeOf(p.Info, call)
+	if fn == nil || !(fn.Name() == "Broadcast" || fn.Name() == "Notify") {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := p.Info.TypeOf(sel.X)
+	if recv == nil {
+		return
+	}
+	if types.Implements(recv, iface) || types.AssignableTo(recv, iface) {
+		p.Reportf(call.Pos(),
+			"Transport.%s result discarded: per-site errors (and the transmission accounting derived from them) are lost; inspect the result map", fn.Name())
+	}
+}

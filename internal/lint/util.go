@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Canonical import paths of the repo packages the analyzers key on.
+// Matching is by path suffix so the testdata fixtures (which stub
+// these packages under the same paths) resolve identically.
+const (
+	schemePkgPath   = "relidev/internal/scheme"
+	sitePkgPath     = "relidev/internal/site"
+	protocolPkgPath = "relidev/internal/protocol"
+)
+
+// pkgHasElement reports whether the package's import path contains
+// one of elems as a whole path element. This matches both real
+// packages ("relidev/internal/voting") and fixtures
+// ("fixtures/lockcheck/voting").
+func pkgHasElement(pkg *types.Package, elems ...string) bool {
+	for _, have := range strings.Split(pkg.Path(), "/") {
+		for _, want := range elems {
+			if have == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// samePkgPath reports whether path refers to the repo package with
+// canonical path want (exact or by matching suffix).
+func samePkgPath(path, want string) bool {
+	return path == want || strings.HasSuffix(path, "/"+want)
+}
+
+// calleeOf resolves the called function or method of a call
+// expression, or nil for conversions, builtins, and indirect calls
+// through function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// recvBaseName returns the name of the method's receiver base type,
+// or "" for plain functions.
+func recvBaseName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Interface:
+		return "" // interface method; caller inspects separately
+	}
+	return ""
+}
+
+// isPkgFunc reports whether fn is the plain (receiver-less) function
+// pkgPath.name, with pkgPath matched exactly (stdlib) or by suffix
+// (repo packages and their fixture stubs).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == pkgPath || samePkgPath(p, pkgPath)
+}
+
+// nodeText renders a node back to source, for comparing lock
+// receivers and arguments structurally.
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// forEachStmtList invokes fn on every statement list in the file:
+// function and block bodies, case clauses, and comm clauses.
+func forEachStmtList(root ast.Node, fn func([]ast.Stmt)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// errorType is the built-in error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is assignable to error.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.AssignableTo(t, errorType)
+}
+
+// enclosingFuncs maps every function declaration and literal in the
+// file to its nearest enclosing function node (nil for top level).
+type funcTree struct {
+	parent map[ast.Node]ast.Node // FuncDecl/FuncLit -> enclosing FuncDecl/FuncLit
+	owner  map[ast.Node]ast.Node // any node -> enclosing FuncDecl/FuncLit
+	funcs  []ast.Node            // in source order
+}
+
+func buildFuncTree(file *ast.File) *funcTree {
+	t := &funcTree{
+		parent: make(map[ast.Node]ast.Node),
+		owner:  make(map[ast.Node]ast.Node),
+	}
+	var stack []ast.Node  // all open nodes (Inspect emits one nil per node)
+	var fstack []ast.Node // open function nodes only
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			popped := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			switch popped.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				fstack = fstack[:len(fstack)-1]
+			}
+			return true
+		}
+		if len(fstack) > 0 {
+			t.owner[n] = fstack[len(fstack)-1]
+		}
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if len(fstack) > 0 {
+				t.parent[n] = fstack[len(fstack)-1]
+			}
+			t.funcs = append(t.funcs, n)
+			fstack = append(fstack, n)
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return t
+}

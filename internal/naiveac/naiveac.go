@@ -80,6 +80,7 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) er
 	put := protocol.PutRequest{Block: idx, Data: data, Version: newVer}
 	// Fire-and-forget: failed sites miss the write and repair later;
 	// comatose sites reject it (they must not mix old and new blocks).
+	//relidev:allow transport: §3.3's naive scheme assumes reliable delivery to available sites; per-site outcomes are intentionally not observed
 	c.env.Transport.Notify(ctx, self.ID(), c.env.Remotes(), put)
 	if err := self.WriteLocal(idx, data, newVer); err != nil {
 		return fmt.Errorf("naive write of %v: %w", idx, err)

@@ -48,6 +48,13 @@ const (
 	errNotOperational
 )
 
+// ErrRemote marks an error produced by the remote handler itself, as
+// opposed to a transport failure: the call reached the peer and was
+// answered. scheme.IsTransportError(err) is false for it by design —
+// under the paper's fail-stop model (§3) only a *missing* answer may
+// be treated as a site failure, never a delivered one.
+var ErrRemote = errors.New("rpcnet: remote error")
+
 type rpcRequest struct {
 	From protocol.SiteID
 	Req  protocol.Request
@@ -81,7 +88,7 @@ func decodeErr(code int, text string) error {
 	case errNotOperational:
 		return fmt.Errorf("%s: %w", text, site.ErrNotOperational)
 	default:
-		return errors.New(text)
+		return fmt.Errorf("%s: %w", text, ErrRemote)
 	}
 }
 

@@ -82,8 +82,9 @@ type TrafficResult struct {
 // SimulateTraffic drives the real protocol stack through a workload
 // interleaved with site failures and repairs, and reports measured
 // traffic. It validates the §5 analytical cost model against running
-// code.
-func SimulateTraffic(cfg TrafficConfig) (TrafficResult, error) {
+// code. The caller's ctx bounds the whole run: cancellation reaches
+// every block operation and recovery drive through the controllers.
+func SimulateTraffic(ctx context.Context, cfg TrafficConfig) (TrafficResult, error) {
 	cfg.applyDefaults()
 	cl, err := core.NewCluster(core.ClusterConfig{
 		Sites:    cfg.Sites,
@@ -107,7 +108,6 @@ func SimulateTraffic(cfg TrafficConfig) (TrafficResult, error) {
 		return TrafficResult{}, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 4))
-	ctx := context.Background()
 	net := cl.Network()
 
 	var (

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -10,16 +11,16 @@ import (
 )
 
 func TestSimulateTrafficValidation(t *testing.T) {
-	if _, err := SimulateTraffic(TrafficConfig{Sites: 0, Scheme: core.Voting}); err == nil {
+	if _, err := SimulateTraffic(context.Background(), TrafficConfig{Sites: 0, Scheme: core.Voting}); err == nil {
 		t.Fatal("accepted zero sites")
 	}
-	if _, err := SimulateTraffic(TrafficConfig{Sites: 3, Scheme: core.SchemeKind(99)}); err == nil {
+	if _, err := SimulateTraffic(context.Background(), TrafficConfig{Sites: 3, Scheme: core.SchemeKind(99)}); err == nil {
 		t.Fatal("accepted unknown scheme")
 	}
 }
 
 func TestNaiveWriteCostIsExactlyOneMulticast(t *testing.T) {
-	res, err := SimulateTraffic(TrafficConfig{
+	res, err := SimulateTraffic(context.Background(), TrafficConfig{
 		Scheme: core.NaiveAvailableCopy,
 		Sites:  5,
 		Rho:    0.05,
@@ -40,7 +41,7 @@ func TestNaiveWriteCostIsExactlyOneMulticast(t *testing.T) {
 
 func TestNaiveWriteCostUnicast(t *testing.T) {
 	const n = 6
-	res, err := SimulateTraffic(TrafficConfig{
+	res, err := SimulateTraffic(context.Background(), TrafficConfig{
 		Scheme: core.NaiveAvailableCopy,
 		Sites:  n,
 		Rho:    0.05,
@@ -77,7 +78,7 @@ func TestMeasuredTrafficMatchesCostModel(t *testing.T) {
 			{core.NaiveAvailableCopy, analysis.SchemeNaive},
 		} {
 			t.Run(c.scheme.String()+"/"+mode.String(), func(t *testing.T) {
-				res, err := SimulateTraffic(TrafficConfig{
+				res, err := SimulateTraffic(context.Background(), TrafficConfig{
 					Scheme: c.scheme,
 					Sites:  n,
 					Rho:    rho,
@@ -123,7 +124,7 @@ func TestRecoveryTrafficShape(t *testing.T) {
 		n   = 4
 		rho = 0.1
 	)
-	vres, err := SimulateTraffic(TrafficConfig{
+	vres, err := SimulateTraffic(context.Background(), TrafficConfig{
 		Scheme: core.Voting, Sites: n, Rho: rho, Mode: simnet.Multicast, Ops: 4000, Seed: 21,
 	})
 	if err != nil {
@@ -136,7 +137,7 @@ func TestRecoveryTrafficShape(t *testing.T) {
 		t.Fatalf("voting per-recovery = %v, want 0 (block-level lazy recovery)", vres.PerRecovery)
 	}
 
-	ares, err := SimulateTraffic(TrafficConfig{
+	ares, err := SimulateTraffic(context.Background(), TrafficConfig{
 		Scheme: core.AvailableCopy, Sites: n, Rho: rho, Mode: simnet.Multicast, Ops: 4000, Seed: 21,
 	})
 	if err != nil {
@@ -161,7 +162,7 @@ func TestMeasuredWriteOrdering(t *testing.T) {
 	}
 	perWrite := map[core.SchemeKind]float64{}
 	for _, k := range []core.SchemeKind{core.Voting, core.AvailableCopy, core.NaiveAvailableCopy} {
-		res, err := SimulateTraffic(TrafficConfig{
+		res, err := SimulateTraffic(context.Background(), TrafficConfig{
 			Scheme: k, Sites: 5, Rho: 0.05, Mode: simnet.Multicast, Ops: 3000, Seed: 5,
 		})
 		if err != nil {
@@ -186,7 +187,7 @@ func TestMeasuredOpAvailabilityOrdering(t *testing.T) {
 	for _, k := range []core.SchemeKind{core.Voting, core.AvailableCopy, core.NaiveAvailableCopy} {
 		var sum float64
 		for seed := int64(0); seed < 6; seed++ {
-			res, err := SimulateTraffic(TrafficConfig{
+			res, err := SimulateTraffic(context.Background(), TrafficConfig{
 				Scheme: k, Sites: 3, Rho: 0.25, Mode: simnet.Multicast,
 				Ops: 4000, OpRate: 20, Seed: 100 + seed,
 			})

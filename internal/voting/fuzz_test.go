@@ -1,0 +1,124 @@
+package voting
+
+import (
+	"testing"
+
+	"relidev/internal/block"
+)
+
+// FuzzVersionQuorum fuzzes the weighted-quorum and version-number
+// arithmetic (§3.1) against the properties the whole scheme rests on:
+// with thresholds satisfying New's Gifford constraints
+// (read+write >= total-1 and 2*write >= total-1, quorum = collected
+// weight strictly above the threshold),
+//
+//  1. every write quorum intersects every read quorum and every
+//     other write quorum, and
+//  2. after any sequence of quorum writes — each minting
+//     1+max(version over its quorum) — every read quorum contains a
+//     site holding the globally newest version.
+func FuzzVersionQuorum(f *testing.F) {
+	f.Add(uint8(3), uint64(0x010101), uint16(0), uint16(0), uint64(1))
+	f.Add(uint8(5), uint64(0x0102030405), uint16(7), uint16(9), uint64(0xdeadbeef))
+	f.Add(uint8(8), uint64(^uint64(0)), uint16(40), uint16(40), uint64(12345))
+	f.Add(uint8(4), uint64(0x01010101), uint16(1), uint16(3), uint64(77))
+
+	f.Fuzz(func(t *testing.T, nRaw uint8, wBits uint64, rtRaw, wtRaw uint16, script uint64) {
+		n := 2 + int(nRaw%7) // 2..8 sites
+		weights := make([]int64, n)
+		var total int64
+		for i := range weights {
+			weights[i] = 1 + int64((wBits>>(8*i))&0x0f) // 1..16 votes
+			total += weights[i]
+		}
+		rt := int64(rtRaw) % total
+		wt := int64(wtRaw) % total
+		// Configurations violating the constraints are rejected by
+		// New (see TestThresholdValidation); out of scope here.
+		if rt+wt < total-1 || 2*wt < total-1 {
+			t.Skip("thresholds cannot guarantee intersection")
+		}
+
+		weight := func(mask int) int64 {
+			var w int64
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += weights[i]
+				}
+			}
+			return w
+		}
+
+		// Property 1: structural quorum intersection.
+		full := 1<<n - 1
+		for wq := 1; wq <= full; wq++ {
+			if weight(wq) <= wt {
+				continue
+			}
+			for q := 1; q <= full; q++ {
+				if wq&q == 0 && (weight(q) > rt || weight(q) > wt) {
+					t.Fatalf("disjoint quorums: write %b (weight %d > %d) vs %b (weight %d, thresholds r=%d w=%d, total %d)",
+						wq, weight(wq), wt, q, weight(q), rt, wt, total)
+				}
+			}
+		}
+
+		// Property 2: version numbers minted by quorum writes are
+		// visible to every read quorum.
+		rng := script | 1 // splitmix-style stream; never the zero state
+		next := func() uint64 {
+			rng += 0x9e3779b97f4a7c15
+			z := rng
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31)
+		}
+		versions := make([]block.Version, n)
+		var globalMax block.Version
+		for step := 0; step < 16; step++ {
+			// Draw a candidate site set and extend it to a write
+			// quorum, the way a coordinator keeps polling sites
+			// until enough votes arrive.
+			mask := int(next()) & full
+			for i := 0; weight(mask) <= wt && i < n; i++ {
+				mask |= 1 << i
+			}
+			if weight(mask) <= wt {
+				t.Fatalf("full set weight %d not a write quorum (wt=%d)", weight(mask), wt)
+			}
+			var seen block.Version
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 && versions[i] > seen {
+					seen = versions[i]
+				}
+			}
+			if seen < globalMax {
+				t.Fatalf("step %d: write quorum %b saw max version %d < global max %d — stale write quorum",
+					step, mask, seen, globalMax)
+			}
+			newVer := seen + 1
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					versions[i] = newVer
+				}
+			}
+			globalMax = newVer
+
+			for rq := 1; rq <= full; rq++ {
+				if weight(rq) <= rt {
+					continue
+				}
+				var got block.Version
+				for i := 0; i < n; i++ {
+					if rq&(1<<i) != 0 && versions[i] > got {
+						got = versions[i]
+					}
+				}
+				if got != globalMax {
+					t.Fatalf("step %d: read quorum %b sees max version %d, global max %d — read quorum missed the newest write",
+						step, rq, got, globalMax)
+				}
+			}
+		}
+	})
+}
