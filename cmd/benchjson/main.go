@@ -7,6 +7,8 @@
 //
 //	go test -run='^$' -bench=Parallel . | benchjson -o BENCH_parallel.json
 //	benchjson bench.txt            read from a file instead of stdin
+//	benchjson -obs snap.json ...   embed a metrics snapshot from a
+//	                               metered run (see BENCH_obs.json)
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
+	obsPath := flag.String("obs", "", "metrics snapshot JSON (from a metered bench run) to embed in the report")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -36,7 +39,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	data, err := json.MarshalIndent(report{Benchmarks: results}, "", "  ")
+	rep := report{Benchmarks: results}
+	if *obsPath != "" {
+		rep.Obs, err = loadObs(*obsPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
@@ -57,6 +67,22 @@ func fatal(err error) {
 
 type report struct {
 	Benchmarks []result `json:"benchmarks"`
+	// Obs is the metering snapshot of a metered benchmark run (counters,
+	// gauges, latency histograms), embedded verbatim via -obs.
+	Obs json.RawMessage `json:"obs,omitempty"`
+}
+
+// loadObs reads a metrics snapshot file and validates it is JSON before
+// embedding it untouched.
+func loadObs(path string) (json.RawMessage, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !json.Valid(data) {
+		return nil, fmt.Errorf("%s: not valid JSON", path)
+	}
+	return json.RawMessage(data), nil
 }
 
 // result is one benchmark line, decomposed. Scheme, Sites and Latency

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -51,5 +54,38 @@ ok  	relidev	1.0s
 func TestParseRejectsEmptyInput(t *testing.T) {
 	if _, err := parse(strings.NewReader("no benchmarks here\n")); err == nil {
 		t.Fatal("accepted input without benchmark lines")
+	}
+}
+
+func TestLoadObsEmbedsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "snap.json")
+	if err := os.WriteFile(good, []byte(`{"counters":[{"name":"x","value":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := loadObs(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(report{
+		Benchmarks: []result{{Name: "BenchmarkParallelWriteMetered/voting/n5/lat0"}},
+		Obs:        raw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"obs":{"counters"`) {
+		t.Fatalf("snapshot not embedded:\n%s", data)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadObs(bad); err == nil {
+		t.Fatal("invalid snapshot accepted")
+	}
+	if _, err := loadObs(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing snapshot accepted")
 	}
 }

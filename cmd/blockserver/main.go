@@ -10,6 +10,10 @@
 // When restarted after a crash pass -comatose so the site runs the
 // scheme's recovery procedure (repeating it until it can complete)
 // before serving data.
+//
+// Pass -debug-addr to expose the observability surface: /metrics
+// (JSON), /metrics.prom (Prometheus text), /trace (recent protocol
+// events), and the standard /debug/pprof/ handlers.
 package main
 
 import (
@@ -17,6 +21,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -36,9 +42,10 @@ func main() {
 		blocks    = flag.Int("blocks", 128, "number of blocks")
 		blockSize = flag.Int("blocksize", 512, "block size in bytes")
 		comatose  = flag.Bool("comatose", false, "start comatose and run recovery (use after a crash)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /metrics.prom, /trace and /debug/pprof/ on this address (empty = off)")
 	)
 	flag.Parse()
-	if err := run(*id, *peersF, *schemeF, *storePath, *blocks, *blockSize, *comatose); err != nil {
+	if err := run(*id, *peersF, *schemeF, *storePath, *blocks, *blockSize, *comatose, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "blockserver:", err)
 		os.Exit(1)
 	}
@@ -80,7 +87,7 @@ func parseScheme(s string) (relidev.Scheme, error) {
 	}
 }
 
-func run(id int, peersF, schemeF, storePath string, blocks, blockSize int, comatose bool) error {
+func run(id int, peersF, schemeF, storePath string, blocks, blockSize int, comatose bool, debugAddr string) error {
 	peers, err := parsePeers(peersF)
 	if err != nil {
 		return err
@@ -96,6 +103,7 @@ func run(id int, peersF, schemeF, storePath string, blocks, blockSize int, comat
 		Geometry:  relidev.Geometry{BlockSize: blockSize, NumBlocks: blocks},
 		StorePath: storePath,
 		Comatose:  comatose,
+		Metered:   debugAddr != "",
 	})
 	if err != nil {
 		return err
@@ -103,6 +111,15 @@ func run(id int, peersF, schemeF, storePath string, blocks, blockSize int, comat
 	defer site.Close()
 	fmt.Printf("site %d serving %s on %s (scheme %v, %dx%d)\n",
 		id, storeDesc(storePath), site.Addr(), scheme, blockSize, blocks)
+
+	if debugAddr != "" {
+		srv, ln, err := serveDebug(site, debugAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("site %d debug surface on http://%s/metrics\n", id, ln.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -132,6 +149,22 @@ func run(id int, peersF, schemeF, storePath string, blocks, blockSize int, comat
 	<-ctx.Done()
 	fmt.Println("shutting down")
 	return nil
+}
+
+// serveDebug mounts the site's observability handler on its own
+// listener and serves it in the background until the server is closed.
+func serveDebug(site *relidev.RemoteSite, addr string) (*http.Server, net.Listener, error) {
+	h, err := site.DebugHandler()
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return srv, ln, nil
 }
 
 func storeDesc(path string) string {

@@ -1,6 +1,16 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"relidev"
+)
 
 func TestParsePeers(t *testing.T) {
 	peers, err := parsePeers("0=127.0.0.1:7000, 1=127.0.0.1:7001,2=host:7002")
@@ -35,13 +45,13 @@ func TestParseScheme(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run(0, "", "naive", "", 8, 256, false); err == nil {
+	if err := run(0, "", "naive", "", 8, 256, false, ""); err == nil {
 		t.Fatal("missing peers accepted")
 	}
-	if err := run(0, "0=127.0.0.1:0", "bogus", "", 8, 256, false); err == nil {
+	if err := run(0, "0=127.0.0.1:0", "bogus", "", 8, 256, false, ""); err == nil {
 		t.Fatal("bogus scheme accepted")
 	}
-	if err := run(1, "0=127.0.0.1:0", "naive", "", 8, 256, false); err == nil {
+	if err := run(1, "0=127.0.0.1:0", "naive", "", 8, 256, false, ""); err == nil {
 		t.Fatal("id missing from peer map accepted")
 	}
 }
@@ -49,5 +59,130 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestStoreDesc(t *testing.T) {
 	if storeDesc("") != "in-memory store" || storeDesc("/x") != "/x" {
 		t.Fatal("storeDesc mismatch")
+	}
+}
+
+// TestDebugSurfaceServesMetrics is the -debug-addr integration test: a
+// real three-site TCP deployment with site 0 metered, a replicated
+// write, then the debug endpoints checked over actual HTTP — JSON
+// metrics, Prometheus text, the trace ring, and pprof.
+func TestDebugSurfaceServesMetrics(t *testing.T) {
+	ctx := context.Background()
+	geom := relidev.Geometry{BlockSize: 64, NumBlocks: 8}
+
+	// Reserve loopback addresses with a bootstrap pass on :0.
+	addrs := make(map[int]string, 3)
+	for i := 0; i < 3; i++ {
+		s, err := relidev.OpenRemote(relidev.RemoteConfig{
+			Self:     i,
+			Peers:    map[int]string{i: "127.0.0.1:0"},
+			Scheme:   relidev.NaiveAvailableCopy,
+			Geometry: geom,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = s.Addr()
+		s.Close()
+	}
+	sites := make([]*relidev.RemoteSite, 3)
+	for i := 0; i < 3; i++ {
+		s, err := relidev.OpenRemote(relidev.RemoteConfig{
+			Self:     i,
+			Peers:    addrs,
+			Scheme:   relidev.NaiveAvailableCopy,
+			Geometry: geom,
+			Timeout:  time.Second,
+			Metered:  i == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites[i] = s
+		defer s.Close()
+	}
+
+	srv, ln, err := serveDebug(sites[0], "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	payload := make([]byte, geom.BlockSize)
+	copy(payload, "observed write")
+	if err := sites[0].Device().WriteBlock(ctx, 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sites[0].Device().ReadBlock(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// /metrics: a JSON snapshot with the write's counter series.
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	var snap struct {
+		Counters []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Value  uint64            `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v\n%s", err, body)
+	}
+	var sawWrite bool
+	for _, c := range snap.Counters {
+		if c.Name == "relidev_op_completions_total" && c.Labels["op"] == "write" && c.Labels["scheme"] == "naive" && c.Value > 0 {
+			sawWrite = true
+		}
+	}
+	if !sawWrite {
+		t.Errorf("write not visible in /metrics:\n%s", body)
+	}
+
+	// /metrics.prom: the same series in Prometheus text format.
+	body, ctype = get("/metrics.prom")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics.prom content type %q", ctype)
+	}
+	if !strings.Contains(body, `relidev_op_completions_total{op="write",scheme="naive",site="site0"} 1`) {
+		t.Errorf("write series missing from Prometheus exposition:\n%s", body)
+	}
+
+	// /trace: the ring retained the operation spans.
+	body, _ = get("/trace")
+	if !strings.Contains(body, `"op_start"`) || !strings.Contains(body, `"op_end"`) {
+		t.Errorf("trace missing op spans:\n%s", body)
+	}
+
+	// /debug/pprof/: the standard profiling index and a sub-handler.
+	if body, _ = get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Errorf("pprof index unexpected:\n%s", body)
+	}
+	get("/debug/pprof/cmdline")
+
+	// An unmetered site has no debug surface to serve.
+	if _, err := sites[1].DebugHandler(); err == nil {
+		t.Error("unmetered site offered a debug handler")
 	}
 }

@@ -9,6 +9,7 @@
 //	chaos -scheme voting -seed 42 -events 1000
 //	chaos -scheme ac -events 1000 -ops-per-event 8 -rho 0.3 -json
 //	chaos -scheme nac -seed 7 -sites 6
+//	chaos -scheme voting -metrics-out metrics.json
 package main
 
 import (
@@ -25,17 +26,34 @@ import (
 
 func main() {
 	var (
-		schemeF = flag.String("scheme", "voting", "scheme: voting, ac, nac")
-		sites   = flag.Int("sites", 5, "number of replica sites")
-		blocks  = flag.Int("blocks", 12, "device size in blocks")
-		seed    = flag.Int64("seed", 1, "schedule seed (same seed = same run)")
-		events  = flag.Int("events", 1000, "failure/repair events to apply")
-		ops     = flag.Int("ops-per-event", 8, "workload operations between events")
-		rho     = flag.Float64("rho", 0.25, "failure-to-repair rate ratio")
-		asJSON  = flag.Bool("json", false, "emit the full report as JSON")
+		schemeF    = flag.String("scheme", "voting", "scheme: voting, ac, nac")
+		sites      = flag.Int("sites", 5, "number of replica sites")
+		blocks     = flag.Int("blocks", 12, "device size in blocks")
+		seed       = flag.Int64("seed", 1, "schedule seed (same seed = same run)")
+		events     = flag.Int("events", 1000, "failure/repair events to apply")
+		ops        = flag.Int("ops-per-event", 8, "workload operations between events")
+		rho        = flag.Float64("rho", 0.25, "failure-to-repair rate ratio")
+		asJSON     = flag.Bool("json", false, "emit the full report as JSON")
+		observe    = flag.Bool("obs", true, "attach the observability layer and check §5 bracket conformance")
+		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot (JSON) to this file (implies -obs)")
 	)
 	flag.Parse()
-	ok, err := run(os.Stdout, *schemeF, *sites, *blocks, *seed, *events, *ops, *rho, *asJSON)
+	kind, err := parseScheme(*schemeF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+	cfg := chaos.Config{
+		Scheme:      kind,
+		Sites:       *sites,
+		Blocks:      *blocks,
+		Seed:        *seed,
+		Events:      *events,
+		OpsPerEvent: *ops,
+		Rho:         *rho,
+		Observe:     *observe || *metricsOut != "",
+	}
+	ok, err := run(os.Stdout, cfg, *asJSON, *metricsOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
@@ -45,23 +63,15 @@ func main() {
 	}
 }
 
-func run(w io.Writer, schemeName string, sites, blocks int, seed int64, events, ops int, rho float64, asJSON bool) (bool, error) {
-	kind, err := parseScheme(schemeName)
-	if err != nil {
-		return false, err
-	}
-	cfg := chaos.Config{
-		Scheme:      kind,
-		Sites:       sites,
-		Blocks:      blocks,
-		Seed:        seed,
-		Events:      events,
-		OpsPerEvent: ops,
-		Rho:         rho,
-	}
+func run(w io.Writer, cfg chaos.Config, asJSON bool, metricsOut string) (bool, error) {
 	rep, err := chaos.Run(context.Background(), cfg)
 	if err != nil {
 		return false, err
+	}
+	if metricsOut != "" {
+		if err := writeMetrics(metricsOut, rep); err != nil {
+			return false, err
+		}
 	}
 	if asJSON {
 		enc := json.NewEncoder(w)
@@ -75,6 +85,28 @@ func run(w io.Writer, schemeName string, sites, blocks int, seed int64, events, 
 	return len(rep.Violations) == 0, nil
 }
 
+// writeMetrics stores the run's metrics snapshot plus the conformance
+// verdict as a standalone JSON artifact (the CI chaos job uploads it).
+func writeMetrics(path string, rep *chaos.Report) error {
+	if rep.Metrics == nil {
+		return fmt.Errorf("no metrics collected (observability disabled)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Scheme      string      `json:"scheme"`
+		Seed        int64       `json:"seed"`
+		Digest      string      `json:"digest"`
+		Conformance interface{} `json:"conformance,omitempty"`
+		Metrics     interface{} `json:"metrics"`
+	}{rep.Scheme, rep.Seed, rep.Digest, rep.Conformance, rep.Metrics})
+}
+
 func printReport(w io.Writer, rep *chaos.Report) {
 	fmt.Fprintf(w, "chaos %-15s seed=%d sites=%d rho=%g\n", rep.Scheme, rep.Seed, rep.Sites, rep.Rho)
 	fmt.Fprintf(w, "  events   %d applied (%d fails, %d repairs, %d skipped), %d total failure(s)\n",
@@ -84,6 +116,17 @@ func printReport(w io.Writer, rep *chaos.Report) {
 	fmt.Fprintf(w, "  faults   %d drops, %d reply losses, %d timeouts, %d delays, %d partition hits\n",
 		rep.Faults.Drops, rep.Faults.ReplyLosses, rep.Faults.Timeouts, rep.Faults.Delays, rep.Faults.Partitions)
 	fmt.Fprintf(w, "  digest   %s\n", rep.Digest)
+	if rep.Conformance != nil {
+		verdict := "OK"
+		if !rep.Conformance.OK {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(w, "  §5 conf  %s (%s, bracket mode", verdict, rep.Conformance.Mode)
+		for _, c := range rep.Conformance.Checks {
+			fmt.Fprintf(w, "; %s %.2f∈[%.0f,%.0f]", c.Op, c.Observed, c.Min, c.Max)
+		}
+		fmt.Fprintf(w, ")\n")
+	}
 	if len(rep.Violations) == 0 {
 		fmt.Fprintf(w, "  invariants OK\n")
 		return

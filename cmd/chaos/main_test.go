@@ -2,14 +2,37 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"relidev/internal/chaos"
 )
+
+func testConfig(t *testing.T, scheme string, seed int64, events, ops int) chaos.Config {
+	t.Helper()
+	kind, err := parseScheme(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chaos.Config{
+		Scheme:      kind,
+		Sites:       4,
+		Blocks:      8,
+		Seed:        seed,
+		Events:      events,
+		OpsPerEvent: ops,
+		Rho:         0.25,
+		Observe:     true,
+	}
+}
 
 func TestRunAllSchemes(t *testing.T) {
 	for _, scheme := range []string{"voting", "ac", "nac"} {
 		var buf bytes.Buffer
-		ok, err := run(&buf, scheme, 4, 8, 3, 40, 4, 0.25, false)
+		ok, err := run(&buf, testConfig(t, scheme, 3, 40, 4), false, "")
 		if err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
@@ -19,12 +42,15 @@ func TestRunAllSchemes(t *testing.T) {
 		if !strings.Contains(buf.String(), "invariants OK") {
 			t.Fatalf("%s: unexpected output:\n%s", scheme, buf.String())
 		}
+		if !strings.Contains(buf.String(), "§5 conf  OK") {
+			t.Fatalf("%s: report missing conformance line:\n%s", scheme, buf.String())
+		}
 	}
 }
 
 func TestRunJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
-	ok, err := run(&buf, "voting", 4, 8, 3, 20, 2, 0.25, true)
+	ok, err := run(&buf, testConfig(t, "voting", 3, 20, 2), true, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,12 +60,15 @@ func TestRunJSONOutput(t *testing.T) {
 	if !strings.Contains(buf.String(), `"digest"`) {
 		t.Fatalf("JSON output missing digest:\n%s", buf.String())
 	}
+	if !strings.Contains(buf.String(), `"conformance"`) {
+		t.Fatalf("JSON output missing conformance:\n%s", buf.String())
+	}
 }
 
 func TestRunDigestStableAcrossInvocations(t *testing.T) {
 	digest := func() string {
 		var buf bytes.Buffer
-		if _, err := run(&buf, "voting", 4, 8, 11, 30, 4, 0.25, true); err != nil {
+		if _, err := run(&buf, testConfig(t, "voting", 11, 30, 4), true, ""); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()
@@ -49,8 +78,48 @@ func TestRunDigestStableAcrossInvocations(t *testing.T) {
 	}
 }
 
-func TestRunRejectsBadScheme(t *testing.T) {
-	if _, err := run(&bytes.Buffer{}, "nope", 4, 8, 1, 10, 2, 0.25, false); err == nil {
+func TestRunWritesMetricsArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var buf bytes.Buffer
+	ok, err := run(&buf, testConfig(t, "ac", 3, 30, 4), false, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("violations:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var artifact struct {
+		Scheme      string          `json:"scheme"`
+		Digest      string          `json:"digest"`
+		Conformance json.RawMessage `json:"conformance"`
+		Metrics     json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &artifact); err != nil {
+		t.Fatalf("artifact is not JSON: %v\n%s", err, raw)
+	}
+	if artifact.Scheme != "available-copy" || artifact.Digest == "" {
+		t.Fatalf("artifact header incomplete: %+v", artifact)
+	}
+	if len(artifact.Conformance) == 0 || len(artifact.Metrics) == 0 {
+		t.Fatalf("artifact missing conformance/metrics sections:\n%s", raw)
+	}
+}
+
+func TestRunMetricsOutRequiresObservation(t *testing.T) {
+	cfg := testConfig(t, "voting", 3, 10, 2)
+	cfg.Observe = false
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if _, err := run(&bytes.Buffer{}, cfg, false, path); err == nil {
+		t.Fatal("metrics-out accepted without observation")
+	}
+}
+
+func TestParseSchemeRejectsUnknown(t *testing.T) {
+	if _, err := parseScheme("nope"); err == nil {
 		t.Fatal("unknown scheme accepted")
 	}
 }

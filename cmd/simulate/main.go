@@ -6,16 +6,20 @@
 //
 //	simulate -kind availability -scheme ac -sites 3 -rho 0.1 -horizon 500000
 //	simulate -kind traffic -scheme voting -sites 5 -rho 0.05 -net unicast
+//	simulate -kind traffic -scheme ac -json   # metrics + §5 conformance
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"relidev/internal/analysis"
 	"relidev/internal/core"
+	"relidev/internal/obs"
 	"relidev/internal/sim"
 	"relidev/internal/simnet"
 )
@@ -32,6 +36,7 @@ func main() {
 		ratio   = flag.Float64("ratio", 2.5, "read:write ratio (traffic)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		shape   = flag.Int("shape", 1, "Erlang stages of the repair time distribution; 1 = exponential (repairorder)")
+		asJSON  = flag.Bool("json", false, "emit JSON (traffic runs include the metrics snapshot and §5 conformance)")
 	)
 	flag.Parse()
 	if *kind == "repairorder" {
@@ -41,18 +46,18 @@ func main() {
 		}
 		return
 	}
-	if err := run(*kind, *schemeF, *sites, *rho, *horizon, *netF, *ops, *ratio, *seed); err != nil {
+	if err := run(os.Stdout, *asJSON, *kind, *schemeF, *sites, *rho, *horizon, *netF, *ops, *ratio, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, schemeName string, sites int, rho, horizon float64, netName string, ops int, ratio float64, seed int64) error {
+func run(w io.Writer, asJSON bool, kind, schemeName string, sites int, rho, horizon float64, netName string, ops int, ratio float64, seed int64) error {
 	switch kind {
 	case "availability":
-		return runAvailability(schemeName, sites, rho, horizon, seed)
+		return runAvailability(w, asJSON, schemeName, sites, rho, horizon, seed)
 	case "traffic":
-		return runTraffic(schemeName, sites, rho, netName, ops, ratio, seed)
+		return runTraffic(w, asJSON, schemeName, sites, rho, netName, ops, ratio, seed)
 	default:
 		return fmt.Errorf("unknown experiment kind %q", kind)
 	}
@@ -88,7 +93,7 @@ func runRepairOrder(sites int, rho float64, shape int, horizon float64, seed int
 	return nil
 }
 
-func runAvailability(schemeName string, sites int, rho, horizon float64, seed int64) error {
+func runAvailability(w io.Writer, asJSON bool, schemeName string, sites int, rho, horizon float64, seed int64) error {
 	var (
 		model    sim.Model
 		analytic float64
@@ -120,17 +125,31 @@ func runAvailability(schemeName string, sites int, rho, horizon float64, seed in
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scheme=%s sites=%d rho=%g horizon=%g failures=%d\n",
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Kind     string                 `json:"kind"`
+			Scheme   string                 `json:"scheme"`
+			Sites    int                    `json:"sites"`
+			Rho      float64                `json:"rho"`
+			Horizon  float64                `json:"horizon"`
+			Seed     int64                  `json:"seed"`
+			Result   sim.AvailabilityResult `json:"result"`
+			Analytic float64                `json:"analytic_availability"`
+		}{"availability", schemeName, sites, rho, horizon, seed, res, analytic})
+	}
+	fmt.Fprintf(w, "scheme=%s sites=%d rho=%g horizon=%g failures=%d\n",
 		schemeName, sites, rho, horizon, res.Failures)
-	fmt.Printf("  simulated availability: %.9f\n", res.Availability)
-	fmt.Printf("  analytic  availability: %.9f (§4)\n", analytic)
-	fmt.Printf("  simulated unavailability: %.3e vs analytic %.3e\n",
+	fmt.Fprintf(w, "  simulated availability: %.9f\n", res.Availability)
+	fmt.Fprintf(w, "  analytic  availability: %.9f (§4)\n", analytic)
+	fmt.Fprintf(w, "  simulated unavailability: %.3e vs analytic %.3e\n",
 		1-res.Availability, 1-analytic)
-	fmt.Printf("  mean participating sites: %.4f\n", res.MeanAvailableSites)
+	fmt.Fprintf(w, "  mean participating sites: %.4f\n", res.MeanAvailableSites)
 	return nil
 }
 
-func runTraffic(schemeName string, sites int, rho float64, netName string, ops int, ratio float64, seed int64) error {
+func runTraffic(w io.Writer, asJSON bool, schemeName string, sites int, rho float64, netName string, ops int, ratio float64, seed int64) error {
 	var kind core.SchemeKind
 	var aScheme analysis.Scheme
 	switch schemeName {
@@ -159,6 +178,12 @@ func runTraffic(schemeName string, sites int, rho float64, netName string, ops i
 	if err != nil {
 		return err
 	}
+	// The observer rides along only for JSON runs: the snapshot and the
+	// §5 conformance verdict become part of the machine-readable report.
+	var o *obs.Observer
+	if asJSON {
+		o = obs.New(obs.WithClock(obs.NewLogicalClock(1).Now))
+	}
 	res, err := sim.SimulateTraffic(context.Background(), sim.TrafficConfig{
 		Scheme:    kind,
 		Sites:     sites,
@@ -167,16 +192,55 @@ func runTraffic(schemeName string, sites int, rho float64, netName string, ops i
 		ReadRatio: ratio,
 		Ops:       ops,
 		Seed:      seed,
+		Observer:  o,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scheme=%s sites=%d rho=%g net=%s ops=%d ratio=%g\n",
+	if asJSON {
+		snap := o.Snapshot()
+		tx := make(map[string]uint64, len(res.NetStats.ByOp))
+		for op, s := range res.NetStats.ByOp {
+			tx[op] = s.Transmissions
+		}
+		wObs, rObs, recObs := obs.GatherObservations(snap, kind.String(), tx)
+		// Bracket mode: the stochastic schedule legitimately denies
+		// operations (voting below quorum still pays for the vote round),
+		// so per-attempt envelopes are the honest check here.
+		conf, err := obs.CheckConformance(obs.ConformanceInput{
+			Scheme:   aScheme,
+			Sites:    sites,
+			Unicast:  mode == simnet.Unicast,
+			Write:    wObs,
+			Read:     rObs,
+			Recovery: recObs,
+		}, false)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Kind        string                 `json:"kind"`
+			Scheme      string                 `json:"scheme"`
+			Sites       int                    `json:"sites"`
+			Rho         float64                `json:"rho"`
+			Net         string                 `json:"net"`
+			Ops         int                    `json:"ops"`
+			Ratio       float64                `json:"ratio"`
+			Seed        int64                  `json:"seed"`
+			Result      sim.TrafficResult      `json:"result"`
+			Model       analysis.Costs         `json:"model"`
+			Conformance *obs.ConformanceReport `json:"conformance"`
+			Metrics     *obs.Snapshot          `json:"metrics"`
+		}{"traffic", schemeName, sites, rho, netName, ops, ratio, seed, res, costs, &conf, &snap})
+	}
+	fmt.Fprintf(w, "scheme=%s sites=%d rho=%g net=%s ops=%d ratio=%g\n",
 		schemeName, sites, rho, netName, ops, ratio)
-	fmt.Printf("  writes=%d reads=%d denied=%d recoveries=%d op-availability=%.6f\n",
+	fmt.Fprintf(w, "  writes=%d reads=%d denied=%d recoveries=%d op-availability=%.6f\n",
 		res.Writes, res.Reads, res.Denied, res.Recoveries, res.OpAvailability)
-	fmt.Printf("  per-write:    measured %7.3f   model %7.3f (§5)\n", res.PerWrite, costs.Write)
-	fmt.Printf("  per-read:     measured %7.3f   model %7.3f\n", res.PerRead, costs.Read)
-	fmt.Printf("  per-recovery: measured %7.3f   model %7.3f\n", res.PerRecovery, costs.Recovery)
+	fmt.Fprintf(w, "  per-write:    measured %7.3f   model %7.3f (§5)\n", res.PerWrite, costs.Write)
+	fmt.Fprintf(w, "  per-read:     measured %7.3f   model %7.3f\n", res.PerRead, costs.Read)
+	fmt.Fprintf(w, "  per-recovery: measured %7.3f   model %7.3f\n", res.PerRecovery, costs.Recovery)
 	return nil
 }

@@ -1,10 +1,16 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestRunAvailabilityAllSchemes(t *testing.T) {
 	for _, scheme := range []string{"voting", "ac", "naive"} {
-		if err := run("availability", scheme, 3, 0.1, 5000, "multicast", 0, 0, 1); err != nil {
+		if err := run(io.Discard, false, "availability", scheme, 3, 0.1, 5000, "multicast", 0, 0, 1); err != nil {
 			t.Fatalf("availability %s: %v", scheme, err)
 		}
 	}
@@ -13,10 +19,53 @@ func TestRunAvailabilityAllSchemes(t *testing.T) {
 func TestRunTrafficAllSchemes(t *testing.T) {
 	for _, scheme := range []string{"voting", "ac", "naive"} {
 		for _, net := range []string{"multicast", "unicast"} {
-			if err := run("traffic", scheme, 4, 0.05, 0, net, 300, 2.5, 1); err != nil {
+			if err := run(io.Discard, false, "traffic", scheme, 4, 0.05, 0, net, 300, 2.5, 1); err != nil {
 				t.Fatalf("traffic %s/%s: %v", scheme, net, err)
 			}
 		}
+	}
+}
+
+// TestRunTrafficJSONCarriesObservability pins the machine-readable
+// report shape: the metrics snapshot and the §5 bracket conformance
+// verdict ride along with the measured traffic.
+func TestRunTrafficJSONCarriesObservability(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, true, "traffic", "voting", 4, 0.05, 0, "multicast", 300, 2.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Kind        string `json:"kind"`
+		Scheme      string `json:"scheme"`
+		Conformance *struct {
+			OK     bool `json:"ok"`
+			Strict bool `json:"strict"`
+		} `json:"conformance"`
+		Metrics *struct {
+			Counters []json.RawMessage `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Kind != "traffic" || rep.Scheme != "voting" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.Conformance == nil || !rep.Conformance.OK || rep.Conformance.Strict {
+		t.Fatalf("conformance verdict: %+v\n%s", rep.Conformance, buf.String())
+	}
+	if rep.Metrics == nil || len(rep.Metrics.Counters) == 0 {
+		t.Fatal("metrics snapshot missing or empty")
+	}
+}
+
+func TestRunAvailabilityJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, true, "availability", "ac", 3, 0.1, 5000, "multicast", 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"analytic_availability"`) {
+		t.Fatalf("availability JSON incomplete:\n%s", buf.String())
 	}
 }
 
@@ -36,19 +85,19 @@ func TestRunRepairOrder(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("nope", "ac", 3, 0.1, 100, "multicast", 0, 0, 1); err == nil {
+	if err := run(io.Discard, false, "nope", "ac", 3, 0.1, 100, "multicast", 0, 0, 1); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
-	if err := run("availability", "nope", 3, 0.1, 100, "multicast", 0, 0, 1); err == nil {
+	if err := run(io.Discard, false, "availability", "nope", 3, 0.1, 100, "multicast", 0, 0, 1); err == nil {
 		t.Fatal("unknown scheme accepted")
 	}
-	if err := run("traffic", "ac", 3, 0.1, 100, "carrier-pigeon", 100, 2, 1); err == nil {
+	if err := run(io.Discard, false, "traffic", "ac", 3, 0.1, 100, "carrier-pigeon", 100, 2, 1); err == nil {
 		t.Fatal("unknown network accepted")
 	}
-	if err := run("traffic", "nope", 3, 0.1, 100, "multicast", 100, 2, 1); err == nil {
+	if err := run(io.Discard, false, "traffic", "nope", 3, 0.1, 100, "multicast", 100, 2, 1); err == nil {
 		t.Fatal("unknown traffic scheme accepted")
 	}
-	if err := run("availability", "ac", 0, 0.1, 100, "multicast", 0, 0, 1); err == nil {
+	if err := run(io.Discard, false, "availability", "ac", 0, 0.1, 100, "multicast", 0, 0, 1); err == nil {
 		t.Fatal("zero sites accepted")
 	}
 }

@@ -120,34 +120,82 @@ type Costs struct {
 	Recovery float64
 }
 
+// participationFor returns the model participation level U for one
+// scheme at (n, rho).
+func participationFor(s Scheme, n int, rho float64) (float64, error) {
+	switch s {
+	case SchemeVoting:
+		return ParticipationVoting(n, rho)
+	case SchemeAvailableCopy:
+		return ParticipationAC(n, rho)
+	case SchemeNaive:
+		return ParticipationNaive(n, rho)
+	default:
+		return 0, fmt.Errorf("analysis: unknown scheme %v", s)
+	}
+}
+
+// CostsForParticipation returns the §5 cost table for one scheme with
+// the participation level U supplied directly instead of derived from
+// the failure model. Every §5 formula is affine in U, so the table is
+// exact not only for the model's steady-state U but also for a
+// *measured* mean participation — this is what lets the observability
+// layer hold live message counts against the paper's formulas (the
+// obs conformance checker): feed it U = participants/operations as
+// actually observed, and the predicted per-operation costs must match
+// the observed ones exactly on a reliable network.
+//
+// Multicast (§5.1):
+//
+//	voting:  write 1+U, read U (stale +1), recovery 0
+//	AC:      write U,   read 0,            recovery U+2
+//	naive:   write 1,   read 0,            recovery U+2
+//
+// Unicast (§5.2):
+//
+//	voting:  write n+2U−3, read n+U−2 (stale +1), recovery 0
+//	AC:      write n+U−2,  read 0,                recovery n+U
+//	naive:   write n−1,    read 0,                recovery n+U
+func CostsForParticipation(s Scheme, n int, u float64, unicast bool) (Costs, error) {
+	if err := checkN(n); err != nil {
+		return Costs{}, err
+	}
+	fn := float64(n)
+	if !unicast {
+		switch s {
+		case SchemeVoting:
+			return Costs{Write: 1 + u, Read: u, ReadStale: u + 1, Recovery: 0}, nil
+		case SchemeAvailableCopy:
+			return Costs{Write: u, Read: 0, ReadStale: 0, Recovery: u + 2}, nil
+		case SchemeNaive:
+			return Costs{Write: 1, Read: 0, ReadStale: 0, Recovery: u + 2}, nil
+		default:
+			return Costs{}, fmt.Errorf("analysis: unknown scheme %v", s)
+		}
+	}
+	switch s {
+	case SchemeVoting:
+		return Costs{Write: fn + 2*u - 3, Read: fn + u - 2, ReadStale: fn + u - 1, Recovery: 0}, nil
+	case SchemeAvailableCopy:
+		return Costs{Write: fn + u - 2, Read: 0, ReadStale: 0, Recovery: fn + u}, nil
+	case SchemeNaive:
+		return Costs{Write: fn - 1, Read: 0, ReadStale: 0, Recovery: fn + u}, nil
+	default:
+		return Costs{}, fmt.Errorf("analysis: unknown scheme %v", s)
+	}
+}
+
 // MulticastCosts returns the §5.1 cost table.
 //
 //	voting:  write 1+U_V, read U_V (stale +1), recovery 0
 //	AC:      write U_A,   read 0,              recovery U_A+2
 //	naive:   write 1,     read 0,              recovery U_N+2
 func MulticastCosts(s Scheme, n int, rho float64) (Costs, error) {
-	switch s {
-	case SchemeVoting:
-		u, err := ParticipationVoting(n, rho)
-		if err != nil {
-			return Costs{}, err
-		}
-		return Costs{Write: 1 + u, Read: u, ReadStale: u + 1, Recovery: 0}, nil
-	case SchemeAvailableCopy:
-		u, err := ParticipationAC(n, rho)
-		if err != nil {
-			return Costs{}, err
-		}
-		return Costs{Write: u, Read: 0, ReadStale: 0, Recovery: u + 2}, nil
-	case SchemeNaive:
-		u, err := ParticipationNaive(n, rho)
-		if err != nil {
-			return Costs{}, err
-		}
-		return Costs{Write: 1, Read: 0, ReadStale: 0, Recovery: u + 2}, nil
-	default:
-		return Costs{}, fmt.Errorf("analysis: unknown scheme %v", s)
+	u, err := participationFor(s, n, rho)
+	if err != nil {
+		return Costs{}, err
 	}
+	return CostsForParticipation(s, n, u, false)
 }
 
 // UnicastCosts returns the §5.2 cost table.
@@ -156,29 +204,11 @@ func MulticastCosts(s Scheme, n int, rho float64) (Costs, error) {
 //	AC:      write n+U_A−2,  read 0,                  recovery n+U_A
 //	naive:   write n−1,      read 0,                  recovery n+U_N
 func UnicastCosts(s Scheme, n int, rho float64) (Costs, error) {
-	fn := float64(n)
-	switch s {
-	case SchemeVoting:
-		u, err := ParticipationVoting(n, rho)
-		if err != nil {
-			return Costs{}, err
-		}
-		return Costs{Write: fn + 2*u - 3, Read: fn + u - 2, ReadStale: fn + u - 1, Recovery: 0}, nil
-	case SchemeAvailableCopy:
-		u, err := ParticipationAC(n, rho)
-		if err != nil {
-			return Costs{}, err
-		}
-		return Costs{Write: fn + u - 2, Read: 0, ReadStale: 0, Recovery: fn + u}, nil
-	case SchemeNaive:
-		u, err := ParticipationNaive(n, rho)
-		if err != nil {
-			return Costs{}, err
-		}
-		return Costs{Write: fn - 1, Read: 0, ReadStale: 0, Recovery: fn + u}, nil
-	default:
-		return Costs{}, fmt.Errorf("analysis: unknown scheme %v", s)
+	u, err := participationFor(s, n, rho)
+	if err != nil {
+		return Costs{}, err
 	}
+	return CostsForParticipation(s, n, u, true)
 }
 
 // WorkloadCost returns the expected transmissions generated by one write

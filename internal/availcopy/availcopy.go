@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"relidev/internal/block"
+	"relidev/internal/obs"
 	"relidev/internal/protocol"
 	"relidev/internal/scheme"
 	"relidev/internal/site"
@@ -88,7 +89,7 @@ func (c *Controller) Name() string { return "available-copy" }
 
 // Read serves the block from the local copy: every available site holds
 // the most recent version of every block, so reads cost no messages.
-func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) {
+func (c *Controller) Read(ctx context.Context, idx block.Index) (_ []byte, err error) {
 	c.locks.LockOp(idx)
 	defer c.locks.UnlockOp(idx)
 	if err := ctx.Err(); err != nil {
@@ -98,6 +99,10 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) 
 		return nil, fmt.Errorf("available copy read of %v at %v (%v): %w",
 			idx, c.env.Self.ID(), c.env.Self.State(), scheme.ErrNotAvailable)
 	}
+	// The span opens past the availability gate so attempt counts match
+	// the §5 accounting (a refused operation generates no traffic).
+	sp := c.env.Obs.StartOp(protocol.OpRead, int64(idx))
+	defer func() { sp.Done(1, err) }()
 	data, _, err := c.env.Self.ReadLocal(idx)
 	if err != nil {
 		return nil, fmt.Errorf("available copy read of %v: %w", idx, err)
@@ -110,7 +115,7 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) 
 // piggybacked was-available set describes the previous write (the §3.2
 // delayed-information scheme); the coordinator then learns the exact
 // recipient set from the acknowledgements and resets its own W to it.
-func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) error {
+func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) (err error) {
 	c.locks.LockOp(idx)
 	defer c.locks.UnlockOp(idx)
 	self := c.env.Self
@@ -118,6 +123,11 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) er
 		return fmt.Errorf("available copy write of %v at %v (%v): %w",
 			idx, self.ID(), self.State(), scheme.ErrNotAvailable)
 	}
+	ob := c.env.Obs
+	ctx = ob.Label(ctx, protocol.OpWrite)
+	sp := ob.StartOp(protocol.OpWrite, int64(idx))
+	participants := 0
+	defer func() { sp.Done(participants, err) }()
 	localVer, err := self.VersionLocal(idx)
 	if err != nil {
 		return fmt.Errorf("available copy write of %v: %w", idx, err)
@@ -161,6 +171,7 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) er
 	if err := self.WriteLocal(idx, data, newVer); err != nil {
 		return fmt.Errorf("available copy write of %v: %w", idx, err)
 	}
+	participants = recipients.Len()
 	// The coordinator knows the recipient set exactly: W_s = sites that
 	// received the most recent write.
 	if err := self.SetWasAvailable(recipients); err != nil {
@@ -195,7 +206,7 @@ type status struct {
 //     recent versions; repair from it (or, if that is the local site
 //     itself, just become available), or
 //   - otherwise: recovery must wait (ErrAwaitingSites).
-func (c *Controller) Recover(ctx context.Context) error {
+func (c *Controller) Recover(ctx context.Context) (err error) {
 	c.locks.LockRecovery()
 	defer c.locks.UnlockRecovery()
 	self := c.env.Self
@@ -203,6 +214,11 @@ func (c *Controller) Recover(ctx context.Context) error {
 		return nil
 	}
 	self.SetState(protocol.StateComatose)
+	ob := c.env.Obs
+	ctx = ob.Label(ctx, protocol.OpRecovery)
+	sp := ob.StartOp(protocol.OpRecovery, obs.NoBlock)
+	participants := 0
+	defer func() { sp.Done(participants, err) }()
 
 	results := c.env.Transport.Broadcast(ctx, self.ID(), c.env.Remotes(), protocol.StatusRequest{})
 	states := map[protocol.SiteID]status{
@@ -218,6 +234,8 @@ func (c *Controller) Recover(ctx context.Context) error {
 		}
 		states[id] = status{state: st.State, wasAvail: st.WasAvail, sum: st.VersionSum}
 	}
+	// Participation = status responders plus the recovering site itself.
+	participants = len(states)
 
 	// Case 1: when ∃u ∈ S: state(u) = available, repair from any such u.
 	if t, ok := pickAvailable(states); ok {
@@ -226,7 +244,8 @@ func (c *Controller) Recover(ctx context.Context) error {
 
 	// Case 2: when all sites in C*(W_s) have recovered, repair from the
 	// most current member.
-	closure := Closure(self.WasAvailable().Add(self.ID()), func(u protocol.SiteID) (protocol.SiteSet, bool) {
+	root := self.WasAvailable().Add(self.ID())
+	closure := Closure(root, func(u protocol.SiteID) (protocol.SiteSet, bool) {
 		st, ok := states[u]
 		return st.wasAvail, ok
 	})
@@ -237,6 +256,7 @@ func (c *Controller) Recover(ctx context.Context) error {
 			break
 		}
 	}
+	ob.ClosureRecomputed(root, closure, allRecovered)
 	if allRecovered {
 		t := mostCurrent(states, closure)
 		if t == self.ID() {

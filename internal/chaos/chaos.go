@@ -39,9 +39,11 @@ import (
 	"relidev/internal/block"
 	"relidev/internal/core"
 	"relidev/internal/faultnet"
+	"relidev/internal/obs"
 	"relidev/internal/protocol"
 	"relidev/internal/scheme"
 	"relidev/internal/sim"
+	"relidev/internal/simnet"
 )
 
 // Config parameterises one chaos run. The zero value is not valid; use
@@ -62,6 +64,12 @@ type Config struct {
 	// Rho is the per-site failure-to-repair rate ratio lambda/mu of the
 	// Poisson process (repair rate fixed at 1).
 	Rho float64
+	// Observe attaches the observability layer: per-scheme metrics, a
+	// protocol trace ring, and the §5 bracket-conformance check as an
+	// additional end-of-run invariant. The observer runs on a logical
+	// clock and never feeds the replay digest, so a run's digest is
+	// bit-identical with observation on or off.
+	Observe bool
 }
 
 // Defaults returns a Config sized for a quick but meaningful run.
@@ -74,6 +82,7 @@ func Defaults(kind core.SchemeKind) Config {
 		Events:      200,
 		OpsPerEvent: 8,
 		Rho:         0.25,
+		Observe:     true,
 	}
 }
 
@@ -141,6 +150,11 @@ type Report struct {
 	Faults        faultnet.Stats `json:"faults"`
 	Violations    []string       `json:"violations"`
 	Digest        string         `json:"digest"`
+	// Metrics and Conformance are present when Config.Observe is set:
+	// the end-of-run metrics snapshot and the §5 bracket-conformance
+	// verdict (whose failures also appear in Violations).
+	Metrics     *obs.Snapshot          `json:"metrics,omitempty"`
+	Conformance *obs.ConformanceReport `json:"conformance,omitempty"`
 }
 
 // engine is the mutable state of one run.
@@ -149,6 +163,7 @@ type engine struct {
 	cl  *core.Cluster
 	fn  *faultnet.Network
 	rng *rand.Rand
+	obs *obs.Observer
 
 	// maxIssued and committed bracket, per block, the write sequence
 	// numbers a read may legally return. committed also absorbs every
@@ -186,10 +201,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			Rho:    cfg.Rho,
 		},
 	}
+	if cfg.Observe {
+		// A logical clock keeps timestamps a pure function of call order,
+		// and the tracer's ring never feeds the digest: observation cannot
+		// perturb a replay.
+		e.obs = obs.New(obs.WithClock(obs.NewLogicalClock(1).Now), obs.WithTracing(4096))
+	}
 	cl, err := core.NewCluster(core.ClusterConfig{
 		Sites:    cfg.Sites,
 		Geometry: block.Geometry{BlockSize: 32, NumBlocks: cfg.Blocks},
 		Scheme:   cfg.Scheme,
+		Observer: e.obs,
 		WrapTransport: func(inner protocol.Transport) protocol.Transport {
 			fn, ferr := faultnet.New(inner, menu(cfg.Scheme, cfg.Seed))
 			if ferr != nil {
@@ -212,8 +234,52 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return e.report, err
 	}
 	e.report.Faults = e.fn.Stats()
+	// The digest is sealed before observation is consulted: conformance
+	// verdicts go straight into Violations, never through stamp(), so a
+	// run digests identically with Observe on or off.
 	e.report.Digest = fmt.Sprintf("%016x", e.hash.Sum64())
+	e.conformanceCheck()
 	return e.report, nil
+}
+
+// conformanceCheck is the end-of-run §5 invariant: the mean messages
+// per attempted operation, as metered by the observability layer and
+// attributed by the simulated network, must lie inside the scheme's
+// analytical bracket even under injected faults, partitions, and failed
+// attempts. Strict (exact) conformance is a separate, failure-free
+// check — see internal/obs's integration test.
+func (e *engine) conformanceCheck() {
+	if e.obs == nil {
+		return
+	}
+	snap := e.obs.Snapshot()
+	e.report.Metrics = &snap
+	as, ok := obs.SchemeFromName(e.report.Scheme)
+	if !ok {
+		e.report.Violations = append(e.report.Violations,
+			fmt.Sprintf("§5 conformance: no analysis scheme for %q", e.report.Scheme))
+		return
+	}
+	st := e.cl.Network().Stats()
+	tx := make(map[string]uint64, len(st.ByOp))
+	for op, s := range st.ByOp {
+		tx[op] = s.Transmissions
+	}
+	w, r, rec := obs.GatherObservations(snap, e.report.Scheme, tx)
+	rep, err := obs.CheckConformance(obs.ConformanceInput{
+		Scheme:   as,
+		Sites:    e.cfg.Sites,
+		Unicast:  e.cl.Network().Mode() == simnet.Unicast,
+		Write:    w,
+		Read:     r,
+		Recovery: rec,
+	}, false)
+	if err != nil {
+		e.report.Violations = append(e.report.Violations, fmt.Sprintf("§5 conformance: %v", err))
+		return
+	}
+	e.report.Conformance = &rep
+	e.report.Violations = append(e.report.Violations, rep.Violations()...)
 }
 
 func (e *engine) run(ctx context.Context) error {

@@ -62,6 +62,54 @@ func TestChaosReplayIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestObservationDoesNotPerturbReplay is the central determinism claim
+// of the observability layer: attaching metrics and tracing to a chaos
+// run must leave its replay digest bit-identical, because the observer
+// runs on a logical clock and never feeds stamp().
+func TestObservationDoesNotPerturbReplay(t *testing.T) {
+	for _, kind := range []core.SchemeKind{core.Voting, core.AvailableCopy, core.NaiveAvailableCopy} {
+		t.Run(kind.String(), func(t *testing.T) {
+			on := short(kind, 42)
+			off := on
+			off.Observe = false
+			a := run(t, on)
+			b := run(t, off)
+			if a.Digest != b.Digest {
+				t.Fatalf("observation changed the digest: %s (on) vs %s (off)", a.Digest, b.Digest)
+			}
+			if a.Metrics == nil || a.Conformance == nil {
+				t.Fatal("observed run missing metrics/conformance")
+			}
+			if b.Metrics != nil || b.Conformance != nil {
+				t.Fatal("unobserved run carries metrics/conformance")
+			}
+		})
+	}
+}
+
+// TestConformanceHoldsUnderFaults pins the new invariant down: even
+// with drops, reply losses, timeouts, partitions, and failed recovery
+// attempts, the per-attempt message means stay inside the §5 brackets.
+func TestConformanceHoldsUnderFaults(t *testing.T) {
+	rep := run(t, short(core.Voting, 13))
+	if rep.Conformance == nil {
+		t.Fatal("no conformance report")
+	}
+	if !rep.Conformance.OK {
+		t.Fatalf("bracket conformance failed: %v", rep.Conformance.Checks)
+	}
+	if rep.Conformance.Strict {
+		t.Fatal("chaos must use bracket mode, not strict")
+	}
+	if len(rep.Conformance.Checks) != 3 {
+		t.Fatalf("checks = %d, want 3", len(rep.Conformance.Checks))
+	}
+	// The snapshot actually carries the workload's counters.
+	if rep.Metrics == nil || len(rep.Metrics.Counters) == 0 {
+		t.Fatal("metrics snapshot empty")
+	}
+}
+
 func TestChaosDifferentSeedsDifferentSchedules(t *testing.T) {
 	a := run(t, short(core.Voting, 1))
 	b := run(t, short(core.Voting, 2))

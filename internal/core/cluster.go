@@ -9,6 +9,7 @@ import (
 	"relidev/internal/availcopy"
 	"relidev/internal/block"
 	"relidev/internal/naiveac"
+	"relidev/internal/obs"
 	"relidev/internal/protocol"
 	"relidev/internal/scheme"
 	"relidev/internal/simnet"
@@ -78,6 +79,13 @@ type ClusterConfig struct {
 	// simulated network. Applied once, to the shared transport, not per
 	// site. Nil leaves the transport bare.
 	WrapTransport func(protocol.Transport) protocol.Transport
+	// Observer, when set, instruments the cluster: per-scheme/site/op
+	// metrics and optional protocol traces in the controllers and
+	// replicas, plus a metering decorator applied outermost over the
+	// (possibly WrapTransport-decorated) transport so it observes
+	// exactly what the controllers see, fault injection included. Nil
+	// leaves the cluster unmetered at zero overhead.
+	Observer *obs.Observer
 }
 
 func (c *ClusterConfig) applyDefaults() error {
@@ -184,12 +192,20 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, errors.New("core: WrapTransport returned nil")
 		}
 	}
+	// Metering wraps outermost so it sees exactly what the controllers
+	// send — including traffic the WrapTransport decorator (fault
+	// injection) will fail. A nil Observer leaves the transport as-is.
+	cl.transport = obs.WrapTransport(cfg.Observer, "sim", cl.transport, ids)
 	for i := range ids {
 		env := scheme.Env{
 			Self:      cl.replicas[i],
 			Transport: cl.transport,
 			Sites:     ids,
 			Weights:   cfg.Weights,
+			Obs:       cfg.Observer.SchemeSite(cfg.Scheme.String(), ids[i]),
+		}
+		if env.Obs != nil {
+			cl.replicas[i].SetWTransitionHook(env.Obs.WTransition)
 		}
 		ctrl, err := buildController(cfg, env)
 		if err != nil {

@@ -128,13 +128,17 @@ func (cl *Cluster) rebuildControllers() error {
 	}
 	for i := range ids {
 		env := scheme.Env{
-			Self:      cl.replicas[i],
+			Self: cl.replicas[i],
 			// Keep the WrapTransport decoration (fault injection,
 			// accounting): rebuilding over the bare network would
 			// silently strip it after Grow/Remove.
 			Transport: cl.transport,
 			Sites:     ids,
 			Weights:   cl.cfg.Weights,
+			Obs:       cl.cfg.Observer.SchemeSite(cl.cfg.Scheme.String(), ids[i]),
+		}
+		if env.Obs != nil {
+			cl.replicas[i].SetWTransitionHook(env.Obs.WTransition)
 		}
 		ctrl, err := buildController(cl.cfg, env)
 		if err != nil {

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"relidev/internal/obs"
 	"relidev/internal/protocol"
 	"relidev/internal/simnet"
 )
@@ -40,6 +41,20 @@ import (
 // ErrInjected marks every error produced by the decorator, so tests and
 // the chaos engine can tell injected faults from organic ones.
 var ErrInjected = errors.New("faultnet: injected fault")
+
+func init() {
+	// Teach the metering transport to bucket injected faults. The
+	// classifier must run before the protocol sentinel checks (which
+	// obs guarantees for registered classifiers) because an injected
+	// fault *wraps* a protocol sentinel, and the injection is the more
+	// specific fact.
+	obs.RegisterErrorClassifier(func(err error) (string, bool) {
+		if errors.Is(err, ErrInjected) {
+			return obs.ClassInjected, true
+		}
+		return "", false
+	})
+}
 
 // Config parameterises the probabilistic fault classes. Probabilities
 // are per remote call and are cut from the same unit draw, so their sum

@@ -12,7 +12,7 @@ import (
 // process-seeded global math/rand source, and map iteration order
 // all break that.
 //
-// Within internal/{faultnet,chaos,sim,workload,markov} it flags:
+// Within internal/{faultnet,chaos,sim,workload,markov,obs} it flags:
 //
 //  1. wall-clock calls (time.Now, Since, Until, Sleep, After, ...);
 //  2. package-level math/rand functions, which draw from the shared
@@ -30,7 +30,10 @@ var DetCheck = &Analyzer{
 	Run: runDetCheck,
 }
 
-var detScopeElems = []string{"faultnet", "chaos", "sim", "workload", "markov"}
+// The observability layer is in scope too: its snapshots feed chaos
+// reports and its trace stream must replay identically, so the only
+// wall-clock read lives behind the documented WallClock exception.
+var detScopeElems = []string{"faultnet", "chaos", "sim", "workload", "markov", "obs"}
 
 var wallClockFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,

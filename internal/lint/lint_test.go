@@ -21,6 +21,10 @@ func TestDetCheckFixtures(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/detcheck/chaos", lint.DetCheck)
 }
 
+func TestDetCheckObsFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/detcheck/obs", lint.DetCheck)
+}
+
 func TestDetCheckOutOfScope(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/detcheck/other", lint.DetCheck)
 }

@@ -1,0 +1,75 @@
+// Fixtures for detcheck in the observability layer: metric snapshots
+// feed chaos reports and Prometheus expositions, so timestamping must
+// go through an injected clock and every exposition loop must sort its
+// label sets before writing.
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type Event struct {
+	Kind string
+	TS   int64
+}
+
+type Tracer struct {
+	clock func() int64
+	ring  []Event
+}
+
+// ok: timestamps come from the injected clock, never the wall clock.
+func (t *Tracer) Emit(kind string) {
+	t.ring = append(t.ring, Event{Kind: kind, TS: t.clock()})
+}
+
+func BadEmit(t *Tracer, kind string) {
+	ts := time.Now().UnixNano() // want "time.Now in a replay-deterministic package"
+	t.ring = append(t.ring, Event{Kind: kind, TS: ts})
+}
+
+func JitteredScrape() time.Duration {
+	return time.Duration(rand.Int63n(1000)) // want "global rand.Int63n draws from the process-seeded source"
+}
+
+// ok: a seeded stream sharded per scraper is deterministic.
+func ShardPick(seed int64, shards int) int {
+	return rand.New(rand.NewSource(seed)).Intn(shards)
+}
+
+func WriteSeries(w fmt.Writer, labels map[string]string) {
+	for k, v := range labels { // want "map iteration order is nondeterministic"
+		fmt.Fprintf(w, "%s=%q,", k, v)
+	}
+}
+
+// ok: keys are collected and sorted before the exposition is written.
+func WriteSeriesSorted(w fmt.Writer, labels map[string]string) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%q,", k, labels[k])
+	}
+}
+
+// ok: aggregation without output is order-independent.
+func TotalCount(series map[string]uint64) uint64 {
+	var total uint64
+	for _, v := range series {
+		total += v
+	}
+	return total
+}
+
+// ok: the one sanctioned wall-clock source, with a documented reason —
+// mirrors obs.WallClock in the real package.
+func WallClock() int64 {
+	//relidev:allow nondeterminism: default clock for live deployments; deterministic harnesses inject a logical clock
+	return time.Now().UnixNano()
+}

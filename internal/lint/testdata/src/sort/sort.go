@@ -1,0 +1,5 @@
+// Stand-in for the standard sort package.
+package sort
+
+func Strings(a []string) {}
+func Ints(a []int)       {}

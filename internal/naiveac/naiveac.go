@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"relidev/internal/block"
+	"relidev/internal/obs"
 	"relidev/internal/protocol"
 	"relidev/internal/scheme"
 )
@@ -43,7 +44,7 @@ func (c *Controller) Name() string { return "naive" }
 
 // Read serves the block locally, exactly as the available copy scheme
 // does: zero network traffic.
-func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) {
+func (c *Controller) Read(ctx context.Context, idx block.Index) (_ []byte, err error) {
 	c.locks.LockOp(idx)
 	defer c.locks.UnlockOp(idx)
 	if err := ctx.Err(); err != nil {
@@ -53,6 +54,10 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) 
 		return nil, fmt.Errorf("naive read of %v at %v (%v): %w",
 			idx, c.env.Self.ID(), c.env.Self.State(), scheme.ErrNotAvailable)
 	}
+	// The span opens past the availability gate so attempt counts match
+	// the §5 accounting (a refused operation generates no traffic).
+	sp := c.env.Obs.StartOp(protocol.OpRead, int64(idx))
+	defer func() { sp.Done(1, err) }()
 	data, _, err := c.env.Self.ReadLocal(idx)
 	if err != nil {
 		return nil, fmt.Errorf("naive read of %v: %w", idx, err)
@@ -64,7 +69,7 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) 
 // traffic: one high-level transmission in a multi-cast network, n-1 with
 // unique addressing (§5). Because no was-available information is
 // maintained, nothing is piggybacked.
-func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) error {
+func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) (err error) {
 	c.locks.LockOp(idx)
 	defer c.locks.UnlockOp(idx)
 	self := c.env.Self
@@ -72,6 +77,10 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) er
 		return fmt.Errorf("naive write of %v at %v (%v): %w",
 			idx, self.ID(), self.State(), scheme.ErrNotAvailable)
 	}
+	ob := c.env.Obs
+	ctx = ob.Label(ctx, protocol.OpWrite)
+	sp := ob.StartOp(protocol.OpWrite, int64(idx))
+	defer func() { sp.Done(1, err) }()
 	localVer, err := self.VersionLocal(idx)
 	if err != nil {
 		return fmt.Errorf("naive write of %v: %w", idx, err)
@@ -91,7 +100,7 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) er
 // Recover implements Figure 6: if some site is available, repair from it;
 // otherwise wait until every site has recovered and repair from (or
 // become) the one with the highest version.
-func (c *Controller) Recover(ctx context.Context) error {
+func (c *Controller) Recover(ctx context.Context) (err error) {
 	c.locks.LockRecovery()
 	defer c.locks.UnlockRecovery()
 	self := c.env.Self
@@ -99,6 +108,11 @@ func (c *Controller) Recover(ctx context.Context) error {
 		return nil
 	}
 	self.SetState(protocol.StateComatose)
+	ob := c.env.Obs
+	ctx = ob.Label(ctx, protocol.OpRecovery)
+	sp := ob.StartOp(protocol.OpRecovery, obs.NoBlock)
+	participants := 0
+	defer func() { sp.Done(participants, err) }()
 
 	results := c.env.Transport.Broadcast(ctx, self.ID(), c.env.Remotes(), protocol.StatusRequest{})
 
@@ -119,6 +133,8 @@ func (c *Controller) Recover(ctx context.Context) error {
 		}
 		states[id] = status{state: st.State, sum: st.VersionSum}
 	}
+	// Participation = status responders plus the recovering site itself.
+	participants = len(states)
 
 	// Case 1: ∃u ∈ S: state(u) = available.
 	var best protocol.SiteID = -1

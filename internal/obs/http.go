@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the debug HTTP surface for one observer:
+//
+//	/metrics        — metrics snapshot as JSON
+//	/metrics.prom   — the same snapshot in Prometheus text format
+//	/trace          — retained trace events as JSON (404 when tracing is off)
+//	/debug/pprof/*  — the standard net/http/pprof handlers
+//
+// The blockserver binds it behind -debug-addr; embedders can mount it
+// anywhere. The mux only reads snapshots, so serving it concurrently
+// with live traffic is safe.
+func NewDebugMux(o *Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(o.Snapshot())
+	})
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		o.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		t := o.Tracer()
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Dropped uint64  `json:"dropped"`
+			Events  []Event `json:"events"`
+		}{t.Dropped(), t.Events()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

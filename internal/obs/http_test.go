@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"relidev/internal/protocol"
+)
+
+func TestDebugMux(t *testing.T) {
+	o := New(WithClock(NewLogicalClock(1).Now), WithTracing(16))
+	s := o.SchemeSite("voting", 0)
+	s.StartOp(protocol.OpWrite, 1).Done(3, nil)
+
+	srv := httptest.NewServer(NewDebugMux(o))
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics is not a JSON snapshot: %v", err)
+	}
+	if got := snap.CounterTotal(MetricOpAttempts, L("scheme", "voting")); got != 1 {
+		t.Errorf("/metrics attempts = %d, want 1", got)
+	}
+
+	resp, body = get("/metrics.prom")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics.prom content type %q", ct)
+	}
+	if !strings.Contains(body, MetricOpAttempts+`{op="write",scheme="voting",site="site0"} 1`) {
+		t.Errorf("/metrics.prom missing attempt series:\n%s", body)
+	}
+
+	_, body = get("/trace")
+	var tracePage struct {
+		Dropped uint64  `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &tracePage); err != nil {
+		t.Fatalf("/trace is not JSON: %v", err)
+	}
+	if len(tracePage.Events) != 2 { // op_start + op_end
+		t.Errorf("/trace events = %d, want 2", len(tracePage.Events))
+	}
+
+	resp, _ = get("/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+	resp, _ = get("/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+}
+
+func TestDebugMuxTracingDisabled(t *testing.T) {
+	srv := httptest.NewServer(NewDebugMux(New()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/trace without tracing: status %d, want 404", resp.StatusCode)
+	}
+}

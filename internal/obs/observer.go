@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"relidev/internal/block"
+	"relidev/internal/protocol"
+)
+
+// Metric family names. Operation families are keyed by
+// scheme/site/op labels; see DESIGN.md §10 for the paper quantity
+// behind each.
+const (
+	// MetricOpAttempts counts operations that reached the protocol (for
+	// the gated schemes, past the availability check).
+	MetricOpAttempts = "relidev_op_attempts_total"
+	// MetricOpCompletions counts operations that succeeded.
+	MetricOpCompletions = "relidev_op_completions_total"
+	// MetricOpFailures counts operations that returned an error.
+	MetricOpFailures = "relidev_op_failures_total"
+	// MetricOpParticipants sums, over completed operations, the number
+	// of participating sites (the measured counterpart of the §5
+	// participation level U).
+	MetricOpParticipants = "relidev_op_participants_total"
+	// MetricOpLatency is the per-operation latency histogram.
+	MetricOpLatency = "relidev_op_latency_ns"
+	// MetricStaleReads counts voting reads that had to repair the local
+	// copy with a block fetch (§5.1 charges them one extra message).
+	MetricStaleReads = "relidev_stale_reads_total"
+	// MetricWTransitions counts changes of a site's was-available set.
+	MetricWTransitions = "relidev_w_transitions_total"
+	// MetricClosures counts closure recomputations during available
+	// copy recovery.
+	MetricClosures = "relidev_closure_recomputations_total"
+)
+
+// ops indexes the per-operation metric arrays.
+var ops = [...]string{protocol.OpWrite, protocol.OpRead, protocol.OpRecovery}
+
+func opIndex(op string) int {
+	for i, o := range ops {
+		if o == op {
+			return i
+		}
+	}
+	return -1
+}
+
+// An Observer owns one registry plus (optionally) one tracer, and
+// hands out pre-resolved per-scheme/site instrumentation handles. A
+// nil *Observer is valid everywhere and observes nothing.
+type Observer struct {
+	reg    *Registry
+	tracer *Tracer
+	clock  Clock
+
+	mu      sync.Mutex
+	schemes map[string]*SchemeObs
+}
+
+// Option configures an Observer.
+type Option func(*observerConfig)
+
+type observerConfig struct {
+	clock    Clock
+	traceCap int
+}
+
+// WithClock injects the timestamp source (default WallClock).
+// Deterministic harnesses pass a LogicalClock.
+func WithClock(c Clock) Option {
+	return func(cfg *observerConfig) { cfg.clock = c }
+}
+
+// WithTracing enables the trace-event ring buffer with the given
+// capacity (<= 0 means the 4096 default). Without this option only
+// metrics are collected — the right setting for throughput-sensitive
+// metering, since every trace event takes a shared ring lock.
+func WithTracing(capacity int) Option {
+	return func(cfg *observerConfig) {
+		if capacity <= 0 {
+			capacity = 4096
+		}
+		cfg.traceCap = capacity
+	}
+}
+
+// New builds an Observer.
+func New(opts ...Option) *Observer {
+	cfg := observerConfig{clock: WallClock}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	o := &Observer{
+		reg:     NewRegistry(),
+		clock:   cfg.clock,
+		schemes: make(map[string]*SchemeObs),
+	}
+	if cfg.traceCap > 0 {
+		o.tracer = NewTracer(cfg.traceCap, cfg.clock)
+	}
+	return o
+}
+
+// Registry returns the observer's metric registry (nil for a nil
+// observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Tracer returns the observer's tracer, nil when tracing is off.
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// Snapshot copies the current metrics.
+func (o *Observer) Snapshot() Snapshot {
+	if o == nil {
+		return Snapshot{}
+	}
+	return o.reg.Snapshot()
+}
+
+// now reads the injected clock (0 for a nil observer).
+func (o *Observer) now() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.clock()
+}
+
+// SchemeSite returns the instrumentation handle for one consistency
+// controller: metrics keyed by scheme/site/op, resolved once so the
+// operation hot path only touches atomics. Handles are cached per
+// (scheme, site). Nil-safe: a nil observer returns a nil handle, and
+// every *SchemeObs method accepts a nil receiver.
+func (o *Observer) SchemeSite(scheme string, site protocol.SiteID) *SchemeObs {
+	if o == nil {
+		return nil
+	}
+	key := fmt.Sprintf("%s/%d", scheme, site)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if s, ok := o.schemes[key]; ok {
+		return s
+	}
+	s := &SchemeObs{o: o, scheme: scheme, site: site}
+	siteLabel := L("site", site.String())
+	schemeLabel := L("scheme", scheme)
+	for i, op := range ops {
+		opLabel := L("op", op)
+		s.attempts[i] = o.reg.Counter(MetricOpAttempts, schemeLabel, siteLabel, opLabel)
+		s.completions[i] = o.reg.Counter(MetricOpCompletions, schemeLabel, siteLabel, opLabel)
+		s.failures[i] = o.reg.Counter(MetricOpFailures, schemeLabel, siteLabel, opLabel)
+		s.participants[i] = o.reg.Counter(MetricOpParticipants, schemeLabel, siteLabel, opLabel)
+		s.latency[i] = o.reg.Histogram(MetricOpLatency, schemeLabel, siteLabel, opLabel)
+	}
+	s.staleReads = o.reg.Counter(MetricStaleReads, schemeLabel, siteLabel)
+	s.wTransitions = o.reg.Counter(MetricWTransitions, schemeLabel, siteLabel)
+	s.closures = o.reg.Counter(MetricClosures, schemeLabel, siteLabel)
+	o.schemes[key] = s
+	return s
+}
+
+// A SchemeObs instruments one consistency controller (one scheme at
+// one site). All methods are nil-receiver safe no-ops.
+type SchemeObs struct {
+	o      *Observer
+	scheme string
+	site   protocol.SiteID
+
+	attempts     [len(ops)]*Counter
+	completions  [len(ops)]*Counter
+	failures     [len(ops)]*Counter
+	participants [len(ops)]*Counter
+	latency      [len(ops)]*Histogram
+	staleReads   *Counter
+	wTransitions *Counter
+	closures     *Counter
+}
+
+// Label attaches the §5 operation label to ctx so the transport can
+// attribute this operation's traffic; with a nil receiver the context
+// passes through untouched (and unlabelled traffic costs nothing
+// extra).
+func (s *SchemeObs) Label(ctx context.Context, op string) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return protocol.WithOp(ctx, op)
+}
+
+// NoBlock marks spans and events not tied to a particular block
+// (recovery operates on the whole device).
+const NoBlock int64 = -1
+
+// StartOp opens one operation span: it counts the attempt, emits the
+// op_start trace event, and returns the span to close with Done. blk
+// is the block index, or NoBlock for whole-device operations. Call it
+// only once the operation will actually run (past the availability
+// gate), so attempt counts line up with the §5 conformance brackets.
+func (s *SchemeObs) StartOp(op string, blk int64) OpSpan {
+	if s == nil {
+		return OpSpan{}
+	}
+	i := opIndex(op)
+	if i < 0 {
+		return OpSpan{}
+	}
+	s.attempts[i].Inc()
+	s.emit(Event{Kind: EvOpStart, Op: op, Block: blk})
+	return OpSpan{s: s, op: op, idx: i, block: blk, start: s.o.now()}
+}
+
+// An OpSpan is one in-flight operation. The zero value (from a nil
+// SchemeObs) is a valid no-op.
+type OpSpan struct {
+	s     *SchemeObs
+	op    string
+	idx   int
+	block int64
+	start int64
+}
+
+// Done closes the span: outcome counters, participation, latency, and
+// the op_end trace event. participants is the number of sites that
+// took part in the operation, local site included — the measured
+// counterpart of the §5 participation level U; it is recorded only for
+// completed operations.
+func (sp OpSpan) Done(participants int, err error) {
+	s := sp.s
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.failures[sp.idx].Inc()
+		s.emit(Event{Kind: EvOpEnd, Op: sp.op, Block: sp.block, Detail: "err=" + errClass(err)})
+		return
+	}
+	s.completions[sp.idx].Inc()
+	if participants > 0 {
+		s.participants[sp.idx].Add(uint64(participants))
+	}
+	s.latency[sp.idx].Observe(s.o.now() - sp.start)
+	s.emit(Event{Kind: EvOpEnd, Op: sp.op, Block: sp.block, Detail: fmt.Sprintf("participants=%d", participants)})
+}
+
+// QuorumAssembled traces a voting quorum collection.
+func (s *SchemeObs) QuorumAssembled(op string, idx block.Index, participants int, weight int64) {
+	if s == nil || s.o.tracer == nil {
+		return
+	}
+	s.emit(Event{Kind: EvQuorumAssembled, Op: op, Block: int64(idx),
+		Detail: fmt.Sprintf("participants=%d weight=%d", participants, weight)})
+}
+
+// VersionResolved traces the version-resolution step of a quorum.
+func (s *SchemeObs) VersionResolved(op string, idx block.Index, ver block.Version) {
+	if s == nil || s.o.tracer == nil {
+		return
+	}
+	s.emit(Event{Kind: EvVersionResolved, Op: op, Block: int64(idx),
+		Detail: fmt.Sprintf("version=%d", uint64(ver))})
+}
+
+// LazyRefresh records a voting read repairing a stale local copy from
+// src (one extra §5.1 message) — a counter plus a trace event.
+func (s *SchemeObs) LazyRefresh(idx block.Index, src protocol.SiteID, ver block.Version) {
+	if s == nil {
+		return
+	}
+	s.staleReads.Inc()
+	s.emit(Event{Kind: EvLazyRefresh, Op: protocol.OpRead, Block: int64(idx),
+		Detail: fmt.Sprintf("from=%v version=%d", src, uint64(ver))})
+}
+
+// WTransition records a change of this site's was-available set.
+func (s *SchemeObs) WTransition(old, next protocol.SiteSet) {
+	if s == nil || old == next {
+		return
+	}
+	s.wTransitions.Inc()
+	s.emit(Event{Kind: EvWTransition, Block: -1,
+		Detail: fmt.Sprintf("%v->%v", old, next)})
+}
+
+// ClosureRecomputed records an available copy recovery evaluating
+// C*(W_s): the root set, the resulting closure, and whether every
+// closure member had recovered.
+func (s *SchemeObs) ClosureRecomputed(root, closure protocol.SiteSet, complete bool) {
+	if s == nil {
+		return
+	}
+	s.closures.Inc()
+	s.emit(Event{Kind: EvClosureRecomputed, Op: protocol.OpRecovery, Block: -1,
+		Detail: fmt.Sprintf("root=%v closure=%v complete=%t", root, closure, complete)})
+}
+
+// emit stamps the shared fields and forwards to the tracer (a no-op
+// when tracing is off).
+func (s *SchemeObs) emit(e Event) {
+	if s.o.tracer == nil {
+		return
+	}
+	e.Scheme = s.scheme
+	e.Site = int(s.site)
+	s.o.tracer.Emit(e)
+}
+
+// errClass names an error's failure class for trace details.
+func errClass(err error) string {
+	return classifyError(err)
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"relidev/internal/protocol"
+)
+
+func TestNilObserverAndSchemeObs(t *testing.T) {
+	var o *Observer
+	if o.Registry() != nil || o.Tracer() != nil {
+		t.Fatal("nil observer handed out non-nil components")
+	}
+	if len(o.Snapshot().Counters) != 0 {
+		t.Fatal("nil observer snapshot not empty")
+	}
+	s := o.SchemeSite("voting", 0)
+	if s != nil {
+		t.Fatal("nil observer returned a non-nil SchemeObs")
+	}
+	// Every SchemeObs method must be a nil-receiver no-op.
+	ctx := context.Background()
+	if s.Label(ctx, protocol.OpWrite) != ctx {
+		t.Fatal("nil SchemeObs.Label altered the context")
+	}
+	sp := s.StartOp(protocol.OpWrite, 3)
+	sp.Done(2, nil)
+	sp.Done(0, errors.New("boom"))
+	s.QuorumAssembled(protocol.OpRead, 0, 2, 2)
+	s.VersionResolved(protocol.OpRead, 0, 1)
+	s.LazyRefresh(0, 1, 2)
+	s.WTransition(0, 1)
+	s.ClosureRecomputed(0, 1, true)
+}
+
+func TestSchemeObsCounters(t *testing.T) {
+	clk := NewLogicalClock(1)
+	o := New(WithClock(clk.Now), WithTracing(64))
+	s := o.SchemeSite("voting", 2)
+	if again := o.SchemeSite("voting", 2); again != s {
+		t.Fatal("SchemeSite handle not cached")
+	}
+
+	sp := s.StartOp(protocol.OpWrite, 7)
+	sp.Done(3, nil)
+	sp = s.StartOp(protocol.OpWrite, 7)
+	sp.Done(0, errors.New("quorum lost"))
+	sp = s.StartOp(protocol.OpRead, 7)
+	sp.Done(2, nil)
+	s.LazyRefresh(7, 1, 9)
+	s.WTransition(0b111, 0b011)
+	s.WTransition(0b011, 0b011) // no change: not a transition
+	s.ClosureRecomputed(0b001, 0b011, false)
+
+	snap := o.Snapshot()
+	sl := L("scheme", "voting")
+	type want struct {
+		name string
+		op   string
+		val  uint64
+	}
+	for _, w := range []want{
+		{MetricOpAttempts, protocol.OpWrite, 2},
+		{MetricOpCompletions, protocol.OpWrite, 1},
+		{MetricOpFailures, protocol.OpWrite, 1},
+		{MetricOpParticipants, protocol.OpWrite, 3},
+		{MetricOpAttempts, protocol.OpRead, 1},
+		{MetricOpCompletions, protocol.OpRead, 1},
+		{MetricOpParticipants, protocol.OpRead, 2},
+		{MetricOpAttempts, protocol.OpRecovery, 0},
+	} {
+		labels := []Label{sl}
+		if w.op != "" {
+			labels = append(labels, L("op", w.op))
+		}
+		if got := snap.CounterTotal(w.name, labels...); got != w.val {
+			t.Errorf("%s{op=%s} = %d, want %d", w.name, w.op, got, w.val)
+		}
+	}
+	if got := snap.CounterTotal(MetricStaleReads, sl); got != 1 {
+		t.Errorf("stale reads = %d, want 1", got)
+	}
+	if got := snap.CounterTotal(MetricWTransitions, sl); got != 1 {
+		t.Errorf("w transitions = %d, want 1", got)
+	}
+	if got := snap.CounterTotal(MetricClosures, sl); got != 1 {
+		t.Errorf("closures = %d, want 1", got)
+	}
+
+	// The trace stream saw the spans: op_start/op_end pairs plus the
+	// structural events, all stamped by the logical clock.
+	kinds := map[string]int{}
+	for _, e := range o.Tracer().Events() {
+		kinds[e.Kind]++
+		if e.Scheme != "voting" || e.Site != 2 {
+			t.Errorf("event %+v missing scheme/site stamps", e)
+		}
+	}
+	for kind, want := range map[string]int{
+		EvOpStart:           3,
+		EvOpEnd:             3,
+		EvLazyRefresh:       1,
+		EvWTransition:       1,
+		EvClosureRecomputed: 1,
+	} {
+		if kinds[kind] != want {
+			t.Errorf("trace kind %s count = %d, want %d", kind, kinds[kind], want)
+		}
+	}
+}
+
+func TestStartOpUnknownOp(t *testing.T) {
+	o := New()
+	s := o.SchemeSite("naive", 0)
+	sp := s.StartOp("compact", NoBlock) // not an §5 op: ignored
+	sp.Done(1, nil)
+	if got := o.Snapshot().CounterTotal(MetricOpAttempts); got != 0 {
+		t.Fatalf("unknown op counted: %d attempts", got)
+	}
+}
+
+func TestLabelRoundTrip(t *testing.T) {
+	o := New()
+	s := o.SchemeSite("naive", 0)
+	ctx := s.Label(context.Background(), protocol.OpRecovery)
+	if got := protocol.CtxOp(ctx); got != protocol.OpRecovery {
+		t.Fatalf("CtxOp = %q, want %q", got, protocol.OpRecovery)
+	}
+}

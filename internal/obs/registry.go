@@ -1,0 +1,387 @@
+// Package obs is the reliable device's observability layer: a
+// dependency-free registry of contention-free counters, gauges, and
+// sharded latency histograms; a structured trace-event stream with an
+// injectable clock; a metering protocol.Transport decorator; HTTP
+// exposition (JSON, Prometheus text, pprof); and a conformance checker
+// that holds the observed per-operation message counts against the §5
+// analytical cost model (internal/analysis).
+//
+// Everything is nil-safe: a nil *Observer, *SchemeObs, *Counter, or
+// *Tracer accepts every call as a no-op, so instrumented code paths
+// carry no conditionals and an unobserved cluster pays (almost)
+// nothing.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Counter is a monotonically increasing metric. The zero value is
+// ready to use; a nil pointer discards updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is a metric that can go up and down. The zero value is ready
+// to use; a nil pointer discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// A Label is one key=value dimension of a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesKey renders name plus sorted labels into the canonical series
+// identity, e.g. `relidev_ops_total{op="write",scheme="voting"}`.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+type counterSeries struct {
+	name   string
+	labels []Label
+	c      *Counter
+}
+
+type gaugeSeries struct {
+	name   string
+	labels []Label
+	g      *Gauge
+}
+
+type histSeries struct {
+	name   string
+	labels []Label
+	h      *Histogram
+}
+
+// A Registry holds metric series keyed by name and labels. Series
+// creation takes a mutex; the returned Counter/Gauge/Histogram handles
+// are lock-free, so hot paths resolve their series once (at controller
+// or transport construction) and update through atomics only.
+//
+// A nil *Registry hands out nil handles, which discard updates.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*counterSeries
+	gauges   map[string]*gaugeSeries
+	hists    map[string]*histSeries
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*counterSeries),
+		gauges:   make(map[string]*gaugeSeries),
+		hists:    make(map[string]*histSeries),
+	}
+}
+
+// Counter returns the counter series for name+labels, creating it on
+// first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.counters[key]
+	if !ok {
+		s = &counterSeries{name: name, labels: labels, c: new(Counter)}
+		r.counters[key] = s
+	}
+	return s.c
+}
+
+// Gauge returns the gauge series for name+labels, creating it on first
+// use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.gauges[key]
+	if !ok {
+		s = &gaugeSeries{name: name, labels: labels, g: new(Gauge)}
+		r.gauges[key] = s
+	}
+	return s.g
+}
+
+// Histogram returns the histogram series for name+labels, creating it
+// on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.hists[key]
+	if !ok {
+		s = &histSeries{name: name, labels: labels, h: new(Histogram)}
+		r.hists[key] = s
+	}
+	return s.h
+}
+
+// A CounterPoint is one counter series in a snapshot.
+type CounterPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  uint64            `json:"value"`
+}
+
+// A GaugePoint is one gauge series in a snapshot.
+type GaugePoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// A HistogramPoint is one histogram series in a snapshot, with
+// per-bucket (non-cumulative) counts merged across shards.
+type HistogramPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Count  uint64            `json:"count"`
+	Sum    uint64            `json:"sum_ns"`
+	// Buckets lists only non-empty buckets.
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observation in nanoseconds.
+func (h HistogramPoint) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// A Snapshot is a point-in-time copy of a registry, ordered by series
+// identity so JSON output is deterministic. Counters advance
+// independently, so a snapshot taken while operations are in flight
+// may split an operation's updates; quiesce for exact cross-series
+// arithmetic.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters,omitempty"`
+	Gauges     []GaugePoint     `json:"gauges,omitempty"`
+	Histograms []HistogramPoint `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every series out of the registry.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counterKeys := sortedKeys(r.counters)
+	gaugeKeys := sortedKeys(r.gauges)
+	histKeys := sortedKeys(r.hists)
+	counters := make([]*counterSeries, len(counterKeys))
+	for i, k := range counterKeys {
+		counters[i] = r.counters[k]
+	}
+	gauges := make([]*gaugeSeries, len(gaugeKeys))
+	for i, k := range gaugeKeys {
+		gauges[i] = r.gauges[k]
+	}
+	hists := make([]*histSeries, len(histKeys))
+	for i, k := range histKeys {
+		hists[i] = r.hists[k]
+	}
+	r.mu.Unlock()
+
+	for _, s := range counters {
+		snap.Counters = append(snap.Counters, CounterPoint{Name: s.name, Labels: labelMap(s.labels), Value: s.c.Value()})
+	}
+	for _, s := range gauges {
+		snap.Gauges = append(snap.Gauges, GaugePoint{Name: s.name, Labels: labelMap(s.labels), Value: s.g.Value()})
+	}
+	for _, s := range hists {
+		p := s.h.snapshotPoint()
+		p.Name, p.Labels = s.name, labelMap(s.labels)
+		snap.Histograms = append(snap.Histograms, p)
+	}
+	return snap
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CounterTotal sums every counter series called name whose labels
+// include all of match.
+func (s Snapshot) CounterTotal(name string, match ...Label) uint64 {
+	var total uint64
+	for _, p := range s.Counters {
+		if p.Name != name || !labelsMatch(p.Labels, match) {
+			continue
+		}
+		total += p.Value
+	}
+	return total
+}
+
+func labelsMatch(have map[string]string, want []Label) bool {
+	for _, l := range want {
+		if have[l.Key] != l.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counter and gauge series map
+// directly; histograms emit cumulative _bucket/_sum/_count series.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, p := range s.Counters {
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(p.Name, p.Labels, nil), p.Value); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(p.Name, p.Labels, nil), p.Value); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.Histograms {
+		var cum uint64
+		for _, b := range p.Buckets {
+			cum += b.Count
+			le := fmt.Sprintf("%g", float64(b.UpperNs))
+			if b.UpperNs < 0 {
+				le = "+Inf"
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(p.Name+"_bucket", p.Labels, &le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(p.Name+"_sum", p.Labels, nil), p.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(p.Name+"_count", p.Labels, nil), p.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promSeries renders name{k="v",...} with sorted label keys, adding an
+// le label when given.
+func promSeries(name string, labels map[string]string, le *string) string {
+	keys := make([]string, 0, len(labels)+1)
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if le != nil {
+		keys = append(keys, "le")
+	}
+	if len(keys) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := labels[k]
+		if le != nil && k == "le" && i == len(keys)-1 {
+			v = *le
+		}
+		fmt.Fprintf(&b, "%s=%q", k, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

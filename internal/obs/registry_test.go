@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var (
+		r *Registry
+		c *Counter
+		g *Gauge
+		h *Histogram
+	)
+	// Every method must accept a nil receiver without panicking.
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d, want 0", c.Value())
+	}
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %d, want 0", g.Value())
+	}
+	h.Observe(123)
+	if p := h.snapshotPoint(); p.Count != 0 {
+		t.Fatalf("nil histogram count = %d, want 0", p.Count)
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry handed out non-nil handles")
+	}
+	if snap := r.Snapshot(); len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	// Same name+labels (any order) resolve to the same series; different
+	// labels resolve to different series.
+	a := r.Counter("relidev_test_total", L("op", "write"), L("scheme", "voting"))
+	b := r.Counter("relidev_test_total", L("scheme", "voting"), L("op", "write"))
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+	c := r.Counter("relidev_test_total", L("scheme", "naive"), L("op", "write"))
+	if a == c {
+		t.Fatal("distinct labels resolved to the same series")
+	}
+	a.Add(2)
+	b.Inc()
+	if got := a.Value(); got != 3 {
+		t.Fatalf("shared series value = %d, want 3", got)
+	}
+}
+
+func TestSnapshotAndCounterTotal(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("relidev_ops_total", L("scheme", "voting"), L("site", "site0")).Add(4)
+	r.Counter("relidev_ops_total", L("scheme", "voting"), L("site", "site1")).Add(6)
+	r.Counter("relidev_ops_total", L("scheme", "naive"), L("site", "site0")).Add(9)
+	r.Gauge("relidev_up", L("site", "site0")).Set(1)
+	r.Histogram("relidev_lat_ns").Observe(2048)
+
+	snap := r.Snapshot()
+	if len(snap.Counters) != 3 || len(snap.Gauges) != 1 || len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot shape = %d/%d/%d, want 3/1/1",
+			len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+	}
+	// Sorted by series identity: naive sorts before voting.
+	if snap.Counters[0].Labels["scheme"] != "naive" {
+		t.Fatalf("snapshot not sorted: first counter labels %v", snap.Counters[0].Labels)
+	}
+	if got := snap.CounterTotal("relidev_ops_total", L("scheme", "voting")); got != 10 {
+		t.Fatalf("CounterTotal(voting) = %d, want 10", got)
+	}
+	if got := snap.CounterTotal("relidev_ops_total"); got != 19 {
+		t.Fatalf("CounterTotal(all) = %d, want 19", got)
+	}
+	if got := snap.CounterTotal("relidev_ops_total", L("scheme", "paxos")); got != 0 {
+		t.Fatalf("CounterTotal(absent) = %d, want 0", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("relidev_ops_total", L("op", "write")).Add(5)
+	r.Gauge("relidev_sites").Set(3)
+	h := r.Histogram("relidev_lat_ns", L("op", "read"))
+	h.Observe(100)     // bucket 0 (<= 1024)
+	h.Observe(2000)    // bucket 1 (<= 2048)
+	h.Observe(1 << 62) // overflow bucket
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`relidev_ops_total{op="write"} 5`,
+		`relidev_sites 3`,
+		`relidev_lat_ns_bucket{op="read",le="1024"} 1`,
+		`relidev_lat_ns_bucket{op="read",le="2048"} 2`,
+		`relidev_lat_ns_bucket{op="read",le="+Inf"} 3`,
+		`relidev_lat_ns_count{op="read"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: the +Inf bucket equals the count.
+	if strings.Count(out, `le="+Inf"`) != 1 {
+		t.Errorf("want exactly one +Inf bucket:\n%s", out)
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Trace event kinds. Each names the protocol moment it records; the
+// paper quantity every kind observes is tabulated in DESIGN.md §10.
+const (
+	// EvOpStart / EvOpEnd bracket one controller operation (an §5
+	// cost-table row: write, read, or recovery).
+	EvOpStart = "op_start"
+	EvOpEnd   = "op_end"
+	// EvQuorumAssembled records a voting quorum collection (Figures 3
+	// and 4): how many sites answered and the weight gathered.
+	EvQuorumAssembled = "quorum_assembled"
+	// EvVersionResolved records the version-resolution step: the
+	// maximal version among the collected votes (the MCV rule).
+	EvVersionResolved = "version_resolved"
+	// EvLazyRefresh records a voting read repairing a stale local copy
+	// with one block fetch (§5.1's "at most U_V+1" read).
+	EvLazyRefresh = "lazy_refresh"
+	// EvWTransition records a change of a site's was-available set W_s
+	// (§3.2): coordinator resets, piggyback merges, recovery joins.
+	EvWTransition = "w_transition"
+	// EvClosureRecomputed records an available copy recovery evaluating
+	// the closure C*(W_s) (Figure 5 / Definition 3.2).
+	EvClosureRecomputed = "closure_recomputed"
+)
+
+// An Event is one structured trace record. Block is -1 when the event
+// is not about a particular block.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	At     int64  `json:"at_ns"`
+	Scheme string `json:"scheme,omitempty"`
+	Site   int    `json:"site"`
+	Op     string `json:"op,omitempty"`
+	Kind   string `json:"kind"`
+	Block  int64  `json:"block"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// A Tracer collects events into a bounded ring buffer; when full, the
+// oldest events are overwritten (Dropped counts them). Timestamps come
+// from the injected clock and sequence numbers from an atomic counter,
+// so with a LogicalClock the events are deterministic up to goroutine
+// interleaving — and the ring never feeds replay digests. A nil
+// *Tracer discards events.
+type Tracer struct {
+	clock Clock
+	seq   atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []Event
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// NewTracer returns a tracer holding the last capacity events
+// (capacity <= 0 means 4096), stamped by clock (nil means WallClock).
+func NewTracer(capacity int, clock Clock) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if clock == nil {
+		clock = WallClock
+	}
+	return &Tracer{clock: clock, ring: make([]Event, capacity)}
+}
+
+// Emit records one event, filling Seq and At.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	e.Seq = t.seq.Add(1)
+	e.At = t.clock()
+	t.mu.Lock()
+	if t.wrapped {
+		t.dropped++
+	}
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.wrapped = 0, true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		out := make([]Event, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten by ring wrap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: EvOpStart})
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer retained events")
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	clk := NewLogicalClock(10)
+	tr := NewTracer(4, clk.Now)
+	for i := 0; i < 6; i++ {
+		tr.Emit(Event{Kind: EvOpStart, Block: int64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest first: blocks 2,3,4,5 survive the wrap.
+	for i, e := range evs {
+		if e.Block != int64(i+2) {
+			t.Fatalf("event %d block = %d, want %d", i, e.Block, i+2)
+		}
+		if e.Seq != uint64(i+3) {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, i+3)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	// Logical timestamps are strictly increasing in emit order.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At <= evs[i-1].At {
+			t.Fatalf("timestamps not increasing: %d then %d", evs[i-1].At, evs[i].At)
+		}
+	}
+}
+
+func TestTracerDefaults(t *testing.T) {
+	tr := NewTracer(0, nil) // capacity and clock both defaulted
+	tr.Emit(Event{Kind: EvOpEnd})
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].At == 0 {
+		t.Fatalf("defaulted tracer events = %+v", evs)
+	}
+}

@@ -1,0 +1,32 @@
+package protocol
+
+import "context"
+
+// Operation labels. The observability layer tags the context of every
+// controller operation with one of these so that the transport can
+// attribute its §5 transmission accounting to the operation that caused
+// the traffic (write, read, or recovery — the three rows of the §5 cost
+// tables). The label rides the context through any transport decorators
+// (fault injection, metering) down to the network that does the
+// counting.
+const (
+	OpWrite    = "write"
+	OpRead     = "read"
+	OpRecovery = "recovery"
+)
+
+type opCtxKey struct{}
+
+// WithOp labels ctx with the protocol-level operation the enclosed
+// messages belong to.
+func WithOp(ctx context.Context, op string) context.Context {
+	return context.WithValue(ctx, opCtxKey{}, op)
+}
+
+// CtxOp returns the operation label attached by WithOp, or "" when the
+// context is unlabelled (uninstrumented callers; their traffic is
+// counted only in the aggregate totals).
+func CtxOp(ctx context.Context) string {
+	op, _ := ctx.Value(opCtxKey{}).(string)
+	return op
+}

@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"relidev/internal/obs"
 	"relidev/internal/protocol"
 	"relidev/internal/site"
 )
@@ -54,6 +55,16 @@ const (
 // under the paper's fail-stop model (§3) only a *missing* answer may
 // be treated as a site failure, never a delivered one.
 var ErrRemote = errors.New("rpcnet: remote error")
+
+func init() {
+	// Teach the metering transport to bucket remote-handler failures.
+	obs.RegisterErrorClassifier(func(err error) (string, bool) {
+		if errors.Is(err, ErrRemote) {
+			return obs.ClassRemote, true
+		}
+		return "", false
+	})
+}
 
 type rpcRequest struct {
 	From protocol.SiteID

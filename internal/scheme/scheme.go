@@ -12,6 +12,7 @@ import (
 	"errors"
 
 	"relidev/internal/block"
+	"relidev/internal/obs"
 	"relidev/internal/protocol"
 	"relidev/internal/site"
 )
@@ -78,6 +79,10 @@ type Env struct {
 	// Weights holds the voting weight (thousandths) of each entry of
 	// Sites. Only the voting scheme reads it.
 	Weights []int64
+	// Obs is this controller's instrumentation handle. It may be nil —
+	// every obs method is a nil-receiver no-op, so controllers call it
+	// unconditionally and an unmetered cluster pays nothing.
+	Obs *obs.SchemeObs
 }
 
 // Remotes returns every site except Self.

@@ -9,6 +9,7 @@ import (
 
 	"relidev/internal/block"
 	"relidev/internal/core"
+	"relidev/internal/obs"
 	"relidev/internal/protocol"
 	"relidev/internal/scheme"
 	"relidev/internal/simnet"
@@ -39,6 +40,9 @@ type TrafficConfig struct {
 	Seed int64
 	// Geometry is the device shape; zero value uses a small test device.
 	Geometry block.Geometry
+	// Observer, when set, instruments the cluster: scheme counters,
+	// transport metering, and optional tracing. Nil runs unobserved.
+	Observer *obs.Observer
 }
 
 func (c *TrafficConfig) applyDefaults() {
@@ -77,6 +81,9 @@ type TrafficResult struct {
 	// OpAvailability is the fraction of operations that succeeded — an
 	// operation-level availability measure.
 	OpAvailability float64
+	// NetStats is the network's final counter snapshot, including the
+	// per-operation transmission buckets the conformance checker feeds on.
+	NetStats simnet.Stats `json:"net_stats"`
 }
 
 // SimulateTraffic drives the real protocol stack through a workload
@@ -91,6 +98,7 @@ func SimulateTraffic(ctx context.Context, cfg TrafficConfig) (TrafficResult, err
 		Geometry: cfg.Geometry,
 		Scheme:   cfg.Scheme,
 		Mode:     cfg.Mode,
+		Observer: cfg.Observer,
 	})
 	if err != nil {
 		return TrafficResult{}, err
@@ -229,5 +237,6 @@ func SimulateTraffic(ctx context.Context, cfg TrafficConfig) (TrafficResult, err
 	if total > 0 {
 		res.OpAvailability = float64(res.Writes+res.Reads) / float64(total)
 	}
+	res.NetStats = net.Stats()
 	return res, nil
 }

@@ -57,6 +57,15 @@ func (m Mode) String() string {
 // Stats is a snapshot of the high-level transmission counters defined
 // in §5, plus the byte-level alternative metric §5 mentions ("it is
 // possible to instead focus on the sizes of the messages").
+//
+// Snapshot semantics: counters live in one bank swapped out atomically
+// by ResetStats, so a snapshot never mixes pre- and post-reset values.
+// Within a bank, a snapshot taken while deliveries are in flight is
+// *conservative*: Transmissions is incremented first on every charge
+// and loaded last, so Transmissions >= Requests + Replies holds in
+// every snapshot. Quiesce the network for exact totals; an operation
+// in flight across a ResetStats may split its charges between the old
+// and new bank.
 type Stats struct {
 	// Transmissions is the total number of high-level transmissions.
 	Transmissions uint64
@@ -70,6 +79,64 @@ type Stats struct {
 	Bytes uint64
 	// ByKind breaks down request transmissions by request kind.
 	ByKind map[string]uint64
+	// ByOp breaks down transmissions by the §5 operation class that
+	// generated them, for traffic labelled via protocol.WithOp (keys
+	// are the protocol.Op* constants, plus "other" for unrecognized
+	// labels). Unlabelled traffic appears only in the totals.
+	ByOp map[string]OpStats
+}
+
+// OpStats is the per-operation-class slice of the traffic counters.
+type OpStats struct {
+	Transmissions uint64
+	Requests      uint64
+	Replies       uint64
+}
+
+// opClasses are the attribution buckets of Stats.ByOp; unlabelled
+// traffic (empty CtxOp) is not attributed at all.
+var opClasses = [...]string{protocol.OpWrite, protocol.OpRead, protocol.OpRecovery, "other"}
+
+// opClassIndex maps a context operation label to its bucket, or -1 for
+// unlabelled traffic.
+func opClassIndex(op string) int {
+	switch op {
+	case "":
+		return -1
+	case protocol.OpWrite:
+		return 0
+	case protocol.OpRead:
+		return 1
+	case protocol.OpRecovery:
+		return 2
+	default:
+		return len(opClasses) - 1
+	}
+}
+
+// opCounters is one ByOp bucket's live counters.
+type opCounters struct {
+	transmissions atomic.Uint64
+	requests      atomic.Uint64
+	replies       atomic.Uint64
+}
+
+// counterBank holds one epoch of traffic counters. ResetStats swaps
+// the whole bank, so Stats never observes a half-zeroed state.
+type counterBank struct {
+	transmissions atomic.Uint64
+	requests      atomic.Uint64
+	replies       atomic.Uint64
+	bytes         atomic.Uint64
+	byOp          [len(opClasses)]opCounters
+	// byKind stays a map under its own narrow mutex: kinds are few and
+	// the map is touched once per logical broadcast, not per delivery.
+	kindMu sync.Mutex
+	byKind map[string]uint64
+}
+
+func newCounterBank() *counterBank {
+	return &counterBank{byKind: make(map[string]uint64)}
 }
 
 // Network connects up to protocol.MaxSites sites. The zero value is not
@@ -81,18 +148,13 @@ type Network struct {
 	up        map[protocol.SiteID]bool
 	partition map[protocol.SiteID]int
 
-	// Traffic counters are contention-free atomics: metering sits on
-	// every message of the data path and must not serialize concurrent
-	// deliveries behind the configuration mutex. A snapshot (Stats) is
-	// only guaranteed internally consistent on a quiescent network.
-	transmissions atomic.Uint64
-	requests      atomic.Uint64
-	replies       atomic.Uint64
-	bytes         atomic.Uint64
-	// ByKind stays a map under its own narrow mutex: kinds are few and
-	// the map is touched once per logical broadcast, not per delivery.
-	kindMu sync.Mutex
-	byKind map[string]uint64
+	// Traffic counters are contention-free atomics grouped into a bank:
+	// metering sits on every message of the data path and must not
+	// serialize concurrent deliveries behind the configuration mutex,
+	// and ResetStats swaps the bank pointer instead of zeroing counters
+	// one by one (zeroing in place lets a concurrent Stats observe a
+	// torn half-reset snapshot).
+	bank atomic.Pointer[counterBank]
 
 	// latency is the simulated round-trip time per remote interaction,
 	// in nanoseconds. Zero (the default) keeps the network instantaneous;
@@ -134,13 +196,14 @@ var _ protocol.Transport = (*Network)(nil)
 
 // New returns an empty network in the given mode.
 func New(mode Mode) *Network {
-	return &Network{
+	n := &Network{
 		mode:      mode,
 		handlers:  make(map[protocol.SiteID]protocol.Handler),
 		up:        make(map[protocol.SiteID]bool),
 		partition: make(map[protocol.SiteID]int),
-		byKind:    make(map[string]uint64),
 	}
+	n.bank.Store(newCounterBank())
+	return n
 }
 
 // Mode returns the network flavour.
@@ -255,34 +318,49 @@ func (n *Network) sleepLatency(ctx context.Context) error {
 	}
 }
 
-// Stats returns a snapshot of the traffic counters. Counters advance
-// independently, so a snapshot taken while deliveries are in flight may
-// be mid-update; quiesce the network for exact totals.
+// Stats returns a snapshot of the traffic counters. See the Stats type
+// for the exact mid-flight guarantees: per-snapshot Transmissions >=
+// Requests + Replies always holds (every charge bumps Transmissions
+// first, and the snapshot loads it last), and a snapshot never mixes
+// counts from before and after a ResetStats.
 func (n *Network) Stats() Stats {
+	b := n.bank.Load()
 	out := Stats{
-		Transmissions: n.transmissions.Load(),
-		Requests:      n.requests.Load(),
-		Replies:       n.replies.Load(),
-		Bytes:         n.bytes.Load(),
+		Requests: b.requests.Load(),
+		Replies:  b.replies.Load(),
+		Bytes:    b.bytes.Load(),
 	}
-	n.kindMu.Lock()
-	out.ByKind = make(map[string]uint64, len(n.byKind))
-	for k, v := range n.byKind {
+	byOp := make(map[string]OpStats, len(opClasses))
+	for i, op := range opClasses {
+		oc := &b.byOp[i]
+		s := OpStats{
+			Requests: oc.requests.Load(),
+			Replies:  oc.replies.Load(),
+		}
+		s.Transmissions = oc.transmissions.Load()
+		if s.Transmissions == 0 && s.Requests == 0 && s.Replies == 0 {
+			continue
+		}
+		byOp[op] = s
+	}
+	b.kindMu.Lock()
+	out.ByKind = make(map[string]uint64, len(b.byKind))
+	for k, v := range b.byKind {
 		out.ByKind[k] = v
 	}
-	n.kindMu.Unlock()
+	b.kindMu.Unlock()
+	out.ByOp = byOp
+	// Loaded last so the snapshot invariant holds (see Stats doc).
+	out.Transmissions = b.transmissions.Load()
 	return out
 }
 
-// ResetStats zeroes the traffic counters.
+// ResetStats zeroes the traffic counters by installing a fresh bank.
+// Concurrent Stats callers see either the old bank's totals or the new
+// (zero) ones, never a torn mixture; an operation in flight across the
+// swap may split its charges between the banks.
 func (n *Network) ResetStats() {
-	n.transmissions.Store(0)
-	n.requests.Store(0)
-	n.replies.Store(0)
-	n.bytes.Store(0)
-	n.kindMu.Lock()
-	n.byKind = make(map[string]uint64)
-	n.kindMu.Unlock()
+	n.bank.Store(newCounterBank())
 }
 
 // route returns the handler for `to` if it is up and reachable from
@@ -303,19 +381,35 @@ func (n *Network) route(from, to protocol.SiteID) (protocol.Handler, error) {
 	return h, nil
 }
 
-func (n *Network) countRequest(kind string, transmissions, bytes uint64) {
-	n.transmissions.Add(transmissions)
-	n.requests.Add(transmissions)
-	n.bytes.Add(bytes)
-	n.kindMu.Lock()
-	n.byKind[kind] += transmissions
-	n.kindMu.Unlock()
+// countRequest charges request transmissions. opIdx attributes them to
+// a §5 operation class (-1 for unlabelled traffic). Transmissions is
+// bumped before Requests — paired with Stats loading it last, this
+// keeps Transmissions >= Requests + Replies in every snapshot.
+func (n *Network) countRequest(opIdx int, kind string, transmissions, bytes uint64) {
+	b := n.bank.Load()
+	b.transmissions.Add(transmissions)
+	b.requests.Add(transmissions)
+	b.bytes.Add(bytes)
+	if opIdx >= 0 {
+		oc := &b.byOp[opIdx]
+		oc.transmissions.Add(transmissions)
+		oc.requests.Add(transmissions)
+	}
+	b.kindMu.Lock()
+	b.byKind[kind] += transmissions
+	b.kindMu.Unlock()
 }
 
-func (n *Network) countReply(resp protocol.Response) {
-	n.transmissions.Add(1)
-	n.replies.Add(1)
-	n.bytes.Add(uint64(protocol.WireSize(resp)))
+func (n *Network) countReply(opIdx int, resp protocol.Response) {
+	b := n.bank.Load()
+	b.transmissions.Add(1)
+	b.replies.Add(1)
+	b.bytes.Add(uint64(protocol.WireSize(resp)))
+	if opIdx >= 0 {
+		oc := &b.byOp[opIdx]
+		oc.transmissions.Add(1)
+		oc.replies.Add(1)
+	}
 }
 
 // Call sends a request to one site and waits for the response. It is
@@ -337,7 +431,8 @@ func (n *Network) Call(ctx context.Context, from, to protocol.SiteID, req protoc
 	if err != nil {
 		return nil, err
 	}
-	n.countRequest(req.Kind(), 1, uint64(protocol.WireSize(req)))
+	opIdx := opClassIndex(protocol.CtxOp(ctx))
+	n.countRequest(opIdx, req.Kind(), 1, uint64(protocol.WireSize(req)))
 	deliver, ferr := n.applyFault(from, to, req)
 	if !deliver {
 		return nil, ferr
@@ -354,7 +449,7 @@ func (n *Network) Call(ctx context.Context, from, to protocol.SiteID, req protoc
 	if err != nil {
 		return nil, err
 	}
-	n.countReply(resp)
+	n.countReply(opIdx, resp)
 	return resp, nil
 }
 
@@ -391,7 +486,7 @@ func (n *Network) Fetch(ctx context.Context, from, to protocol.SiteID, req proto
 	if err != nil {
 		return nil, err
 	}
-	n.countReply(resp)
+	n.countReply(opClassIndex(protocol.CtxOp(ctx)), resp)
 	return resp, nil
 }
 
@@ -441,19 +536,20 @@ func (n *Network) deliver(ctx context.Context, from protocol.SiteID, dests []pro
 		return results
 	}
 	reqBytes := uint64(protocol.WireSize(req))
+	opIdx := opClassIndex(protocol.CtxOp(ctx))
 	switch n.Mode() {
 	case Unicast:
 		// One transmission per destination, whether or not it is up: the
 		// sender cannot know (§5.2).
-		n.countRequest(req.Kind(), uint64(len(targets)), reqBytes*uint64(len(targets)))
+		n.countRequest(opIdx, req.Kind(), uint64(len(targets)), reqBytes*uint64(len(targets)))
 	default:
 		// One transmission reaches every destination; the payload goes
 		// over the wire once.
-		n.countRequest(req.Kind(), 1, reqBytes)
+		n.countRequest(opIdx, req.Kind(), 1, reqBytes)
 	}
 	if len(targets) == 1 {
 		// Nothing to fan out; skip the goroutine machinery.
-		results[targets[0]] = n.deliverOne(ctx, from, targets[0], req, countReplies)
+		results[targets[0]] = n.deliverOne(ctx, from, targets[0], req, countReplies, opIdx)
 		return results
 	}
 	// Fan out: each destination's round trip proceeds concurrently, so a
@@ -466,7 +562,7 @@ func (n *Network) deliver(ctx context.Context, from protocol.SiteID, dests []pro
 		wg.Add(1)
 		go func(to protocol.SiteID) {
 			defer wg.Done()
-			res := n.deliverOne(ctx, from, to, req, countReplies)
+			res := n.deliverOne(ctx, from, to, req, countReplies, opIdx)
 			rm.Lock()
 			results[to] = res
 			rm.Unlock()
@@ -477,7 +573,7 @@ func (n *Network) deliver(ctx context.Context, from protocol.SiteID, dests []pro
 }
 
 // deliverOne performs the round trip to a single destination.
-func (n *Network) deliverOne(ctx context.Context, from, to protocol.SiteID, req protocol.Request, countReply bool) protocol.Result {
+func (n *Network) deliverOne(ctx context.Context, from, to protocol.SiteID, req protocol.Request, countReply bool, opIdx int) protocol.Result {
 	h, err := n.route(from, to)
 	if err != nil {
 		return protocol.Result{Err: err}
@@ -497,7 +593,7 @@ func (n *Network) deliverOne(ctx context.Context, from, to protocol.SiteID, req 
 		return protocol.Result{Err: err}
 	}
 	if countReply {
-		n.countReply(resp)
+		n.countReply(opIdx, resp)
 	}
 	return protocol.Result{Resp: resp}
 }

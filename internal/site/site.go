@@ -50,6 +50,11 @@ type Replica struct {
 	st       store.Store
 	state    protocol.SiteState
 	wasAvail protocol.SiteSet
+
+	// wHook observes was-available transitions (old, new); nil observes
+	// nothing. A plain func keeps the site mechanism free of any
+	// dependency on the observability layer.
+	wHook func(old, next protocol.SiteSet)
 }
 
 var _ protocol.Handler = (*Replica)(nil)
@@ -152,13 +157,27 @@ func (r *Replica) MergeWasAvailable(w protocol.SiteSet) error {
 }
 
 func (r *Replica) setWasAvailLocked(w protocol.SiteSet) error {
+	old := r.wasAvail
 	r.wasAvail = w
 	var meta [8]byte
 	binary.LittleEndian.PutUint64(meta[:], uint64(w))
 	if err := r.st.SaveMeta(meta[:]); err != nil {
 		return fmt.Errorf("persist was-available set: %w", err)
 	}
+	if r.wHook != nil {
+		r.wHook(old, w)
+	}
 	return nil
+}
+
+// SetWTransitionHook installs an observer of W_s transitions, invoked
+// (old set, new set) at every update site: coordinator resets,
+// piggyback merges, and recovery joins. The cluster wires it before
+// traffic flows; nil disables observation.
+func (r *Replica) SetWTransitionHook(hook func(old, next protocol.SiteSet)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.wHook = hook
 }
 
 // Vector returns the replica's full version vector.

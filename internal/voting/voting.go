@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"relidev/internal/block"
+	"relidev/internal/obs"
 	"relidev/internal/protocol"
 	"relidev/internal/scheme"
 	"relidev/internal/site"
@@ -173,19 +174,27 @@ func currentDataSite(votes []vote, ver block.Version) (vote, bool) {
 // Read implements Figure 3: collect votes, check the read quorum, repair
 // the local copy from the most current site if it is out of date (one
 // extra transmission), then read locally.
-func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) {
+func (c *Controller) Read(ctx context.Context, idx block.Index) (_ []byte, err error) {
 	c.locks.LockOp(idx)
 	defer c.locks.UnlockOp(idx)
+	ob := c.env.Obs
+	ctx = ob.Label(ctx, protocol.OpRead)
+	sp := ob.StartOp(protocol.OpRead, int64(idx))
+	participants := 0
+	defer func() { sp.Done(participants, err) }()
 
 	votes, weight, err := c.collect(ctx, idx)
 	if err != nil {
 		return nil, err
 	}
+	ob.QuorumAssembled(protocol.OpRead, idx, len(votes), weight)
 	if weight <= c.readThreshold {
 		return nil, fmt.Errorf("voting read of %v: collected weight %d of %d required: %w",
 			idx, weight, c.readThreshold+1, scheme.ErrNoQuorum)
 	}
+	participants = len(votes)
 	best := maxVote(votes)
+	ob.VersionResolved(protocol.OpRead, idx, best.version)
 	self := c.env.Self
 	localVer, _ := self.VersionLocal(idx)
 	if self.Witness() || localVer < best.version {
@@ -206,6 +215,7 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) 
 			if !ok {
 				return nil, fmt.Errorf("voting read repair of %v: unexpected reply %T", idx, resp)
 			}
+			ob.LazyRefresh(idx, src.from, f.Version)
 			if self.Witness() {
 				// A witness cannot cache data; serve the fetched block
 				// directly (its store records the version on writes only).
@@ -227,19 +237,27 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) ([]byte, error) 
 // the maximal version number and send the block to every site in the
 // quorum — which repairs all reachable out-of-date copies as a side
 // effect.
-func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) error {
+func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) (err error) {
 	c.locks.LockOp(idx)
 	defer c.locks.UnlockOp(idx)
+	ob := c.env.Obs
+	ctx = ob.Label(ctx, protocol.OpWrite)
+	sp := ob.StartOp(protocol.OpWrite, int64(idx))
+	participants := 0
+	defer func() { sp.Done(participants, err) }()
 
 	votes, weight, err := c.collect(ctx, idx)
 	if err != nil {
 		return err
 	}
+	ob.QuorumAssembled(protocol.OpWrite, idx, len(votes), weight)
 	if weight <= c.writeThreshold {
 		return fmt.Errorf("voting write of %v: collected weight %d of %d required: %w",
 			idx, weight, c.writeThreshold+1, scheme.ErrNoQuorum)
 	}
+	participants = len(votes)
 	newVer := maxVote(votes).version + 1
+	ob.VersionResolved(protocol.OpWrite, idx, newVer)
 	dataSites := 0
 	for _, v := range votes {
 		if !v.witness {
@@ -309,10 +327,15 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) er
 // from its stale copies. With WithEagerRecovery the controller instead
 // refreshes the whole device from the most current reachable site, which
 // is the file-level behaviour the paper improves upon.
-func (c *Controller) Recover(ctx context.Context) error {
+func (c *Controller) Recover(ctx context.Context) (err error) {
 	c.locks.LockRecovery()
 	defer c.locks.UnlockRecovery()
 	self := c.env.Self
+	ob := c.env.Obs
+	ctx = ob.Label(ctx, protocol.OpRecovery)
+	sp := ob.StartOp(protocol.OpRecovery, obs.NoBlock)
+	participants := 1
+	defer func() { sp.Done(participants, err) }()
 	if !c.eager {
 		self.SetState(protocol.StateAvailable)
 		return nil
@@ -327,6 +350,7 @@ func (c *Controller) Recover(ctx context.Context) error {
 		if res.Err != nil {
 			continue
 		}
+		participants++
 		st, ok := res.Resp.(protocol.StatusReply)
 		if !ok || st.Witness {
 			continue // witnesses cannot supply blocks

@@ -22,6 +22,9 @@ package relidev_test
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -39,7 +42,7 @@ func parallelSchemes() []relidev.Scheme {
 	return []relidev.Scheme{relidev.Voting, relidev.AvailableCopy, relidev.NaiveAvailableCopy}
 }
 
-func parallelSimCluster(b *testing.B, scheme relidev.Scheme, n int, latency time.Duration) relidev.Device {
+func parallelSimCluster(b *testing.B, scheme relidev.Scheme, n int, latency time.Duration, extra ...relidev.Option) (*relidev.Cluster, relidev.Device) {
 	b.Helper()
 	opts := []relidev.Option{
 		relidev.WithGeometry(relidev.Geometry{BlockSize: parBlockSize, NumBlocks: parBlocks}),
@@ -47,6 +50,7 @@ func parallelSimCluster(b *testing.B, scheme relidev.Scheme, n int, latency time
 	if latency > 0 {
 		opts = append(opts, relidev.WithSimulatedLatency(latency))
 	}
+	opts = append(opts, extra...)
 	cluster, err := relidev.New(n, scheme, opts...)
 	if err != nil {
 		b.Fatal(err)
@@ -55,7 +59,7 @@ func parallelSimCluster(b *testing.B, scheme relidev.Scheme, n int, latency time
 	if err != nil {
 		b.Fatal(err)
 	}
-	return dev
+	return cluster, dev
 }
 
 // hammerParallel runs op from b.RunParallel goroutines, each owning a
@@ -103,7 +107,7 @@ func BenchmarkParallelWrite(b *testing.B) {
 		for _, n := range []int{3, 5, 7} {
 			for _, lat := range []time.Duration{0, parLatency} {
 				b.Run(fmt.Sprintf("%v/n%d/%s", scheme, n, latName(lat)), func(b *testing.B) {
-					dev := parallelSimCluster(b, scheme, n, lat)
+					_, dev := parallelSimCluster(b, scheme, n, lat)
 					ctx := context.Background()
 					hammerParallel(b, func(g int, idx relidev.Index) error {
 						payload := make([]byte, parBlockSize)
@@ -125,7 +129,7 @@ func BenchmarkParallelRead(b *testing.B) {
 		for _, n := range []int{3, 5, 7} {
 			for _, lat := range []time.Duration{0, parLatency} {
 				b.Run(fmt.Sprintf("%v/n%d/%s", scheme, n, latName(lat)), func(b *testing.B) {
-					dev := parallelSimCluster(b, scheme, n, lat)
+					_, dev := parallelSimCluster(b, scheme, n, lat)
 					ctx := context.Background()
 					payload := make([]byte, parBlockSize)
 					for i := 0; i < parBlocks; i++ {
@@ -140,6 +144,78 @@ func BenchmarkParallelRead(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkParallelWriteMetered is BenchmarkParallelWrite with the
+// observability layer attached (WithMetering): identical workload, so
+// the delta against the unmetered series is exactly the cost of
+// metering on the hot path. The instrumentation is contention-free
+// (striped counters, sharded histograms), so the delta must stay under
+// a few percent; BENCH_obs.json records the comparison. When
+// RELIDEV_OBS_DIR is set, each sub-benchmark also writes its final
+// metrics snapshot there (benchjson -obs embeds one into the report).
+func BenchmarkParallelWriteMetered(b *testing.B) {
+	b.SetParallelism(8)
+	for _, scheme := range parallelSchemes() {
+		for _, lat := range []time.Duration{0, parLatency} {
+			const n = 5
+			b.Run(fmt.Sprintf("%v/n%d/%s", scheme, n, latName(lat)), func(b *testing.B) {
+				cluster, dev := parallelSimCluster(b, scheme, n, lat, relidev.WithMetering())
+				ctx := context.Background()
+				hammerParallel(b, func(g int, idx relidev.Index) error {
+					payload := make([]byte, parBlockSize)
+					payload[0] = byte(g)
+					return dev.WriteBlock(ctx, idx, payload)
+				})
+				writeObsSnapshot(b, cluster)
+			})
+		}
+	}
+}
+
+// BenchmarkParallelReadMetered covers the metered read path: available
+// copy reads are local and lock-bound, so any metering contention would
+// show here first.
+func BenchmarkParallelReadMetered(b *testing.B) {
+	b.SetParallelism(8)
+	for _, scheme := range parallelSchemes() {
+		for _, lat := range []time.Duration{0, parLatency} {
+			const n = 5
+			b.Run(fmt.Sprintf("%v/n%d/%s", scheme, n, latName(lat)), func(b *testing.B) {
+				cluster, dev := parallelSimCluster(b, scheme, n, lat, relidev.WithMetering())
+				ctx := context.Background()
+				payload := make([]byte, parBlockSize)
+				for i := 0; i < parBlocks; i++ {
+					if err := dev.WriteBlock(ctx, relidev.Index(i), payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+				hammerParallel(b, func(g int, idx relidev.Index) error {
+					_, err := dev.ReadBlock(ctx, idx)
+					return err
+				})
+				writeObsSnapshot(b, cluster)
+			})
+		}
+	}
+}
+
+// writeObsSnapshot dumps the cluster's metering snapshot into
+// $RELIDEV_OBS_DIR, one file per sub-benchmark, for benchjson -obs.
+func writeObsSnapshot(b *testing.B, cluster *relidev.Cluster) {
+	b.Helper()
+	dir := os.Getenv("RELIDEV_OBS_DIR")
+	if dir == "" {
+		return
+	}
+	data, err := cluster.MetricsJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	name := strings.ReplaceAll(b.Name(), "/", "_") + ".json"
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

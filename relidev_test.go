@@ -4,8 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -410,5 +414,69 @@ func TestErrMustWaitSurfaces(t *testing.T) {
 	}
 	if s.State() != relidev.StateComatose {
 		t.Fatalf("state = %v, want comatose", s.State())
+	}
+}
+
+// TestMeteringSurface exercises the public observability API: a metered
+// cluster exposes its counters through MetricsJSON and the debug HTTP
+// handler, while an unmetered cluster reports ErrNotMetered.
+func TestMeteringSurface(t *testing.T) {
+	ctx := context.Background()
+	cluster, err := relidev.New(3, relidev.Voting,
+		relidev.WithGeometry(relidev.Geometry{BlockSize: 64, NumBlocks: 8}),
+		relidev.WithTracing(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := cluster.Device(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	if err := dev.WriteBlock(ctx, 2, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.ReadBlock(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := cluster.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"relidev_op_completions_total", `"scheme":"voting"`, `"op":"write"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("MetricsJSON missing %s:\n%s", want, data)
+		}
+	}
+
+	h, err := cluster.DebugHandler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `relidev_op_attempts_total{op="write",scheme="voting",site="site0"} 1`) {
+		t.Errorf("prometheus exposition missing the write series:\n%s", body)
+	}
+
+	plain, err := relidev.New(3, relidev.Voting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.MetricsJSON(); !errors.Is(err, relidev.ErrNotMetered) {
+		t.Fatalf("MetricsJSON on unmetered cluster = %v, want ErrNotMetered", err)
+	}
+	if _, err := plain.DebugHandler(); !errors.Is(err, relidev.ErrNotMetered) {
+		t.Fatalf("DebugHandler on unmetered cluster = %v, want ErrNotMetered", err)
 	}
 }

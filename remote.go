@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"net/http"
 	"sort"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"relidev/internal/block"
 	"relidev/internal/core"
 	"relidev/internal/naiveac"
+	"relidev/internal/obs"
 	"relidev/internal/protocol"
 	"relidev/internal/rpcnet"
 	"relidev/internal/scheme"
@@ -45,6 +47,11 @@ type RemoteConfig struct {
 	// the scheme's recovery procedure before it serves data. Use it when
 	// restarting after a crash.
 	Comatose bool
+	// Metered attaches the observability layer to this site: op counters,
+	// latency histograms, metering of every peer RPC, and a trace ring.
+	// Read the result through DebugHandler (the blockserver binds it on
+	// -debug-addr).
+	Metered bool
 }
 
 // RemoteSite is one running site of a TCP-deployed reliable device: a
@@ -57,6 +64,7 @@ type RemoteSite struct {
 	client  *rpcnet.Client
 	ctrl    scheme.Controller
 	device  *core.ReliableDevice
+	obs     *obs.Observer
 }
 
 // OpenRemote starts a site: it opens (or creates) the local store,
@@ -123,7 +131,16 @@ func OpenRemote(cfg RemoteConfig) (*RemoteSite, error) {
 	if len(ids)%2 == 0 {
 		weights[0]++
 	}
-	env := scheme.Env{Self: replica, Transport: client, Sites: ids, Weights: weights}
+	var observer *obs.Observer
+	var transport protocol.Transport = client
+	if cfg.Metered {
+		observer = obs.New(obs.WithTracing(4096))
+		transport = obs.WrapTransport(observer, "rpc", transport, ids)
+	}
+	env := scheme.Env{Self: replica, Transport: transport, Sites: ids, Weights: weights}
+	if observer != nil {
+		env.Obs = observer.SchemeSite(cfg.Scheme.String(), protocol.SiteID(cfg.Self))
+	}
 	var ctrl scheme.Controller
 	switch cfg.Scheme {
 	case Voting:
@@ -161,7 +178,18 @@ func OpenRemote(cfg RemoteConfig) (*RemoteSite, error) {
 		client:  client,
 		ctrl:    ctrl,
 		device:  dev,
+		obs:     observer,
 	}, nil
+}
+
+// DebugHandler returns this site's observability HTTP surface
+// (/metrics, /metrics.prom, /trace, /debug/pprof/), or ErrNotMetered
+// when the site was opened without RemoteConfig.Metered.
+func (r *RemoteSite) DebugHandler() (http.Handler, error) {
+	if r.obs == nil {
+		return nil, ErrNotMetered
+	}
+	return obs.NewDebugMux(r.obs), nil
 }
 
 func isNotExist(err error) bool {
