@@ -39,10 +39,11 @@ fuzz-smoke:
 
 # chaos-short replays the three seeded schedules CI runs, under the race
 # detector, one per consistency scheme. Each run carries the
-# observability layer, checks §5 bracket conformance as an invariant,
-# and leaves its metrics snapshot in artifacts/ (CI uploads them).
+# observability layer, checks the §5 bracket and §4 availability
+# conformance invariants, and leaves its metrics snapshot plus the
+# availability-observatory verdict in artifacts/ (CI uploads both).
 chaos-short:
 	mkdir -p artifacts
-	$(GO) run -race ./cmd/chaos -scheme=voting -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-voting-metrics.json
-	$(GO) run -race ./cmd/chaos -scheme=ac     -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-ac-metrics.json
-	$(GO) run -race ./cmd/chaos -scheme=nac    -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-nac-metrics.json
+	$(GO) run -race ./cmd/chaos -scheme=voting -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-voting-metrics.json -avail-out=artifacts/chaos-voting-avail.json
+	$(GO) run -race ./cmd/chaos -scheme=ac     -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-ac-metrics.json -avail-out=artifacts/chaos-ac-avail.json
+	$(GO) run -race ./cmd/chaos -scheme=nac    -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-nac-metrics.json -avail-out=artifacts/chaos-nac-avail.json

@@ -35,17 +35,18 @@ import (
 
 func main() {
 	var (
-		id        = flag.Int("id", 0, "this site's id (0..n-1)")
-		peersF    = flag.String("peers", "", "comma-separated id=host:port for every site, including this one")
-		schemeF   = flag.String("scheme", "naive", "consistency scheme: voting, ac, naive")
-		storePath = flag.String("store", "", "path of the block image file (empty = in-memory)")
-		blocks    = flag.Int("blocks", 128, "number of blocks")
-		blockSize = flag.Int("blocksize", 512, "block size in bytes")
-		comatose  = flag.Bool("comatose", false, "start comatose and run recovery (use after a crash)")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /metrics.prom, /trace and /debug/pprof/ on this address (empty = off)")
+		id         = flag.Int("id", 0, "this site's id (0..n-1)")
+		peersF     = flag.String("peers", "", "comma-separated id=host:port for every site, including this one")
+		schemeF    = flag.String("scheme", "naive", "consistency scheme: voting, ac, naive")
+		storePath  = flag.String("store", "", "path of the block image file (empty = in-memory)")
+		blocks     = flag.Int("blocks", 128, "number of blocks")
+		blockSize  = flag.Int("blocksize", 512, "block size in bytes")
+		comatose   = flag.Bool("comatose", false, "start comatose and run recovery (use after a crash)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /metrics.prom, /trace and /debug/pprof/ on this address (empty = off)")
+		tracePeers = flag.String("trace-peers", "", "comma-separated peer /trace URLs; mounts /trace/cluster on the debug surface with the cluster-wide stitched view")
 	)
 	flag.Parse()
-	if err := run(*id, *peersF, *schemeF, *storePath, *blocks, *blockSize, *comatose, *debugAddr); err != nil {
+	if err := run(*id, *peersF, *schemeF, *storePath, *blocks, *blockSize, *comatose, *debugAddr, *tracePeers); err != nil {
 		fmt.Fprintln(os.Stderr, "blockserver:", err)
 		os.Exit(1)
 	}
@@ -87,7 +88,7 @@ func parseScheme(s string) (relidev.Scheme, error) {
 	}
 }
 
-func run(id int, peersF, schemeF, storePath string, blocks, blockSize int, comatose bool, debugAddr string) error {
+func run(id int, peersF, schemeF, storePath string, blocks, blockSize int, comatose bool, debugAddr, tracePeers string) error {
 	peers, err := parsePeers(peersF)
 	if err != nil {
 		return err
@@ -113,7 +114,7 @@ func run(id int, peersF, schemeF, storePath string, blocks, blockSize int, comat
 		id, storeDesc(storePath), site.Addr(), scheme, blockSize, blocks)
 
 	if debugAddr != "" {
-		srv, ln, err := serveDebug(site, debugAddr)
+		srv, ln, err := serveDebug(site, debugAddr, splitURLs(tracePeers))
 		if err != nil {
 			return err
 		}
@@ -153,10 +154,22 @@ func run(id int, peersF, schemeF, storePath string, blocks, blockSize int, comat
 
 // serveDebug mounts the site's observability handler on its own
 // listener and serves it in the background until the server is closed.
-func serveDebug(site *relidev.RemoteSite, addr string) (*http.Server, net.Listener, error) {
+// With peer trace URLs it also mounts /trace/cluster, the cluster-wide
+// stitched span-tree view.
+func serveDebug(site *relidev.RemoteSite, addr string, tracePeers []string) (*http.Server, net.Listener, error) {
 	h, err := site.DebugHandler()
 	if err != nil {
 		return nil, nil, err
+	}
+	if len(tracePeers) > 0 {
+		cluster, err := site.ClusterTraceHandler(tracePeers)
+		if err != nil {
+			return nil, nil, err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/", h)
+		mux.Handle("/trace/cluster", cluster)
+		h = mux
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -165,6 +178,16 @@ func serveDebug(site *relidev.RemoteSite, addr string) (*http.Server, net.Listen
 	srv := &http.Server{Handler: h}
 	go srv.Serve(ln)
 	return srv, ln, nil
+}
+
+func splitURLs(s string) []string {
+	var urls []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			urls = append(urls, part)
+		}
+	}
+	return urls
 }
 
 func storeDesc(path string) string {

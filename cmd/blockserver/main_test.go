@@ -45,13 +45,13 @@ func TestParseScheme(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run(0, "", "naive", "", 8, 256, false, ""); err == nil {
+	if err := run(0, "", "naive", "", 8, 256, false, "", ""); err == nil {
 		t.Fatal("missing peers accepted")
 	}
-	if err := run(0, "0=127.0.0.1:0", "bogus", "", 8, 256, false, ""); err == nil {
+	if err := run(0, "0=127.0.0.1:0", "bogus", "", 8, 256, false, "", ""); err == nil {
 		t.Fatal("bogus scheme accepted")
 	}
-	if err := run(1, "0=127.0.0.1:0", "naive", "", 8, 256, false, ""); err == nil {
+	if err := run(1, "0=127.0.0.1:0", "naive", "", 8, 256, false, "", ""); err == nil {
 		t.Fatal("id missing from peer map accepted")
 	}
 }
@@ -102,7 +102,7 @@ func TestDebugSurfaceServesMetrics(t *testing.T) {
 		defer s.Close()
 	}
 
-	srv, ln, err := serveDebug(sites[0], "127.0.0.1:0")
+	srv, ln, err := serveDebug(sites[0], "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,5 +184,132 @@ func TestDebugSurfaceServesMetrics(t *testing.T) {
 	// An unmetered site has no debug surface to serve.
 	if _, err := sites[1].DebugHandler(); err == nil {
 		t.Error("unmetered site offered a debug handler")
+	}
+}
+
+// TestClusterTraceStitchesCrossSiteWrite is the distributed-tracing
+// acceptance test: a real three-site TCP deployment with every site
+// metered, one replicated write, then /trace/cluster on the
+// coordinator fetched over actual HTTP. The merged rings must stitch
+// into a single complete span tree for the write, with spans recorded
+// by every participating site.
+func TestClusterTraceStitchesCrossSiteWrite(t *testing.T) {
+	ctx := context.Background()
+	geom := relidev.Geometry{BlockSize: 64, NumBlocks: 8}
+
+	addrs := make(map[int]string, 3)
+	for i := 0; i < 3; i++ {
+		s, err := relidev.OpenRemote(relidev.RemoteConfig{
+			Self:     i,
+			Peers:    map[int]string{i: "127.0.0.1:0"},
+			Scheme:   relidev.AvailableCopy,
+			Geometry: geom,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = s.Addr()
+		s.Close()
+	}
+	sites := make([]*relidev.RemoteSite, 3)
+	for i := 0; i < 3; i++ {
+		s, err := relidev.OpenRemote(relidev.RemoteConfig{
+			Self:     i,
+			Peers:    addrs,
+			Scheme:   relidev.AvailableCopy,
+			Geometry: geom,
+			Timeout:  time.Second,
+			Metered:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites[i] = s
+		defer s.Close()
+	}
+
+	// Peers serve plain debug surfaces; the coordinator's aggregates
+	// their /trace rings behind /trace/cluster.
+	peerURLs := make([]string, 0, 2)
+	for i := 1; i < 3; i++ {
+		srv, ln, err := serveDebug(sites[i], "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		peerURLs = append(peerURLs, "http://"+ln.Addr().String()+"/trace")
+	}
+	srv, ln, err := serveDebug(sites[0], "127.0.0.1:0", peerURLs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	payload := make([]byte, geom.BlockSize)
+	copy(payload, "traced write")
+	if err := sites[0].Device().WriteBlock(ctx, 5, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/trace/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/trace/cluster status %d\n%s", resp.StatusCode, body)
+	}
+	var out struct {
+		Traces []struct {
+			TraceID uint64 `json:"trace_id"`
+			Root    *struct {
+				Site int    `json:"site"`
+				Op   string `json:"op"`
+				Kind string `json:"kind"`
+			} `json:"root"`
+			Orphans []json.RawMessage `json:"orphans"`
+			Sites   []int             `json:"sites"`
+			Spans   int               `json:"spans"`
+		} `json:"traces"`
+		Errors map[string]string `json:"errors"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("/trace/cluster is not JSON: %v\n%s", err, body)
+	}
+	if len(out.Errors) != 0 {
+		t.Fatalf("peer trace fetches failed: %v", out.Errors)
+	}
+
+	// Exactly one write operation ran, so exactly one tree roots an "op"
+	// span for a write at site 0 — complete (no orphans) and spanning
+	// every site the replicated write touched.
+	var found int
+	for _, tr := range out.Traces {
+		if tr.Root == nil || tr.Root.Kind != "op" || tr.Root.Op != "write" {
+			continue
+		}
+		found++
+		if tr.Root.Site != 0 {
+			t.Errorf("write rooted at site %d, want 0", tr.Root.Site)
+		}
+		if len(tr.Orphans) != 0 {
+			t.Errorf("write tree has %d orphaned spans:\n%s", len(tr.Orphans), body)
+		}
+		if len(tr.Sites) != 3 || tr.Sites[0] != 0 || tr.Sites[1] != 1 || tr.Sites[2] != 2 {
+			t.Errorf("write tree sites = %v, want [0 1 2]", tr.Sites)
+		}
+		// At minimum: the op span, the broadcast fan-out's rpc span, and
+		// one handle span per remote peer (contributed by the peers'
+		// rings — proof the wire carried the span context).
+		if tr.Spans < 4 {
+			t.Errorf("write tree has only %d spans:\n%s", tr.Spans, body)
+		}
+	}
+	if found != 1 {
+		t.Fatalf("stitched %d write trees, want exactly 1:\n%s", found, body)
 	}
 }

@@ -10,6 +10,7 @@
 //	chaos -scheme ac -events 1000 -ops-per-event 8 -rho 0.3 -json
 //	chaos -scheme nac -seed 7 -sites 6
 //	chaos -scheme voting -metrics-out metrics.json
+//	chaos -scheme ac -avail-out avail.json
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit the full report as JSON")
 		observe    = flag.Bool("obs", true, "attach the observability layer and check §5 bracket conformance")
 		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot (JSON) to this file (implies -obs)")
+		availOut   = flag.String("avail-out", "", "write the availability observatory stats and §4 conformance verdict (JSON) to this file (implies -obs)")
 	)
 	flag.Parse()
 	kind, err := parseScheme(*schemeF)
@@ -51,9 +53,9 @@ func main() {
 		Events:      *events,
 		OpsPerEvent: *ops,
 		Rho:         *rho,
-		Observe:     *observe || *metricsOut != "",
+		Observe:     *observe || *metricsOut != "" || *availOut != "",
 	}
-	ok, err := run(os.Stdout, cfg, *asJSON, *metricsOut)
+	ok, err := run(os.Stdout, cfg, *asJSON, *metricsOut, *availOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
@@ -63,13 +65,18 @@ func main() {
 	}
 }
 
-func run(w io.Writer, cfg chaos.Config, asJSON bool, metricsOut string) (bool, error) {
+func run(w io.Writer, cfg chaos.Config, asJSON bool, metricsOut, availOut string) (bool, error) {
 	rep, err := chaos.Run(context.Background(), cfg)
 	if err != nil {
 		return false, err
 	}
 	if metricsOut != "" {
 		if err := writeMetrics(metricsOut, rep); err != nil {
+			return false, err
+		}
+	}
+	if availOut != "" {
+		if err := writeAvail(availOut, rep); err != nil {
 			return false, err
 		}
 	}
@@ -107,6 +114,29 @@ func writeMetrics(path string, rep *chaos.Report) error {
 	}{rep.Scheme, rep.Seed, rep.Digest, rep.Conformance, rep.Metrics})
 }
 
+// writeAvail stores the availability observatory's stats plus the §4
+// Markov-conformance verdict as a standalone JSON artifact (the CI
+// chaos job uploads it alongside the metrics snapshot).
+func writeAvail(path string, rep *chaos.Report) error {
+	if rep.Avail == nil {
+		return fmt.Errorf("no availability stats collected (observability disabled)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Scheme      string      `json:"scheme"`
+		Seed        int64       `json:"seed"`
+		Digest      string      `json:"digest"`
+		Avail       interface{} `json:"avail"`
+		Conformance interface{} `json:"conformance,omitempty"`
+	}{rep.Scheme, rep.Seed, rep.Digest, rep.Avail, rep.AvailConformance})
+}
+
 func printReport(w io.Writer, rep *chaos.Report) {
 	fmt.Fprintf(w, "chaos %-15s seed=%d sites=%d rho=%g\n", rep.Scheme, rep.Seed, rep.Sites, rep.Rho)
 	fmt.Fprintf(w, "  events   %d applied (%d fails, %d repairs, %d skipped), %d total failure(s)\n",
@@ -126,6 +156,23 @@ func printReport(w io.Writer, rep *chaos.Report) {
 			fmt.Fprintf(w, "; %s %.2f∈[%.0f,%.0f]", c.Op, c.Observed, c.Min, c.Max)
 		}
 		fmt.Fprintf(w, ")\n")
+	}
+	if rep.Avail != nil {
+		fmt.Fprintf(w, "  §4 avail empirical %.4f (lambda=%.4f mu=%.4f rho=%.4f, %d total failures)",
+			rep.Avail.SystemAvailability, rep.Avail.Lambda, rep.Avail.Mu, rep.Avail.Rho, rep.Avail.TotalFailures)
+		if c := rep.AvailConformance; c != nil && len(c.Checks) > 0 {
+			verdict := "OK"
+			if !c.OK {
+				verdict = "VIOLATED"
+			}
+			ck := c.Checks[0]
+			if ck.Note != "" {
+				fmt.Fprintf(w, " — %s (%s)", verdict, ck.Note)
+			} else {
+				fmt.Fprintf(w, " — %s (Markov predicts %.4f, tolerance %.4f)", verdict, ck.Predicted, ck.Tolerance)
+			}
+		}
+		fmt.Fprintf(w, "\n")
 	}
 	if len(rep.Violations) == 0 {
 		fmt.Fprintf(w, "  invariants OK\n")

@@ -32,7 +32,7 @@ func testConfig(t *testing.T, scheme string, seed int64, events, ops int) chaos.
 func TestRunAllSchemes(t *testing.T) {
 	for _, scheme := range []string{"voting", "ac", "nac"} {
 		var buf bytes.Buffer
-		ok, err := run(&buf, testConfig(t, scheme, 3, 40, 4), false, "")
+		ok, err := run(&buf, testConfig(t, scheme, 3, 40, 4), false, "", "")
 		if err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
@@ -45,12 +45,15 @@ func TestRunAllSchemes(t *testing.T) {
 		if !strings.Contains(buf.String(), "§5 conf  OK") {
 			t.Fatalf("%s: report missing conformance line:\n%s", scheme, buf.String())
 		}
+		if !strings.Contains(buf.String(), "§4 avail empirical") {
+			t.Fatalf("%s: report missing availability line:\n%s", scheme, buf.String())
+		}
 	}
 }
 
 func TestRunJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
-	ok, err := run(&buf, testConfig(t, "voting", 3, 20, 2), true, "")
+	ok, err := run(&buf, testConfig(t, "voting", 3, 20, 2), true, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,12 +66,15 @@ func TestRunJSONOutput(t *testing.T) {
 	if !strings.Contains(buf.String(), `"conformance"`) {
 		t.Fatalf("JSON output missing conformance:\n%s", buf.String())
 	}
+	if !strings.Contains(buf.String(), `"avail_conformance"`) {
+		t.Fatalf("JSON output missing availability conformance:\n%s", buf.String())
+	}
 }
 
 func TestRunDigestStableAcrossInvocations(t *testing.T) {
 	digest := func() string {
 		var buf bytes.Buffer
-		if _, err := run(&buf, testConfig(t, "voting", 11, 30, 4), true, ""); err != nil {
+		if _, err := run(&buf, testConfig(t, "voting", 11, 30, 4), true, "", ""); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()
@@ -81,7 +87,7 @@ func TestRunDigestStableAcrossInvocations(t *testing.T) {
 func TestRunWritesMetricsArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "metrics.json")
 	var buf bytes.Buffer
-	ok, err := run(&buf, testConfig(t, "ac", 3, 30, 4), false, path)
+	ok, err := run(&buf, testConfig(t, "ac", 3, 30, 4), false, path, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +119,7 @@ func TestRunMetricsOutRequiresObservation(t *testing.T) {
 	cfg := testConfig(t, "voting", 3, 10, 2)
 	cfg.Observe = false
 	path := filepath.Join(t.TempDir(), "metrics.json")
-	if _, err := run(&bytes.Buffer{}, cfg, false, path); err == nil {
+	if _, err := run(&bytes.Buffer{}, cfg, false, path, ""); err == nil {
 		t.Fatal("metrics-out accepted without observation")
 	}
 }
@@ -121,5 +127,53 @@ func TestRunMetricsOutRequiresObservation(t *testing.T) {
 func TestParseSchemeRejectsUnknown(t *testing.T) {
 	if _, err := parseScheme("nope"); err == nil {
 		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestRunWritesAvailArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "avail.json")
+	var buf bytes.Buffer
+	ok, err := run(&buf, testConfig(t, "nac", 3, 60, 4), false, "", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("violations:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var artifact struct {
+		Scheme string `json:"scheme"`
+		Digest string `json:"digest"`
+		Avail  *struct {
+			Failures uint64 `json:"failures"`
+			Repairs  uint64 `json:"repairs"`
+		} `json:"avail"`
+		Conformance *struct {
+			OK bool `json:"ok"`
+		} `json:"conformance"`
+	}
+	if err := json.Unmarshal(raw, &artifact); err != nil {
+		t.Fatalf("artifact is not JSON: %v\n%s", err, raw)
+	}
+	if artifact.Scheme != "naive" || artifact.Digest == "" {
+		t.Fatalf("artifact header incomplete: %+v", artifact)
+	}
+	if artifact.Avail == nil || artifact.Avail.Failures == 0 {
+		t.Fatalf("artifact missing estimator stats:\n%s", raw)
+	}
+	if artifact.Conformance == nil || !artifact.Conformance.OK {
+		t.Fatalf("artifact missing passing §4 verdict:\n%s", raw)
+	}
+}
+
+func TestRunAvailOutRequiresObservation(t *testing.T) {
+	cfg := testConfig(t, "voting", 3, 10, 2)
+	cfg.Observe = false
+	path := filepath.Join(t.TempDir(), "avail.json")
+	if _, err := run(&bytes.Buffer{}, cfg, false, "", path); err == nil {
+		t.Fatal("avail-out accepted without observation")
 	}
 }

@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// MarkovAvailability evaluates a scheme's §4 steady-state availability
+// from absolute failure and repair rates (λ failures and μ repairs per
+// unit time per site), the form the availability observatory measures.
+// Steady-state availability depends on the rates only through ρ = λ/μ,
+// so this delegates to the chain-based evaluators at rho = lambda/mu.
+func MarkovAvailability(s Scheme, n int, lambda, mu float64) (float64, error) {
+	if math.IsNaN(lambda) || math.IsInf(lambda, 0) || lambda < 0 {
+		return 0, fmt.Errorf("analysis: lambda %v must be finite and >= 0", lambda)
+	}
+	if math.IsNaN(mu) || math.IsInf(mu, 0) || mu <= 0 {
+		return 0, fmt.Errorf("analysis: mu %v must be finite and > 0", mu)
+	}
+	rho := lambda / mu
+	switch s {
+	case SchemeVoting:
+		return AvailabilityVotingMarkov(n, rho)
+	case SchemeAvailableCopy:
+		return AvailabilityAC(n, rho)
+	case SchemeNaive:
+		return AvailabilityNaiveMarkov(n, rho)
+	default:
+		return 0, fmt.Errorf("analysis: unknown scheme %v", s)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"relidev/internal/core"
 	"relidev/internal/faultnet"
 	"relidev/internal/obs"
+	"relidev/internal/obs/avail"
 	"relidev/internal/protocol"
 	"relidev/internal/scheme"
 	"relidev/internal/sim"
@@ -155,6 +156,13 @@ type Report struct {
 	// verdict (whose failures also appear in Violations).
 	Metrics     *obs.Snapshot          `json:"metrics,omitempty"`
 	Conformance *obs.ConformanceReport `json:"conformance,omitempty"`
+	// Avail and AvailConformance are the availability observatory's
+	// output, also present only under Config.Observe: the empirical
+	// per-site and scheme-level availability measured over the run's
+	// simulated timeline, and the §4 Markov-conformance verdict at the
+	// measured rates (failures appear in Violations as well).
+	Avail            *avail.Stats  `json:"avail,omitempty"`
+	AvailConformance *avail.Report `json:"avail_conformance,omitempty"`
 }
 
 // engine is the mutable state of one run.
@@ -164,6 +172,12 @@ type engine struct {
 	fn  *faultnet.Network
 	rng *rand.Rand
 	obs *obs.Observer
+	// est is the availability observatory, fed the schedule's site
+	// transitions on the Poisson process's own simulated timeline
+	// (simNow tracks the latest event time). Like the tracer, it never
+	// feeds the replay digest.
+	est    *avail.Estimator
+	simNow float64
 
 	// maxIssued and committed bracket, per block, the write sequence
 	// numbers a read may legally return. committed also absorbs every
@@ -206,6 +220,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		// and the tracer's ring never feeds the digest: observation cannot
 		// perturb a replay.
 		e.obs = obs.New(obs.WithClock(obs.NewLogicalClock(1).Now), obs.WithTracing(4096))
+		est, eerr := avail.New(cfg.Sites, cfg.Scheme.String())
+		if eerr != nil {
+			return nil, eerr
+		}
+		e.est = est
 	}
 	cl, err := core.NewCluster(core.ClusterConfig{
 		Sites:    cfg.Sites,
@@ -239,6 +258,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	// run digests identically with Observe on or off.
 	e.report.Digest = fmt.Sprintf("%016x", e.hash.Sum64())
 	e.conformanceCheck()
+	e.availCheck()
 	return e.report, nil
 }
 
@@ -282,6 +302,28 @@ func (e *engine) conformanceCheck() {
 	e.report.Violations = append(e.report.Violations, rep.Violations()...)
 }
 
+// availCheck is the end-of-run §4 invariant: the measured failure and
+// repair rates, fed into the scheme's Markov chain, must predict an
+// availability that the empirically integrated availability brackets
+// (within a tolerance widened by the run's sampling error). Like the
+// §5 check it runs after the digest is sealed and reports through
+// Violations directly, never through stamp(), so observation cannot
+// perturb a replay.
+func (e *engine) availCheck() {
+	if e.est == nil {
+		return
+	}
+	st := e.est.Snapshot(e.simNow)
+	e.report.Avail = &st
+	rep, err := avail.CheckConformance(st, 0.02, false)
+	if err != nil {
+		e.report.Violations = append(e.report.Violations, fmt.Sprintf("§4 availability conformance: %v", err))
+		return
+	}
+	e.report.AvailConformance = &rep
+	e.report.Violations = append(e.report.Violations, rep.Violations()...)
+}
+
 func (e *engine) run(ctx context.Context) error {
 	proc, err := sim.NewFailureProcess(e.cfg.Sites, e.cfg.Rho, 1.0, e.cfg.Seed)
 	if err != nil {
@@ -310,6 +352,9 @@ func (e *engine) run(ctx context.Context) error {
 // chaos already restarted, or vice versa) are counted as skipped, never
 // silently dropped.
 func (e *engine) applyEvent(ctx context.Context, ev sim.Event) {
+	if ev.At > e.simNow {
+		e.simNow = ev.At
+	}
 	id := protocol.SiteID(ev.Site)
 	st, _ := e.cl.State(id)
 	switch ev.Kind {
@@ -323,6 +368,7 @@ func (e *engine) applyEvent(ctx context.Context, ev sim.Event) {
 			return
 		}
 		e.report.Fails++
+		e.est.SiteDown(ev.Site, ev.At)
 		e.stamp("F%d", id)
 		if e.allFailed() {
 			e.report.TotalFailures++
@@ -338,6 +384,7 @@ func (e *engine) applyEvent(ctx context.Context, ev sim.Event) {
 			return
 		}
 		e.report.Repairs++
+		e.est.SiteUp(ev.Site, ev.At)
 		e.stamp("R%d", id)
 	}
 	e.report.EventsApplied++
@@ -411,6 +458,7 @@ func (e *engine) step(ctx context.Context) {
 		seq := e.maxIssued[idx] + 1
 		e.maxIssued[idx] = seq
 		err := ctrl.Write(ctx, idx, payload(e.cl.Geometry().BlockSize, idx, seq))
+		e.est.Op("write", err == nil)
 		switch {
 		case err == nil:
 			e.committed[idx] = seq
@@ -425,6 +473,7 @@ func (e *engine) step(ctx context.Context) {
 	}
 	e.report.Reads++
 	data, err := ctrl.Read(ctx, idx)
+	e.est.Op("read", err == nil)
 	switch {
 	case err == nil:
 		got, perr := parsePayload(data)

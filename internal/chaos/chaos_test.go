@@ -83,6 +83,65 @@ func TestObservationDoesNotPerturbReplay(t *testing.T) {
 			if b.Metrics != nil || b.Conformance != nil {
 				t.Fatal("unobserved run carries metrics/conformance")
 			}
+			// The availability observatory obeys the same contract: its
+			// stats and §4 verdict ride the observed report only, and (per
+			// the digest check above) never feed the replay digest.
+			if a.Avail == nil || a.AvailConformance == nil {
+				t.Fatal("observed run missing availability stats/conformance")
+			}
+			if b.Avail != nil || b.AvailConformance != nil {
+				t.Fatal("unobserved run carries availability stats/conformance")
+			}
+		})
+	}
+}
+
+// TestAvailabilityConvergesToMarkovUnderChaos is the §4 counterpart of
+// the §5 conformance test: a long seeded chaos schedule must yield an
+// empirical availability that matches the Markov chain evaluated at
+// the rates the schedule actually produced, for every scheme.
+func TestAvailabilityConvergesToMarkovUnderChaos(t *testing.T) {
+	for _, kind := range []core.SchemeKind{core.Voting, core.AvailableCopy, core.NaiveAvailableCopy} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := Defaults(kind)
+			cfg.Seed = 7
+			cfg.Events = 600
+			cfg.OpsPerEvent = 2
+			rep := run(t, cfg)
+			if len(rep.Violations) != 0 {
+				t.Fatalf("violations: %v", rep.Violations)
+			}
+			st := rep.Avail
+			if st == nil || rep.AvailConformance == nil {
+				t.Fatal("availability observatory missing from report")
+			}
+			if !rep.AvailConformance.OK {
+				t.Fatalf("§4 conformance failed: %v", rep.AvailConformance.Violations())
+			}
+			// Enough evidence that the verdict is not vacuous.
+			if st.Failures < 10 || st.Repairs < 10 {
+				t.Fatalf("too few transitions for a meaningful check: %+v", st)
+			}
+			for _, c := range rep.AvailConformance.Checks {
+				if c.Note != "" {
+					t.Fatalf("vacuous conformance check: %+v", c)
+				}
+			}
+			// The measured rates recover the schedule's configured ratio.
+			if st.Rho <= 0 || st.Rho > 2*cfg.Rho {
+				t.Fatalf("measured rho %v implausible for configured %v", st.Rho, cfg.Rho)
+			}
+			// The workload's op outcomes landed in the per-op table.
+			if st.OpAvailability <= 0 || len(st.Ops) != 2 {
+				t.Fatalf("op table = %+v", st.Ops)
+			}
+			// Replaying the identical schedule reproduces the identical
+			// estimate — the observatory is as deterministic as the digest.
+			again := run(t, cfg)
+			if again.Avail == nil || again.Avail.SystemAvailability != st.SystemAvailability {
+				t.Fatalf("availability estimate not reproducible: %v vs %v",
+					again.Avail.SystemAvailability, st.SystemAvailability)
+			}
 		})
 	}
 }

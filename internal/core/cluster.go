@@ -207,6 +207,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if env.Obs != nil {
 			cl.replicas[i].SetWTransitionHook(env.Obs.WTransition)
 		}
+		if hook := cfg.Observer.HandleHook(cfg.Scheme.String(), ids[i]); hook != nil {
+			cl.replicas[i].SetHandleHook(hook)
+		}
 		ctrl, err := buildController(cfg, env)
 		if err != nil {
 			return nil, err

@@ -18,7 +18,7 @@ type echoHandler struct {
 	calls atomic.Int64
 }
 
-func (h *echoHandler) Handle(from protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+func (h *echoHandler) Handle(ctx context.Context, from protocol.SiteID, req protocol.Request) (protocol.Response, error) {
 	h.calls.Add(1)
 	return protocol.StatusReply{State: protocol.StateAvailable, VersionSum: uint64(h.id)}, nil
 }
@@ -215,7 +215,7 @@ func (p *plainTransport) Call(ctx context.Context, from, to protocol.SiteID, req
 	if !ok {
 		return nil, protocol.ErrSiteDown
 	}
-	return h.Handle(from, req)
+	return h.Handle(ctx, from, req)
 }
 
 func (p *plainTransport) Fetch(ctx context.Context, from, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {

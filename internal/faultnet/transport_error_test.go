@@ -16,7 +16,7 @@ type failingHandler struct{}
 
 var errApplication = errors.New("handler rejected the request")
 
-func (failingHandler) Handle(protocol.SiteID, protocol.Request) (protocol.Response, error) {
+func (failingHandler) Handle(context.Context, protocol.SiteID, protocol.Request) (protocol.Response, error) {
 	return nil, fmt.Errorf("deliberate: %w", errApplication)
 }
 

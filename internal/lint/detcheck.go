@@ -33,7 +33,11 @@ var DetCheck = &Analyzer{
 // The observability layer is in scope too: its snapshots feed chaos
 // reports and its trace stream must replay identically, so the only
 // wall-clock read lives behind the documented WallClock exception.
-var detScopeElems = []string{"faultnet", "chaos", "sim", "workload", "markov", "obs"}
+// The availability observatory (obs/avail) is named explicitly as
+// well: it is already covered via its "obs" path element, but its
+// chaos-facing conformance verdicts make the intent worth pinning —
+// the estimator consumes an explicit timeline, never the wall clock.
+var detScopeElems = []string{"faultnet", "chaos", "sim", "workload", "markov", "obs", "avail"}
 
 var wallClockFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,

@@ -25,6 +25,10 @@ func TestDetCheckObsFixtures(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/detcheck/obs", lint.DetCheck)
 }
 
+func TestDetCheckAvailFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/detcheck/avail", lint.DetCheck)
+}
+
 func TestDetCheckOutOfScope(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/detcheck/other", lint.DetCheck)
 }

@@ -16,6 +16,7 @@ func New(src Source) *Rand { return &Rand{src} }
 func (r *Rand) Int63() int64          { return r.src.Int63() }
 func (r *Rand) Intn(n int) int        { return int(r.src.Int63()) % n }
 func (r *Rand) Float64() float64      { return 0 }
+func (r *Rand) ExpFloat64() float64   { return 0 }
 func (r *Rand) Perm(n int) []int      { return make([]int, n) }
 func (r *Rand) Shuffle(n int, swap func(i, j int)) {}
 

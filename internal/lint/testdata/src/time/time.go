@@ -11,6 +11,8 @@ const (
 	Second      Duration = 1e9
 )
 
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
 type Time struct{ ns int64 }
 
 func (t Time) Add(d Duration) Time  { return Time{t.ns + int64(d)} }

@@ -56,7 +56,7 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) (_ []byte, err e
 	}
 	// The span opens past the availability gate so attempt counts match
 	// the §5 accounting (a refused operation generates no traffic).
-	sp := c.env.Obs.StartOp(protocol.OpRead, int64(idx))
+	_, sp := c.env.Obs.StartOp(ctx, protocol.OpRead, int64(idx))
 	defer func() { sp.Done(1, err) }()
 	data, _, err := c.env.Self.ReadLocal(idx)
 	if err != nil {
@@ -79,7 +79,7 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) (e
 	}
 	ob := c.env.Obs
 	ctx = ob.Label(ctx, protocol.OpWrite)
-	sp := ob.StartOp(protocol.OpWrite, int64(idx))
+	ctx, sp := ob.StartOp(ctx, protocol.OpWrite, int64(idx))
 	defer func() { sp.Done(1, err) }()
 	localVer, err := self.VersionLocal(idx)
 	if err != nil {
@@ -110,7 +110,7 @@ func (c *Controller) Recover(ctx context.Context) (err error) {
 	self.SetState(protocol.StateComatose)
 	ob := c.env.Obs
 	ctx = ob.Label(ctx, protocol.OpRecovery)
-	sp := ob.StartOp(protocol.OpRecovery, obs.NoBlock)
+	ctx, sp := ob.StartOp(ctx, protocol.OpRecovery, obs.NoBlock)
 	participants := 0
 	defer func() { sp.Done(participants, err) }()
 

@@ -1,0 +1,27 @@
+package avail
+
+import (
+	"time"
+
+	"relidev/internal/protocol"
+)
+
+// WallObserver adapts the estimator to wall-clock transition feeds —
+// it has the exact shape of rpcnet.Config.DetectorObserver, so a
+// deployment wires the failure detector's suspect/clear transitions
+// straight into the observatory. Timestamps map onto the estimator's
+// float64 timeline as seconds since epoch; transitions from before the
+// epoch clamp to zero.
+func (e *Estimator) WallObserver(epoch time.Time) func(peer protocol.SiteID, down bool, since time.Time) {
+	return func(peer protocol.SiteID, down bool, since time.Time) {
+		t := since.Sub(epoch).Seconds()
+		if t < 0 {
+			t = 0
+		}
+		if down {
+			e.SiteDown(int(peer), t)
+		} else {
+			e.SiteUp(int(peer), t)
+		}
+	}
+}

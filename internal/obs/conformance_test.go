@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -209,16 +210,19 @@ func TestGatherObservations(t *testing.T) {
 	// Two sites contribute to the same scheme totals.
 	for site := protocol.SiteID(0); site < 2; site++ {
 		s := o.SchemeSite("voting", site)
-		sp := s.StartOp(protocol.OpWrite, 1)
+		_, sp := s.StartOp(context.Background(), protocol.OpWrite, 1)
 		sp.Done(3, nil)
-		sp = s.StartOp(protocol.OpRead, 1)
+		_, sp = s.StartOp(context.Background(), protocol.OpRead, 1)
 		sp.Done(3, nil)
-		sp = s.StartOp(protocol.OpRecovery, NoBlock)
+		_, sp = s.StartOp(context.Background(), protocol.OpRecovery, NoBlock)
 		sp.Done(0, errors.New("awaiting sites"))
 	}
 	o.SchemeSite("voting", 0).LazyRefresh(1, 1, 5)
 	// A different scheme's counters must not leak in.
-	o.SchemeSite("naive", 0).StartOp(protocol.OpWrite, 1).Done(1, nil)
+	func() {
+		_, sp := o.SchemeSite("naive", 0).StartOp(context.Background(), protocol.OpWrite, 1)
+		sp.Done(1, nil)
+	}()
 
 	tx := map[string]uint64{protocol.OpWrite: 8, protocol.OpRead: 7, protocol.OpRecovery: 0}
 	w, r, rec := GatherObservations(o.Snapshot(), "voting", tx)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
@@ -42,10 +43,96 @@ func NewDebugMux(o *Observer) *http.ServeMux {
 			Events  []Event `json:"events"`
 		}{t.Dropped(), t.Events()})
 	})
+	mux.HandleFunc("/trace/tree", func(w http.ResponseWriter, r *http.Request) {
+		if o.Tracer() == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		writeTraceTrees(w, o.TraceTrees())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+func writeTraceTrees(w http.ResponseWriter, trees []*TraceTree) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Traces []*TraceTree `json:"traces"`
+	}{trees})
+}
+
+// traceDump mirrors the /trace endpoint's JSON shape.
+type traceDump struct {
+	Dropped uint64  `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// CollectTraces fetches each site's /trace endpoint (the urls point at
+// debug muxes, e.g. "http://host:port/trace") and returns the merged
+// event set, ready for Stitch. Collection degrades rather than fails:
+// an unreachable or malformed site contributes nothing and is reported
+// in errs by url — its spans simply end up missing from the stitched
+// trees, surfacing as orphaned children (exactly the ring-eviction
+// degradation mode). A nil client uses http.DefaultClient.
+func CollectTraces(ctx context.Context, client *http.Client, urls []string) (events []Event, errs map[string]error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	errs = make(map[string]error)
+	for _, u := range urls {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			errs[u] = err
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			errs[u] = err
+			continue
+		}
+		var dump traceDump
+		err = json.NewDecoder(resp.Body).Decode(&dump)
+		resp.Body.Close()
+		if err != nil {
+			errs[u] = err
+			continue
+		}
+		events = append(events, dump.Events...)
+	}
+	return events, errs
+}
+
+// ClusterTraceHandler serves cluster-wide stitched trace trees: on
+// each request it collects the local ring plus every peer's /trace
+// endpoint and stitches the union. Peer fetch failures degrade to
+// partial trees and are listed in the response's "errors" field. The
+// blockserver mounts it at /trace/cluster when given -trace-peers.
+func ClusterTraceHandler(o *Observer, client *http.Client, peerURLs []string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t := o.Tracer()
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		events := t.Events()
+		remote, errs := CollectTraces(r.Context(), client, peerURLs)
+		events = append(events, remote...)
+		errMsgs := make(map[string]string, len(errs))
+		for u, err := range errs {
+			errMsgs[u] = err.Error()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Traces []*TraceTree      `json:"traces"`
+			Errors map[string]string `json:"errors,omitempty"`
+		}{Stitch(events), errMsgs})
+	}
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -14,7 +15,7 @@ import (
 func TestDebugMux(t *testing.T) {
 	o := New(WithClock(NewLogicalClock(1).Now), WithTracing(16))
 	s := o.SchemeSite("voting", 0)
-	s.StartOp(protocol.OpWrite, 1).Done(3, nil)
+	func() { _, sp := s.StartOp(context.Background(), protocol.OpWrite, 1); sp.Done(3, nil) }()
 
 	srv := httptest.NewServer(NewDebugMux(o))
 	defer srv.Close()

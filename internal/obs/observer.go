@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"relidev/internal/block"
 	"relidev/internal/protocol"
@@ -56,8 +57,69 @@ type Observer struct {
 	tracer *Tracer
 	clock  Clock
 
+	// spanSeq allocates span identities for this process's sites; the
+	// originating site rides in the top bits (see newSpanID), so spans
+	// allocated concurrently by different sites — or by different
+	// processes — never collide.
+	spanSeq atomic.Uint64
+
 	mu      sync.Mutex
 	schemes map[string]*SchemeObs
+}
+
+// spanIDs is one span's identity triple inside a trace tree.
+type spanIDs struct {
+	TraceID, SpanID, ParentID uint64
+}
+
+// spanSeqBits is how much of a span ID the per-process sequence keeps;
+// the bits above carry site+1, so IDs are unique across concurrently
+// allocating sites and processes (and never zero).
+const spanSeqBits = 48
+
+// newSpanID allocates a span ID for the given site.
+func (o *Observer) newSpanID(site protocol.SiteID) uint64 {
+	return uint64(site+1)<<spanSeqBits | (o.spanSeq.Add(1) & (1<<spanSeqBits - 1))
+}
+
+// newSpan opens a span at site under the given parent context; with no
+// parent the span is a trace root and its SpanID doubles as TraceID.
+func (o *Observer) newSpan(site protocol.SiteID, parent protocol.SpanContext) spanIDs {
+	id := o.newSpanID(site)
+	s := spanIDs{TraceID: parent.TraceID, SpanID: id, ParentID: parent.SpanID}
+	if s.TraceID == 0 {
+		s.TraceID = id
+	}
+	return s
+}
+
+// withSpan stamps a span identity onto a trace event.
+func withSpan(sp spanIDs, e Event) Event {
+	e.TraceID, e.SpanID, e.ParentID = sp.TraceID, sp.SpanID, sp.ParentID
+	return e
+}
+
+// HandleHook returns an observer of served requests in the shape
+// site.Replica.SetHandleHook expects: it records a server-side handle
+// span in this process's trace ring, causally linked to the caller's
+// span (which arrives via the shared context on simnet or the wire
+// trace field on rpcnet). Nil — observing nothing — when the observer
+// is nil or tracing is off.
+func (o *Observer) HandleHook(scheme string, site protocol.SiteID) func(ctx context.Context, from protocol.SiteID, req protocol.Request) {
+	if o == nil || o.tracer == nil {
+		return nil
+	}
+	return func(ctx context.Context, from protocol.SiteID, req protocol.Request) {
+		sp := o.newSpan(site, protocol.CtxSpan(ctx))
+		o.tracer.Emit(withSpan(sp, Event{
+			Scheme: scheme,
+			Site:   int(site),
+			Op:     protocol.CtxOp(ctx),
+			Kind:   EvHandle,
+			Block:  NoBlock,
+			Detail: fmt.Sprintf("req=%s from=%v", req.Kind(), from),
+		}))
+	}
 }
 
 // Option configures an Observer.
@@ -207,17 +269,27 @@ const NoBlock int64 = -1
 // is the block index, or NoBlock for whole-device operations. Call it
 // only once the operation will actually run (past the availability
 // gate), so attempt counts line up with the §5 conformance brackets.
-func (s *SchemeObs) StartOp(op string, blk int64) OpSpan {
+//
+// When tracing is on the returned context carries the operation's
+// span, so transport calls made with it produce causally-linked child
+// spans (on remote sites too); without tracing the context passes
+// through unchanged.
+func (s *SchemeObs) StartOp(ctx context.Context, op string, blk int64) (context.Context, OpSpan) {
 	if s == nil {
-		return OpSpan{}
+		return ctx, OpSpan{}
 	}
 	i := opIndex(op)
 	if i < 0 {
-		return OpSpan{}
+		return ctx, OpSpan{}
 	}
 	s.attempts[i].Inc()
-	s.emit(Event{Kind: EvOpStart, Op: op, Block: blk})
-	return OpSpan{s: s, op: op, idx: i, block: blk, start: s.o.now()}
+	sp := OpSpan{s: s, op: op, idx: i, block: blk, start: s.o.now()}
+	if s.o.tracer != nil {
+		sp.span = s.o.newSpan(s.site, protocol.CtxSpan(ctx))
+		ctx = protocol.WithSpan(ctx, protocol.SpanContext{TraceID: sp.span.TraceID, SpanID: sp.span.SpanID})
+	}
+	s.emit(withSpan(sp.span, Event{Kind: EvOpStart, Op: op, Block: blk}))
+	return ctx, sp
 }
 
 // An OpSpan is one in-flight operation. The zero value (from a nil
@@ -228,6 +300,7 @@ type OpSpan struct {
 	idx   int
 	block int64
 	start int64
+	span  spanIDs
 }
 
 // Done closes the span: outcome counters, participation, latency, and
@@ -242,7 +315,7 @@ func (sp OpSpan) Done(participants int, err error) {
 	}
 	if err != nil {
 		s.failures[sp.idx].Inc()
-		s.emit(Event{Kind: EvOpEnd, Op: sp.op, Block: sp.block, Detail: "err=" + errClass(err)})
+		s.emit(withSpan(sp.span, Event{Kind: EvOpEnd, Op: sp.op, Block: sp.block, Detail: "err=" + errClass(err)}))
 		return
 	}
 	s.completions[sp.idx].Inc()
@@ -250,7 +323,7 @@ func (sp OpSpan) Done(participants int, err error) {
 		s.participants[sp.idx].Add(uint64(participants))
 	}
 	s.latency[sp.idx].Observe(s.o.now() - sp.start)
-	s.emit(Event{Kind: EvOpEnd, Op: sp.op, Block: sp.block, Detail: fmt.Sprintf("participants=%d", participants)})
+	s.emit(withSpan(sp.span, Event{Kind: EvOpEnd, Op: sp.op, Block: sp.block, Detail: fmt.Sprintf("participants=%d", participants)}))
 }
 
 // QuorumAssembled traces a voting quorum collection.

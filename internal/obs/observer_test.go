@@ -25,7 +25,7 @@ func TestNilObserverAndSchemeObs(t *testing.T) {
 	if s.Label(ctx, protocol.OpWrite) != ctx {
 		t.Fatal("nil SchemeObs.Label altered the context")
 	}
-	sp := s.StartOp(protocol.OpWrite, 3)
+	_, sp := s.StartOp(context.Background(), protocol.OpWrite, 3)
 	sp.Done(2, nil)
 	sp.Done(0, errors.New("boom"))
 	s.QuorumAssembled(protocol.OpRead, 0, 2, 2)
@@ -43,11 +43,11 @@ func TestSchemeObsCounters(t *testing.T) {
 		t.Fatal("SchemeSite handle not cached")
 	}
 
-	sp := s.StartOp(protocol.OpWrite, 7)
+	_, sp := s.StartOp(context.Background(), protocol.OpWrite, 7)
 	sp.Done(3, nil)
-	sp = s.StartOp(protocol.OpWrite, 7)
+	_, sp = s.StartOp(context.Background(), protocol.OpWrite, 7)
 	sp.Done(0, errors.New("quorum lost"))
-	sp = s.StartOp(protocol.OpRead, 7)
+	_, sp = s.StartOp(context.Background(), protocol.OpRead, 7)
 	sp.Done(2, nil)
 	s.LazyRefresh(7, 1, 9)
 	s.WTransition(0b111, 0b011)
@@ -114,7 +114,7 @@ func TestSchemeObsCounters(t *testing.T) {
 func TestStartOpUnknownOp(t *testing.T) {
 	o := New()
 	s := o.SchemeSite("naive", 0)
-	sp := s.StartOp("compact", NoBlock) // not an §5 op: ignored
+	_, sp := s.StartOp(context.Background(), "compact", NoBlock) // not an §5 op: ignored
 	sp.Done(1, nil)
 	if got := o.Snapshot().CounterTotal(MetricOpAttempts); got != 0 {
 		t.Fatalf("unknown op counted: %d attempts", got)

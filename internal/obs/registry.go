@@ -229,6 +229,15 @@ type HistogramPoint struct {
 	Sum    uint64            `json:"sum_ns"`
 	// Buckets lists only non-empty buckets.
 	Buckets []BucketCount `json:"buckets,omitempty"`
+	// Quantiles summarises the latency distribution at p50/p95/p99,
+	// estimated by rank interpolation inside the exponential buckets.
+	Quantiles []QuantileValue `json:"quantiles,omitempty"`
+}
+
+// A QuantileValue is one estimated quantile of a histogram series.
+type QuantileValue struct {
+	Q       float64 `json:"q"`
+	ValueNs float64 `json:"value_ns"`
 }
 
 // Mean returns the average observation in nanoseconds.
@@ -237,6 +246,59 @@ func (h HistogramPoint) Mean() float64 {
 		return 0
 	}
 	return float64(h.Sum) / float64(h.Count)
+}
+
+// snapshotQuantiles is the summary set attached to every histogram
+// point in a snapshot.
+var snapshotQuantiles = []float64{0.5, 0.95, 0.99}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) in nanoseconds by
+// locating the bucket holding the target rank and interpolating
+// linearly inside it. The overflow bucket has no upper bound, so ranks
+// landing there report its lower bound. Returns 0 for an empty series.
+func (h HistogramPoint) Quantile(q float64) float64 {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for _, b := range h.Buckets {
+		prev := cum
+		cum += float64(b.Count)
+		if cum < rank {
+			continue
+		}
+		lower, upper := bucketBounds(b.UpperNs)
+		if upper < 0 {
+			return lower // overflow bucket: no finite upper bound
+		}
+		frac := (rank - prev) / float64(b.Count)
+		return lower + frac*(upper-lower)
+	}
+	if n := len(h.Buckets); n > 0 {
+		lower, upper := bucketBounds(h.Buckets[n-1].UpperNs)
+		if upper >= 0 {
+			return upper
+		}
+		return lower
+	}
+	return 0
+}
+
+// bucketBounds recovers a bucket's (lower, upper] bounds from its
+// snapshot upper bound; the overflow bucket (-1) reports upper = -1
+// and the largest finite bound as lower.
+func bucketBounds(upperNs int64) (lower, upper float64) {
+	if upperNs < 0 {
+		return float64(int64(bucketBase) << uint(histBuckets-2)), -1
+	}
+	if upperNs <= bucketBase {
+		return 0, bucketBase
+	}
+	return float64(upperNs) / 2, float64(upperNs)
 }
 
 // A Snapshot is a point-in-time copy of a registry, ordered by series
@@ -283,6 +345,11 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, s := range hists {
 		p := s.h.snapshotPoint()
 		p.Name, p.Labels = s.name, labelMap(s.labels)
+		if p.Count > 0 {
+			for _, q := range snapshotQuantiles {
+				p.Quantiles = append(p.Quantiles, QuantileValue{Q: q, ValueNs: p.Quantile(q)})
+			}
+		}
 		snap.Histograms = append(snap.Histograms, p)
 	}
 	return snap

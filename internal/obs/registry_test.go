@@ -113,3 +113,62 @@ func TestWritePrometheus(t *testing.T) {
 		t.Errorf("want exactly one +Inf bucket:\n%s", out)
 	}
 }
+
+// TestQuantileEstimates checks the p50/p95/p99 summaries: exact
+// interpolation for a single-bucket distribution, bucket containment
+// and monotonicity for a mixed one, and edge cases.
+func TestQuantileEstimates(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_single")
+	for i := 0; i < 100; i++ {
+		h.Observe(500) // bucket 0: (0, 1024]
+	}
+	p := r.Snapshot().Histograms[0]
+	if got := p.Quantile(0.5); got != 512 {
+		t.Fatalf("p50 of uniform bucket-0 fill = %v, want 512", got)
+	}
+	if got := p.Quantile(1); got != 1024 {
+		t.Fatalf("p100 = %v, want 1024", got)
+	}
+	if len(p.Quantiles) != 3 || p.Quantiles[0].Q != 0.5 || p.Quantiles[2].Q != 0.99 {
+		t.Fatalf("snapshot quantiles = %+v", p.Quantiles)
+	}
+
+	r2 := NewRegistry()
+	h2 := r2.Histogram("q_mixed")
+	// 90 fast observations (~2µs), 9 medium (~1ms), 1 slow (~50ms).
+	for i := 0; i < 90; i++ {
+		h2.Observe(2_000)
+	}
+	for i := 0; i < 9; i++ {
+		h2.Observe(1_000_000)
+	}
+	h2.Observe(50_000_000)
+	p2 := r2.Snapshot().Histograms[0]
+	p50, p95, p99 := p2.Quantile(0.5), p2.Quantile(0.95), p2.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotone: %v %v %v", p50, p95, p99)
+	}
+	if p50 <= 1024 || p50 > 2048 {
+		t.Fatalf("p50 = %v, want in (1024, 2048]", p50)
+	}
+	if p95 <= 524288 || p95 > 1048576 {
+		t.Fatalf("p95 = %v, want in 1ms bucket (524288, 1048576]", p95)
+	}
+	// Rank 99 of 100 is the last medium observation: p99 tops out its
+	// bucket; only a higher quantile reaches the slow outlier.
+	if p99 != 1048576 {
+		t.Fatalf("p99 = %v, want 1048576", p99)
+	}
+	if p999 := p2.Quantile(0.999); p999 <= 33554432 || p999 > 67108864 {
+		t.Fatalf("p99.9 = %v, want in 50ms bucket", p999)
+	}
+
+	var empty HistogramPoint
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	if p2.Quantile(0) != 0 {
+		t.Fatal("q=0 != 0")
+	}
+}

@@ -27,19 +27,36 @@ const (
 	// EvClosureRecomputed records an available copy recovery evaluating
 	// the closure C*(W_s) (Figure 5 / Definition 3.2).
 	EvClosureRecomputed = "closure_recomputed"
+	// EvRPC records the client side of one remote call: a child span the
+	// metering transport opens under the operation span before the
+	// request leaves the site.
+	EvRPC = "rpc"
+	// EvHandle records the server side: the remote replica serving a
+	// request under the caller's wire-propagated span context.
+	EvHandle = "handle"
 )
 
 // An Event is one structured trace record. Block is -1 when the event
 // is not about a particular block.
+//
+// TraceID/SpanID/ParentID place the event in a cluster-wide span tree
+// (zero when tracing is off or the caller is untraced): every event of
+// one span shares a SpanID, the root span's SpanID doubles as the
+// TraceID, and ParentID names the span one level up — on a remote site
+// that parent lives in another process's ring, linked via the span
+// context carried by the wire (rpcnet) or the shared context (simnet).
 type Event struct {
-	Seq    uint64 `json:"seq"`
-	At     int64  `json:"at_ns"`
-	Scheme string `json:"scheme,omitempty"`
-	Site   int    `json:"site"`
-	Op     string `json:"op,omitempty"`
-	Kind   string `json:"kind"`
-	Block  int64  `json:"block"`
-	Detail string `json:"detail,omitempty"`
+	Seq      uint64 `json:"seq"`
+	At       int64  `json:"at_ns"`
+	TraceID  uint64 `json:"trace_id,omitempty"`
+	SpanID   uint64 `json:"span_id,omitempty"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	Scheme   string `json:"scheme,omitempty"`
+	Site     int    `json:"site"`
+	Op       string `json:"op,omitempty"`
+	Kind     string `json:"kind"`
+	Block    int64  `json:"block"`
+	Detail   string `json:"detail,omitempty"`
 }
 
 // A Tracer collects events into a bounded ring buffer; when full, the

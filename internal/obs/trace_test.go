@@ -1,6 +1,9 @@
 package obs
 
 import (
+	"encoding/json"
+	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -48,5 +51,138 @@ func TestTracerDefaults(t *testing.T) {
 	evs := tr.Events()
 	if len(evs) != 1 || evs[0].At == 0 {
 		t.Fatalf("defaulted tracer events = %+v", evs)
+	}
+}
+
+// TestTracerWraparoundConcurrent hammers a small ring from many
+// goroutines and checks the invariants that survive wraparound: the
+// ring holds exactly its capacity, retained + dropped equals emitted,
+// every retained event is one of the emitted ones (no tearing: Seq and
+// Detail must agree), and the retained window is the newest suffix.
+func TestTracerWraparoundConcurrent(t *testing.T) {
+	const (
+		cap     = 64
+		writers = 8
+		perG    = 500
+	)
+	tr := NewTracer(cap, NewLogicalClock(1).Now)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.Emit(Event{Site: g, Kind: EvRPC, Block: int64(i), Detail: fmt.Sprintf("g%d.%d", g, i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	events := tr.Events()
+	if len(events) != cap {
+		t.Fatalf("retained %d events, want ring capacity %d", len(events), cap)
+	}
+	const emitted = writers * perG
+	if got := tr.Dropped() + uint64(len(events)); got != emitted {
+		t.Fatalf("dropped+retained = %d, want %d emitted", got, emitted)
+	}
+	seen := make(map[uint64]bool, cap)
+	for _, e := range events {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d in ring", e.Seq)
+		}
+		seen[e.Seq] = true
+		if want := fmt.Sprintf("g%d.%d", e.Site, e.Block); e.Detail != want {
+			t.Fatalf("torn event: site %d block %d detail %q", e.Site, e.Block, e.Detail)
+		}
+		// The ring keeps a newest suffix: with emitted >> cap, nothing
+		// from the earliest emissions can survive.
+		if e.Seq <= emitted-2*cap {
+			t.Fatalf("ancient seq %d survived a %d-event wrap", e.Seq, emitted)
+		}
+	}
+}
+
+// TestStitchPartialTreeAfterEviction models the satellite scenario:
+// one site's ring wrapped and evicted the spans a remote site's handle
+// spans point at. Stitching must degrade to a partial tree — the
+// orphaned spans attached at the top, flagged — and never panic.
+func TestStitchPartialTreeAfterEviction(t *testing.T) {
+	// Trace 100: root op span (id 100) -> rpc span (id 101) -> remote
+	// handle span (id 102). The rpc span's events were evicted.
+	events := []Event{
+		{Seq: 1, At: 10, TraceID: 100, SpanID: 100, Site: 0, Op: "write", Kind: EvOpStart},
+		{Seq: 4, At: 40, TraceID: 100, SpanID: 100, Site: 0, Op: "write", Kind: EvOpEnd, Detail: "ok"},
+		// span 101 (rpc, parent 100) evicted from site 0's ring.
+		{Seq: 3, At: 25, TraceID: 100, SpanID: 102, ParentID: 101, Site: 2, Op: "write", Kind: EvHandle},
+	}
+	trees := Stitch(events)
+	if len(trees) != 1 {
+		t.Fatalf("trees = %d, want 1", len(trees))
+	}
+	tree := trees[0]
+	if tree.TraceID != 100 || tree.Root == nil || tree.Root.SpanID != 100 {
+		t.Fatalf("root = %+v", tree.Root)
+	}
+	if tree.Complete() {
+		t.Fatal("tree with evicted ancestry claims completeness")
+	}
+	if len(tree.Orphans) != 1 || tree.Orphans[0].SpanID != 102 || !tree.Orphans[0].Orphaned {
+		t.Fatalf("orphans = %+v", tree.Orphans)
+	}
+	if tree.Spans != 2 {
+		t.Fatalf("spans = %d, want 2", tree.Spans)
+	}
+	if got := tree.AllSites(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("sites = %v", got)
+	}
+	// The op span aggregated its start/end pair.
+	if tree.Root.StartNs != 10 || tree.Root.EndNs != 40 || tree.Root.Kind != "op" || tree.Root.Detail != "ok" {
+		t.Fatalf("root aggregation = %+v", tree.Root)
+	}
+
+	// A fully intact trace alongside stays complete.
+	intact := append(events,
+		Event{Seq: 5, At: 50, TraceID: 200, SpanID: 200, Site: 1, Op: "read", Kind: EvOpStart},
+		Event{Seq: 6, At: 55, TraceID: 200, SpanID: 201, ParentID: 200, Site: 1, Op: "read", Kind: EvRPC},
+		Event{Seq: 7, At: 60, TraceID: 200, SpanID: 200, Site: 1, Op: "read", Kind: EvOpEnd},
+	)
+	trees = Stitch(intact)
+	if len(trees) != 2 {
+		t.Fatalf("trees = %d, want 2", len(trees))
+	}
+	if !trees[1].Complete() || trees[1].TraceID != 200 || len(trees[1].Root.Children) != 1 {
+		t.Fatalf("intact tree = %+v", trees[1])
+	}
+}
+
+// TestStitchDeterministicOrder: stitching the same multiset of events
+// in different input orders yields identical trees.
+func TestStitchDeterministicOrder(t *testing.T) {
+	events := []Event{
+		{At: 1, TraceID: 1, SpanID: 1, Kind: EvOpStart, Site: 0},
+		{At: 2, TraceID: 1, SpanID: 2, ParentID: 1, Kind: EvRPC, Site: 0},
+		{At: 2, TraceID: 1, SpanID: 3, ParentID: 1, Kind: EvRPC, Site: 0},
+		{At: 3, TraceID: 1, SpanID: 4, ParentID: 2, Kind: EvHandle, Site: 1},
+		{At: 9, TraceID: 1, SpanID: 1, Kind: EvOpEnd, Site: 0},
+		{At: 5, TraceID: 7, SpanID: 7, Kind: EvOpStart, Site: 2},
+	}
+	a := Stitch(events)
+	rev := make([]Event, len(events))
+	for i, e := range events {
+		rev[len(events)-1-i] = e
+	}
+	b := Stitch(rev)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("order-dependent stitch:\n%s\nvs\n%s", ja, jb)
+	}
+	if len(a) != 2 || a[0].TraceID != 1 || len(a[0].Root.Children) != 2 {
+		t.Fatalf("trees = %s", ja)
+	}
+	// Equal-start children tie-break by SpanID.
+	if a[0].Root.Children[0].SpanID != 2 || a[0].Root.Children[1].SpanID != 3 {
+		t.Fatalf("child order = %+v", a[0].Root.Children)
 	}
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 
 	"relidev/internal/protocol"
@@ -208,17 +209,48 @@ func (t *MeteredTransport) roundTrip(m int, to protocol.SiteID, do func() (proto
 	return resp, err
 }
 
+// traceCall opens a client-side rpc span under the caller's operation
+// span when tracing is on: the returned context carries the new span
+// (so the remote site's handle span links to it, through simnet's
+// shared context or rpcnet's wire trace field) and the returned closer
+// emits the span's trace event with the outcome. Without tracing the
+// context passes through and the closer is nil.
+func (t *MeteredTransport) traceCall(ctx context.Context, from protocol.SiteID, detail string) (context.Context, func(err error)) {
+	if t.o.tracer == nil {
+		return ctx, nil
+	}
+	sp := t.o.newSpan(from, protocol.CtxSpan(ctx))
+	ctx = protocol.WithSpan(ctx, protocol.SpanContext{TraceID: sp.TraceID, SpanID: sp.SpanID})
+	op := protocol.CtxOp(ctx)
+	return ctx, func(err error) {
+		if err != nil {
+			detail += " err=" + classifyError(err)
+		}
+		t.o.tracer.Emit(withSpan(sp, Event{Site: int(from), Op: op, Kind: EvRPC, Block: NoBlock, Detail: detail}))
+	}
+}
+
 // Call implements protocol.Transport.
 func (t *MeteredTransport) Call(ctx context.Context, from, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+	ctx, end := t.traceCall(ctx, from, fmt.Sprintf("call to=%v req=%s", to, req.Kind()))
 	return t.roundTrip(mCall, to, func() (protocol.Response, error) {
-		return t.inner.Call(ctx, from, to, req)
+		resp, err := t.inner.Call(ctx, from, to, req)
+		if end != nil {
+			end(err)
+		}
+		return resp, err
 	})
 }
 
 // Fetch implements protocol.Transport.
 func (t *MeteredTransport) Fetch(ctx context.Context, from, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+	ctx, end := t.traceCall(ctx, from, fmt.Sprintf("fetch to=%v req=%s", to, req.Kind()))
 	return t.roundTrip(mFetch, to, func() (protocol.Response, error) {
-		return t.inner.Fetch(ctx, from, to, req)
+		resp, err := t.inner.Fetch(ctx, from, to, req)
+		if end != nil {
+			end(err)
+		}
+		return resp, err
 	})
 }
 
@@ -233,18 +265,29 @@ func (t *MeteredTransport) fanOut(m int, results map[protocol.SiteID]protocol.Re
 	return results
 }
 
-// Broadcast implements protocol.Transport.
+// Broadcast implements protocol.Transport. The whole fan-out is one
+// child span: every destination's handle span parents to it.
 func (t *MeteredTransport) Broadcast(ctx context.Context, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) map[protocol.SiteID]protocol.Result {
 	mm := &t.methods[mBroadcast]
 	mm.ops.Inc()
+	ctx, end := t.traceCall(ctx, from, fmt.Sprintf("broadcast dests=%d req=%s", len(dests), req.Kind()))
 	start := t.o.now()
-	return t.fanOut(mBroadcast, t.inner.Broadcast(ctx, from, dests, req), start)
+	out := t.fanOut(mBroadcast, t.inner.Broadcast(ctx, from, dests, req), start)
+	if end != nil {
+		end(nil)
+	}
+	return out
 }
 
 // Notify implements protocol.Transport.
 func (t *MeteredTransport) Notify(ctx context.Context, from protocol.SiteID, dests []protocol.SiteID, req protocol.Request) map[protocol.SiteID]protocol.Result {
 	mm := &t.methods[mNotify]
 	mm.ops.Inc()
+	ctx, end := t.traceCall(ctx, from, fmt.Sprintf("notify dests=%d req=%s", len(dests), req.Kind()))
 	start := t.o.now()
-	return t.fanOut(mNotify, t.inner.Notify(ctx, from, dests, req), start)
+	out := t.fanOut(mNotify, t.inner.Notify(ctx, from, dests, req), start)
+	if end != nil {
+		end(nil)
+	}
+	return out
 }

@@ -174,9 +174,12 @@ type Result struct {
 }
 
 // Handler is implemented by a site's server side: it processes one
-// request from a peer and produces a response.
+// request from a peer and produces a response. The context carries the
+// caller's operation label and trace span (WithOp, WithSpan), so a
+// handler can record causally-linked trace events; it is not used for
+// cancellation — a site that accepted a request always answers it.
 type Handler interface {
-	Handle(from SiteID, req Request) (Response, error)
+	Handle(ctx context.Context, from SiteID, req Request) (Response, error)
 }
 
 // Transport moves protocol messages between sites. Implementations count

@@ -69,6 +69,11 @@ func init() {
 type rpcRequest struct {
 	From protocol.SiteID
 	Req  protocol.Request
+	// Trace carries the caller's span context across the wire so the
+	// remote site's trace ring records causally-linked spans (zero when
+	// the caller is untraced). TraceID/SpanID only — no payload, so the
+	// field costs 16 bytes per request.
+	Trace protocol.SpanContext
 }
 
 type rpcResponse struct {
@@ -193,7 +198,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // connection closed or corrupt
 		}
-		resp, err := s.handler.Handle(req.From, req.Req)
+		// The caller's deadline does not cross the wire (the caller
+		// abandons the exchange on its own clock); what does cross is the
+		// trace context, reconstructed here so the handler's spans link to
+		// the remote parent.
+		//relidev:allow context: server side of the wire is a call root; the caller's deadline stays on the caller
+		ctx := context.Background()
+		if req.Trace.Valid() {
+			ctx = protocol.WithSpan(ctx, req.Trace)
+		}
+		resp, err := s.handler.Handle(ctx, req.From, req.Req)
 		code, text := encodeErr(err)
 		out := rpcResponse{Resp: resp, ErrCode: code, ErrText: text}
 		if err := enc.Encode(out); err != nil {
@@ -224,6 +238,22 @@ type Config struct {
 	// after which a peer is reported down (protocol.ErrSiteDown) rather
 	// than transiently unreachable (protocol.ErrTransient). Default 3.
 	SuspectThreshold int
+	// Clock supplies the current time to the failure detector (backoff
+	// arming, dial gating, and the timestamps reported to the
+	// DetectorObserver). Nil means time.Now; tests inject a fake so
+	// detector behaviour is checkable without real waiting. Connection
+	// deadlines always use the wall clock — they are handed to the
+	// kernel.
+	Clock func() time.Time
+	// DetectorObserver, when non-nil, is told about suspect-list
+	// transitions: down=true when a peer crosses the suspect threshold,
+	// with since = the time of the *first* conclusive failure of the
+	// current streak (not the Nth retry — otherwise redial backoff
+	// inflates the observed repair time), and down=false on the next
+	// successful exchange, with since = the time of that exchange. It is
+	// invoked without client locks held and must not call back into the
+	// client.
+	DetectorObserver func(peer protocol.SiteID, down bool, since time.Time)
 }
 
 func (c Config) withDefaults() Config {
@@ -241,6 +271,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SuspectThreshold == 0 {
 		c.SuspectThreshold = 3
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
 	}
 	return c
 }
@@ -274,10 +307,14 @@ type peerPool struct {
 
 	// Failure detector: fails counts consecutive failed exchanges;
 	// backoff/nextDialAt gate redials so a dead peer is probed, not
-	// hammered. All reset on the first successful exchange.
-	fails      int
-	backoff    time.Duration
-	nextDialAt time.Time
+	// hammered; firstFailAt remembers when the current failure streak
+	// began — the timestamp reported to detector observers, so that the
+	// Nth retry's backoff never inflates the observed downtime. All
+	// reset on the first successful exchange.
+	fails       int
+	backoff     time.Duration
+	nextDialAt  time.Time
+	firstFailAt time.Time
 }
 
 // wireConn is one gob-encoded TCP stream. It is used by one round trip
@@ -329,11 +366,18 @@ func (p *peerPool) close() {
 	}
 }
 
-// recordFault counts one failed exchange and arms the redial backoff.
-// It reports whether the peer has crossed the suspect threshold.
-func (p *peerPool) recordFault(cfg Config, jitter func(time.Duration) time.Duration) (fails int, down bool) {
+// recordFault counts one failed exchange at time now and arms the
+// redial backoff. It reports whether the peer is past the suspect
+// threshold, whether this very fault pushed it there (a transition the
+// detector observer should hear about), and when the failure streak
+// began.
+func (p *peerPool) recordFault(cfg Config, now time.Time, jitter func(time.Duration) time.Duration) (fails int, down, transitioned bool, since time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.fails == 0 {
+		p.firstFailAt = now
+	}
+	wasDown := p.fails >= cfg.SuspectThreshold
 	p.fails++
 	if p.backoff == 0 {
 		p.backoff = cfg.RetryBase
@@ -343,48 +387,67 @@ func (p *peerPool) recordFault(cfg Config, jitter func(time.Duration) time.Durat
 			p.backoff = cfg.RetryMax
 		}
 	}
-	p.nextDialAt = time.Now().Add(jitter(p.backoff))
-	return p.fails, p.fails >= cfg.SuspectThreshold
+	p.nextDialAt = now.Add(jitter(p.backoff))
+	down = p.fails >= cfg.SuspectThreshold
+	return p.fails, down, down && !wasDown, p.firstFailAt
 }
 
-// markDown records conclusive fail-stop evidence against the peer: it
-// jumps the failure counter straight to the suspect threshold and arms
-// the redial backoff.
-func (p *peerPool) markDown(cfg Config, jitter func(time.Duration) time.Duration) {
+// markDown records conclusive fail-stop evidence against the peer at
+// time now: it jumps the failure counter straight to the suspect
+// threshold and arms the redial backoff. It reports whether this was
+// the transition onto the suspect list and when the streak began.
+func (p *peerPool) markDown(cfg Config, now time.Time, jitter func(time.Duration) time.Duration) (transitioned bool, since time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.fails == 0 {
+		p.firstFailAt = now
+	}
+	wasDown := p.fails >= cfg.SuspectThreshold
 	if p.fails < cfg.SuspectThreshold {
 		p.fails = cfg.SuspectThreshold
 	}
 	if p.backoff == 0 {
 		p.backoff = cfg.RetryBase
 	}
-	p.nextDialAt = time.Now().Add(jitter(p.backoff))
+	p.nextDialAt = now.Add(jitter(p.backoff))
+	return !wasDown, p.firstFailAt
 }
 
 // recordSuccess clears the failure detector: the first successful
-// exchange removes the peer from the suspect list.
-func (p *peerPool) recordSuccess() {
+// exchange removes the peer from the suspect list. It reports whether
+// the peer had been suspected (so the observer can be told it is back).
+func (p *peerPool) recordSuccess(threshold int) (cleared bool) {
 	p.mu.Lock()
+	cleared = p.fails >= threshold
 	p.fails = 0
 	p.backoff = 0
 	p.nextDialAt = time.Time{}
+	p.firstFailAt = time.Time{}
 	p.mu.Unlock()
+	return cleared
 }
 
-// dialGate reports whether a redial is currently gated by backoff, and
-// whether the peer is suspected down. Gated calls fail fast without
-// network activity and without counting as new evidence.
-func (p *peerPool) dialGate(threshold int) (gated, down bool) {
+// dialGate reports whether a redial is currently gated by backoff at
+// time now, and whether the peer is suspected down. Gated calls fail
+// fast without network activity and without counting as new evidence.
+func (p *peerPool) dialGate(threshold int, now time.Time) (gated, down bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return time.Now().Before(p.nextDialAt), p.fails >= threshold
+	return now.Before(p.nextDialAt), p.fails >= threshold
 }
 
 func (p *peerPool) suspected(threshold int) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.fails >= threshold
+}
+
+// suspectedSince reports the suspect state together with the start of
+// the failure streak that caused it.
+func (p *peerPool) suspectedSince(threshold int) (down bool, since time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fails >= threshold, p.firstFailAt
 }
 
 var _ protocol.Transport = (*Client)(nil)
@@ -428,6 +491,30 @@ func (c *Client) Suspected(id protocol.SiteID) bool {
 		return false
 	}
 	return p.suspected(c.cfg.SuspectThreshold)
+}
+
+// SuspectedSince reports whether the failure detector considers the
+// peer down and, when it does, the time of the first conclusive
+// failure of the streak — the honest start of the observed outage.
+func (c *Client) SuspectedSince(id protocol.SiteID) (down bool, since time.Time) {
+	c.mu.Lock()
+	p, ok := c.pools[id]
+	c.mu.Unlock()
+	if !ok {
+		return false, time.Time{}
+	}
+	return p.suspectedSince(c.cfg.SuspectThreshold)
+}
+
+// now reads the failure detector's clock (injectable via Config.Clock).
+func (c *Client) now() time.Time { return c.cfg.Clock() }
+
+// notifyDetector forwards a suspect-list transition to the configured
+// observer, if any.
+func (c *Client) notifyDetector(peer protocol.SiteID, down bool, since time.Time) {
+	if c.cfg.DetectorObserver != nil {
+		c.cfg.DetectorObserver(peer, down, since)
+	}
 }
 
 // SuspectSet returns the set of peers currently suspected down.
@@ -491,9 +578,9 @@ func (c *Client) peer(to protocol.SiteID) (*peerPool, error) {
 
 // exchange runs one request/response on an established connection. On
 // success the connection returns to the pool; on error it is closed.
-func (c *Client) exchange(p *peerPool, w *wireConn, deadline time.Time, req protocol.Request) (rpcResponse, error) {
+func (c *Client) exchange(p *peerPool, w *wireConn, deadline time.Time, req protocol.Request, trace protocol.SpanContext) (rpcResponse, error) {
 	w.conn.SetDeadline(deadline)
-	if err := w.enc.Encode(rpcRequest{From: c.self, Req: req}); err != nil {
+	if err := w.enc.Encode(rpcRequest{From: c.self, Req: req, Trace: trace}); err != nil {
 		w.close()
 		return rpcResponse{}, fmt.Errorf("send: %w", err)
 	}
@@ -510,7 +597,7 @@ func (c *Client) exchange(p *peerPool, w *wireConn, deadline time.Time, req prot
 // redial is gated the call fails fast — classified by the current
 // suspicion — without touching the network or counting new evidence.
 func (c *Client) dial(ctx context.Context, p *peerPool, to protocol.SiteID, deadline time.Time) (*wireConn, error) {
-	if gated, down := p.dialGate(c.cfg.SuspectThreshold); gated {
+	if gated, down := p.dialGate(c.cfg.SuspectThreshold, c.now()); gated {
 		if down {
 			return nil, fmt.Errorf("rpcnet: %v suspected down, redial backed off: %w", to, protocol.ErrSiteDown)
 		}
@@ -541,10 +628,15 @@ func (c *Client) fault(ctx context.Context, p *peerPool, to protocol.SiteID, op 
 		return fmt.Errorf("rpcnet: %s %v: %v: %w", op, to, cause, cerr)
 	}
 	if errors.Is(cause, syscall.ECONNREFUSED) {
-		p.markDown(c.cfg, c.jitter)
+		if transitioned, since := p.markDown(c.cfg, c.now(), c.jitter); transitioned {
+			c.notifyDetector(to, true, since)
+		}
 		return fmt.Errorf("rpcnet: %s %v: %v: %w", op, to, cause, protocol.ErrSiteDown)
 	}
-	fails, down := p.recordFault(c.cfg, c.jitter)
+	fails, down, transitioned, since := p.recordFault(c.cfg, c.now(), c.jitter)
+	if transitioned {
+		c.notifyDetector(to, true, since)
+	}
 	if down {
 		return fmt.Errorf("rpcnet: %s %v (%d consecutive failures): %v: %w", op, to, fails, cause, protocol.ErrSiteDown)
 	}
@@ -570,10 +662,11 @@ func (c *Client) roundTrip(ctx context.Context, to protocol.SiteID, req protocol
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
+	trace := protocol.CtxSpan(ctx)
 	var resp rpcResponse
 	done := false
 	if w := p.get(); w != nil {
-		if resp, err = c.exchange(p, w, deadline, req); err == nil {
+		if resp, err = c.exchange(p, w, deadline, req, trace); err == nil {
 			done = true
 		}
 		// On error: fall through to one fresh-dial retry.
@@ -583,11 +676,13 @@ func (c *Client) roundTrip(ctx context.Context, to protocol.SiteID, req protocol
 		if err != nil {
 			return nil, err
 		}
-		if resp, err = c.exchange(p, w, deadline, req); err != nil {
+		if resp, err = c.exchange(p, w, deadline, req, trace); err != nil {
 			return nil, c.fault(ctx, p, to, "exchange with", err)
 		}
 	}
-	p.recordSuccess()
+	if p.recordSuccess(c.cfg.SuspectThreshold) {
+		c.notifyDetector(to, false, c.now())
+	}
 	if err := decodeErr(resp.ErrCode, resp.ErrText); err != nil {
 		return nil, err
 	}

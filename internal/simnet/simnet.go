@@ -425,7 +425,7 @@ func (n *Network) Call(ctx context.Context, from, to protocol.SiteID, req protoc
 		if err != nil {
 			return nil, err
 		}
-		return h.Handle(from, req)
+		return h.Handle(ctx, from, req)
 	}
 	h, err := n.route(from, to)
 	if err != nil {
@@ -440,7 +440,7 @@ func (n *Network) Call(ctx context.Context, from, to protocol.SiteID, req protoc
 	if err := n.sleepLatency(ctx); err != nil {
 		return nil, err
 	}
-	resp, err := h.Handle(from, req)
+	resp, err := h.Handle(ctx, from, req)
 	if ferr != nil {
 		// Reply lost: the handler ran, but its outcome is invisible to
 		// the caller and no reply traffic is charged.
@@ -466,7 +466,7 @@ func (n *Network) Fetch(ctx context.Context, from, to protocol.SiteID, req proto
 		if err != nil {
 			return nil, err
 		}
-		return h.Handle(from, req)
+		return h.Handle(ctx, from, req)
 	}
 	h, err := n.route(from, to)
 	if err != nil {
@@ -479,7 +479,7 @@ func (n *Network) Fetch(ctx context.Context, from, to protocol.SiteID, req proto
 	if err := n.sleepLatency(ctx); err != nil {
 		return nil, err
 	}
-	resp, err := h.Handle(from, req)
+	resp, err := h.Handle(ctx, from, req)
 	if ferr != nil {
 		return nil, ferr
 	}
@@ -585,7 +585,7 @@ func (n *Network) deliverOne(ctx context.Context, from, to protocol.SiteID, req 
 	if err := n.sleepLatency(ctx); err != nil {
 		return protocol.Result{Err: err}
 	}
-	resp, err := h.Handle(from, req)
+	resp, err := h.Handle(ctx, from, req)
 	if ferr != nil {
 		return protocol.Result{Err: ferr}
 	}

@@ -19,7 +19,7 @@ type echoHandler struct {
 	fail  error
 }
 
-func (h *echoHandler) Handle(from protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+func (h *echoHandler) Handle(ctx context.Context, from protocol.SiteID, req protocol.Request) (protocol.Response, error) {
 	h.calls.Add(1)
 	if h.fail != nil {
 		return nil, h.fail

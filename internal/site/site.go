@@ -11,6 +11,7 @@
 package site
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -55,6 +56,11 @@ type Replica struct {
 	// nothing. A plain func keeps the site mechanism free of any
 	// dependency on the observability layer.
 	wHook func(old, next protocol.SiteSet)
+
+	// hHook observes served requests with the caller's context (trace
+	// span, op label); nil observes nothing. Same dependency-free shape
+	// as wHook.
+	hHook func(ctx context.Context, from protocol.SiteID, req protocol.Request)
 }
 
 var _ protocol.Handler = (*Replica)(nil)
@@ -180,6 +186,17 @@ func (r *Replica) SetWTransitionHook(hook func(old, next protocol.SiteSet)) {
 	r.wHook = hook
 }
 
+// SetHandleHook installs an observer of served requests, invoked with
+// the caller's context (which carries the trace span and operation
+// label) before each request is processed. The observability layer uses
+// it to record server-side spans in this site's trace ring; nil
+// disables observation.
+func (r *Replica) SetHandleHook(hook func(ctx context.Context, from protocol.SiteID, req protocol.Request)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hHook = hook
+}
+
 // Vector returns the replica's full version vector.
 func (r *Replica) Vector() block.Vector { return r.st.Vector() }
 
@@ -204,12 +221,19 @@ func (r *Replica) VersionLocal(idx block.Index) (block.Version, error) {
 
 // Handle implements protocol.Handler: the server side of the inter-site
 // protocol.
-func (r *Replica) Handle(from protocol.SiteID, req protocol.Request) (protocol.Response, error) {
+func (r *Replica) Handle(ctx context.Context, from protocol.SiteID, req protocol.Request) (protocol.Response, error) {
 	r.mu.Lock()
 	state := r.state
+	hook := r.hHook
 	r.mu.Unlock()
 	if state == protocol.StateFailed {
 		return nil, ErrNotOperational
+	}
+	if hook != nil {
+		// Record the server-side trace span before processing so the
+		// remote site's ring holds a causally-linked record even when the
+		// request itself fails.
+		hook(ctx, from, req)
 	}
 
 	switch q := req.(type) {

@@ -2,6 +2,7 @@ package site
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -56,7 +57,7 @@ func TestHandleVote(t *testing.T) {
 	if err := r.WriteLocal(5, pad("x"), 9); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := r.Handle(0, protocol.VoteRequest{Block: 5})
+	resp, err := r.Handle(context.Background(), 0, protocol.VoteRequest{Block: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,10 +72,10 @@ func TestHandleVote(t *testing.T) {
 
 func TestHandleFetchAndPut(t *testing.T) {
 	r := newReplica(t, 0)
-	if _, err := r.Handle(1, protocol.PutRequest{Block: 2, Data: pad("hello"), Version: 3}); err != nil {
+	if _, err := r.Handle(context.Background(), 1, protocol.PutRequest{Block: 2, Data: pad("hello"), Version: 3}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := r.Handle(1, protocol.FetchRequest{Block: 2})
+	resp, err := r.Handle(context.Background(), 1, protocol.FetchRequest{Block: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestHandleFetchAndPut(t *testing.T) {
 func TestFailedReplicaRejectsEverything(t *testing.T) {
 	r := newReplica(t, 0)
 	r.SetState(protocol.StateFailed)
-	if _, err := r.Handle(1, protocol.StatusRequest{}); !errors.Is(err, ErrNotOperational) {
+	if _, err := r.Handle(context.Background(), 1, protocol.StatusRequest{}); !errors.Is(err, ErrNotOperational) {
 		t.Fatalf("err = %v, want ErrNotOperational", err)
 	}
 }
@@ -95,10 +96,10 @@ func TestFailedReplicaRejectsEverything(t *testing.T) {
 func TestComatoseRejectsWritesButAnswersStatus(t *testing.T) {
 	r := newReplica(t, 0)
 	r.SetState(protocol.StateComatose)
-	if _, err := r.Handle(1, protocol.PutRequest{Block: 0, Data: pad(""), Version: 1}); !errors.Is(err, ErrComatose) {
+	if _, err := r.Handle(context.Background(), 1, protocol.PutRequest{Block: 0, Data: pad(""), Version: 1}); !errors.Is(err, ErrComatose) {
 		t.Fatalf("put err = %v, want ErrComatose", err)
 	}
-	resp, err := r.Handle(1, protocol.StatusRequest{})
+	resp, err := r.Handle(context.Background(), 1, protocol.StatusRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestComatoseRejectsWritesButAnswersStatus(t *testing.T) {
 	}
 	// A comatose site still serves reads of its (possibly stale) state to
 	// peers running recovery.
-	if _, err := r.Handle(1, protocol.RecoveryRequest{Vector: block.NewVector(testGeom.NumBlocks)}); err != nil {
+	if _, err := r.Handle(context.Background(), 1, protocol.RecoveryRequest{Vector: block.NewVector(testGeom.NumBlocks)}); err != nil {
 		t.Fatalf("recovery exchange on comatose replica: %v", err)
 	}
 }
@@ -117,7 +118,7 @@ func TestPutMergesWasAvailable(t *testing.T) {
 	if err := r.SetWasAvailable(protocol.NewSiteSet(2)); err != nil {
 		t.Fatal(err)
 	}
-	_, err := r.Handle(0, protocol.PutRequest{
+	_, err := r.Handle(context.Background(), 0, protocol.PutRequest{
 		Block: 1, Data: pad("w"), Version: 1,
 		HasW: true, WasAvail: protocol.NewSiteSet(0, 1),
 	})
@@ -137,7 +138,7 @@ func TestPutWithoutWLeavesSetAlone(t *testing.T) {
 	if err := r.SetWasAvailable(protocol.NewSiteSet(1, 3)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Handle(0, protocol.PutRequest{Block: 0, Data: pad("v"), Version: 1}); err != nil {
+	if _, err := r.Handle(context.Background(), 0, protocol.PutRequest{Block: 0, Data: pad("v"), Version: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if got := r.WasAvailable(); got != protocol.NewSiteSet(1, 3) {
@@ -157,7 +158,7 @@ func TestRecoveryExchange(t *testing.T) {
 	reqVec.Set(2, 0)
 	reqVec.Set(3, 1)
 
-	resp, err := src.Handle(3, protocol.RecoveryRequest{Vector: reqVec, JoinW: true})
+	resp, err := src.Handle(context.Background(), 3, protocol.RecoveryRequest{Vector: reqVec, JoinW: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestApplyRecovery(t *testing.T) {
 
 func TestUnknownRequest(t *testing.T) {
 	r := newReplica(t, 0)
-	if _, err := r.Handle(1, bogusRequest{}); !errors.Is(err, ErrUnknownRequest) {
+	if _, err := r.Handle(context.Background(), 1, bogusRequest{}); !errors.Is(err, ErrUnknownRequest) {
 		t.Fatalf("err = %v, want ErrUnknownRequest", err)
 	}
 }

@@ -179,7 +179,7 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) (_ []byte, err e
 	defer c.locks.UnlockOp(idx)
 	ob := c.env.Obs
 	ctx = ob.Label(ctx, protocol.OpRead)
-	sp := ob.StartOp(protocol.OpRead, int64(idx))
+	ctx, sp := ob.StartOp(ctx, protocol.OpRead, int64(idx))
 	participants := 0
 	defer func() { sp.Done(participants, err) }()
 
@@ -242,7 +242,7 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) (e
 	defer c.locks.UnlockOp(idx)
 	ob := c.env.Obs
 	ctx = ob.Label(ctx, protocol.OpWrite)
-	sp := ob.StartOp(protocol.OpWrite, int64(idx))
+	ctx, sp := ob.StartOp(ctx, protocol.OpWrite, int64(idx))
 	participants := 0
 	defer func() { sp.Done(participants, err) }()
 
@@ -333,7 +333,7 @@ func (c *Controller) Recover(ctx context.Context) (err error) {
 	self := c.env.Self
 	ob := c.env.Obs
 	ctx = ob.Label(ctx, protocol.OpRecovery)
-	sp := ob.StartOp(protocol.OpRecovery, obs.NoBlock)
+	ctx, sp := ob.StartOp(ctx, protocol.OpRecovery, obs.NoBlock)
 	participants := 1
 	defer func() { sp.Done(participants, err) }()
 	if !c.eager {

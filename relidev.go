@@ -354,12 +354,104 @@ func (c *Cluster) MetricsJSON() ([]byte, error) {
 }
 
 // DebugHandler returns the observability HTTP surface (/metrics,
-// /metrics.prom, /trace, /debug/pprof/) for this cluster, or an error
-// when the cluster was built without WithMetering. Mount it on any
-// server the embedding application already runs.
+// /metrics.prom, /trace, /trace/tree, /debug/pprof/) for this cluster,
+// or an error when the cluster was built without WithMetering. Mount it
+// on any server the embedding application already runs.
 func (c *Cluster) DebugHandler() (http.Handler, error) {
 	if c.obs == nil {
 		return nil, ErrNotMetered
 	}
 	return obs.NewDebugMux(c.obs), nil
+}
+
+// TraceSpan is one node of a stitched trace tree: an operation, a
+// client-side RPC, or a remote site's server-side handling, linked to
+// its parent by span identity. See Cluster.TraceTrees.
+type TraceSpan struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+	// Site is the site whose trace ring recorded the span — for handle
+	// spans, the remote site that served the request.
+	Site   int
+	Op     string
+	Kind   string // "op", "rpc", or "handle"
+	Detail string
+	// StartNs/EndNs bound the span on the recording process's clock.
+	StartNs, EndNs int64
+	// Orphaned marks a span whose parent was evicted from its ring (or
+	// whose site was not collected): the tree is partial, not broken.
+	Orphaned bool
+	Children []*TraceSpan
+}
+
+// TraceTree is the stitched, cluster-wide view of one traced
+// operation: the operation's root span with every RPC it issued and
+// every site-side handling as descendants. Orphans holds subtrees
+// whose ancestry was lost to ring eviction.
+type TraceTree struct {
+	TraceID uint64
+	Root    *TraceSpan
+	Orphans []*TraceSpan
+	// Sites lists every site that contributed at least one span, sorted.
+	Sites []int
+	// Spans counts all nodes in the tree.
+	Spans int
+}
+
+// Complete reports whether the trace stitched into a single rooted
+// tree with no ancestry lost.
+func (t *TraceTree) Complete() bool { return t.Root != nil && len(t.Orphans) == 0 }
+
+// TraceTrees stitches the cluster's retained trace events into one
+// span tree per traced operation (newest operations last). It requires
+// WithTracing; a cluster built without it returns ErrNotMetered.
+func (c *Cluster) TraceTrees() ([]*TraceTree, error) {
+	if c.obs == nil || c.obs.Tracer() == nil {
+		return nil, ErrNotMetered
+	}
+	trees := c.obs.TraceTrees()
+	out := make([]*TraceTree, len(trees))
+	for i, t := range trees {
+		out[i] = publicTree(t)
+	}
+	return out, nil
+}
+
+// TraceTree returns the stitched tree for one trace id, or nil when no
+// retained span belongs to it.
+func (c *Cluster) TraceTree(traceID uint64) (*TraceTree, error) {
+	trees, err := c.TraceTrees()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range trees {
+		if t.TraceID == traceID {
+			return t, nil
+		}
+	}
+	return nil, nil
+}
+
+func publicTree(t *obs.TraceTree) *TraceTree {
+	out := &TraceTree{TraceID: t.TraceID, Sites: t.Sites, Spans: t.Spans}
+	if t.Root != nil {
+		out.Root = publicSpan(t.Root)
+	}
+	for _, o := range t.Orphans {
+		out.Orphans = append(out.Orphans, publicSpan(o))
+	}
+	return out
+}
+
+func publicSpan(sp *obs.Span) *TraceSpan {
+	out := &TraceSpan{
+		TraceID: sp.TraceID, SpanID: sp.SpanID, ParentID: sp.ParentID,
+		Site: sp.Site, Op: sp.Op, Kind: sp.Kind, Detail: sp.Detail,
+		StartNs: sp.StartNs, EndNs: sp.EndNs, Orphaned: sp.Orphaned,
+	}
+	for _, c := range sp.Children {
+		out.Children = append(out.Children, publicSpan(c))
+	}
+	return out
 }

@@ -480,3 +480,70 @@ func TestMeteringSurface(t *testing.T) {
 		t.Fatalf("DebugHandler on unmetered cluster = %v, want ErrNotMetered", err)
 	}
 }
+
+// TestTraceTreeSurface exercises the public distributed-tracing API: a
+// traced cluster stitches each operation into a complete span tree,
+// TraceTree resolves one by ID, and clusters without tracing report
+// ErrNotMetered.
+func TestTraceTreeSurface(t *testing.T) {
+	ctx := context.Background()
+	cluster, err := relidev.New(3, relidev.AvailableCopy,
+		relidev.WithGeometry(relidev.Geometry{BlockSize: 64, NumBlocks: 8}),
+		relidev.WithTracing(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := cluster.Device(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	if err := dev.WriteBlock(ctx, 2, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.ReadBlock(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	trees, err := cluster.TraceTrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var write *relidev.TraceTree
+	for _, tr := range trees {
+		if tr.Root != nil && tr.Root.Kind == "op" && tr.Root.Op == "write" {
+			if write != nil {
+				t.Fatal("more than one write tree stitched")
+			}
+			write = tr
+		}
+	}
+	if write == nil {
+		t.Fatalf("no write tree among %d traces", len(trees))
+	}
+	if !write.Complete() {
+		t.Fatalf("write tree incomplete: %+v", write)
+	}
+	if write.Root.Site != 0 || write.Root.TraceID != write.TraceID {
+		t.Fatalf("root = %+v", write.Root)
+	}
+	if len(write.Sites) == 0 || write.Sites[0] != 0 {
+		t.Fatalf("sites = %v", write.Sites)
+	}
+
+	got, err := cluster.TraceTree(write.TraceID)
+	if err != nil || got == nil || got.TraceID != write.TraceID || got.Spans != write.Spans {
+		t.Fatalf("TraceTree(%d) = %+v, %v", write.TraceID, got, err)
+	}
+	if absent, err := cluster.TraceTree(0xdead); err != nil || absent != nil {
+		t.Fatalf("absent trace = %+v, %v", absent, err)
+	}
+
+	metered, err := relidev.New(3, relidev.AvailableCopy, relidev.WithMetering())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := metered.TraceTrees(); !errors.Is(err, relidev.ErrNotMetered) {
+		t.Fatalf("TraceTrees without tracing = %v, want ErrNotMetered", err)
+	}
+}

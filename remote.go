@@ -140,6 +140,10 @@ func OpenRemote(cfg RemoteConfig) (*RemoteSite, error) {
 	env := scheme.Env{Self: replica, Transport: transport, Sites: ids, Weights: weights}
 	if observer != nil {
 		env.Obs = observer.SchemeSite(cfg.Scheme.String(), protocol.SiteID(cfg.Self))
+		replica.SetWTransitionHook(env.Obs.WTransition)
+		if hook := observer.HandleHook(cfg.Scheme.String(), protocol.SiteID(cfg.Self)); hook != nil {
+			replica.SetHandleHook(hook)
+		}
 	}
 	var ctrl scheme.Controller
 	switch cfg.Scheme {
@@ -190,6 +194,19 @@ func (r *RemoteSite) DebugHandler() (http.Handler, error) {
 		return nil, ErrNotMetered
 	}
 	return obs.NewDebugMux(r.obs), nil
+}
+
+// ClusterTraceHandler returns an HTTP handler serving cluster-wide
+// stitched trace trees: on each request it merges this site's trace
+// ring with every peer /trace endpoint in peerTraceURLs (e.g.
+// "http://host:debugport/trace") and stitches one span tree per traced
+// operation. Unreachable peers degrade to partial trees and are listed
+// in the response's "errors" field. Requires RemoteConfig.Metered.
+func (r *RemoteSite) ClusterTraceHandler(peerTraceURLs []string) (http.Handler, error) {
+	if r.obs == nil {
+		return nil, ErrNotMetered
+	}
+	return obs.ClusterTraceHandler(r.obs, nil, peerTraceURLs), nil
 }
 
 func isNotExist(err error) bool {
