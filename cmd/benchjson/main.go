@@ -9,6 +9,9 @@
 //	benchjson bench.txt            read from a file instead of stdin
 //	benchjson -obs snap.json ...   embed a metrics snapshot from a
 //	                               metered run (see BENCH_obs.json)
+//	benchjson -baseline BENCH_parallel.json ...
+//	                               diff against a prior report: print
+//	                               per-benchmark speedup ratios
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
 	obsPath := flag.String("obs", "", "metrics snapshot JSON (from a metered bench run) to embed in the report")
+	basePath := flag.String("baseline", "", "prior BENCH_*.json report to diff against: prints per-benchmark speedup ratios")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -53,11 +57,68 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
+	if *basePath != "" {
+		base, err := loadReport(*basePath)
+		if err != nil {
+			fatal(err)
+		}
+		diff(os.Stdout, base.Benchmarks, results)
+	}
+}
+
+// loadReport reads a previously written benchjson report.
+func loadReport(path string) (report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return report{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return rep, nil
+}
+
+// diff prints one line per current benchmark with a speedup ratio
+// against the baseline run, matching entries by full name. Speedup is
+// in throughput terms (>1 means the current run is faster), computed
+// from ops/sec when both runs report it and from ns/op otherwise.
+func diff(w io.Writer, baseline, current []result) {
+	byName := make(map[string]result, len(baseline))
+	for _, r := range baseline {
+		byName[r.Name] = r
+	}
+	fmt.Fprintf(w, "%-55s %14s %14s %9s\n", "benchmark", "baseline", "current", "speedup")
+	for _, cur := range current {
+		base, ok := byName[cur.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-55s %14s %14s %9s\n", cur.Name, "-", metric(cur), "new")
+			continue
+		}
+		var ratio float64
+		switch {
+		case base.OpsPerSec > 0 && cur.OpsPerSec > 0:
+			ratio = cur.OpsPerSec / base.OpsPerSec
+		case base.NsPerOp > 0 && cur.NsPerOp > 0:
+			ratio = base.NsPerOp / cur.NsPerOp
+		default:
+			fmt.Fprintf(w, "%-55s %14s %14s %9s\n", cur.Name, metric(base), metric(cur), "?")
+			continue
+		}
+		fmt.Fprintf(w, "%-55s %14s %14s %8.2fx\n", cur.Name, metric(base), metric(cur), ratio)
+	}
+}
+
+// metric renders a result's headline number: ops/sec when reported,
+// ns/op otherwise.
+func metric(r result) string {
+	if r.OpsPerSec > 0 {
+		return fmt.Sprintf("%.1f op/s", r.OpsPerSec)
+	}
+	return fmt.Sprintf("%.0f ns/op", r.NsPerOp)
 }
 
 func fatal(err error) {

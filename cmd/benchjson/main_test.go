@@ -57,6 +57,58 @@ func TestParseRejectsEmptyInput(t *testing.T) {
 	}
 }
 
+func TestBaselineDiff(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "BENCH_base.json")
+	base := report{Benchmarks: []result{
+		{Name: "BenchmarkParallelWrite/voting/n5/lat100us", NsPerOp: 2250000, OpsPerSec: 443},
+		{Name: "BenchmarkParallelWrite/ac/n5/lat100us", NsPerOp: 500000, OpsPerSec: 2000},
+		{Name: "BenchmarkGone/naive/n3", NsPerOp: 10},
+	}}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadReport(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := []result{
+		{Name: "BenchmarkParallelWrite/voting/n5/lat100us", NsPerOp: 150000, OpsPerSec: 6645},
+		{Name: "BenchmarkParallelWrite/ac/n5/lat100us", NsPerOp: 1000000, OpsPerSec: 1000},
+		{Name: "BenchmarkWritePath/voting/n5/lat100us", NsPerOp: 100, OpsPerSec: 9999},
+	}
+	var sb strings.Builder
+	diff(&sb, loaded.Benchmarks, current)
+	out := sb.String()
+	if !strings.Contains(out, "15.00x") {
+		t.Fatalf("voting speedup 6645/443 = 15.00x missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0.50x") {
+		t.Fatalf("ac slowdown 1000/2000 = 0.50x missing:\n%s", out)
+	}
+	if !strings.Contains(out, "new") {
+		t.Fatalf("benchmark absent from baseline not marked new:\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkGone") {
+		t.Fatalf("baseline-only benchmark should not be listed:\n%s", out)
+	}
+
+	// ns/op fallback when a run lacks ops/sec.
+	sb.Reset()
+	diff(&sb, []result{{Name: "B/x/n1", NsPerOp: 200}}, []result{{Name: "B/x/n1", NsPerOp: 100}})
+	if !strings.Contains(sb.String(), "2.00x") {
+		t.Fatalf("ns/op ratio 200/100 = 2.00x missing:\n%s", sb.String())
+	}
+
+	if _, err := loadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
 func TestLoadObsEmbedsSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	good := filepath.Join(dir, "snap.json")

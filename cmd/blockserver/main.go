@@ -11,6 +11,11 @@
 // scheme's recovery procedure (repeating it until it can complete)
 // before serving data.
 //
+// Pass -store-dir to persist blocks in an append-only checksummed
+// segment store instead of a flat image (crash recovery truncates a
+// torn tail and replays the rest), and -commit-batch/-commit-delay to
+// group-commit concurrent writes into shared fsyncs (DESIGN.md §12).
+//
 // Pass -debug-addr to expose the observability surface: /metrics
 // (JSON), /metrics.prom (Prometheus text), /trace (recent protocol
 // events), and the standard /debug/pprof/ handlers.
@@ -39,6 +44,9 @@ func main() {
 		peersF     = flag.String("peers", "", "comma-separated id=host:port for every site, including this one")
 		schemeF    = flag.String("scheme", "naive", "consistency scheme: voting, ac, naive")
 		storePath  = flag.String("store", "", "path of the block image file (empty = in-memory)")
+		storeDir   = flag.String("store-dir", "", "directory for an append-only segment store (DESIGN.md \u00a712); takes precedence over -store")
+		commitN    = flag.Int("commit-batch", 0, "group commit: coalesce up to this many concurrent writes into one fsync (0 = off)")
+		commitWait = flag.Duration("commit-delay", 0, "group commit: how long a flush waits for more writers to join its batch (0 = opportunistic)")
 		blocks     = flag.Int("blocks", 128, "number of blocks")
 		blockSize  = flag.Int("blocksize", 512, "block size in bytes")
 		comatose   = flag.Bool("comatose", false, "start comatose and run recovery (use after a crash)")
@@ -46,7 +54,7 @@ func main() {
 		tracePeers = flag.String("trace-peers", "", "comma-separated peer /trace URLs; mounts /trace/cluster on the debug surface with the cluster-wide stitched view")
 	)
 	flag.Parse()
-	if err := run(*id, *peersF, *schemeF, *storePath, *blocks, *blockSize, *comatose, *debugAddr, *tracePeers); err != nil {
+	if err := run(*id, *peersF, *schemeF, *storePath, *storeDir, *commitN, *commitWait, *blocks, *blockSize, *comatose, *debugAddr, *tracePeers); err != nil {
 		fmt.Fprintln(os.Stderr, "blockserver:", err)
 		os.Exit(1)
 	}
@@ -88,7 +96,7 @@ func parseScheme(s string) (relidev.Scheme, error) {
 	}
 }
 
-func run(id int, peersF, schemeF, storePath string, blocks, blockSize int, comatose bool, debugAddr, tracePeers string) error {
+func run(id int, peersF, schemeF, storePath, storeDir string, commitN int, commitWait time.Duration, blocks, blockSize int, comatose bool, debugAddr, tracePeers string) error {
 	peers, err := parsePeers(peersF)
 	if err != nil {
 		return err
@@ -98,20 +106,23 @@ func run(id int, peersF, schemeF, storePath string, blocks, blockSize int, comat
 		return err
 	}
 	site, err := relidev.OpenRemote(relidev.RemoteConfig{
-		Self:      id,
-		Peers:     peers,
-		Scheme:    scheme,
-		Geometry:  relidev.Geometry{BlockSize: blockSize, NumBlocks: blocks},
-		StorePath: storePath,
-		Comatose:  comatose,
-		Metered:   debugAddr != "",
+		Self:             id,
+		Peers:            peers,
+		Scheme:           scheme,
+		Geometry:         relidev.Geometry{BlockSize: blockSize, NumBlocks: blocks},
+		StorePath:        storePath,
+		StoreDir:         storeDir,
+		GroupCommitBatch: commitN,
+		GroupCommitDelay: commitWait,
+		Comatose:         comatose,
+		Metered:          debugAddr != "",
 	})
 	if err != nil {
 		return err
 	}
 	defer site.Close()
 	fmt.Printf("site %d serving %s on %s (scheme %v, %dx%d)\n",
-		id, storeDesc(storePath), site.Addr(), scheme, blockSize, blocks)
+		id, storeDesc(storePath, storeDir), site.Addr(), scheme, blockSize, blocks)
 
 	if debugAddr != "" {
 		srv, ln, err := serveDebug(site, debugAddr, splitURLs(tracePeers))
@@ -190,9 +201,12 @@ func splitURLs(s string) []string {
 	return urls
 }
 
-func storeDesc(path string) string {
-	if path == "" {
-		return "in-memory store"
+func storeDesc(path, dir string) string {
+	switch {
+	case dir != "":
+		return "segment store " + dir
+	case path != "":
+		return path
 	}
-	return path
+	return "in-memory store"
 }

@@ -122,7 +122,12 @@ func menu(kind core.SchemeKind, seed int64) faultnet.Config {
 			ReplyLossProb: 0.03,
 			TimeoutProb:   0.03,
 			LatencyProb:   0.02,
-			NoDropKinds:   []string{"put"},
+			// Puts and aborts assume reliable delivery: a silently dropped
+			// put leaves a sub-quorum install, and a dropped abort leaves a
+			// failed prepare-write's staged data behind — both can alias a
+			// later write's version number. Losing their acknowledgements
+			// stays fair game.
+			NoDropKinds: []string{"put", "abort-write"},
 		}
 	default:
 		return faultnet.Config{

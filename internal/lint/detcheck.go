@@ -12,7 +12,8 @@ import (
 // process-seeded global math/rand source, and map iteration order
 // all break that.
 //
-// Within internal/{faultnet,chaos,sim,workload,markov,obs} it flags:
+// Within internal/{faultnet,chaos,sim,workload,markov,obs,store} it
+// flags:
 //
 //  1. wall-clock calls (time.Now, Since, Until, Sleep, After, ...);
 //  2. package-level math/rand functions, which draw from the shared
@@ -37,7 +38,14 @@ var DetCheck = &Analyzer{
 // well: it is already covered via its "obs" path element, but its
 // chaos-facing conformance verdicts make the intent worth pinning —
 // the estimator consumes an explicit timeline, never the wall clock.
-var detScopeElems = []string{"faultnet", "chaos", "sim", "workload", "markov", "obs", "avail"}
+// The store layer joined the scope with group commit: its flush
+// policy decides *when* batched writes hit the disk, and deterministic
+// harnesses (and the batcher's own tests) replay those decisions
+// through an injected store.Clock — a stray time.NewTimer or
+// time.After in batching code would put flush timing back on the wall
+// clock. Only the sanctioned realClock default carries an allow
+// directive.
+var detScopeElems = []string{"faultnet", "chaos", "sim", "workload", "markov", "obs", "avail", "store"}
 
 var wallClockFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,

@@ -17,6 +17,10 @@ func TestLockCheckOutOfScope(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/lockcheck/outofscope", lint.LockCheck)
 }
 
+func TestLockCheckStoreFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/lockcheck/store", lint.LockCheck)
+}
+
 func TestDetCheckFixtures(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/detcheck/chaos", lint.DetCheck)
 }
@@ -27,6 +31,10 @@ func TestDetCheckObsFixtures(t *testing.T) {
 
 func TestDetCheckAvailFixtures(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/detcheck/avail", lint.DetCheck)
+}
+
+func TestDetCheckStoreFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/detcheck/store", lint.DetCheck)
 }
 
 func TestDetCheckOutOfScope(t *testing.T) {

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // LockCheck enforces the OpLocks critical-section discipline on the
@@ -24,6 +25,17 @@ import (
 //     SetState, SetWasAvailable, ApplyRecovery) must happen in a
 //     locked context — the function acquires OpLocks itself or every
 //     intra-package caller does.
+//
+// The store layer joined the scope with group commit (DESIGN.md §12):
+// SegStore serialises image and segment mutation under one mutex and
+// names every helper that assumes it with a *Locked suffix. Within
+// internal/store a fourth rule enforces that convention:
+//
+//  4. Locked-suffix discipline: a same-package *Locked function may
+//     only be called from a function that itself acquires a
+//     sync.Mutex/RWMutex or carries the Locked suffix too (documented
+//     exceptions — e.g. constructors running before the store is
+//     shared — use //relidev:allow locking).
 var LockCheck = &Analyzer{
 	Name:  "lockcheck",
 	Topic: "locking",
@@ -33,6 +45,9 @@ var LockCheck = &Analyzer{
 }
 
 var lockScopeElems = []string{"voting", "availcopy", "naiveac", "core"}
+
+// storeScopeElem scopes the Locked-suffix rule to the store layer.
+const storeScopeElem = "store"
 
 var replicaMutators = map[string]bool{
 	"WriteLocal":      true,
@@ -81,6 +96,9 @@ type lockFnState struct {
 }
 
 func runLockCheck(p *Pass) {
+	if pkgHasElement(p.Types, storeScopeElem) {
+		checkLockedSuffix(p)
+	}
 	if !pkgHasElement(p.Types, lockScopeElems...) {
 		return
 	}
@@ -193,6 +211,75 @@ func runLockCheck(p *Pass) {
 			}
 		}
 	}
+}
+
+// isMutexAcquire reports whether a call acquires a sync.Mutex or
+// sync.RWMutex (Lock or RLock).
+func isMutexAcquire(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	if fn.Name() != "Lock" && fn.Name() != "RLock" {
+		return false
+	}
+	base := recvBaseName(fn)
+	return base == "Mutex" || base == "RWMutex"
+}
+
+// checkLockedSuffix enforces rule 4 in the store layer: a call to a
+// same-package function or method named *Locked must come from a
+// function that acquires a sync mutex in its own body, or is itself
+// *Locked (the convention's way of passing the obligation up).
+func checkLockedSuffix(p *Pass) {
+	for _, file := range p.Files {
+		tree := buildFuncTree(file)
+		holds := make(map[ast.Node]bool)
+		type suffixCall struct {
+			call  *ast.CallExpr
+			owner ast.Node
+			name  string
+		}
+		var calls []suffixCall
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			owner := tree.owner[n]
+			if owner == nil {
+				return true
+			}
+			if isMutexAcquire(p.Info, call) {
+				holds[owner] = true
+			}
+			if fn := calleeOf(p.Info, call); fn != nil && fn.Pkg() == p.Types &&
+				strings.HasSuffix(fn.Name(), "Locked") {
+				calls = append(calls, suffixCall{call: call, owner: owner, name: fn.Name()})
+			}
+			return true
+		})
+		for _, sc := range calls {
+			guarded := false
+			for o := sc.owner; o != nil; o = tree.parent[o] {
+				if holds[o] || funcNodeIsLocked(o) {
+					guarded = true
+					break
+				}
+			}
+			if !guarded {
+				p.Reportf(sc.call.Pos(),
+					"%s called without holding the store mutex: callers of *Locked helpers must acquire the lock themselves or carry the Locked suffix", sc.name)
+			}
+		}
+	}
+}
+
+// funcNodeIsLocked reports whether a function declaration's own name
+// ends in Locked (literals have no name and never qualify).
+func funcNodeIsLocked(n ast.Node) bool {
+	d, ok := n.(*ast.FuncDecl)
+	return ok && strings.HasSuffix(d.Name.Name, "Locked")
 }
 
 // guardedByCallers reports whether every intra-package caller of fn

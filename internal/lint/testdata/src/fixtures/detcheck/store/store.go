@@ -1,0 +1,65 @@
+// Fixtures for detcheck in the store layer: group commit's flush
+// policy decides when batched writes reach the disk, and deterministic
+// harnesses replay those decisions through an injected Clock — batching
+// code must never read the wall clock or the global rand source.
+package store
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock mirrors the injectable timer source the real batcher uses.
+type Clock interface {
+	NewTimer(d time.Duration) *time.Timer
+}
+
+type Batcher struct {
+	clock    Clock
+	maxDelay time.Duration
+	reqs     chan int
+}
+
+// ok: the flush wait runs on the injected clock.
+func (b *Batcher) collect(leader int) []int {
+	batch := []int{leader}
+	timer := b.clock.NewTimer(b.maxDelay)
+	select {
+	case r := <-b.reqs:
+		batch = append(batch, r)
+	case <-timer.C:
+	}
+	return batch
+}
+
+func badCollect(b *Batcher, leader int) []int {
+	batch := []int{leader}
+	timer := time.NewTimer(b.maxDelay) // want "time.NewTimer in a replay-deterministic package"
+	select {
+	case r := <-b.reqs:
+		batch = append(batch, r)
+	case <-timer.C:
+	}
+	return batch
+}
+
+func badDeadline(b *Batcher) bool {
+	select {
+	case <-time.After(b.maxDelay): // want "time.After in a replay-deterministic package"
+		return true
+	case <-b.reqs:
+		return false
+	}
+}
+
+func jitteredDelay(base time.Duration) time.Duration {
+	return base + time.Duration(rand.Int63n(1000)) // want "global rand.Int63n draws from the process-seeded source"
+}
+
+// ok: the sanctioned default clock carries the documented exception.
+type realClock struct{}
+
+func (realClock) NewTimer(d time.Duration) *time.Timer {
+	//relidev:allow nondeterminism: default clock for live stores; deterministic harnesses inject a fake Clock
+	return time.NewTimer(d)
+}

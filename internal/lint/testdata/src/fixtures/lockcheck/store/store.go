@@ -1,0 +1,90 @@
+// Fixtures for lockcheck's Locked-suffix rule in the store layer: a
+// *Locked helper assumes its caller holds the store mutex, so calls
+// must come from functions that acquire it (or are *Locked too).
+// Positive cases carry // want comments; compliant code (marked "ok:")
+// must produce no findings.
+package store
+
+import "sync"
+
+type SegStore struct {
+	mu        sync.Mutex
+	activeLen int64
+	maxBytes  int64
+}
+
+// ok: canonical pattern — take the mutex, then use the helpers.
+func (s *SegStore) Write(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(data)
+}
+
+// ok: a *Locked helper may call further *Locked helpers; the
+// obligation stays with the outermost caller.
+func (s *SegStore) appendLocked(data []byte) error {
+	if s.activeLen >= s.maxBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	s.activeLen += int64(len(data))
+	return nil
+}
+
+func (s *SegStore) rotateLocked() error {
+	s.activeLen = 0
+	return nil
+}
+
+// ok: closures inherit the guarantee from the enclosing acquisition.
+func (s *SegStore) FlushAll(blocks [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	apply := func(data []byte) error { return s.appendLocked(data) }
+	for _, data := range blocks {
+		if err := apply(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ok: an RWMutex read lock also counts as holding the lock.
+type Index struct {
+	mu   sync.RWMutex
+	segs map[uint64]int
+}
+
+func (ix *Index) Count(seq uint64) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.countLocked(seq)
+}
+
+func (ix *Index) countLocked(seq uint64) int { return ix.segs[seq] }
+
+// Unguarded calls: neither the function nor an enclosing one takes a
+// mutex, and the name carries no Locked suffix.
+func (s *SegStore) rotateNow() error {
+	return s.rotateLocked() // want "rotateLocked called without holding the store mutex"
+}
+
+func drainAsync(s *SegStore, blocks [][]byte) {
+	go func() {
+		for _, data := range blocks {
+			s.appendLocked(data) // want "appendLocked called without holding the store mutex"
+		}
+	}()
+}
+
+// ok: documented exception — constructors run before the store is
+// shared, so there is no concurrent writer yet.
+func NewSegStore() (*SegStore, error) {
+	s := &SegStore{maxBytes: 1 << 20}
+	//relidev:allow locking: store not yet shared during construction
+	if err := s.rotateLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

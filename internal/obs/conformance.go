@@ -35,6 +35,15 @@ type OpObservation struct {
 	ParticipantsSum uint64 `json:"participants_sum"`
 	// StaleReads counts voting reads that also fetched the block.
 	StaleReads uint64 `json:"stale_reads,omitempty"`
+	// TwoRound counts completed voting writes that used the classic
+	// two-round shape (vote round + put fan-out); the remainder used the
+	// single-round prepare-write path, which saves the put broadcast and
+	// its unicast sends.
+	TwoRound uint64 `json:"two_round,omitempty"`
+	// TwoRoundParticipants is the participation total over the TwoRound
+	// writes, needed in unicast mode where the put fan-out is priced per
+	// participant.
+	TwoRoundParticipants uint64 `json:"two_round_participants,omitempty"`
 	// Messages is the §5 transmission total the transport attributed to
 	// this operation class.
 	Messages uint64 `json:"messages"`
@@ -159,6 +168,22 @@ func strictCheck(in ConformanceInput, op string, o OpObservation) (OpCheck, erro
 	switch op {
 	case protocol.OpWrite:
 		predicted = costs.Write
+		if in.Scheme == analysis.SchemeVoting {
+			// Writes that took the single-round prepare-write path skip
+			// the put fan-out: in multicast mode each saves exactly one
+			// broadcast; in unicast mode each saves its (participants-1)
+			// put sends. The §5 formula is affine in participation, so
+			// adjusting costs.Write (priced at mean U) by the mean saving
+			// stays exact for any mix of shapes.
+			c := float64(o.Completions)
+			fast := c - float64(o.TwoRound)
+			if in.Unicast {
+				fastPuts := (float64(o.ParticipantsSum) - float64(o.TwoRoundParticipants)) - fast
+				predicted -= fastPuts / c
+			} else {
+				predicted -= fast / c
+			}
+		}
 	case protocol.OpRead:
 		// Each stale read costs ReadStale - Read extra (one fetch).
 		predicted = costs.Read + (costs.ReadStale-costs.Read)*float64(o.StaleReads)/float64(o.Completions)
@@ -266,6 +291,8 @@ func GatherObservations(snap Snapshot, schemeName string, transmissions map[stri
 		}
 	}
 	write = gather(protocol.OpWrite)
+	write.TwoRound = snap.CounterTotal(MetricWriteTwoRound, s)
+	write.TwoRoundParticipants = snap.CounterTotal(MetricWriteTwoRoundParticipants, s)
 	read = gather(protocol.OpRead)
 	read.StaleReads = snap.CounterTotal(MetricStaleReads, s)
 	recovery = gather(protocol.OpRecovery)

@@ -15,6 +15,14 @@ func exact(ops, u, msgs uint64) OpObservation {
 	return OpObservation{Attempts: ops, Completions: ops, ParticipantsSum: ops * u, Messages: msgs}
 }
 
+// classic marks every write in an observation as two-round, the shape
+// the §5 formulas price directly.
+func classic(o OpObservation) OpObservation {
+	o.TwoRound = o.Completions
+	o.TwoRoundParticipants = o.ParticipantsSum
+	return o
+}
+
 func TestStrictConformanceExact(t *testing.T) {
 	// Synthetic observations at n=5, U=4 for every scheme and mode,
 	// message totals computed from the §5 tables by hand.
@@ -25,13 +33,25 @@ func TestStrictConformanceExact(t *testing.T) {
 		in      ConformanceInput
 	}{
 		{"voting/multicast", analysis.SchemeVoting, false, ConformanceInput{
-			Write:    exact(10, 4, 50), // 1+U = 5 each
-			Read:     exact(10, 4, 40), // U = 4 each
-			Recovery: exact(3, 1, 0),   // lazy: free
+			Write:    classic(exact(10, 4, 50)), // 1+U = 5 each
+			Read:     exact(10, 4, 40),          // U = 4 each
+			Recovery: exact(3, 1, 0),            // lazy: free
 		}},
 		{"voting/unicast", analysis.SchemeVoting, true, ConformanceInput{
-			Write:    exact(10, 4, 100), // n+2U-3 = 10 each
-			Read:     exact(10, 4, 70),  // n+U-2 = 7 each
+			Write:    classic(exact(10, 4, 100)), // n+2U-3 = 10 each
+			Read:     exact(10, 4, 70),           // n+U-2 = 7 each
+			Recovery: exact(3, 1, 0),
+		}},
+		{"voting/multicast/fast", analysis.SchemeVoting, false, ConformanceInput{
+			// Single-round writes save the put broadcast: U = 4 each.
+			Write:    exact(10, 4, 40),
+			Read:     exact(10, 4, 40),
+			Recovery: exact(3, 1, 0),
+		}},
+		{"voting/unicast/fast", analysis.SchemeVoting, true, ConformanceInput{
+			// n+U-2 = 7 each: the U-1 put sends are saved.
+			Write:    exact(10, 4, 70),
+			Read:     exact(10, 4, 70),
 			Recovery: exact(3, 1, 0),
 		}},
 		{"available-copy/multicast", analysis.SchemeAvailableCopy, false, ConformanceInput{
@@ -70,6 +90,46 @@ func TestStrictConformanceExact(t *testing.T) {
 	}
 }
 
+func TestStrictConformanceMixedWriteShapes(t *testing.T) {
+	// 10 voting writes at n=5, U=4: six took the single-round path, four
+	// fell back to the two-round shape. Multicast: 6*4 + 4*5 = 44.
+	// Unicast: 6*7 + 4*10 = 82.
+	for _, c := range []struct {
+		name    string
+		unicast bool
+		msgs    uint64
+	}{
+		{"multicast", false, 44},
+		{"unicast", true, 82},
+	} {
+		write := exact(10, 4, c.msgs)
+		write.TwoRound = 4
+		write.TwoRoundParticipants = 16
+		rep, err := CheckConformance(ConformanceInput{
+			Scheme: analysis.SchemeVoting, Sites: 5, Unicast: c.unicast,
+			Write: write,
+		}, true)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !rep.OK {
+			t.Errorf("%s: mixed-shape conformance failed: %v", c.name, rep.Violations())
+		}
+		// One message over the mixed total must still trip the check.
+		write.Messages++
+		rep, err = CheckConformance(ConformanceInput{
+			Scheme: analysis.SchemeVoting, Sites: 5, Unicast: c.unicast,
+			Write: write,
+		}, true)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if rep.OK {
+			t.Errorf("%s: off-by-one mixed-shape total passed strict conformance", c.name)
+		}
+	}
+}
+
 func TestStrictConformanceStaleReads(t *testing.T) {
 	// 10 voting reads at U=4, 3 of them stale: predicted mean is
 	// U + (ReadStale-Read) * 3/10 = 4.3 — one extra fetch per stale read.
@@ -77,7 +137,7 @@ func TestStrictConformanceStaleReads(t *testing.T) {
 	read.StaleReads = 3
 	rep, err := CheckConformance(ConformanceInput{
 		Scheme: analysis.SchemeVoting, Sites: 5,
-		Write: exact(10, 4, 50), Read: read,
+		Write: classic(exact(10, 4, 50)), Read: read,
 	}, true)
 	if err != nil {
 		t.Fatal(err)

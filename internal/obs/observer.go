@@ -30,6 +30,19 @@ const (
 	// MetricStaleReads counts voting reads that had to repair the local
 	// copy with a block fetch (§5.1 charges them one extra message).
 	MetricStaleReads = "relidev_stale_reads_total"
+	// MetricWriteTwoRound counts completed voting writes that used the
+	// classic two-round shape (vote round then put fan-out) instead of
+	// the single-round prepare-write of DESIGN.md §12 — conflict or
+	// witness-in-quorum fallbacks, or forced-classic configurations.
+	MetricWriteTwoRound = "relidev_write_two_round_total"
+	// MetricWriteTwoRoundParticipants sums participation over those
+	// two-round writes, so §5 conformance can price each shape at its
+	// own participation level.
+	MetricWriteTwoRoundParticipants = "relidev_write_two_round_participants_total"
+	// MetricGroupCommitOccupancy is a gauge holding the size of the most
+	// recent group-commit batch a site's store flushed: how many writes
+	// shared one fsync (DESIGN.md §12).
+	MetricGroupCommitOccupancy = "relidev_group_commit_batch_occupancy"
 	// MetricWTransitions counts changes of a site's was-available set.
 	MetricWTransitions = "relidev_w_transitions_total"
 	// MetricClosures counts closure recomputations during available
@@ -226,6 +239,8 @@ func (o *Observer) SchemeSite(scheme string, site protocol.SiteID) *SchemeObs {
 		s.latency[i] = o.reg.Histogram(MetricOpLatency, schemeLabel, siteLabel, opLabel)
 	}
 	s.staleReads = o.reg.Counter(MetricStaleReads, schemeLabel, siteLabel)
+	s.twoRound = o.reg.Counter(MetricWriteTwoRound, schemeLabel, siteLabel)
+	s.twoRoundParticipants = o.reg.Counter(MetricWriteTwoRoundParticipants, schemeLabel, siteLabel)
 	s.wTransitions = o.reg.Counter(MetricWTransitions, schemeLabel, siteLabel)
 	s.closures = o.reg.Counter(MetricClosures, schemeLabel, siteLabel)
 	o.schemes[key] = s
@@ -239,14 +254,16 @@ type SchemeObs struct {
 	scheme string
 	site   protocol.SiteID
 
-	attempts     [len(ops)]*Counter
-	completions  [len(ops)]*Counter
-	failures     [len(ops)]*Counter
-	participants [len(ops)]*Counter
-	latency      [len(ops)]*Histogram
-	staleReads   *Counter
-	wTransitions *Counter
-	closures     *Counter
+	attempts             [len(ops)]*Counter
+	completions          [len(ops)]*Counter
+	failures             [len(ops)]*Counter
+	participants         [len(ops)]*Counter
+	latency              [len(ops)]*Histogram
+	staleReads           *Counter
+	twoRound             *Counter
+	twoRoundParticipants *Counter
+	wTransitions         *Counter
+	closures             *Counter
 }
 
 // Label attaches the §5 operation label to ctx so the transport can
@@ -353,6 +370,20 @@ func (s *SchemeObs) LazyRefresh(idx block.Index, src protocol.SiteID, ver block.
 	s.staleReads.Inc()
 	s.emit(Event{Kind: EvLazyRefresh, Op: protocol.OpRead, Block: int64(idx),
 		Detail: fmt.Sprintf("from=%v version=%d", src, uint64(ver))})
+}
+
+// WriteTwoRound records a completed write that took the classic
+// two-round shape (vote round + put fan-out) rather than the
+// single-round prepare-write path, with its participation count. Call
+// it alongside OpSpan.Done for successful two-round writes only.
+func (s *SchemeObs) WriteTwoRound(participants int) {
+	if s == nil {
+		return
+	}
+	s.twoRound.Inc()
+	if participants > 0 {
+		s.twoRoundParticipants.Add(uint64(participants))
+	}
 }
 
 // WTransition records a change of this site's was-available set.

@@ -80,6 +80,64 @@ type PutReply struct{}
 // RespKind implements Response.
 func (PutReply) RespKind() string { return "put-reply" }
 
+// PrepareWriteRequest is the combined single-round write of the fast
+// write path (DESIGN.md §12): it carries the coordinator's proposed
+// version *and* the block data in one message, collapsing the Figure 4
+// vote round and put fan-out into a single quorum round trip. The
+// recipient answers with its vote (exactly the VoteReply fields) and
+// provisionally installs the proposal when — and only when — the
+// proposed version strictly exceeds its local one, so no site can ever
+// hold two different contents under the same version number.
+type PrepareWriteRequest struct {
+	Block block.Index
+	Data  []byte
+	// Version is the coordinator's proposal: its local version + 1.
+	Version block.Version
+}
+
+// Kind implements Request.
+func (PrepareWriteRequest) Kind() string { return "prepare-write" }
+
+// PrepareWriteReply is a site's combined vote-and-stage answer.
+type PrepareWriteReply struct {
+	// Version is the responder's version *before* any install: its vote.
+	Version block.Version
+	Weight  int64
+	State   SiteState
+	Witness bool
+	// Staged reports that the proposal was installed. Comatose sites and
+	// witnesses vote without staging, and a proposal at or below the
+	// local version is refused (the coordinator falls back to the
+	// two-round path).
+	Staged bool
+}
+
+// RespKind implements Response.
+func (PrepareWriteReply) RespKind() string { return "prepare-write-reply" }
+
+// AbortWriteRequest undoes a staged prepare-write that failed to gather
+// a quorum: the recipient restores the pre-image it retained when it
+// staged version Version, provided nothing newer has been installed
+// since. Without the abort, a failed write would leave data behind that
+// a later write's version number could collide with — classic voting's
+// failed vote round leaves no trace, and the fast path must match that.
+type AbortWriteRequest struct {
+	Block block.Index
+	// Version is the staged proposal to revert.
+	Version block.Version
+}
+
+// Kind implements Request.
+func (AbortWriteRequest) Kind() string { return "abort-write" }
+
+// AbortWriteReply acknowledges an AbortWriteRequest. An abort of a
+// proposal that was never staged, or that a newer install has already
+// superseded, succeeds as a no-op.
+type AbortWriteReply struct{}
+
+// RespKind implements Response.
+func (AbortWriteReply) RespKind() string { return "abort-write-reply" }
+
 // StatusRequest asks a site for its recovery-relevant state. A recovering
 // site broadcasts it to learn which sites are up, their states, their
 // was-available sets and how current they are (§3.2, §5.1).
@@ -142,6 +200,10 @@ func RegisterGob() {
 	gob.Register(FetchReply{})
 	gob.Register(PutRequest{})
 	gob.Register(PutReply{})
+	gob.Register(PrepareWriteRequest{})
+	gob.Register(PrepareWriteReply{})
+	gob.Register(AbortWriteRequest{})
+	gob.Register(AbortWriteReply{})
 	gob.Register(StatusRequest{})
 	gob.Register(StatusReply{})
 	gob.Register(RecoveryRequest{})

@@ -27,6 +27,14 @@ func WireSize(msg interface{}) int {
 		return wireHeader + 4 + 8 + 8 + 2 + len(m.Data)
 	case PutReply:
 		return wireHeader
+	case PrepareWriteRequest:
+		return wireHeader + 4 + 8 + len(m.Data)
+	case PrepareWriteReply:
+		return wireHeader + 8 + 8 + 1 + 1 + 1
+	case AbortWriteRequest:
+		return wireHeader + 4 + 8
+	case AbortWriteReply:
+		return wireHeader
 	case StatusRequest:
 		return wireHeader
 	case StatusReply:

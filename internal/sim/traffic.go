@@ -13,6 +13,7 @@ import (
 	"relidev/internal/protocol"
 	"relidev/internal/scheme"
 	"relidev/internal/simnet"
+	"relidev/internal/voting"
 	"relidev/internal/workload"
 )
 
@@ -99,6 +100,10 @@ func SimulateTraffic(ctx context.Context, cfg TrafficConfig) (TrafficResult, err
 		Scheme:   cfg.Scheme,
 		Mode:     cfg.Mode,
 		Observer: cfg.Observer,
+		// The simulation's purpose is validating the §5 cost formulas, so
+		// voting writes run the paper's literal two-round shape rather
+		// than the prepare-write fast path.
+		VotingOptions: []voting.Option{voting.WithTwoRoundWrites()},
 	})
 	if err != nil {
 		return TrafficResult{}, err

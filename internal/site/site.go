@@ -52,6 +52,13 @@ type Replica struct {
 	state    protocol.SiteState
 	wasAvail protocol.SiteSet
 
+	// prov retains, per block, the pre-image displaced by the most recent
+	// staged prepare-write, so an AbortWriteRequest can restore it if the
+	// coordinator's quorum fails. Entries are dropped as soon as any
+	// newer install supersedes the staged version; memory is bounded by
+	// the number of blocks. Guarded by mu.
+	prov map[block.Index]provRecord
+
 	// wHook observes was-available transitions (old, new); nil observes
 	// nothing. A plain func keeps the site mechanism free of any
 	// dependency on the observability layer.
@@ -214,6 +221,50 @@ func (r *Replica) WriteLocal(idx block.Index, data []byte, ver block.Version) er
 	return r.st.Write(idx, data, ver)
 }
 
+// StageLocal conditionally installs a block: the write happens only
+// when ver strictly exceeds the stored version, and the version check
+// and install are atomic with respect to every other staged install on
+// this replica. It returns whether the install happened. The fast write
+// path uses it for the coordinator's own copy so that two coordinators
+// racing on the same proposed version can never both install it — the
+// same rule handlePrepareWrite applies for remote proposals.
+func (r *Replica) StageLocal(idx block.Index, data []byte, ver block.Version) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stageLocked(idx, data, ver)
+}
+
+// provRecord is the pre-image a staged prepare-write displaced. from
+// identifies the staging coordinator: aborts are broadcast (the
+// coordinator cannot know which sites staged when replies were lost),
+// so a record must only ever be reverted by the coordinator that
+// created it — another coordinator's abort of the same version number
+// must not undo a committed write.
+type provRecord struct {
+	from      protocol.SiteID
+	stagedVer block.Version
+	prevVer   block.Version
+	prevData  []byte
+}
+
+// stageLocked is the shared conditional install. Callers hold r.mu.
+func (r *Replica) stageLocked(idx block.Index, data []byte, ver block.Version) (bool, error) {
+	cur, err := r.st.Version(idx)
+	if err != nil {
+		return false, err
+	}
+	if ver <= cur {
+		return false, nil
+	}
+	if err := r.st.Write(idx, data, ver); err != nil {
+		return false, err
+	}
+	// Any successful install supersedes an abortable staged proposal: the
+	// retained pre-image is no longer the block's history.
+	delete(r.prov, idx)
+	return true, nil
+}
+
 // VersionLocal returns the local version of one block.
 func (r *Replica) VersionLocal(idx block.Index) (block.Version, error) {
 	return r.st.Version(idx)
@@ -255,7 +306,12 @@ func (r *Replica) Handle(ctx context.Context, from protocol.SiteID, req protocol
 		if state == protocol.StateComatose {
 			return nil, ErrComatose
 		}
-		if err := r.st.Write(q.Block, q.Data, q.Version); err != nil {
+		// Installs are version-conditional: a put that lost a race with a
+		// newer install is acknowledged but discarded, so per-site
+		// versions only ever move forward. Acknowledging is sound: any
+		// read quorum also intersects the quorum that committed the newer
+		// version, so it resolves past the superseded write.
+		if _, err := r.StageLocal(q.Block, q.Data, q.Version); err != nil {
 			return nil, err
 		}
 		if q.HasW {
@@ -274,6 +330,12 @@ func (r *Replica) Handle(ctx context.Context, from protocol.SiteID, req protocol
 		}
 		return protocol.PutReply{}, nil
 
+	case protocol.PrepareWriteRequest:
+		return r.handlePrepareWrite(state, from, q)
+
+	case protocol.AbortWriteRequest:
+		return r.handleAbortWrite(from, q)
+
 	case protocol.StatusRequest:
 		r.mu.Lock()
 		defer r.mu.Unlock()
@@ -290,6 +352,90 @@ func (r *Replica) Handle(ctx context.Context, from protocol.SiteID, req protocol
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownRequest, req)
 	}
+}
+
+// handlePrepareWrite serves the fast write path's combined
+// vote-and-stage request (DESIGN.md §12). The reply always carries the
+// site's vote — the version *before* any install, plus weight and
+// witness flag, exactly like a VoteReply — so the coordinator's quorum
+// arithmetic is unchanged. The proposal is installed only when the site
+// may hold data (available, not a witness) and the proposed version
+// strictly exceeds the local one.
+//
+// The version check and the install happen under one r.mu hold: two
+// coordinators proposing the same version concurrently must not both
+// stage it here, or each could assemble a disjoint "installed" quorum
+// for different contents under one version number. With the check
+// atomic, any two staged write quorums intersect at a site that
+// accepted exactly one of the proposals, and the losing coordinator
+// sees a vote >= its proposal and falls back to the two-round path.
+func (r *Replica) handlePrepareWrite(state protocol.SiteState, from protocol.SiteID, q protocol.PrepareWriteRequest) (protocol.Response, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ver, err := r.st.Version(q.Block)
+	if err != nil {
+		return nil, err
+	}
+	reply := protocol.PrepareWriteReply{Version: ver, Weight: r.weight, State: state, Witness: r.witness}
+	// A comatose site votes (its version numbers are genuine) but must
+	// not accept data, mirroring how it answers VoteRequest yet rejects
+	// PutRequest. A witness never stages either: a fast commit would
+	// leave its version table behind the data sites', so the coordinator
+	// falls back to the put fan-out whenever a witness is in the quorum.
+	if state == protocol.StateComatose || r.witness {
+		return reply, nil
+	}
+	var prevData []byte
+	if q.Version > ver {
+		// Retain the displaced pre-image so a failed quorum can abort the
+		// stage; read it before the install overwrites it.
+		prevData, _, err = r.st.Read(q.Block)
+		if err != nil {
+			return nil, err
+		}
+	}
+	staged, err := r.stageLocked(q.Block, q.Data, q.Version)
+	if err != nil {
+		return nil, err
+	}
+	reply.Staged = staged
+	if staged {
+		if r.prov == nil {
+			r.prov = make(map[block.Index]provRecord)
+		}
+		r.prov[q.Block] = provRecord{from: from, stagedVer: q.Version, prevVer: ver, prevData: prevData}
+	}
+	return reply, nil
+}
+
+// handleAbortWrite reverts a staged prepare-write whose coordinator
+// failed to assemble a quorum: if the block still holds exactly the
+// version that coordinator staged here, the retained pre-image is
+// restored. A proposal that was never staged here, that somebody else
+// staged, or that a newer install has superseded needs no undoing — the
+// abort is then a successful no-op.
+func (r *Replica) handleAbortWrite(from protocol.SiteID, q protocol.AbortWriteRequest) (protocol.Response, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.prov[q.Block]
+	if !ok || rec.from != from || rec.stagedVer != q.Version {
+		return protocol.AbortWriteReply{}, nil
+	}
+	cur, err := r.st.Version(q.Block)
+	if err != nil {
+		return nil, err
+	}
+	if cur != q.Version {
+		// A newer install landed without clearing the record (defensive;
+		// stageLocked clears it). Nothing to restore.
+		delete(r.prov, q.Block)
+		return protocol.AbortWriteReply{}, nil
+	}
+	if err := r.st.Write(q.Block, rec.prevData, rec.prevVer); err != nil {
+		return nil, err
+	}
+	delete(r.prov, q.Block)
+	return protocol.AbortWriteReply{}, nil
 }
 
 func (r *Replica) applyWasAvailFromWrite(piggyback protocol.SiteSet, writer protocol.SiteID, replace bool) error {

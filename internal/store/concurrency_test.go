@@ -21,6 +21,12 @@ func TestConcurrentStoreAccess(t *testing.T) {
 	if v, err := NewVersionOnly(testGeom); err == nil {
 		impls["versiononly"] = v
 	}
+	if s, err := CreateSeg(filepath.Join(t.TempDir(), "segs"), testGeom, WithMaxSegmentBytes(16<<10)); err == nil {
+		impls["segment"] = s
+	}
+	if s, err := CreateSeg(filepath.Join(t.TempDir(), "batched"), testGeom, WithMaxSegmentBytes(16<<10)); err == nil {
+		impls["batched-segment"] = NewBatcher(s, BatchPolicy{MaxBatch: 8})
+	}
 	for name, s := range impls {
 		s := s
 		t.Run(name, func(t *testing.T) {

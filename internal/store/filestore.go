@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"relidev/internal/block"
@@ -62,6 +63,17 @@ func CreateFile(path string, geom block.Geometry) (*FileStore, error) {
 	if err := f.Truncate(total); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("size store image: %w", err)
+	}
+	// Syncing the file alone is not enough for a freshly-created image:
+	// the new directory entry must be durable too, or a crash right
+	// after creation leaves a synced file that no name points at.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sync store image: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
 	}
 	return &FileStore{f: f, geom: geom}, nil
 }

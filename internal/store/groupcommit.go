@@ -1,0 +1,263 @@
+package store
+
+import (
+	"sync"
+	"time"
+
+	"relidev/internal/block"
+)
+
+// Syncer is the durability hook a Batcher amortises: SegStore and
+// FileStore both implement it.
+type Syncer interface {
+	Sync() error
+}
+
+// A Clock creates timers. The flush policy must never read the wall
+// clock directly (detcheck scopes this package): deterministic
+// harnesses inject a fake so batch boundaries replay identically.
+type Clock interface {
+	NewTimer(d time.Duration) Timer
+}
+
+// A Timer is the subset of *time.Timer the batcher needs, as an
+// interface so fakes can drive it.
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+}
+
+type realClock struct{}
+
+func (realClock) NewTimer(d time.Duration) Timer {
+	//relidev:allow nondeterminism: default clock for live stores; deterministic harnesses inject a fake Clock
+	return realTimer{t: time.NewTimer(d)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time { return r.t.C }
+func (r realTimer) Stop() bool          { return r.t.Stop() }
+
+// BatchPolicy tunes group commit. The fsync cost model (PAPERS.md,
+// "Characterizing Synchronous Writes in Stable Memory Devices") makes
+// the trade explicit: one fsync costs the same whether it covers one
+// record or fifty, so waiting MaxDelay for joiners converts per-write
+// sync cost into per-batch cost at the price of added latency.
+type BatchPolicy struct {
+	// MaxDelay is how long the flush leader waits for more writers to
+	// join its batch. Zero means opportunistic batching: the leader
+	// takes whatever is already queued and flushes immediately, adding
+	// no latency while still coalescing under load.
+	MaxDelay time.Duration
+
+	// MaxBatch flushes the batch as soon as it holds this many writes,
+	// regardless of MaxDelay. Values below 1 are treated as 1.
+	MaxBatch int
+}
+
+// batchReq is one writer waiting for its record to be applied and
+// made durable.
+type batchReq struct {
+	idx  block.Index
+	data []byte
+	ver  block.Version
+	meta bool
+	done chan error
+}
+
+// Batcher is a Store wrapper that coalesces concurrent writes into a
+// single apply+fsync (group commit). Each Write blocks until its
+// record is durable, so callers keep the same completion semantics as
+// an unbatched synchronous store; the saving is that N concurrent
+// writers share one fsync instead of paying for N.
+type Batcher struct {
+	st     Store
+	syncer Syncer
+	policy BatchPolicy
+	clock  Clock
+
+	// onFlush, when set, observes each batch's occupancy; core wires
+	// this to the obs gauge so batch sizes are visible live.
+	onFlush func(batchSize int)
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+	reqs   chan *batchReq
+}
+
+var _ Store = (*Batcher)(nil)
+
+// BatchOption tunes a Batcher.
+type BatchOption func(*Batcher)
+
+// WithBatchClock injects the timer source used for MaxDelay waits.
+func WithBatchClock(c Clock) BatchOption {
+	return func(b *Batcher) { b.clock = c }
+}
+
+// WithFlushObserver registers a callback invoked with each flushed
+// batch's size.
+func WithFlushObserver(fn func(batchSize int)) BatchOption {
+	return func(b *Batcher) { b.onFlush = fn }
+}
+
+// NewBatcher wraps st with group commit under the given policy. If st
+// implements Syncer each batch ends with one Sync call; otherwise the
+// batch boundary only bounds write latency.
+func NewBatcher(st Store, policy BatchPolicy, opts ...BatchOption) *Batcher {
+	if policy.MaxBatch < 1 {
+		policy.MaxBatch = 1
+	}
+	b := &Batcher{
+		st:     st,
+		policy: policy,
+		clock:  realClock{},
+		reqs:   make(chan *batchReq, 4*policy.MaxBatch),
+	}
+	if sy, ok := st.(Syncer); ok {
+		b.syncer = sy
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	b.wg.Add(1)
+	go b.flushLoop()
+	return b
+}
+
+// Geometry returns the device shape.
+func (b *Batcher) Geometry() block.Geometry { return b.st.Geometry() }
+
+// Read passes through to the underlying store.
+func (b *Batcher) Read(idx block.Index) ([]byte, block.Version, error) { return b.st.Read(idx) }
+
+// Version passes through to the underlying store.
+func (b *Batcher) Version(idx block.Index) (block.Version, error) { return b.st.Version(idx) }
+
+// Vector passes through to the underlying store.
+func (b *Batcher) Vector() block.Vector { return b.st.Vector() }
+
+// LoadMeta passes through to the underlying store.
+func (b *Batcher) LoadMeta() ([]byte, error) { return b.st.LoadMeta() }
+
+// Write enqueues the record and blocks until the batch holding it has
+// been applied and synced.
+func (b *Batcher) Write(idx block.Index, data []byte, ver block.Version) error {
+	if err := checkWrite(b.st.Geometry(), idx, data); err != nil {
+		return err
+	}
+	return b.submit(&batchReq{idx: idx, data: data, ver: ver, done: make(chan error, 1)})
+}
+
+// SaveMeta rides the same batch queue so metadata updates share the
+// group fsync too.
+func (b *Batcher) SaveMeta(meta []byte) error {
+	return b.submit(&batchReq{data: meta, meta: true, done: make(chan error, 1)})
+}
+
+func (b *Batcher) submit(req *batchReq) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.reqs <- req
+	b.mu.Unlock()
+	return <-req.done
+}
+
+// Close drains the queue, flushes the final batch, and closes the
+// underlying store.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	close(b.reqs)
+	b.mu.Unlock()
+	b.wg.Wait()
+	return b.st.Close()
+}
+
+// flushLoop is the group-commit leader: it collects a batch per the
+// policy, applies it, syncs once, and releases every writer in it.
+func (b *Batcher) flushLoop() {
+	defer b.wg.Done()
+	for {
+		req, ok := <-b.reqs
+		if !ok {
+			return
+		}
+		batch := b.collect(req)
+		b.flush(batch)
+	}
+}
+
+// collect gathers a batch starting from the leader request: first any
+// writes already queued, then — when MaxDelay allows — joiners that
+// arrive before the timer fires, up to MaxBatch.
+func (b *Batcher) collect(leader *batchReq) []*batchReq {
+	batch := []*batchReq{leader}
+drain:
+	for len(batch) < b.policy.MaxBatch {
+		select {
+		case r, ok := <-b.reqs:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		default:
+			break drain
+		}
+	}
+	if b.policy.MaxDelay <= 0 || len(batch) >= b.policy.MaxBatch {
+		return batch
+	}
+	timer := b.clock.NewTimer(b.policy.MaxDelay)
+	defer timer.Stop()
+	for len(batch) < b.policy.MaxBatch {
+		select {
+		case r, ok := <-b.reqs:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		case <-timer.C():
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush applies a batch in arrival order, syncs once, and completes
+// every request. Apply errors are per-request; a sync failure fails
+// the whole batch, because none of its records are known durable.
+func (b *Batcher) flush(batch []*batchReq) {
+	errs := make([]error, len(batch))
+	for i, r := range batch {
+		if r.meta {
+			errs[i] = b.st.SaveMeta(r.data)
+		} else {
+			errs[i] = b.st.Write(r.idx, r.data, r.ver)
+		}
+	}
+	if b.syncer != nil {
+		if err := b.syncer.Sync(); err != nil {
+			for i := range errs {
+				if errs[i] == nil {
+					errs[i] = err
+				}
+			}
+		}
+	}
+	if b.onFlush != nil {
+		b.onFlush(len(batch))
+	}
+	for i, r := range batch {
+		r.done <- errs[i]
+	}
+}

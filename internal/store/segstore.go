@@ -1,0 +1,522 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"relidev/internal/block"
+)
+
+// SegStore layout: a directory of append-only segment files named
+// seg-<seq>.log. Each segment starts with a header
+//
+//	magic[8] blockSize[4] numBlocks[4] seq[8]
+//
+// followed by CRC-framed records (little endian):
+//
+//	crc32[4] type[1] idx[4] ver[8] len[4] payload[len]
+//
+// where the CRC (IEEE) covers everything after the crc field. Record
+// type 0 carries a block write (payload is the block data, len must
+// equal the block size); type 1 carries the scheme metadata area.
+//
+// Writes never seek: a block update appends a fresh record to the
+// active segment and updates the in-memory image, so the disk write
+// path is a single sequential append (plus one fsync per Sync call —
+// see Batcher for amortising that). When the active segment exceeds
+// the rotation threshold it is fsynced and sealed, a new segment is
+// created, the directory is fsynced so the new name survives crash,
+// and segments whose records have all been superseded are deleted.
+//
+// On open the segments are replayed in sequence order to rebuild the
+// image. A torn tail — a short or CRC-damaged record at the end of the
+// *last* segment, the only place an in-flight append can be
+// interrupted — is truncated away; damage anywhere else is corruption
+// and fails the open.
+const (
+	segMagic      = "RELIDSEG"
+	segHeaderSize = 8 + 4 + 4 + 8
+	recHeaderSize = 4 + 1 + 4 + 8 + 4
+
+	recBlock = 0
+	recMeta  = 1
+
+	// defaultMaxSegmentBytes rotates segments at 4 MiB.
+	defaultMaxSegmentBytes = 4 << 20
+)
+
+// ErrCorruptSegment reports CRC or framing damage before the tail of
+// the last segment, which replay cannot repair.
+var ErrCorruptSegment = errors.New("store: corrupt segment record")
+
+// ErrNoSegments reports an OpenSeg on a directory holding no segment
+// files; callers typically fall back to CreateSeg.
+var ErrNoSegments = errors.New("store: no segments")
+
+// SegStore is a Store backed by a directory of append-only segment
+// files. Reads are served from an in-memory image; writes append.
+type SegStore struct {
+	// The embedded MemStore holds the authoritative in-memory image
+	// (data, versions, meta) and the mutex; SegStore layers the log
+	// underneath its write path.
+	mem *MemStore
+
+	dir      string
+	maxBytes int64
+
+	active    *os.File
+	activeSeq uint64
+	activeLen int64
+
+	// liveSeg[idx] is the segment holding block idx's newest record
+	// (liveNone when the block has never been written); metaSeg
+	// likewise for the metadata area. live[seq] counts records in
+	// segment seq that are still current, so a segment whose count
+	// reaches zero holds only superseded history and can be deleted.
+	liveSeg []uint64
+	metaSeg uint64
+	live    map[uint64]int
+}
+
+const liveNone = ^uint64(0)
+
+var _ Store = (*SegStore)(nil)
+
+// SegOption tunes a SegStore.
+type SegOption func(*SegStore)
+
+// WithMaxSegmentBytes sets the rotation threshold.
+func WithMaxSegmentBytes(n int64) SegOption {
+	return func(s *SegStore) {
+		if n > 0 {
+			s.maxBytes = n
+		}
+	}
+}
+
+// CreateSeg initialises dir (created if missing, must not already hold
+// segments) as an all-zero segment store.
+func CreateSeg(dir string, geom block.Geometry, opts ...SegOption) (*SegStore, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("create segment dir: %w", err)
+	}
+	if names, err := segmentNames(dir); err != nil {
+		return nil, err
+	} else if len(names) > 0 {
+		return nil, fmt.Errorf("store: %s already holds %d segments", dir, len(names))
+	}
+	s, err := newSegStore(dir, geom, opts)
+	if err != nil {
+		return nil, err
+	}
+	//relidev:allow locking: store not yet shared during construction
+	if err := s.openSegmentLocked(0); err != nil {
+		s.mem.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenSeg replays an existing segment store, truncating a torn tail in
+// the final segment.
+func OpenSeg(dir string, opts ...SegOption) (*SegStore, error) {
+	names, err := segmentNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%w in %s", ErrNoSegments, dir)
+	}
+	var s *SegStore
+	var lastSeq uint64
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		geom, seq, err := readSegHeader(path)
+		if err != nil {
+			return nil, err
+		}
+		if s == nil {
+			if s, err = newSegStore(dir, geom, opts); err != nil {
+				return nil, err
+			}
+		} else if s.mem.geom != geom {
+			s.mem.Close()
+			return nil, fmt.Errorf("store: segment %s geometry %+v differs from %+v", name, geom, s.mem.geom)
+		}
+		if err := s.replaySegment(path, seq, i == len(names)-1); err != nil {
+			s.mem.Close()
+			return nil, err
+		}
+		lastSeq = seq
+	}
+	last := filepath.Join(dir, names[len(names)-1])
+	f, err := os.OpenFile(last, os.O_RDWR, 0)
+	if err != nil {
+		s.mem.Close()
+		return nil, fmt.Errorf("reopen active segment: %w", err)
+	}
+	if s.activeLen, err = f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		s.mem.Close()
+		return nil, fmt.Errorf("seek active segment: %w", err)
+	}
+	s.active = f
+	s.activeSeq = lastSeq
+	return s, nil
+}
+
+func newSegStore(dir string, geom block.Geometry, opts []SegOption) (*SegStore, error) {
+	mem, err := NewMem(geom)
+	if err != nil {
+		return nil, err
+	}
+	s := &SegStore{
+		mem:      mem,
+		dir:      dir,
+		maxBytes: defaultMaxSegmentBytes,
+		liveSeg:  make([]uint64, geom.NumBlocks),
+		metaSeg:  liveNone,
+		live:     make(map[uint64]int),
+	}
+	for i := range s.liveSeg {
+		s.liveSeg[i] = liveNone
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// Geometry returns the device shape.
+func (s *SegStore) Geometry() block.Geometry { return s.mem.Geometry() }
+
+// Read returns a copy of block idx and its version from the image.
+func (s *SegStore) Read(idx block.Index) ([]byte, block.Version, error) {
+	return s.mem.Read(idx)
+}
+
+// Version returns the version of block idx.
+func (s *SegStore) Version(idx block.Index) (block.Version, error) {
+	return s.mem.Version(idx)
+}
+
+// Vector returns a copy of the full version vector.
+func (s *SegStore) Vector() block.Vector { return s.mem.Vector() }
+
+// Write appends a block record to the active segment and installs it
+// in the image.
+func (s *SegStore) Write(idx block.Index, data []byte, ver block.Version) error {
+	s.mem.mu.Lock()
+	defer s.mem.mu.Unlock()
+	if s.mem.closed {
+		return ErrClosed
+	}
+	if err := checkWrite(s.mem.geom, idx, data); err != nil {
+		return err
+	}
+	if err := s.appendLocked(recBlock, idx, ver, data); err != nil {
+		return err
+	}
+	copy(s.mem.slice(idx), data)
+	s.mem.versions[idx] = ver
+	s.retireLocked(&s.liveSeg[idx])
+	return nil
+}
+
+// LoadMeta returns a copy of the metadata area.
+func (s *SegStore) LoadMeta() ([]byte, error) { return s.mem.LoadMeta() }
+
+// SaveMeta appends a metadata record and installs it in the image.
+func (s *SegStore) SaveMeta(meta []byte) error {
+	s.mem.mu.Lock()
+	defer s.mem.mu.Unlock()
+	if s.mem.closed {
+		return ErrClosed
+	}
+	if len(meta) > defaultMetaCap {
+		return fmt.Errorf("store: metadata %d bytes exceeds capacity %d", len(meta), defaultMetaCap)
+	}
+	if err := s.appendLocked(recMeta, 0, 0, meta); err != nil {
+		return err
+	}
+	s.mem.meta = append([]byte(nil), meta...)
+	s.retireLocked(&s.metaSeg)
+	return nil
+}
+
+// Sync flushes the active segment to disk.
+func (s *SegStore) Sync() error {
+	s.mem.mu.Lock()
+	defer s.mem.mu.Unlock()
+	if s.mem.closed {
+		return ErrClosed
+	}
+	return s.active.Sync()
+}
+
+// Close syncs and closes the active segment.
+func (s *SegStore) Close() error {
+	s.mem.mu.Lock()
+	defer s.mem.mu.Unlock()
+	if s.mem.closed {
+		return nil
+	}
+	s.mem.closed = true
+	if s.active == nil {
+		return nil
+	}
+	if err := s.active.Sync(); err != nil {
+		s.active.Close()
+		return err
+	}
+	return s.active.Close()
+}
+
+// appendLocked frames and appends one record, rotating first when the
+// active segment is full. Callers hold s.mem.mu.
+func (s *SegStore) appendLocked(typ byte, idx block.Index, ver block.Version, payload []byte) error {
+	if s.activeLen >= s.maxBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	rec := make([]byte, recHeaderSize+len(payload))
+	rec[4] = typ
+	binary.LittleEndian.PutUint32(rec[5:], uint32(idx))
+	binary.LittleEndian.PutUint64(rec[9:], uint64(ver))
+	binary.LittleEndian.PutUint32(rec[17:], uint32(len(payload)))
+	copy(rec[recHeaderSize:], payload)
+	binary.LittleEndian.PutUint32(rec[:4], crc32.ChecksumIEEE(rec[4:]))
+	if _, err := s.active.Write(rec); err != nil {
+		return fmt.Errorf("append segment record: %w", err)
+	}
+	s.activeLen += int64(len(rec))
+	s.live[s.activeSeq]++
+	return nil
+}
+
+// retireLocked moves a liveness slot (a block's or the metadata's) to
+// the active segment, decrementing the old segment's live count.
+// Callers hold s.mem.mu; the record itself was already appended.
+func (s *SegStore) retireLocked(slot *uint64) {
+	if old := *slot; old != liveNone {
+		s.live[old]--
+	}
+	*slot = s.activeSeq
+}
+
+// rotateLocked seals the active segment (fsync), opens the next one,
+// fsyncs the directory, and deletes fully-superseded segments. Dead
+// segments are only collected here, after the records that displaced
+// them are durable. Callers hold s.mem.mu.
+func (s *SegStore) rotateLocked() error {
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("seal segment %d: %w", s.activeSeq, err)
+	}
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("seal segment %d: %w", s.activeSeq, err)
+	}
+	if err := s.openSegmentLocked(s.activeSeq + 1); err != nil {
+		return err
+	}
+	var dead []uint64
+	for seq, n := range s.live {
+		if n == 0 && seq != s.activeSeq {
+			dead = append(dead, seq)
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, seq := range dead {
+		if err := os.Remove(filepath.Join(s.dir, segmentName(seq))); err != nil {
+			return fmt.Errorf("delete dead segment %d: %w", seq, err)
+		}
+		delete(s.live, seq)
+	}
+	if len(dead) > 0 {
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openSegmentLocked creates segment seq, writes its header, and fsyncs
+// the directory so the new name survives a crash. Callers hold
+// s.mem.mu (or are constructing the store).
+func (s *SegStore) openSegmentLocked(seq uint64) error {
+	path := filepath.Join(s.dir, segmentName(seq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("create segment: %w", err)
+	}
+	hdr := make([]byte, segHeaderSize)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(s.mem.geom.BlockSize))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(s.mem.geom.NumBlocks))
+	binary.LittleEndian.PutUint64(hdr[16:], seq)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("write segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("sync segment header: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	s.active = f
+	s.activeSeq = seq
+	s.activeLen = segHeaderSize
+	if _, ok := s.live[seq]; !ok {
+		s.live[seq] = 0
+	}
+	return nil
+}
+
+// replaySegment applies one segment's records to the image. A damaged
+// record in the last segment is a torn append: the file is truncated
+// at the last intact record and replay succeeds. Damage elsewhere is
+// corruption.
+func (s *SegStore) replaySegment(path string, seq uint64, last bool) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("replay segment: %w", err)
+	}
+	defer f.Close()
+	if _, ok := s.live[seq]; !ok {
+		s.live[seq] = 0
+	}
+	off := int64(segHeaderSize)
+	hdr := make([]byte, recHeaderSize)
+	for {
+		n, err := f.ReadAt(hdr, off)
+		if err == io.EOF && n == 0 {
+			return nil
+		}
+		payload, recErr := func() ([]byte, error) {
+			if err != nil {
+				return nil, fmt.Errorf("torn record header at %d", off)
+			}
+			size := binary.LittleEndian.Uint32(hdr[17:])
+			if size > uint32(s.mem.geom.BlockSize)+defaultMetaCap {
+				return nil, fmt.Errorf("implausible record length %d at %d", size, off)
+			}
+			body := make([]byte, int(size))
+			if _, err := f.ReadAt(body, off+recHeaderSize); err != nil {
+				return nil, fmt.Errorf("torn record payload at %d", off)
+			}
+			sum := crc32.ChecksumIEEE(hdr[4:])
+			sum = crc32.Update(sum, crc32.IEEETable, body)
+			if sum != binary.LittleEndian.Uint32(hdr[:4]) {
+				return nil, fmt.Errorf("checksum mismatch at %d", off)
+			}
+			return body, nil
+		}()
+		if recErr != nil {
+			if !last {
+				return fmt.Errorf("%w: %s: %v", ErrCorruptSegment, filepath.Base(path), recErr)
+			}
+			if err := f.Truncate(off); err != nil {
+				return fmt.Errorf("truncate torn tail: %w", err)
+			}
+			return f.Sync()
+		}
+		idx := block.Index(binary.LittleEndian.Uint32(hdr[5:]))
+		ver := block.Version(binary.LittleEndian.Uint64(hdr[9:]))
+		switch hdr[4] {
+		case recBlock:
+			if err := checkWrite(s.mem.geom, idx, payload); err != nil {
+				return fmt.Errorf("%w: %s: record at %d: %v", ErrCorruptSegment, filepath.Base(path), off, err)
+			}
+			copy(s.mem.slice(idx), payload)
+			s.mem.versions[idx] = ver
+			s.live[seq]++
+			s.retireAt(&s.liveSeg[idx], seq)
+		case recMeta:
+			s.mem.meta = append([]byte(nil), payload...)
+			s.live[seq]++
+			s.retireAt(&s.metaSeg, seq)
+		default:
+			return fmt.Errorf("%w: %s: unknown record type %d at %d", ErrCorruptSegment, filepath.Base(path), hdr[4], off)
+		}
+		off += recHeaderSize + int64(len(payload))
+	}
+}
+
+// retireAt is retireLocked for replay, where the landing segment is
+// the one being replayed rather than the active segment.
+func (s *SegStore) retireAt(slot *uint64, seq uint64) {
+	if old := *slot; old != liveNone {
+		s.live[old]--
+	}
+	*slot = seq
+}
+
+func segmentName(seq uint64) string { return fmt.Sprintf("seg-%08d.log", seq) }
+
+// segmentNames lists the segment files in dir in sequence order.
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("list segments: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if len(name) == len("seg-00000000.log") && name[:4] == "seg-" && filepath.Ext(name) == ".log" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// readSegHeader validates a segment file's header and returns its
+// geometry and sequence number.
+func readSegHeader(path string) (block.Geometry, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return block.Geometry{}, 0, fmt.Errorf("open segment: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return block.Geometry{}, 0, fmt.Errorf("read segment header: %w", err)
+	}
+	if string(hdr[:8]) != segMagic {
+		return block.Geometry{}, 0, ErrBadImage
+	}
+	geom := block.Geometry{
+		BlockSize: int(binary.LittleEndian.Uint32(hdr[8:])),
+		NumBlocks: int(binary.LittleEndian.Uint32(hdr[12:])),
+	}
+	if err := geom.Validate(); err != nil {
+		return block.Geometry{}, 0, fmt.Errorf("segment header: %w", err)
+	}
+	return geom, binary.LittleEndian.Uint64(hdr[16:]), nil
+}
+
+// syncDir fsyncs a directory so entry creations and deletions inside
+// it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("sync dir: %w", err)
+	}
+	return nil
+}

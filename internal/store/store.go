@@ -7,10 +7,14 @@
 // process halts, the disk does not lose data), which is exactly the
 // failure model of §2 and [11].
 //
-// Two implementations are provided: MemStore (fast, for simulation and
-// tests) and FileStore (a single backing file, for real server
-// processes). Both also offer a small metadata area used by the available
-// copy scheme to persist its was-available set across crashes.
+// Three implementations are provided: MemStore (fast, for simulation
+// and tests), FileStore (a single backing file with in-place block
+// slots), and SegStore (checksummed append-only segment files with an
+// in-memory image — the fast write path for real server processes).
+// All offer a small metadata area used by the available copy scheme to
+// persist its was-available set across crashes. Batcher layers group
+// commit over any of them, coalescing concurrent writes into a single
+// apply+fsync.
 package store
 
 import (

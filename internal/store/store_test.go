@@ -32,6 +32,20 @@ func openers(t *testing.T) map[string]func(t *testing.T, g block.Geometry) Store
 			}
 			return s
 		},
+		"segment": func(t *testing.T, g block.Geometry) Store {
+			s, err := CreateSeg(filepath.Join(t.TempDir(), "segs"), g)
+			if err != nil {
+				t.Fatalf("CreateSeg: %v", err)
+			}
+			return s
+		},
+		"batched-segment": func(t *testing.T, g block.Geometry) Store {
+			s, err := CreateSeg(filepath.Join(t.TempDir(), "segs"), g)
+			if err != nil {
+				t.Fatalf("CreateSeg: %v", err)
+			}
+			return NewBatcher(s, BatchPolicy{MaxBatch: 8})
+		},
 	}
 }
 

@@ -36,6 +36,19 @@ func WithThresholds(read, write int64) Option {
 	}
 }
 
+// WithTwoRoundWrites restores the literal Figure 4 write: a vote
+// collection round followed by a separate put fan-out. By default the
+// controller uses the pipelined single-round write path (DESIGN.md
+// §12), which ships the proposed version and the data in one combined
+// prepare-write broadcast and falls back to this two-round shape only
+// on version conflict or when a witness is in the quorum. The option
+// exists for the §5 traffic-model rigs and ablation benchmarks, whose
+// per-write transmission counts assume the paper's exact message
+// sequence.
+func WithTwoRoundWrites() Option {
+	return func(c *Controller) { c.twoRound = true }
+}
+
 // WithEagerRecovery makes Recover bring every local block up to date
 // immediately by running a version-vector exchange against the most
 // current reachable site. This is the file-level behaviour the paper
@@ -51,6 +64,7 @@ type Controller struct {
 	readThreshold  int64
 	writeThreshold int64
 	eager          bool
+	twoRound       bool
 
 	// locks serialises same-block operations issued at this site while
 	// letting distinct blocks proceed concurrently; recovery excludes all
@@ -233,10 +247,55 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) (_ []byte, err e
 	return data, nil
 }
 
-// Write implements Figure 4: collect votes, check the write quorum, bump
-// the maximal version number and send the block to every site in the
-// quorum — which repairs all reachable out-of-date copies as a side
-// effect.
+// prepare runs the combined round of the single-round write path: it
+// proposes version localVer+1 and ships the data in the same broadcast.
+// Every reachable site answers with its vote (the same fields a
+// VoteRequest would return) and stages the proposal when it is strictly
+// newer than the site's copy. staged maps each remote site that
+// installed the proposal to its weight.
+func (c *Controller) prepare(ctx context.Context, idx block.Index, data []byte) (votes []vote, weight int64, staged map[protocol.SiteID]int64, proposed block.Version, err error) {
+	self := c.env.Self
+	localVer, err := self.VersionLocal(idx)
+	if err != nil {
+		return nil, 0, nil, 0, fmt.Errorf("voting: local version: %w", err)
+	}
+	proposed = localVer + 1
+	votes = []vote{{
+		from:    self.ID(),
+		version: localVer,
+		weight:  self.Weight(),
+		witness: self.Witness(),
+	}}
+	weight = self.Weight()
+	staged = make(map[protocol.SiteID]int64)
+	req := protocol.PrepareWriteRequest{Block: idx, Data: data, Version: proposed}
+	results := c.env.Transport.Broadcast(ctx, self.ID(), c.env.Remotes(), req)
+	for id, res := range results {
+		if res.Err != nil {
+			continue // unreachable or failed site: no vote
+		}
+		reply, ok := res.Resp.(protocol.PrepareWriteReply)
+		if !ok {
+			return nil, 0, nil, 0, fmt.Errorf("voting: site %v answered %T to a prepare-write", id, res.Resp)
+		}
+		votes = append(votes, vote{from: id, version: reply.Version, weight: reply.Weight, witness: reply.Witness})
+		weight += reply.Weight
+		if reply.Staged {
+			staged[id] = reply.Weight
+		}
+	}
+	return votes, weight, staged, proposed, nil
+}
+
+// Write realises the Figure 4 write. By default it takes the pipelined
+// single-round path (DESIGN.md §12): one prepare-write broadcast both
+// collects the votes and provisionally installs the data, and the write
+// commits when the voted weight and the staged weight each exceed the
+// write threshold. A version conflict (some site voted >= the proposal)
+// or a witness in the quorum sends the write down the classic two-round
+// tail — the vote round has already happened, so only the put fan-out
+// is added, and correctness is exactly Figure 4's. With
+// WithTwoRoundWrites every write uses the classic shape.
 func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) (err error) {
 	c.locks.LockOp(idx)
 	defer c.locks.UnlockOp(idx)
@@ -244,19 +303,147 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) (e
 	ctx = ob.Label(ctx, protocol.OpWrite)
 	ctx, sp := ob.StartOp(ctx, protocol.OpWrite, int64(idx))
 	participants := 0
-	defer func() { sp.Done(participants, err) }()
+	twoRound := false
+	defer func() {
+		sp.Done(participants, err)
+		if err == nil && twoRound {
+			// The §5 conformance checker separates the two write shapes:
+			// a two-round write costs one extra put broadcast (multicast)
+			// or u-1 extra puts (unicast) over a single-round one.
+			ob.WriteTwoRound(participants)
+		}
+	}()
 
-	votes, weight, err := c.collect(ctx, idx)
+	var (
+		votes    []vote
+		weight   int64
+		staged   map[protocol.SiteID]int64
+		proposed block.Version
+	)
+	if c.twoRound {
+		twoRound = true
+		votes, weight, err = c.collect(ctx, idx)
+	} else {
+		votes, weight, staged, proposed, err = c.prepare(ctx, idx, data)
+	}
 	if err != nil {
 		return err
 	}
 	ob.QuorumAssembled(protocol.OpWrite, idx, len(votes), weight)
 	if weight <= c.writeThreshold {
+		// On the single-round path some sites staged the proposal before
+		// the quorum check failed. Abort them so the failure leaves no
+		// trace — exactly like a failed Figure 4 vote round, whose data
+		// never left the coordinator. A later write may then reuse the
+		// proposed version number for different contents.
+		if !c.twoRound {
+			c.abortStaged(ctx, idx, proposed)
+		}
 		return fmt.Errorf("voting write of %v: collected weight %d of %d required: %w",
 			idx, weight, c.writeThreshold+1, scheme.ErrNoQuorum)
 	}
 	participants = len(votes)
+
+	if !c.twoRound {
+		conflict := maxVote(votes).version >= proposed
+		witnessInQuorum := false
+		for _, v := range votes {
+			if v.witness {
+				witnessInQuorum = true
+				break
+			}
+		}
+		if !conflict && !witnessInQuorum {
+			committed, ferr := c.commitFast(ctx, idx, data, staged, proposed)
+			if committed || ferr != nil {
+				return ferr
+			}
+			// The coordinator's own conditional install was refused: a
+			// concurrent remote proposal landed a newer version locally
+			// after the prepare round read it. Treat it as the conflict
+			// it is and fall back.
+		}
+		// Conflict, or a witness voted (witnesses never stage, so a fast
+		// commit would leave their version tables behind): finish with
+		// the classic put fan-out. Every staged site is among the voters,
+		// so the fan-out's strictly greater version supersedes every
+		// staged install.
+		twoRound = true
+	}
+	return c.finishTwoRound(ctx, idx, data, votes)
+}
+
+// abortStaged undoes the staged installs of a failed prepare round:
+// each staged site restores the pre-image it retained. The abort is
+// broadcast to every remote, not just the sites known to have staged —
+// a site whose reply was lost staged the proposal without the
+// coordinator learning of it, and sites that never staged treat the
+// abort as a no-op. Aborts ride the reliable-delivery channel (Notify,
+// like puts); a site that crashed since staging keeps the staged data,
+// which leaves the failure in the same indeterminate class as a crash
+// during a put fan-out.
+func (c *Controller) abortStaged(ctx context.Context, idx block.Index, proposed block.Version) {
+	//relidev:allow transport: abort is best-effort by design — a site that misses it keeps staged data, the documented crash-during-put equivalence; there is no recovery action to drive from per-site errors
+	c.env.Transport.Notify(ctx, c.env.Self.ID(), c.env.Remotes(),
+		protocol.AbortWriteRequest{Block: idx, Version: proposed})
+}
+
+// commitFast completes a single-round write: no site voted a version at
+// or above the proposal and no witness is involved, so the staged
+// installs *are* the update. The coordinator counts the staged weight,
+// aborts cleanly if it cannot clear the write threshold, and otherwise
+// installs locally with the same atomic conditional install the remote
+// sites performed. committed=false with a nil error means the local
+// install lost a race and the caller must fall back to the two-round
+// path.
+func (c *Controller) commitFast(ctx context.Context, idx block.Index, data []byte, staged map[protocol.SiteID]int64, proposed block.Version) (committed bool, err error) {
+	ob := c.env.Obs
+	ob.VersionResolved(protocol.OpWrite, idx, proposed)
+	installed := c.env.Self.Weight()
+	for _, w := range staged {
+		installed += w
+	}
+	if installed <= c.writeThreshold {
+		// Enough sites voted but too few staged (comatose voters hold
+		// weight back from the install). The local copy is untouched at
+		// this point, so aborting the remote stages makes the failure as
+		// clean as a failed vote round.
+		c.abortStaged(ctx, idx, proposed)
+		return true, fmt.Errorf("voting write of %v: update staged at weight %d of %d required: %w",
+			idx, installed, c.writeThreshold+1, scheme.ErrNoQuorum)
+	}
+	// The no-conflict check covers the coordinator's own vote, so self is
+	// a non-witness data site and the new version never lives only on
+	// witnesses.
+	ok, err := c.env.Self.StageLocal(idx, data, proposed)
+	if err != nil {
+		return false, fmt.Errorf("voting write of %v: %w", idx, err)
+	}
+	if !ok {
+		return false, nil
+	}
+	return true, nil
+}
+
+// finishTwoRound is the second half of the Figure 4 write: bump the
+// maximal version number and send the block to every site in the
+// quorum — which repairs all reachable out-of-date copies as a side
+// effect. On the fast path's fallback the vote round was the prepare
+// round, whose staged installs the strictly greater put version
+// supersedes.
+func (c *Controller) finishTwoRound(ctx context.Context, idx block.Index, data []byte, votes []vote) error {
+	ob := c.env.Obs
 	newVer := maxVote(votes).version + 1
+	// A preceding prepare round — this write's own, or a concurrent
+	// coordinator's staged on this replica — may have advanced the local
+	// copy past the collected votes; never mint at or below it.
+	localVer, err := c.env.Self.VersionLocal(idx)
+	if err != nil {
+		return fmt.Errorf("voting write of %v: %w", idx, err)
+	}
+	if newVer <= localVer {
+		newVer = localVer + 1
+	}
 	ob.VersionResolved(protocol.OpWrite, idx, newVer)
 	dataSites := 0
 	for _, v := range votes {
@@ -287,11 +474,15 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) (e
 	// Install locally before the fan-out: even if the write ends up
 	// indeterminate, the coordinator then holds the new version, so any
 	// later vote quorum (which must intersect this one) sees it and
-	// cannot mint the same version number for different data.
-	if err := c.env.Self.WriteLocal(idx, data, newVer); err != nil {
+	// cannot mint the same version number for different data. The
+	// conditional install only loses to a concurrent coordinator staging
+	// something even newer here, in which case self must not count.
+	installed := int64(0)
+	if ok, err := c.env.Self.StageLocal(idx, data, newVer); err != nil {
 		return fmt.Errorf("voting write of %v: %w", idx, err)
+	} else if ok {
+		installed = c.env.Self.Weight()
 	}
-	installed := c.env.Self.Weight()
 	for id, res := range c.env.Transport.Notify(ctx, c.env.Self.ID(), quorum, put) {
 		switch {
 		case res.Err == nil:

@@ -102,11 +102,11 @@ func latName(d time.Duration) string {
 // time broadcast loop; the striped per-block locks and concurrent
 // quorum fan-out let independent blocks proceed at once.
 func BenchmarkParallelWrite(b *testing.B) {
-	b.SetParallelism(8)
 	for _, scheme := range parallelSchemes() {
 		for _, n := range []int{3, 5, 7} {
 			for _, lat := range []time.Duration{0, parLatency} {
 				b.Run(fmt.Sprintf("%v/n%d/%s", scheme, n, latName(lat)), func(b *testing.B) {
+					b.SetParallelism(8)
 					_, dev := parallelSimCluster(b, scheme, n, lat)
 					ctx := context.Background()
 					hammerParallel(b, func(g int, idx relidev.Index) error {
@@ -124,11 +124,11 @@ func BenchmarkParallelWrite(b *testing.B) {
 // Voting collects a quorum per read (round-trip bound); the available
 // copy schemes read locally, so their numbers isolate lock overhead.
 func BenchmarkParallelRead(b *testing.B) {
-	b.SetParallelism(8)
 	for _, scheme := range parallelSchemes() {
 		for _, n := range []int{3, 5, 7} {
 			for _, lat := range []time.Duration{0, parLatency} {
 				b.Run(fmt.Sprintf("%v/n%d/%s", scheme, n, latName(lat)), func(b *testing.B) {
+					b.SetParallelism(8)
 					_, dev := parallelSimCluster(b, scheme, n, lat)
 					ctx := context.Background()
 					payload := make([]byte, parBlockSize)
@@ -156,11 +156,11 @@ func BenchmarkParallelRead(b *testing.B) {
 // RELIDEV_OBS_DIR is set, each sub-benchmark also writes its final
 // metrics snapshot there (benchjson -obs embeds one into the report).
 func BenchmarkParallelWriteMetered(b *testing.B) {
-	b.SetParallelism(8)
 	for _, scheme := range parallelSchemes() {
 		for _, lat := range []time.Duration{0, parLatency} {
 			const n = 5
 			b.Run(fmt.Sprintf("%v/n%d/%s", scheme, n, latName(lat)), func(b *testing.B) {
+				b.SetParallelism(8)
 				cluster, dev := parallelSimCluster(b, scheme, n, lat, relidev.WithMetering())
 				ctx := context.Background()
 				hammerParallel(b, func(g int, idx relidev.Index) error {
@@ -178,11 +178,11 @@ func BenchmarkParallelWriteMetered(b *testing.B) {
 // copy reads are local and lock-bound, so any metering contention would
 // show here first.
 func BenchmarkParallelReadMetered(b *testing.B) {
-	b.SetParallelism(8)
 	for _, scheme := range parallelSchemes() {
 		for _, lat := range []time.Duration{0, parLatency} {
 			const n = 5
 			b.Run(fmt.Sprintf("%v/n%d/%s", scheme, n, latName(lat)), func(b *testing.B) {
+				b.SetParallelism(8)
 				cluster, dev := parallelSimCluster(b, scheme, n, lat, relidev.WithMetering())
 				ctx := context.Background()
 				payload := make([]byte, parBlockSize)
@@ -269,10 +269,10 @@ func parallelRPCCluster(b *testing.B, scheme relidev.Scheme, n int) relidev.Devi
 // TCP: the per-peer connection pool and concurrent fan-out must overlap
 // genuine kernel round trips.
 func BenchmarkParallelWriteRPC(b *testing.B) {
-	b.SetParallelism(8)
 	for _, scheme := range parallelSchemes() {
 		for _, n := range []int{3, 5, 7} {
 			b.Run(fmt.Sprintf("%v/n%d", scheme, n), func(b *testing.B) {
+				b.SetParallelism(8)
 				dev := parallelRPCCluster(b, scheme, n)
 				ctx := context.Background()
 				hammerParallel(b, func(g int, idx relidev.Index) error {
@@ -288,9 +288,9 @@ func BenchmarkParallelWriteRPC(b *testing.B) {
 // BenchmarkParallelReadRPC measures concurrent reads over TCP; only the
 // voting scheme produces network traffic on reads.
 func BenchmarkParallelReadRPC(b *testing.B) {
-	b.SetParallelism(8)
 	for _, n := range []int{3, 5, 7} {
 		b.Run(fmt.Sprintf("voting/n%d", n), func(b *testing.B) {
+			b.SetParallelism(8)
 			dev := parallelRPCCluster(b, relidev.Voting, n)
 			ctx := context.Background()
 			payload := make([]byte, parBlockSize)

@@ -118,16 +118,20 @@ type Device interface {
 type Option func(*options)
 
 type options struct {
-	geometry   Geometry
-	unicast    bool
-	weights    []int64
-	eager      bool
-	immediateW bool
-	storeDir   string
-	witnesses  int
-	latency    time.Duration
-	metered    bool
-	traceCap   int
+	geometry       Geometry
+	unicast        bool
+	weights        []int64
+	eager          bool
+	immediateW     bool
+	twoRoundWrites bool
+	storeDir       string
+	segmentStores  bool
+	groupCommit    store.BatchPolicy
+	batched        bool
+	witnesses      int
+	latency        time.Duration
+	metered        bool
+	traceCap       int
 }
 
 // WithGeometry sets the device shape (default 512-byte blocks, 128
@@ -167,10 +171,48 @@ func WithImmediateWasAvailable() Option {
 	return func(o *options) { o.immediateW = true }
 }
 
+// WithTwoRoundVotingWrites forces voting writes onto the paper's
+// literal Figure 4 shape — a version-collection round followed by a put
+// fan-out — instead of the default single-round prepare-write fast path
+// (DESIGN.md §12). Semantics are identical; the knob exists so traffic
+// experiments can reproduce the §5 message counts exactly.
+func WithTwoRoundVotingWrites() Option {
+	return func(o *options) { o.twoRoundWrites = true }
+}
+
 // WithFileStores keeps each site's blocks in a file under dir instead of
 // memory, so simulated crashes exercise genuinely persistent state.
 func WithFileStores(dir string) Option {
-	return func(o *options) { o.storeDir = dir }
+	return func(o *options) {
+		o.storeDir = dir
+		o.segmentStores = false
+	}
+}
+
+// WithSegmentStores keeps each site's blocks in an append-only
+// checksummed segment store under dir (one subdirectory per site). The
+// write path is a sequential append instead of FileStore's seek+write,
+// and a crashed site recovers by replaying its segments, truncating
+// any torn tail (DESIGN.md §12).
+func WithSegmentStores(dir string) Option {
+	return func(o *options) {
+		o.storeDir = dir
+		o.segmentStores = true
+	}
+}
+
+// WithGroupCommit layers a group-commit batcher over each site's
+// store: concurrent writes coalesce into a single apply+fsync.
+// maxDelay bounds how long the flush leader waits for joiners (zero
+// batches opportunistically, adding no latency); maxBatch caps the
+// writes per flush. When metering is on, the
+// relidev_group_commit_batch_occupancy gauge tracks batch sizes per
+// site.
+func WithGroupCommit(maxDelay time.Duration, maxBatch int) Option {
+	return func(o *options) {
+		o.groupCommit = store.BatchPolicy{MaxDelay: maxDelay, MaxBatch: maxBatch}
+		o.batched = true
+	}
 }
 
 // WithSimulatedLatency charges every remote round trip on the simulated
@@ -252,14 +294,11 @@ func New(n int, scheme Scheme, opts ...Option) (*Cluster, error) {
 	if o.eager {
 		cfg.VotingOptions = append(cfg.VotingOptions, voting.WithEagerRecovery())
 	}
+	if o.twoRoundWrites {
+		cfg.VotingOptions = append(cfg.VotingOptions, voting.WithTwoRoundWrites())
+	}
 	if o.immediateW {
 		cfg.AvailCopyOptions = append(cfg.AvailCopyOptions, availcopy.WithImmediateW())
-	}
-	if o.storeDir != "" {
-		dir := o.storeDir
-		cfg.NewStore = func(id protocol.SiteID, geom Geometry) (store.Store, error) {
-			return store.CreateFile(fmt.Sprintf("%s/site%d.img", dir, id), geom)
-		}
 	}
 	var observer *obs.Observer
 	if o.metered {
@@ -269,6 +308,36 @@ func New(n int, scheme Scheme, opts ...Option) (*Cluster, error) {
 		}
 		observer = obs.New(obsOpts...)
 		cfg.Observer = observer
+	}
+	if o.storeDir != "" {
+		dir, segmented := o.storeDir, o.segmentStores
+		cfg.NewStore = func(id protocol.SiteID, geom Geometry) (store.Store, error) {
+			if segmented {
+				return store.CreateSeg(fmt.Sprintf("%s/site%d", dir, id), geom)
+			}
+			return store.CreateFile(fmt.Sprintf("%s/site%d.img", dir, id), geom)
+		}
+	}
+	if o.batched {
+		base, policy := cfg.NewStore, o.groupCommit
+		cfg.NewStore = func(id protocol.SiteID, geom Geometry) (store.Store, error) {
+			var st store.Store
+			var err error
+			if base != nil {
+				st, err = base(id, geom)
+			} else {
+				st, err = store.NewMem(geom)
+			}
+			if err != nil {
+				return nil, err
+			}
+			var batchOpts []store.BatchOption
+			if observer != nil {
+				g := observer.Registry().Gauge(obs.MetricGroupCommitOccupancy, obs.L("site", id.String()))
+				batchOpts = append(batchOpts, store.WithFlushObserver(func(n int) { g.Set(int64(n)) }))
+			}
+			return store.NewBatcher(st, policy, batchOpts...), nil
+		}
 	}
 	inner, err := core.NewCluster(cfg)
 	if err != nil {

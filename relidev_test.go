@@ -155,6 +155,44 @@ func TestFileStoresOption(t *testing.T) {
 	}
 }
 
+func TestSegmentStoresAndGroupCommitOptions(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cluster, err := relidev.New(3, relidev.Voting,
+		relidev.WithSegmentStores(dir),
+		relidev.WithGroupCommit(0, 32),
+		relidev.WithMetering(),
+		relidev.WithGeometry(relidev.Geometry{BlockSize: 128, NumBlocks: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := cluster.Device(0)
+	payload := make([]byte, 128)
+	copy(payload, "segmented")
+	if err := dev.WriteBlock(ctx, 2, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.ReadBlock(ctx, 2)
+	if err != nil || string(got[:9]) != "segmented" {
+		t.Fatalf("read back = %q, %v", got[:9], err)
+	}
+	// One segment directory per site, each holding at least one segment.
+	for i := 0; i < 3; i++ {
+		segs, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("site%d", i), "seg-*.log"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("site %d segment files = %v, %v", i, segs, err)
+		}
+	}
+	// The group-commit occupancy gauge is exposed once a flush ran.
+	raw, err := cluster.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "relidev_group_commit_batch_occupancy") {
+		t.Fatal("metrics missing the group-commit occupancy gauge")
+	}
+}
+
 func TestReconfigurationViaPublicAPI(t *testing.T) {
 	ctx := context.Background()
 	cluster, err := relidev.New(2, relidev.NaiveAvailableCopy,
@@ -268,6 +306,45 @@ func TestTrafficCostsFacade(t *testing.T) {
 	}
 	if _, err := relidev.TrafficCosts(relidev.Scheme(9), 5, 0.05, true); err == nil {
 		t.Fatal("accepted unknown scheme")
+	}
+}
+
+// A remote site on the segment store with group commit survives a
+// stop/restart cycle: the store is replayed from its segments.
+func TestRemoteSegmentStorePersists(t *testing.T) {
+	ctx := context.Background()
+	geom := relidev.Geometry{BlockSize: 128, NumBlocks: 16}
+	dir := t.TempDir()
+	open := func() *relidev.RemoteSite {
+		t.Helper()
+		s, err := relidev.OpenRemote(relidev.RemoteConfig{
+			Self:             0,
+			Peers:            map[int]string{0: "127.0.0.1:0"},
+			Scheme:           relidev.NaiveAvailableCopy,
+			Geometry:         geom,
+			StoreDir:         filepath.Join(dir, "site0"),
+			GroupCommitBatch: 8,
+			Timeout:          time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := open()
+	payload := make([]byte, 128)
+	copy(payload, "durable append")
+	if err := s.Device().WriteBlock(ctx, 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := open()
+	defer re.Close()
+	got, err := re.Device().ReadBlock(ctx, 3)
+	if err != nil || string(got[:14]) != "durable append" {
+		t.Fatalf("read after segment-store restart = %q, %v", got[:14], err)
 	}
 }
 

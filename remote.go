@@ -41,6 +41,19 @@ type RemoteConfig struct {
 	// keeps them in memory. An existing image is reopened, which is how
 	// a restarted server process recovers its pre-crash state.
 	StorePath string
+	// StoreDir optionally persists this site's blocks in an append-only
+	// checksummed segment store under the directory (DESIGN.md §12) —
+	// the fast write path. Takes precedence over StorePath. An existing
+	// store is replayed on open, truncating any tail torn by a crash.
+	StoreDir string
+	// GroupCommitBatch, when positive, layers group commit over the
+	// store: concurrent writes coalesce into batches of up to this many
+	// records sharing one fsync.
+	GroupCommitBatch int
+	// GroupCommitDelay bounds how long a group-commit flush waits for
+	// more writers to join its batch. Zero batches opportunistically,
+	// adding no latency.
+	GroupCommitDelay time.Duration
 	// Timeout bounds each remote call; zero means 5 seconds.
 	Timeout time.Duration
 	// Comatose starts the site in the comatose state, forcing it through
@@ -83,18 +96,41 @@ func OpenRemote(cfg RemoteConfig) (*RemoteSite, error) {
 		return nil, fmt.Errorf("relidev: peers map has no entry for self (%d)", cfg.Self)
 	}
 
+	var observer *obs.Observer
+	if cfg.Metered {
+		observer = obs.New(obs.WithTracing(4096))
+	}
+
 	var st store.Store
 	var err error
-	if cfg.StorePath == "" {
-		st, err = store.NewMem(cfg.Geometry)
-	} else {
+	switch {
+	case cfg.StoreDir != "":
+		st, err = store.OpenSeg(cfg.StoreDir)
+		if isNotExist(err) || errors.Is(err, store.ErrNoSegments) {
+			st, err = store.CreateSeg(cfg.StoreDir, cfg.Geometry)
+		}
+	case cfg.StorePath != "":
 		st, err = store.OpenFile(cfg.StorePath)
 		if errors.Is(err, store.ErrBadImage) || isNotExist(err) {
 			st, err = store.CreateFile(cfg.StorePath, cfg.Geometry)
 		}
+	default:
+		st, err = store.NewMem(cfg.Geometry)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("relidev: open store: %w", err)
+	}
+	if cfg.GroupCommitBatch > 0 {
+		var batchOpts []store.BatchOption
+		if observer != nil {
+			g := observer.Registry().Gauge(obs.MetricGroupCommitOccupancy,
+				obs.L("site", protocol.SiteID(cfg.Self).String()))
+			batchOpts = append(batchOpts, store.WithFlushObserver(func(n int) { g.Set(int64(n)) }))
+		}
+		st = store.NewBatcher(st, store.BatchPolicy{
+			MaxDelay: cfg.GroupCommitDelay,
+			MaxBatch: cfg.GroupCommitBatch,
+		}, batchOpts...)
 	}
 
 	initial := protocol.StateAvailable
@@ -131,10 +167,8 @@ func OpenRemote(cfg RemoteConfig) (*RemoteSite, error) {
 	if len(ids)%2 == 0 {
 		weights[0]++
 	}
-	var observer *obs.Observer
 	var transport protocol.Transport = client
-	if cfg.Metered {
-		observer = obs.New(obs.WithTracing(4096))
+	if observer != nil {
 		transport = obs.WrapTransport(observer, "rpc", transport, ids)
 	}
 	env := scheme.Env{Self: replica, Transport: transport, Sites: ids, Weights: weights}
