@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint fuzz-smoke chaos-short
+.PHONY: all build test race lint fuzz-smoke chaos-short repair-race
 
 all: build test
 
@@ -37,13 +37,23 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzClosure -fuzztime=$(FUZZTIME) ./internal/availcopy
 	$(GO) test -run=NONE -fuzz=FuzzPayloadRoundTrip -fuzztime=$(FUZZTIME) ./internal/chaos
 
+# repair-race hammers the background repairer's concurrency surface:
+# foreground writes racing repair installs, mid-stream donor failover,
+# and the paged recovery handler, all under the race detector.
+repair-race:
+	$(GO) test -race -count=2 ./internal/repair ./internal/rpcnet
+	$(GO) test -race -run 'TestHandleRecovery|TestHandleRepair|TestApplyRepair' ./internal/site
+	$(GO) test -race -run 'TestDonorKill|TestRepair' ./internal/chaos
+
 # chaos-short replays the three seeded schedules CI runs, under the race
 # detector, one per consistency scheme. Each run carries the
 # observability layer, checks the §5 bracket and §4 availability
-# conformance invariants, and leaves its metrics snapshot plus the
-# availability-observatory verdict in artifacts/ (CI uploads both).
+# conformance invariants, runs the background repairer after every
+# recovery (bounded time-to-freshness is a standing invariant), and
+# leaves its metrics snapshot, availability verdict, and
+# time-to-freshness samples in artifacts/ (CI uploads all three).
 chaos-short:
 	mkdir -p artifacts
-	$(GO) run -race ./cmd/chaos -scheme=voting -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-voting-metrics.json -avail-out=artifacts/chaos-voting-avail.json
-	$(GO) run -race ./cmd/chaos -scheme=ac     -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-ac-metrics.json -avail-out=artifacts/chaos-ac-avail.json
-	$(GO) run -race ./cmd/chaos -scheme=nac    -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-nac-metrics.json -avail-out=artifacts/chaos-nac-avail.json
+	$(GO) run -race ./cmd/chaos -scheme=voting -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-voting-metrics.json -avail-out=artifacts/chaos-voting-avail.json -ttf-out=artifacts/chaos-voting-ttf.json
+	$(GO) run -race ./cmd/chaos -scheme=ac     -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-ac-metrics.json -avail-out=artifacts/chaos-ac-avail.json -ttf-out=artifacts/chaos-ac-ttf.json
+	$(GO) run -race ./cmd/chaos -scheme=nac    -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-nac-metrics.json -avail-out=artifacts/chaos-nac-avail.json -ttf-out=artifacts/chaos-nac-ttf.json

@@ -38,6 +38,8 @@ func main() {
 		observe    = flag.Bool("obs", true, "attach the observability layer and check §5 bracket conformance")
 		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot (JSON) to this file (implies -obs)")
 		availOut   = flag.String("avail-out", "", "write the availability observatory stats and §4 conformance verdict (JSON) to this file (implies -obs)")
+		repairF    = flag.Bool("repair", true, "run the background anti-entropy repairer after every recovery and enforce bounded time-to-freshness")
+		ttfOut     = flag.String("ttf-out", "", "write the per-recovery time-to-freshness samples (JSON) to this file (implies -repair)")
 	)
 	flag.Parse()
 	kind, err := parseScheme(*schemeF)
@@ -54,8 +56,9 @@ func main() {
 		OpsPerEvent: *ops,
 		Rho:         *rho,
 		Observe:     *observe || *metricsOut != "" || *availOut != "",
+		Repair:      *repairF || *ttfOut != "",
 	}
-	ok, err := run(os.Stdout, cfg, *asJSON, *metricsOut, *availOut)
+	ok, err := run(os.Stdout, cfg, *asJSON, *metricsOut, *availOut, *ttfOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
@@ -65,7 +68,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, cfg chaos.Config, asJSON bool, metricsOut, availOut string) (bool, error) {
+func run(w io.Writer, cfg chaos.Config, asJSON bool, metricsOut, availOut, ttfOut string) (bool, error) {
 	rep, err := chaos.Run(context.Background(), cfg)
 	if err != nil {
 		return false, err
@@ -77,6 +80,11 @@ func run(w io.Writer, cfg chaos.Config, asJSON bool, metricsOut, availOut string
 	}
 	if availOut != "" {
 		if err := writeAvail(availOut, rep); err != nil {
+			return false, err
+		}
+	}
+	if ttfOut != "" {
+		if err := writeTTF(ttfOut, rep); err != nil {
 			return false, err
 		}
 	}
@@ -137,6 +145,29 @@ func writeAvail(path string, rep *chaos.Report) error {
 	}{rep.Scheme, rep.Seed, rep.Digest, rep.Avail, rep.AvailConformance})
 }
 
+// writeTTF stores the per-recovery time-to-freshness samples as a
+// standalone JSON artifact (the CI chaos job uploads it). Each sample
+// records how much staleness lazy readmission left behind and how long
+// the background repairer took, against its policy deadline.
+func writeTTF(path string, rep *chaos.Report) error {
+	if rep.Repair == nil {
+		return fmt.Errorf("no repair samples collected (repair disabled)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Scheme  string      `json:"scheme"`
+		Seed    int64       `json:"seed"`
+		Digest  string      `json:"digest"`
+		Samples interface{} `json:"samples"`
+	}{rep.Scheme, rep.Seed, rep.Digest, rep.Repair})
+}
+
 func printReport(w io.Writer, rep *chaos.Report) {
 	fmt.Fprintf(w, "chaos %-15s seed=%d sites=%d rho=%g\n", rep.Scheme, rep.Seed, rep.Sites, rep.Rho)
 	fmt.Fprintf(w, "  events   %d applied (%d fails, %d repairs, %d skipped), %d total failure(s)\n",
@@ -145,6 +176,25 @@ func printReport(w io.Writer, rep *chaos.Report) {
 		rep.Ops, rep.Reads, rep.Writes, rep.OpErrors)
 	fmt.Fprintf(w, "  faults   %d drops, %d reply losses, %d timeouts, %d delays, %d partition hits\n",
 		rep.Faults.Drops, rep.Faults.ReplyLosses, rep.Faults.Timeouts, rep.Faults.Delays, rep.Faults.Partitions)
+	if len(rep.Repair) > 0 {
+		streamed, installed, missed := 0, 0, 0
+		var worst, worstDeadline int64
+		for _, s := range rep.Repair {
+			if s.Stale > 0 {
+				streamed++
+			}
+			installed += s.Installed
+			if !s.OK {
+				missed++
+			}
+			if s.ElapsedNS > worst {
+				worst, worstDeadline = s.ElapsedNS, s.DeadlineNS
+			}
+		}
+		fmt.Fprintf(w, "  repair   %d runs (%d with staleness, %d blocks installed, %d deadline misses), worst ttf %.2fms of %.2fms allowed\n",
+			len(rep.Repair), streamed, installed, missed,
+			float64(worst)/1e6, float64(worstDeadline)/1e6)
+	}
 	fmt.Fprintf(w, "  digest   %s\n", rep.Digest)
 	if rep.Conformance != nil {
 		verdict := "OK"

@@ -46,10 +46,22 @@ func WithImmediateW() Option {
 	return func(c *Controller) { c.immediateW = true }
 }
 
+// WithPagedRecovery bounds the Figure 5 repair exchange to maxBlocks
+// block copies per reply, continued under a resume token, instead of
+// the paper's single unbounded reply — the shape a real network needs
+// once devices hold millions of blocks. Each page costs one extra
+// request/response pair, so the §5 traffic tests that pin the Figure 5
+// recovery cost keep the default single-shot shape. maxBlocks <= 0
+// leaves paging off.
+func WithPagedRecovery(maxBlocks int) Option {
+	return func(c *Controller) { c.recoveryPage = maxBlocks }
+}
+
 // Controller is the available copy engine at one site.
 type Controller struct {
-	env        scheme.Env
-	immediateW bool
+	env          scheme.Env
+	immediateW   bool
+	recoveryPage int
 
 	// locks serialises same-block operations while letting distinct
 	// blocks proceed concurrently; recovery excludes all in-flight
@@ -279,30 +291,48 @@ func (c *Controller) Recover(ctx context.Context) (err error) {
 }
 
 // repairFrom runs the version-vector exchange of Figure 5 against t and
-// marks the local site available.
+// marks the local site available. With WithPagedRecovery the exchange
+// is split into bounded pages continued under a resume token; the
+// was-available join happens on the first page only (it is one logical
+// join, however many pages carry the blocks). A source that vanishes
+// mid-stream leaves the site comatose with a partially freshened image
+// — harmless, since installs are version-monotone — and the next
+// membership change re-runs recovery against a live source.
 func (c *Controller) repairFrom(ctx context.Context, t protocol.SiteID) error {
 	self := c.env.Self
-	req := protocol.RecoveryRequest{Vector: self.Vector(), JoinW: true}
-	resp, err := c.env.Transport.Call(ctx, self.ID(), t, req)
-	if err != nil {
-		if scheme.IsTransportError(err) {
-			// The repair source vanished between the status exchange and
-			// the version-vector exchange. Stay comatose; the next
-			// membership change re-runs recovery against a live source.
-			return fmt.Errorf("available copy recovery of %v from %v: %v: %w", self.ID(), t, err, scheme.ErrAwaitingSites)
+	var cont block.Index
+	first := true
+	for {
+		req := protocol.RecoveryRequest{Vector: self.Vector(), JoinW: first, MaxBlocks: c.recoveryPage, Cont: cont}
+		resp, err := c.env.Transport.Call(ctx, self.ID(), t, req)
+		if err != nil {
+			if scheme.IsTransportError(err) {
+				// The repair source vanished between the status exchange
+				// and the version-vector exchange. Stay comatose; the next
+				// membership change re-runs recovery against a live source.
+				return fmt.Errorf("available copy recovery of %v from %v: %v: %w", self.ID(), t, err, scheme.ErrAwaitingSites)
+			}
+			return fmt.Errorf("available copy recovery of %v from %v: %w", self.ID(), t, err)
 		}
-		return fmt.Errorf("available copy recovery of %v from %v: %w", self.ID(), t, err)
-	}
-	rec, ok := resp.(protocol.RecoveryReply)
-	if !ok {
-		return fmt.Errorf("available copy recovery: unexpected reply %T", resp)
-	}
-	if err := self.ApplyRecovery(rec); err != nil {
-		return err
-	}
-	// W_s <- W_t ∪ {s} (Figure 5); the reply carries W_t after the join.
-	if err := self.SetWasAvailable(rec.WasAvail.Add(self.ID())); err != nil {
-		return err
+		rec, ok := resp.(protocol.RecoveryReply)
+		if !ok {
+			return fmt.Errorf("available copy recovery: unexpected reply %T", resp)
+		}
+		if err := self.ApplyRecovery(rec); err != nil {
+			return err
+		}
+		if first {
+			// W_s <- W_t ∪ {s} (Figure 5); the reply carries W_t after
+			// the join.
+			if err := self.SetWasAvailable(rec.WasAvail.Add(self.ID())); err != nil {
+				return err
+			}
+			first = false
+		}
+		if !rec.More {
+			break
+		}
+		cont = rec.Next
 	}
 	self.SetState(protocol.StateAvailable)
 	return nil

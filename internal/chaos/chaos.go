@@ -34,6 +34,7 @@ import (
 	"hash"
 	"hash/fnv"
 	"math/rand"
+	"time"
 
 	"relidev/internal/availcopy"
 	"relidev/internal/block"
@@ -42,6 +43,7 @@ import (
 	"relidev/internal/obs"
 	"relidev/internal/obs/avail"
 	"relidev/internal/protocol"
+	"relidev/internal/repair"
 	"relidev/internal/scheme"
 	"relidev/internal/sim"
 	"relidev/internal/simnet"
@@ -71,6 +73,16 @@ type Config struct {
 	// clock and never feeds the replay digest, so a run's digest is
 	// bit-identical with observation on or off.
 	Observe bool
+	// Repair enables the background anti-entropy repairer (DESIGN.md
+	// §13) on every readmitted site, under a deterministic policy: one
+	// in-flight page per donor so every faultnet link sees a sequential,
+	// replayable request stream, a logical clock so backoff costs no
+	// wall time, and seeded jitter. It adds a standing invariant —
+	// bounded time-to-freshness: every repair run must finish within
+	// Policy.Deadline of the staleness it found, and on the loss-free
+	// schemes a successful run leaves the repaired site's vector
+	// dominating every available data peer's.
+	Repair bool
 }
 
 // Defaults returns a Config sized for a quick but meaningful run.
@@ -84,6 +96,22 @@ func Defaults(kind core.SchemeKind) Config {
 		OpsPerEvent: 8,
 		Rho:         0.25,
 		Observe:     true,
+		Repair:      true,
+	}
+}
+
+// repairPolicy is the deterministic repair tuning chaos runs use. The
+// rate limiter stays off (the logical clock would count its debt
+// sleeps against the deadline without modelling any real bandwidth);
+// rate-limit behaviour is covered by the repair package's own tests.
+func repairPolicy(seed int64) repair.Policy {
+	return repair.Policy{
+		PageBlocks:         4,
+		MaxInFlightPerPeer: 1,
+		RetryBase:          5 * time.Millisecond,
+		RetryMax:           40 * time.Millisecond,
+		Seed:               uint64(seed),
+		Clock:              repair.NewLogical(),
 	}
 }
 
@@ -168,6 +196,27 @@ type Report struct {
 	// measured rates (failures appear in Violations as well).
 	Avail            *avail.Stats  `json:"avail,omitempty"`
 	AvailConformance *avail.Report `json:"avail_conformance,omitempty"`
+	// Repair holds one time-to-freshness sample per background repair
+	// run, present when Config.Repair is set. Elapsed is measured on the
+	// repairer's logical clock, so samples replay bit-identically.
+	Repair []TTFSample `json:"repair,omitempty"`
+}
+
+// A TTFSample records one background repair run's bounded
+// time-to-freshness outcome: how stale the site was at readmission,
+// what the stream did, how long it took on the repair clock, and the
+// deadline the policy promised. OK is the deadline verdict.
+type TTFSample struct {
+	Site       int    `json:"site"`
+	Stale      int    `json:"stale"`
+	Installed  int    `json:"installed"`
+	Rounds     int    `json:"rounds"`
+	Retries    int    `json:"retries"`
+	Demotions  int    `json:"demotions"`
+	ElapsedNS  int64  `json:"elapsed_ns"`
+	DeadlineNS int64  `json:"deadline_ns"`
+	OK         bool   `json:"ok"`
+	Err        string `json:"err,omitempty"`
 }
 
 // engine is the mutable state of one run.
@@ -177,6 +226,9 @@ type engine struct {
 	fn  *faultnet.Network
 	rng *rand.Rand
 	obs *obs.Observer
+	// repairPol is the policy the cluster's repairers run under, kept
+	// for computing each run's time-to-freshness deadline.
+	repairPol repair.Policy
 	// est is the availability observatory, fed the schedule's site
 	// transitions on the Poisson process's own simulated timeline
 	// (simNow tracks the latest event time). Like the tracer, it never
@@ -231,11 +283,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		e.est = est
 	}
+	var pol *repair.Policy
+	if cfg.Repair {
+		e.repairPol = repairPolicy(cfg.Seed)
+		pol = &e.repairPol
+	}
 	cl, err := core.NewCluster(core.ClusterConfig{
 		Sites:    cfg.Sites,
 		Geometry: block.Geometry{BlockSize: 32, NumBlocks: cfg.Blocks},
 		Scheme:   cfg.Scheme,
 		Observer: e.obs,
+		Repair:   pol,
 		WrapTransport: func(inner protocol.Transport) protocol.Transport {
 			fn, ferr := faultnet.New(inner, menu(cfg.Scheme, cfg.Seed))
 			if ferr != nil {
@@ -291,14 +349,16 @@ func (e *engine) conformanceCheck() {
 		tx[op] = s.Transmissions
 	}
 	w, r, rec := obs.GatherObservations(snap, e.report.Scheme, tx)
-	rep, err := obs.CheckConformance(obs.ConformanceInput{
+	in := obs.ConformanceInput{
 		Scheme:   as,
 		Sites:    e.cfg.Sites,
 		Unicast:  e.cl.Network().Mode() == simnet.Unicast,
 		Write:    w,
 		Read:     r,
 		Recovery: rec,
-	}, false)
+	}
+	obs.GatherRepairObservation(snap, e.report.Scheme, tx).Apply(&in)
+	rep, err := obs.CheckConformance(in, false)
 	if err != nil {
 		e.report.Violations = append(e.report.Violations, fmt.Sprintf("§5 conformance: %v", err))
 		return
@@ -397,6 +457,109 @@ func (e *engine) applyEvent(ctx context.Context, ev sim.Event) {
 	// fault draws; ErrAwaitingSites inside is not an error.
 	if err := e.cl.DriveRecovery(ctx); err != nil {
 		e.violatef("drive recovery: %v", err)
+	}
+	e.drainRepairs()
+}
+
+// drainRepairs collects the background repair outcomes the cluster
+// logged since the last drain and applies the standing bounded
+// time-to-freshness invariant. Only deterministic facts feed the
+// digest (staleness, installs, the error class); elapsed times stay in
+// the report, where the logical repair clock keeps them replayable.
+func (e *engine) drainRepairs() {
+	if !e.cfg.Repair {
+		return
+	}
+	for _, out := range e.cl.TakeRepairOutcomes() {
+		res := out.Result
+		deadline := e.repairPol.Deadline(res.Stale)
+		sample := TTFSample{
+			Site:       int(out.Site),
+			Stale:      res.Stale,
+			Installed:  res.Installed,
+			Rounds:     res.Rounds,
+			Retries:    res.Retries,
+			Demotions:  res.Demotions,
+			ElapsedNS:  res.Elapsed.Nanoseconds(),
+			DeadlineNS: deadline.Nanoseconds(),
+			OK:         res.Elapsed <= deadline,
+		}
+		if out.Err != nil {
+			sample.Err = out.Err.Error()
+		}
+		e.report.Repair = append(e.report.Repair, sample)
+		e.stamp("REP%d stale=%d installed=%d %s", out.Site, res.Stale, res.Installed, repairClass(out.Err))
+		if res.Elapsed > deadline {
+			e.violatef("repair of site %v took %v, deadline %v (stale=%d, retries=%d)",
+				out.Site, res.Elapsed, deadline, res.Stale, res.Retries)
+		}
+		switch {
+		case out.Err == nil:
+			// A successful run promises the site matched the freshest
+			// reachable peers. On the loss-free schemes every available
+			// peer was reachable, so the promise is checkable exactly; the
+			// voting menu's message faults can legitimately hide a peer
+			// from discovery, so there the end-of-run convergence check
+			// owns the claim.
+			if e.cfg.Scheme != core.Voting {
+				e.freshnessCheck(out.Site)
+			}
+		case errors.Is(out.Err, repair.ErrIncomplete), errors.Is(out.Err, repair.ErrNoDonors):
+			// Chaos may have killed or hidden every donor; the site stays
+			// available (scheme recovery already passed) and the next
+			// readmission repairs the remainder.
+		default:
+			e.violatef("repair of site %v: %v", out.Site, out.Err)
+		}
+	}
+}
+
+// repairClass folds a repair error into its digest-stable class.
+func repairClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, repair.ErrIncomplete):
+		return "incomplete"
+	case errors.Is(err, repair.ErrNoDonors):
+		return "nodonors"
+	default:
+		return "err"
+	}
+}
+
+// freshnessCheck asserts the repaired site's vector dominates every
+// available data peer's — the "matches a live quorum" reading of
+// bounded time-to-freshness. It runs at the quiescent drain point,
+// before any further workload, so domination is exact.
+func (e *engine) freshnessCheck(id protocol.SiteID) {
+	self, err := e.cl.Replica(id)
+	if err != nil {
+		e.violatef("replica %v: %v", id, err)
+		return
+	}
+	mine := self.Vector()
+	for i := 0; i < e.cfg.Sites; i++ {
+		peerID := protocol.SiteID(i)
+		if peerID == id {
+			continue
+		}
+		peer, err := e.cl.Replica(peerID)
+		if err != nil {
+			e.violatef("replica %v: %v", peerID, err)
+			continue
+		}
+		if peer.State() != protocol.StateAvailable || peer.Witness() {
+			continue
+		}
+		pv := peer.Vector()
+		for b := 0; b < e.cfg.Blocks; b++ {
+			idx := block.Index(b)
+			if mine.Get(idx) < pv.Get(idx) {
+				e.violatef("repair left site %v stale: block %v at %v while peer %v holds %v",
+					id, idx, mine.Get(idx), peerID, pv.Get(idx))
+			}
+		}
 	}
 }
 
@@ -617,6 +780,7 @@ func (e *engine) totalFailure(ctx context.Context) {
 	if got := e.cl.AvailableCount(); got != e.cfg.Sites {
 		e.violatef("after total failure %d of %d sites recovered", got, e.cfg.Sites)
 	}
+	e.drainRepairs()
 }
 
 // convergenceCheck verifies the post-recovery state: the available copy

@@ -160,8 +160,8 @@ func TestConformanceHoldsUnderFaults(t *testing.T) {
 	if rep.Conformance.Strict {
 		t.Fatal("chaos must use bracket mode, not strict")
 	}
-	if len(rep.Conformance.Checks) != 3 {
-		t.Fatalf("checks = %d, want 3", len(rep.Conformance.Checks))
+	if len(rep.Conformance.Checks) != 4 {
+		t.Fatalf("checks = %d, want 4", len(rep.Conformance.Checks))
 	}
 	// The snapshot actually carries the workload's counters.
 	if rep.Metrics == nil || len(rep.Metrics.Counters) == 0 {

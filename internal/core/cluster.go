@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"relidev/internal/availcopy"
@@ -11,6 +12,7 @@ import (
 	"relidev/internal/naiveac"
 	"relidev/internal/obs"
 	"relidev/internal/protocol"
+	"relidev/internal/repair"
 	"relidev/internal/scheme"
 	"relidev/internal/simnet"
 	"relidev/internal/site"
@@ -86,6 +88,18 @@ type ClusterConfig struct {
 	// exactly what the controllers see, fault injection included. Nil
 	// leaves the cluster unmetered at zero overhead.
 	Observer *obs.Observer
+	// Repair, when set, enables the background anti-entropy engine
+	// (DESIGN.md §13): after a restarted site completes scheme recovery,
+	// DriveRecovery runs a rate-limited repairer that streams the site's
+	// stale blocks from up-to-date peers, bounding its time to freshness
+	// instead of waiting for the workload to touch every block. Nil
+	// keeps the paper's lazy-only behaviour.
+	Repair *repair.Policy
+	// RecoveryPageBlocks, when positive, makes the schemes' eager
+	// recovery exchange paged: at most this many blocks per
+	// RecoveryReply, continued under a resume token. Zero keeps the
+	// legacy single-shot Figure 5 shape the §5 traffic tests pin.
+	RecoveryPageBlocks int
 }
 
 func (c *ClusterConfig) applyDefaults() error {
@@ -147,6 +161,23 @@ type Cluster struct {
 	replicas  []*site.Replica
 	ctrls     []scheme.Controller
 	devices   []*ReliableDevice
+	repairers []*repair.Repairer // nil when cfg.Repair is nil
+
+	// repairLog accumulates background repair outcomes for harnesses
+	// (chaos reads and drains it between events).
+	repairMu  sync.Mutex
+	repairLog []RepairOutcome
+}
+
+// RepairOutcome records one completed background repair run driven by
+// DriveRecovery: which site repaired and how it went. Err is nil on
+// full freshness, or repair.ErrNoDonors / repair.ErrIncomplete when
+// staleness remains (the site stays available; a later recovery event
+// retries).
+type RepairOutcome struct {
+	Site   protocol.SiteID
+	Result repair.Result
+	Err    error
 }
 
 // NewCluster builds and starts a cluster; all sites begin available with
@@ -221,15 +252,68 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		cl.devices[i] = dev
 	}
+	if err := cl.buildRepairers(ids); err != nil {
+		return nil, err
+	}
 	return cl, nil
+}
+
+// buildRepairers (re)constructs the per-site background repairers over
+// the current membership; a no-op when repair is disabled. Witnesses
+// get no repairer — they hold no data to freshen.
+func (cl *Cluster) buildRepairers(ids []protocol.SiteID) error {
+	if cl.cfg.Repair == nil {
+		cl.repairers = nil
+		return nil
+	}
+	cl.repairers = make([]*repair.Repairer, len(ids))
+	for i, id := range ids {
+		if cl.replicas[i].Witness() {
+			continue
+		}
+		pol := *cl.cfg.Repair
+		// Distinct per-site jitter streams, stable across runs.
+		pol.Seed ^= uint64(id+1) * 0x9e3779b97f4a7c15
+		rp, err := repair.New(repair.Config{
+			Self:      cl.replicas[i],
+			Transport: cl.transport,
+			Peers:     remotesOf(ids, id),
+			Policy:    pol,
+			Obs:       cl.cfg.Observer.SchemeSite(cl.cfg.Scheme.String(), id),
+			RepairObs: cl.cfg.Observer.Repair(cl.cfg.Scheme.String(), id),
+		})
+		if err != nil {
+			return fmt.Errorf("core: repairer for %v: %w", id, err)
+		}
+		cl.repairers[i] = rp
+	}
+	return nil
+}
+
+func remotesOf(ids []protocol.SiteID, self protocol.SiteID) []protocol.SiteID {
+	out := make([]protocol.SiteID, 0, len(ids)-1)
+	for _, id := range ids {
+		if id != self {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 func buildController(cfg ClusterConfig, env scheme.Env) (scheme.Controller, error) {
 	switch cfg.Scheme {
 	case Voting:
-		return voting.New(env, cfg.VotingOptions...)
+		opts := cfg.VotingOptions
+		if cfg.RecoveryPageBlocks > 0 {
+			opts = append(opts[:len(opts):len(opts)], voting.WithPagedRecovery(cfg.RecoveryPageBlocks))
+		}
+		return voting.New(env, opts...)
 	case AvailableCopy:
-		return availcopy.New(env, cfg.AvailCopyOptions...)
+		opts := cfg.AvailCopyOptions
+		if cfg.RecoveryPageBlocks > 0 {
+			opts = append(opts[:len(opts):len(opts)], availcopy.WithPagedRecovery(cfg.RecoveryPageBlocks))
+		}
+		return availcopy.New(env, opts...)
 	case NaiveAvailableCopy:
 		return naiveac.New(env)
 	default:
@@ -346,7 +430,16 @@ func (cl *Cluster) Restart(ctx context.Context, id protocol.SiteID) error {
 // DriveRecovery repeatedly runs the scheme's recovery procedure on every
 // comatose site until no further site can make progress. Sites whose
 // recovery must still wait stay comatose; that is not an error.
+//
+// When background repair is configured, every site that completed
+// scheme recovery here then runs one anti-entropy pass (DESIGN.md §13):
+// scheme recovery readmits the site cheaply (the paper's lazy trick),
+// the repairer erases the staleness that readmission left behind.
+// Repair shortfalls — no donor reachable, donors exhausted — are
+// recorded, not errors: the site is already available and a later
+// recovery event retries.
 func (cl *Cluster) DriveRecovery(ctx context.Context) error {
+	var readmitted []int
 	for {
 		progress := false
 		for i, r := range cl.replicas {
@@ -357,6 +450,7 @@ func (cl *Cluster) DriveRecovery(ctx context.Context) error {
 			switch {
 			case err == nil:
 				progress = true
+				readmitted = append(readmitted, i)
 			case errors.Is(err, scheme.ErrAwaitingSites):
 				// Stay comatose; maybe a later recovery unblocks it.
 			default:
@@ -364,7 +458,42 @@ func (cl *Cluster) DriveRecovery(ctx context.Context) error {
 			}
 		}
 		if !progress {
-			return nil
+			break
 		}
 	}
+	for _, i := range readmitted {
+		if cl.repairers == nil || cl.repairers[i] == nil {
+			continue
+		}
+		res, err := cl.repairers[i].Run(ctx)
+		cl.repairMu.Lock()
+		cl.repairLog = append(cl.repairLog, RepairOutcome{Site: cl.replicas[i].ID(), Result: res, Err: err})
+		cl.repairMu.Unlock()
+		if err != nil && ctx.Err() != nil {
+			return fmt.Errorf("core: repair of %v: %w", cl.replicas[i].ID(), err)
+		}
+	}
+	return nil
+}
+
+// RepairSite runs one on-demand anti-entropy pass on a site (manual
+// freshening, harness retries). It requires repair to be configured.
+func (cl *Cluster) RepairSite(ctx context.Context, id protocol.SiteID) (repair.Result, error) {
+	if err := cl.check(id); err != nil {
+		return repair.Result{}, err
+	}
+	if cl.repairers == nil || cl.repairers[id] == nil {
+		return repair.Result{}, fmt.Errorf("core: site %v has no repairer configured", id)
+	}
+	return cl.repairers[id].Run(ctx)
+}
+
+// TakeRepairOutcomes drains the log of background repair runs driven by
+// DriveRecovery since the previous call, in completion order.
+func (cl *Cluster) TakeRepairOutcomes() []RepairOutcome {
+	cl.repairMu.Lock()
+	defer cl.repairMu.Unlock()
+	out := cl.repairLog
+	cl.repairLog = nil
+	return out
 }

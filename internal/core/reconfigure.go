@@ -147,5 +147,6 @@ func (cl *Cluster) rebuildControllers() error {
 		cl.ctrls[i] = ctrl
 		cl.devices[i].setController(ctrl)
 	}
-	return nil
+	// Repairers hold the membership list too; rebuild them over it.
+	return cl.buildRepairers(ids)
 }

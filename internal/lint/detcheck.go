@@ -45,7 +45,14 @@ var DetCheck = &Analyzer{
 // time.After in batching code would put flush timing back on the wall
 // clock. Only the sanctioned realClock default carries an allow
 // directive.
-var detScopeElems = []string{"faultnet", "chaos", "sim", "workload", "markov", "obs", "avail", "store"}
+// The repair engine is in scope for the same reason as store: its
+// backoff, jitter, and rate-limiter decisions replay through an
+// injected repair.Clock (the chaos harness shares one Logical clock
+// across all repairers), and its Result counters land in chaos digests
+// and time-to-freshness samples — a stray time.Now or global rand call
+// would make donor schedules diverge between replays. Only the
+// sanctioned Wall clock default carries allow directives.
+var detScopeElems = []string{"faultnet", "chaos", "sim", "workload", "markov", "obs", "avail", "store", "repair"}
 
 var wallClockFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,

@@ -37,6 +37,10 @@ func TestDetCheckStoreFixtures(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/detcheck/store", lint.DetCheck)
 }
 
+func TestDetCheckRepairFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/detcheck/repair", lint.DetCheck)
+}
+
 func TestDetCheckOutOfScope(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/detcheck/other", lint.DetCheck)
 }

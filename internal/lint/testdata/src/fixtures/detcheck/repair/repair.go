@@ -1,0 +1,49 @@
+// Fixtures for detcheck in the repair engine: backoff, jitter, and
+// rate-limiter decisions replay through an injected Clock and seeded
+// rand streams, and the resulting counters land in chaos digests and
+// time-to-freshness samples — repair code must never read the wall
+// clock or the global rand source.
+package repair
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock mirrors the injectable time source the real repairer uses.
+type Clock interface {
+	Sleep(d time.Duration)
+	Elapsed() time.Duration
+}
+
+type repairer struct {
+	clock Clock
+	rng   *rand.Rand
+	base  time.Duration
+}
+
+// ok: backoff sleeps on the injected clock with a seeded jitter stream.
+func (r *repairer) backoff(attempt int) {
+	d := r.base << attempt
+	d += time.Duration(r.rng.Int63n(int64(r.base)))
+	r.clock.Sleep(d)
+}
+
+func badBackoff(r *repairer, attempt int) {
+	d := r.base << attempt
+	d += time.Duration(rand.Int63n(int64(r.base))) // want "global rand.Int63n draws from the process-seeded source"
+	time.Sleep(d)                                  // want "time.Sleep in a replay-deterministic package"
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in a replay-deterministic package"
+}
+
+// ok: the sanctioned wall-clock default carries the documented
+// exception, matching the real engine's Wall clock.
+type wallClock struct{}
+
+func (wallClock) Sleep(d time.Duration) {
+	//relidev:allow nondeterminism: default clock for live repairers; chaos injects a Logical clock
+	time.Sleep(d)
+}

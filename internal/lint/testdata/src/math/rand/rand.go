@@ -14,6 +14,7 @@ type Rand struct{ src Source }
 func New(src Source) *Rand { return &Rand{src} }
 
 func (r *Rand) Int63() int64          { return r.src.Int63() }
+func (r *Rand) Int63n(n int64) int64  { return r.src.Int63() % n }
 func (r *Rand) Intn(n int) int        { return int(r.src.Int63()) % n }
 func (r *Rand) Float64() float64      { return 0 }
 func (r *Rand) ExpFloat64() float64   { return 0 }

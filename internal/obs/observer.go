@@ -50,8 +50,12 @@ const (
 	MetricClosures = "relidev_closure_recomputations_total"
 )
 
-// ops indexes the per-operation metric arrays.
-var ops = [...]string{protocol.OpWrite, protocol.OpRead, protocol.OpRecovery}
+// ops indexes the per-operation metric arrays. OpRepair rides along so
+// the background anti-entropy engine (DESIGN.md §13) gets the same
+// attempt/completion/failure/latency families and op spans as the §5
+// rows, while staying a distinct label the conformance checker can
+// price separately.
+var ops = [...]string{protocol.OpWrite, protocol.OpRead, protocol.OpRecovery, protocol.OpRepair}
 
 func opIndex(op string) int {
 	for i, o := range ops {
@@ -78,6 +82,7 @@ type Observer struct {
 
 	mu      sync.Mutex
 	schemes map[string]*SchemeObs
+	repairs map[string]*RepairObs
 }
 
 // spanIDs is one span's identity triple inside a trace tree.

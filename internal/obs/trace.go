@@ -34,6 +34,14 @@ const (
 	// EvHandle records the server side: the remote replica serving a
 	// request under the caller's wire-propagated span context.
 	EvHandle = "handle"
+	// EvRepairPage records one page of the background anti-entropy
+	// stream (DESIGN.md §13): which donor served it and how many blocks
+	// and bytes it carried.
+	EvRepairPage = "repair_page"
+	// EvRepairDonor records a donor lifecycle moment in a repair run:
+	// enlisted at discovery, demoted after repeated failure, or the
+	// target of a mid-stream failover.
+	EvRepairDonor = "repair_donor"
 )
 
 // An Event is one structured trace record. Block is -1 when the event

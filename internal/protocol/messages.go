@@ -172,6 +172,15 @@ type RecoveryRequest struct {
 	// JoinW asks the responder to add the sender to its was-available
 	// set (available copy scheme only).
 	JoinW bool
+	// MaxBlocks, when positive, bounds the number of block copies per
+	// reply: the responder returns at most MaxBlocks stale blocks with
+	// index >= Cont and sets RecoveryReply.More when further pages
+	// remain. Zero keeps the legacy single-shot shape of Figure 5 — the
+	// whole stale set in one reply — which the §5 traffic tests pin.
+	MaxBlocks int
+	// Cont is the continuation token of a paged exchange: the first
+	// block index the responder should consider. Zero on the first page.
+	Cont block.Index
 }
 
 // Kind implements Request.
@@ -185,10 +194,70 @@ type RecoveryReply struct {
 	// WasAvail is the responder's was-available set after the join, so
 	// the recovering site starts from the merged set.
 	WasAvail SiteSet
+	// More reports that a paged exchange (MaxBlocks > 0) has further
+	// stale blocks beyond this reply; the requester continues with
+	// Cont = Next. Always false in the legacy single-shot shape.
+	More bool
+	// Next is the continuation token for the next page when More is set.
+	Next block.Index
 }
 
 // RespKind implements Response.
 func (RecoveryReply) RespKind() string { return "recovery-reply" }
+
+// RepairSummaryRequest asks a site for its repair-relevant summary: the
+// anti-entropy repairer (DESIGN.md §13) broadcasts it after readmission
+// to discover which peers hold newer block versions. The reply carries
+// the full version vector — unlike StatusReply's scalar VersionSum — so
+// the repairer can compute the exact stale set without a Figure 5
+// exchange per candidate donor.
+type RepairSummaryRequest struct{}
+
+// Kind implements Request.
+func (RepairSummaryRequest) Kind() string { return "repair-summary" }
+
+// RepairSummaryReply is a site's repair summary.
+type RepairSummaryReply struct {
+	Vector block.Vector
+	State  SiteState
+	// Witness marks a site that holds version numbers but no data;
+	// witnesses can never serve as repair donors.
+	Witness bool
+}
+
+// RespKind implements Response.
+func (RepairSummaryReply) RespKind() string { return "repair-summary-reply" }
+
+// BlockWant names one block a repairer is missing and the version floor
+// that makes a donor's copy useful. A donor whose copy is older than
+// MinVersion omits the block rather than ship a stale copy the repairer
+// would have to discard.
+type BlockWant struct {
+	Index      block.Index
+	MinVersion block.Version
+}
+
+// RepairFetchRequest asks a donor for one page of stale blocks. The
+// repairer — not the donor — owns the pagination state: it slices its
+// want-list into bounded pages and pipelines several outstanding pages
+// per donor, so a donor crash mid-stream loses only the in-flight pages
+// and the remainder fails over to the next donor unchanged.
+type RepairFetchRequest struct {
+	Wants []BlockWant
+}
+
+// Kind implements Request.
+func (RepairFetchRequest) Kind() string { return "repair-fetch" }
+
+// RepairFetchReply returns the donor's copies of the wanted blocks. A
+// block the donor no longer holds at MinVersion or newer is simply
+// absent; the repairer re-requests it from a fresher donor.
+type RepairFetchReply struct {
+	Blocks []BlockCopy
+}
+
+// RespKind implements Response.
+func (RepairFetchReply) RespKind() string { return "repair-fetch-reply" }
 
 // RegisterGob registers all protocol messages with encoding/gob so that
 // rpcnet can ship them as interface values. Safe to call more than once
@@ -208,4 +277,8 @@ func RegisterGob() {
 	gob.Register(StatusReply{})
 	gob.Register(RecoveryRequest{})
 	gob.Register(RecoveryReply{})
+	gob.Register(RepairSummaryRequest{})
+	gob.Register(RepairSummaryReply{})
+	gob.Register(RepairFetchRequest{})
+	gob.Register(RepairFetchReply{})
 }

@@ -13,6 +13,12 @@ const (
 	OpWrite    = "write"
 	OpRead     = "read"
 	OpRecovery = "recovery"
+	// OpRepair labels background anti-entropy traffic (DESIGN.md §13):
+	// summary exchanges and paged block fetches issued by internal/repair
+	// after a site has been readmitted. Kept distinct from OpRecovery so
+	// the §5 tables — which price only the readmission exchange — are not
+	// polluted by the background stream.
+	OpRepair = "repair"
 )
 
 type opCtxKey struct{}

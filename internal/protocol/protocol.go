@@ -153,6 +153,16 @@ var (
 	ErrSiteDown        = errors.New("protocol: destination site is down")
 	ErrSiteUnreachable = errors.New("protocol: destination site is unreachable")
 	ErrTransient       = errors.New("protocol: transient communication failure")
+
+	// ErrSevered marks a failure of an exchange that was already
+	// established when it broke: the peer accepted the connection and
+	// then the stream died mid-request. Transports wrap it *alongside*
+	// ErrTransient or ErrSiteDown (it refines, not replaces, the
+	// severity classification). To a retrying client it means
+	// "conclusive here, retryable elsewhere": the background repairer
+	// fails over to another donor immediately instead of burning its
+	// backoff budget against a peer that just dropped dead mid-stream.
+	ErrSevered = errors.New("protocol: established exchange severed mid-stream")
 )
 
 // Request is the interface implemented by all protocol request messages.

@@ -176,6 +176,9 @@ func TestWireSizeCoversEveryMessage(t *testing.T) {
 		StatusRequest{}, StatusReply{},
 		RecoveryRequest{Vector: make(block.Vector, 3)},
 		RecoveryReply{Vector: make(block.Vector, 3), Blocks: []BlockCopy{{Data: make([]byte, 5)}}},
+		RepairSummaryRequest{}, RepairSummaryReply{Vector: make(block.Vector, 3)},
+		RepairFetchRequest{Wants: []BlockWant{{Index: 1, MinVersion: 2}}},
+		RepairFetchReply{Blocks: []BlockCopy{{Data: make([]byte, 5)}}},
 	}
 	for _, m := range msgs {
 		if s := WireSize(m); s < 8 {

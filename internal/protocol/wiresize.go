@@ -40,9 +40,21 @@ func WireSize(msg interface{}) int {
 	case StatusReply:
 		return wireHeader + 8 + 8 + 1 + 1
 	case RecoveryRequest:
-		return wireHeader + 1 + 8*len(m.Vector)
+		return wireHeader + 1 + 8*len(m.Vector) + 4 + 4
 	case RecoveryReply:
-		size := wireHeader + 8 + 8*len(m.Vector)
+		size := wireHeader + 8 + 1 + 4 + 8*len(m.Vector)
+		for _, b := range m.Blocks {
+			size += 12 + len(b.Data)
+		}
+		return size
+	case RepairSummaryRequest:
+		return wireHeader
+	case RepairSummaryReply:
+		return wireHeader + 1 + 1 + 8*len(m.Vector)
+	case RepairFetchRequest:
+		return wireHeader + 12*len(m.Wants)
+	case RepairFetchReply:
+		size := wireHeader
 		for _, b := range m.Blocks {
 			size += 12 + len(b.Data)
 		}

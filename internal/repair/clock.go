@@ -1,0 +1,65 @@
+package repair
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Clock abstracts time for the rate limiter and the retry backoff so
+// that deterministic harnesses can inject a logical clock: relidevlint's
+// detcheck forbids wall-clock reads in this package, and the chaos
+// engine needs repair sleeps to advance virtual time instead of
+// stalling a replayable run. Only differences between Now readings are
+// ever used.
+type Clock interface {
+	// Now returns the clock's current reading.
+	Now() time.Time
+	// Sleep pauses the caller for d, or less if ctx is done first.
+	Sleep(ctx context.Context, d time.Duration)
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time {
+	//relidev:allow nondeterminism: default clock for live repairers; deterministic harnesses inject a Logical clock
+	return time.Now()
+}
+
+func (wallClock) Sleep(ctx context.Context, d time.Duration) {
+	//relidev:allow nondeterminism: default clock for live repairers; deterministic harnesses inject a Logical clock
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Wall is the default Clock: real time.
+var Wall Clock = wallClock{}
+
+// Logical is a deterministic Clock for tests and the chaos engine: it
+// starts at zero, Sleep advances the reading by exactly d without
+// blocking, and concurrent sleepers accumulate (virtual time is the sum
+// of all sleeps, an upper bound on what a serial execution would have
+// waited — the right direction for a time-to-freshness deadline).
+type Logical struct {
+	ns atomic.Int64
+}
+
+// NewLogical returns a Logical clock reading zero.
+func NewLogical() *Logical { return &Logical{} }
+
+// Now implements Clock.
+func (l *Logical) Now() time.Time { return time.Unix(0, l.ns.Load()) }
+
+// Sleep implements Clock: advance, never block.
+func (l *Logical) Sleep(_ context.Context, d time.Duration) {
+	if d > 0 {
+		l.ns.Add(int64(d))
+	}
+}
+
+// Elapsed returns the total virtual time slept.
+func (l *Logical) Elapsed() time.Duration { return time.Duration(l.ns.Load()) }

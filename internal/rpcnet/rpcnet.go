@@ -610,7 +610,7 @@ func (c *Client) dial(ctx context.Context, p *peerPool, to protocol.SiteID, dead
 	d := net.Dialer{Deadline: dd}
 	conn, err := d.DialContext(ctx, "tcp", p.addr)
 	if err != nil {
-		return nil, c.fault(ctx, p, to, "dial", err)
+		return nil, c.fault(ctx, p, to, "dial", false, err)
 	}
 	return &wireConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
@@ -623,7 +623,15 @@ func (c *Client) dial(ctx context.Context, p *peerPool, to protocol.SiteID, dead
 // EOF on an established stream) is ambiguous and feeds the failure
 // detector, which answers ErrSiteDown at the suspect threshold and
 // ErrTransient below it.
-func (c *Client) fault(ctx context.Context, p *peerPool, to protocol.SiteID, op string, cause error) error {
+//
+// severed marks a failure of an *established* exchange — the stream
+// was accepted and then died mid-request, the signature of a peer
+// crashing under load. Those additionally wrap protocol.ErrSevered so
+// clients with somewhere else to go (the anti-entropy repairer) can
+// fail over at once instead of retrying into a dead donor, while the
+// severity classification (transient vs down) still feeds the detector
+// exactly as before.
+func (c *Client) fault(ctx context.Context, p *peerPool, to protocol.SiteID, op string, severed bool, cause error) error {
 	if cerr := ctx.Err(); cerr != nil {
 		return fmt.Errorf("rpcnet: %s %v: %v: %w", op, to, cause, cerr)
 	}
@@ -637,10 +645,22 @@ func (c *Client) fault(ctx context.Context, p *peerPool, to protocol.SiteID, op 
 	if transitioned {
 		c.notifyDetector(to, true, since)
 	}
+	sev := ""
+	tail := error(protocol.ErrTransient)
 	if down {
-		return fmt.Errorf("rpcnet: %s %v (%d consecutive failures): %v: %w", op, to, fails, cause, protocol.ErrSiteDown)
+		tail = protocol.ErrSiteDown
 	}
-	return fmt.Errorf("rpcnet: %s %v: %v: %w", op, to, cause, protocol.ErrTransient)
+	if severed {
+		sev = " (severed mid-exchange)"
+		if down {
+			return fmt.Errorf("rpcnet: %s %v (%d consecutive failures)%s: %v: %w: %w", op, to, fails, sev, cause, protocol.ErrSevered, tail)
+		}
+		return fmt.Errorf("rpcnet: %s %v%s: %v: %w: %w", op, to, sev, cause, protocol.ErrSevered, tail)
+	}
+	if down {
+		return fmt.Errorf("rpcnet: %s %v (%d consecutive failures): %v: %w", op, to, fails, cause, tail)
+	}
+	return fmt.Errorf("rpcnet: %s %v: %v: %w", op, to, cause, tail)
 }
 
 // roundTrip performs one request/response over a pooled (or freshly
@@ -677,7 +697,9 @@ func (c *Client) roundTrip(ctx context.Context, to protocol.SiteID, req protocol
 			return nil, err
 		}
 		if resp, err = c.exchange(p, w, deadline, req, trace); err != nil {
-			return nil, c.fault(ctx, p, to, "exchange with", err)
+			// The dial above succeeded, so this stream was established
+			// and then broke: classify as severed.
+			return nil, c.fault(ctx, p, to, "exchange with", true, err)
 		}
 	}
 	if p.recordSuccess(c.cfg.SuspectThreshold) {

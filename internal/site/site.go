@@ -349,6 +349,16 @@ func (r *Replica) Handle(ctx context.Context, from protocol.SiteID, req protocol
 	case protocol.RecoveryRequest:
 		return r.handleRecovery(from, q)
 
+	case protocol.RepairSummaryRequest:
+		return protocol.RepairSummaryReply{
+			Vector:  r.st.Vector(),
+			State:   state,
+			Witness: r.witness,
+		}, nil
+
+	case protocol.RepairFetchRequest:
+		return r.handleRepairFetch(q)
+
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownRequest, req)
 	}
@@ -456,19 +466,31 @@ func (r *Replica) applyWasAvailFromWrite(piggyback protocol.SiteSet, writer prot
 // sites which have repaired from site s" belong to W_s.
 func (r *Replica) handleRecovery(from protocol.SiteID, q protocol.RecoveryRequest) (protocol.Response, error) {
 	mine := r.st.Vector()
-	var blocks []protocol.BlockCopy
-	for _, idx := range q.Vector.StaleAgainst(mine) {
-		data, ver, err := r.st.Read(idx)
-		if err != nil {
-			return nil, fmt.Errorf("recovery read: %w", err)
-		}
-		blocks = append(blocks, protocol.BlockCopy{Index: idx, Data: data, Version: ver})
-	}
 	// A requester with a shorter history than ours may also hold blocks
 	// *newer* than ours only if it was available more recently, in which
 	// case the scheme selected the wrong source; the scheme layers
 	// guarantee the source dominates, and the property tests check it.
-	reply := protocol.RecoveryReply{Vector: mine, Blocks: blocks}
+	reply := protocol.RecoveryReply{Vector: mine}
+	for _, idx := range q.Vector.StaleAgainst(mine) {
+		if q.MaxBlocks > 0 {
+			// Paged shape: skip below the continuation token, stop at the
+			// page bound. StaleAgainst returns ascending indices, so the
+			// resume point is simply the first index past this page.
+			if idx < q.Cont {
+				continue
+			}
+			if len(reply.Blocks) == q.MaxBlocks {
+				reply.More = true
+				reply.Next = idx
+				break
+			}
+		}
+		data, ver, err := r.st.Read(idx)
+		if err != nil {
+			return nil, fmt.Errorf("recovery read: %w", err)
+		}
+		reply.Blocks = append(reply.Blocks, protocol.BlockCopy{Index: idx, Data: data, Version: ver})
+	}
 	if q.JoinW {
 		r.mu.Lock()
 		err := r.setWasAvailLocked(r.wasAvail.Add(r.id).Add(from))
@@ -490,6 +512,52 @@ func (r *Replica) ApplyRecovery(reply protocol.RecoveryReply) error {
 		}
 	}
 	return nil
+}
+
+// handleRepairFetch serves one page of an anti-entropy stream (DESIGN.md
+// §13): return copies of the wanted blocks that this site holds at their
+// version floor or newer. Blocks that have regressed below the floor —
+// possible only if the repairer picked a donor from a stale summary —
+// are omitted rather than shipped; the repairer re-requests them from a
+// fresher donor. Witnesses hold no data and answer with an empty page.
+func (r *Replica) handleRepairFetch(q protocol.RepairFetchRequest) (protocol.Response, error) {
+	reply := protocol.RepairFetchReply{}
+	if r.witness {
+		return reply, nil
+	}
+	for _, w := range q.Wants {
+		data, ver, err := r.st.Read(w.Index)
+		if err != nil {
+			return nil, fmt.Errorf("repair read: %w", err)
+		}
+		if ver < w.MinVersion {
+			continue
+		}
+		reply.Blocks = append(reply.Blocks, protocol.BlockCopy{Index: w.Index, Data: data, Version: ver})
+	}
+	return reply, nil
+}
+
+// ApplyRepair installs fetched repair blocks through the same atomic
+// version-conditional gate as remote writes (stageLocked), so a repair
+// install racing a foreground write on the same block can never move a
+// version backwards or tear data: whichever carries the higher version
+// wins, the other is discarded. It deliberately takes no OpLocks — the
+// background stream must not block foreground reads and writes — and
+// returns how many blocks actually installed (stale copies are skipped,
+// not errors).
+func (r *Replica) ApplyRepair(blocks []protocol.BlockCopy) (int, error) {
+	installed := 0
+	for _, c := range blocks {
+		ok, err := r.StageLocal(c.Index, c.Data, c.Version)
+		if err != nil {
+			return installed, fmt.Errorf("apply repair block %v: %w", c.Index, err)
+		}
+		if ok {
+			installed++
+		}
+	}
+	return installed, nil
 }
 
 // Store exposes the underlying stable storage (examples and tests only).

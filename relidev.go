@@ -41,6 +41,7 @@ import (
 	"relidev/internal/core"
 	"relidev/internal/obs"
 	"relidev/internal/protocol"
+	"relidev/internal/repair"
 	"relidev/internal/simnet"
 	"relidev/internal/store"
 	"relidev/internal/voting"
@@ -132,6 +133,8 @@ type options struct {
 	latency        time.Duration
 	metered        bool
 	traceCap       int
+	repairPolicy   *repair.Policy
+	recoveryPage   int
 }
 
 // WithGeometry sets the device shape (default 512-byte blocks, 128
@@ -255,6 +258,31 @@ func WithWitnesses(w int) Option {
 	return func(o *options) { o.witnesses = w }
 }
 
+// RepairPolicy tunes the background anti-entropy repairer; the zero
+// value takes sensible defaults (16-block pages, 2 pages in flight per
+// donor, unlimited rate).
+type RepairPolicy = repair.Policy
+
+// RepairResult summarises one anti-entropy pass.
+type RepairResult = repair.Result
+
+// WithBackgroundRepair enables the background anti-entropy repairer:
+// after a restarted site is readmitted, it streams the site's stale
+// blocks from multiple up-to-date peers under the given policy instead
+// of waiting for the workload to touch every block (lazy-only, the
+// paper's default). See DESIGN.md §13.
+func WithBackgroundRepair(p RepairPolicy) Option {
+	return func(o *options) { o.repairPolicy = &p }
+}
+
+// WithPagedRecovery bounds the recovery exchange to maxBlocks block
+// copies per reply, continued under a resume token, instead of the
+// single unbounded reply of Figure 5. Applies to the available copy
+// schemes' repair exchange and voting's eager-recovery ablation.
+func WithPagedRecovery(maxBlocks int) Option {
+	return func(o *options) { o.recoveryPage = maxBlocks }
+}
+
 // TrafficStats counts high-level network transmissions as defined in §5,
 // plus the byte-volume alternative metric §5 mentions.
 type TrafficStats struct {
@@ -287,6 +315,9 @@ func New(n int, scheme Scheme, opts ...Option) (*Cluster, error) {
 		Weights:   o.weights,
 		Witnesses: o.witnesses,
 		Latency:   o.latency,
+		Repair:    o.repairPolicy,
+
+		RecoveryPageBlocks: o.recoveryPage,
 	}
 	if o.unicast {
 		cfg.Mode = simnet.Unicast
@@ -367,6 +398,13 @@ func (c *Cluster) Fail(site int) error {
 // procedure, cascading to any other site whose recovery was waiting.
 func (c *Cluster) Restart(ctx context.Context, site int) error {
 	return c.inner.Restart(ctx, protocol.SiteID(site))
+}
+
+// RepairSite runs one on-demand anti-entropy pass on a site,
+// freshening its stale blocks from up-to-date peers. The cluster must
+// have been built with WithBackgroundRepair.
+func (c *Cluster) RepairSite(ctx context.Context, site int) (RepairResult, error) {
+	return c.inner.RepairSite(ctx, protocol.SiteID(site))
 }
 
 // State returns a site's current state.
