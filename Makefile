@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint fuzz-smoke chaos-short repair-race
+.PHONY: all build test race lint lint-sweep fuzz-smoke chaos-short repair-race
 
 all: build test
 
@@ -18,7 +18,8 @@ bin/relidevlint: $(wildcard cmd/relidevlint/*.go internal/lint/*.go)
 	$(GO) build -o $@ ./cmd/relidevlint
 
 # lint runs the repo's own analyzer suite (locking, determinism,
-# transport-error, and context invariants — see DESIGN.md §9) over every
+# transport-error, context, goroutine-lifetime, atomic-discipline, and
+# wire-registry invariants — see DESIGN.md §9 and §14) over every
 # package, then govulncheck when it is installed (CI installs it;
 # offline dev boxes skip it).
 lint: bin/relidevlint
@@ -28,6 +29,17 @@ lint: bin/relidevlint
 	else \
 		echo "lint: govulncheck not installed, skipping vulnerability scan (CI runs it)"; \
 	fi
+
+# lint-sweep runs the analyzer suite repo-wide without failing the
+# build and prints per-analyzer finding counts — the zero lines are the
+# point: they show each analyzer ran and found the tree clean.
+lint-sweep: bin/relidevlint
+	@out=$$($(GO) vet -vettool=$(CURDIR)/bin/relidevlint ./... 2>&1 || true); \
+	printf '%s\n' "$$out" | grep '\[relidevlint/' || true; \
+	for a in lockcheck detcheck transportcheck ctxcheck leakcheck atomiccheck wirecheck; do \
+		n=$$(printf '%s\n' "$$out" | grep -c "\[relidevlint/$$a\]" || true); \
+		printf 'lint-sweep: %-14s %s finding(s)\n' "$$a" "$$n"; \
+	done
 
 # fuzz-smoke gives each property fuzzer a short budget — enough to shake
 # out regressions in the quorum arithmetic, the was-available closure,

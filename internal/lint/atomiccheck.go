@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicCheck enforces atomic-access discipline repo-wide: a word that
+// is accessed through sync/atomic anywhere must be accessed through
+// sync/atomic everywhere. Mixing an atomic.AddUint64 on one path with
+// a mutex-guarded `x.count++` on another is a data race the runtime
+// detector only catches under lucky schedules — and on the traffic
+// counters it silently corrupts the §5 transmission totals the
+// conformance checker holds against the paper's formulas.
+//
+// Concretely, for every variable or struct field whose address is
+// passed to a sync/atomic operation (atomic.AddUint64(&s.n, 1),
+// atomic.LoadUint64(&s.n), ...), the analyzer flags:
+//
+//  1. any plain (non-atomic) read or write of the same variable or
+//     field anywhere in the package — matched by object identity, so
+//     the field is tracked across methods with different receiver
+//     names;
+//  2. taking its address for anything other than a sync/atomic call,
+//     which lets the word escape to unaudited code.
+//
+// The typed atomics (atomic.Uint64 and friends) make this mistake
+// unrepresentable — their only access path is their method set — and
+// are the preferred fix. Deliberate exceptions (e.g. a plain read in
+// a constructor before the value is shared) carry
+// //relidev:allow atomics: reason.
+var AtomicCheck = &Analyzer{
+	Name:  "atomiccheck",
+	Topic: "atomics",
+	Doc: "a variable or field accessed via sync/atomic anywhere must be " +
+		"accessed atomically everywhere; prefer the typed atomics",
+	Run: runAtomicCheck,
+}
+
+// atomicOpPrefixes are the sync/atomic package-level functions that
+// take the word's address as their first argument.
+var atomicOpPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+func isAtomicOp(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false // typed-atomic methods are always safe
+	}
+	for _, prefix := range atomicOpPrefixes {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicCheck(p *Pass) {
+	// Pass 1: find every word the package treats atomically, and the
+	// &word nodes sanctioned by appearing as a sync/atomic argument.
+	atomicWords := make(map[*types.Var]token.Pos) // word -> first atomic access
+	sanctioned := make(map[ast.Node]bool)         // the &word argument nodes
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicOp(calleeOf(p.Info, call)) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if v := varObjOf(p.Info, addr.X); v != nil {
+				if _, seen := atomicWords[v]; !seen {
+					atomicWords[v] = call.Pos()
+				}
+				sanctioned[addr] = true
+			}
+			return true
+		})
+	}
+	if len(atomicWords) == 0 {
+		return
+	}
+
+	// Pass 2: every other appearance of an atomic word is a violation;
+	// the walk skips the sanctioned &word subtrees, so only plain
+	// accesses and escaping addresses remain.
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if sanctioned[n] {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, _ := p.Info.Uses[id].(*types.Var)
+			if v == nil {
+				return true
+			}
+			pos, isAtomic := atomicWords[v]
+			if !isAtomic {
+				return true
+			}
+			p.Reportf(id.Pos(),
+				"%s is accessed via sync/atomic at %s but non-atomically here: every access to an atomic word must go through sync/atomic (or migrate the field to a typed atomic)",
+				v.Name(), p.Fset.Position(pos))
+			return true
+		})
+	}
+}

@@ -1,0 +1,159 @@
+package lint_test
+
+import (
+	"go/types"
+	"testing"
+
+	"relidev/internal/lint"
+	"relidev/internal/lint/linttest"
+)
+
+// loadGraph loads the callgraph fixture package and returns its graph
+// plus a resolver for package-level functions and methods by name.
+func loadGraph(t *testing.T) (*lint.CallGraph, func(name string) *types.Func) {
+	t.Helper()
+	pkg := linttest.Load(t, testdata, "fixtures/callgraph/graph")
+	graph := pkg.CallGraph()
+	lookup := func(name string) *types.Func {
+		t.Helper()
+		if obj, ok := pkg.Types.Scope().Lookup(name).(*types.Func); ok {
+			return obj
+		}
+		// Methods: resolve "Server.flushLoop" style names.
+		for _, tname := range []string{"Server"} {
+			tn, ok := pkg.Types.Scope().Lookup(tname).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			named := tn.Type().(*types.Named)
+			for i := 0; i < named.NumMethods(); i++ {
+				if m := named.Method(i); tname+"."+m.Name() == name {
+					return m
+				}
+			}
+		}
+		t.Fatalf("function %q not found in fixture", name)
+		return nil
+	}
+	return graph, lookup
+}
+
+func TestCallGraphEdgeKinds(t *testing.T) {
+	graph, lookup := loadGraph(t)
+	run := graph.Node(lookup("Run"))
+	if run == nil {
+		t.Fatal("no node for Run")
+	}
+	kinds := make(map[string]lint.EdgeKind)
+	for _, e := range run.Out {
+		kinds[e.Callee.Name()] = e.Kind
+	}
+	want := map[string]lint.EdgeKind{
+		"flushLoop": lint.EdgeGo,
+		"cleanup":   lint.EdgeDefer,
+		"helper":    lint.EdgeCall,
+	}
+	for callee, kind := range want {
+		if got, ok := kinds[callee]; !ok || got != kind {
+			t.Errorf("Run -> %s: got kind %v (present=%v), want %v", callee, got, ok, kind)
+		}
+	}
+}
+
+func TestCallGraphMethodValueRef(t *testing.T) {
+	graph, lookup := loadGraph(t)
+	start := lookup("Server.Start")
+	flush := lookup("Server.flushLoop")
+
+	var ref *lint.Edge
+	for i, e := range graph.Node(flush).In {
+		if e.Caller == start {
+			ref = &graph.Node(flush).In[i]
+		}
+	}
+	if ref == nil {
+		t.Fatal("no edge Start -> flushLoop: escaped method values must produce reference edges")
+	}
+	if ref.Kind != lint.EdgeRef {
+		t.Errorf("Start -> flushLoop edge kind = %v, want EdgeRef", ref.Kind)
+	}
+
+	// Reachability follows references by default...
+	all := graph.ForwardClosure(map[*types.Func]bool{start: true}, nil)
+	if !all[flush] {
+		t.Error("ForwardClosure(Start) should reach flushLoop through the method-value reference")
+	}
+	// ...but a filter can exclude them.
+	calls := graph.ForwardClosure(map[*types.Func]bool{start: true}, func(e lint.Edge) bool {
+		return e.Kind != lint.EdgeRef
+	})
+	if calls[flush] {
+		t.Error("ForwardClosure(Start) without reference edges should not reach flushLoop")
+	}
+}
+
+func TestCallGraphClosureAttribution(t *testing.T) {
+	graph, lookup := loadGraph(t)
+	outer := lookup("Outer")
+	helper := lookup("helper")
+	found := false
+	for _, e := range graph.Node(helper).In {
+		if e.Caller == outer {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("helper call inside Outer's closure must be attributed to Outer")
+	}
+}
+
+func TestCallGraphRecursionTerminates(t *testing.T) {
+	graph, lookup := loadGraph(t)
+	fact := lookup("Fact")
+	even, odd := lookup("Even"), lookup("Odd")
+
+	// ForwardClosure reaches a fixpoint over cycles.
+	closure := graph.ForwardClosure(map[*types.Func]bool{even: true}, nil)
+	if !closure[odd] || !closure[even] {
+		t.Errorf("ForwardClosure(Even) = missing members: odd=%v even=%v", closure[odd], closure[even])
+	}
+	if closure[fact] {
+		t.Error("ForwardClosure(Even) must not reach the unrelated Fact")
+	}
+	self := graph.ForwardClosure(map[*types.Func]bool{fact: true}, nil)
+	if !self[fact] || len(self) != 1 {
+		t.Errorf("ForwardClosure(Fact) = %d members, want just Fact", len(self))
+	}
+}
+
+func TestCallGraphAllCallersSatisfyCycles(t *testing.T) {
+	graph, lookup := loadGraph(t)
+	fact := lookup("Fact")
+	even := lookup("Even")
+	helper := lookup("helper")
+
+	// A recursive path cannot vouch for itself: Fact's only caller is
+	// Fact, so unless the predicate accepts Fact directly the answer is
+	// no — and the walk must terminate.
+	if graph.AllCallersSatisfy(fact, func(f *types.Func) bool { return f != fact }) {
+		t.Error("AllCallersSatisfy(Fact) must be false when the predicate rejects the recursive caller")
+	}
+	if !graph.AllCallersSatisfy(fact, func(*types.Func) bool { return true }) {
+		t.Error("AllCallersSatisfy(Fact) should hold when every caller satisfies the predicate")
+	}
+
+	// Mutual recursion with no external vouching caller is conservative.
+	if graph.AllCallersSatisfy(even, func(*types.Func) bool { return false }) {
+		t.Error("AllCallersSatisfy(Even) must be false for a never-satisfied predicate")
+	}
+
+	// helper's callers are Run and Outer; the property holds exactly
+	// when the predicate covers both.
+	run, outer := lookup("Run"), lookup("Outer")
+	if !graph.AllCallersSatisfy(helper, func(f *types.Func) bool { return f == run || f == outer }) {
+		t.Error("AllCallersSatisfy(helper) should hold when the predicate covers Run and Outer")
+	}
+	if graph.AllCallersSatisfy(helper, func(f *types.Func) bool { return f == run }) {
+		t.Error("AllCallersSatisfy(helper) must fail when Outer is not covered")
+	}
+}

@@ -52,7 +52,12 @@ var DetCheck = &Analyzer{
 // and time-to-freshness samples — a stray time.Now or global rand call
 // would make donor schedules diverge between replays. Only the
 // sanctioned Wall clock default carries allow directives.
-var detScopeElems = []string{"faultnet", "chaos", "sim", "workload", "markov", "obs", "avail", "store", "repair"}
+// simnet and cache joined the scope in PR 8: simnet's delivery,
+// partition, and counter decisions feed the replayed chaos digests
+// directly (its only wall-clock use, the simulated-latency sleep,
+// carries the allow directive), and the cache's admission/eviction
+// decisions determine which reads hit the transport at all.
+var detScopeElems = []string{"faultnet", "chaos", "sim", "simnet", "workload", "markov", "obs", "avail", "store", "repair", "cache"}
 
 var wallClockFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakCheck guards goroutine lifetimes in library packages. The
+// durability argument (crash recovery replays a deterministic
+// schedule; chaos verdicts compare replay digests) assumes every
+// goroutine the system spawns is eventually joined or cancelled: a
+// leaked worker keeps mutating stores and counters after Close
+// returns, which breaks replay determinism, holds fds past recovery,
+// and — at the fan-out sites the quorum path spawns per destination —
+// turns every stuck peer into an unbounded goroutine build-up.
+//
+// Every `go` statement outside package main must therefore have a
+// provable join or cancellation path, one of:
+//
+//  1. WaitGroup pairing — the spawned body calls Done on a
+//     sync.WaitGroup, the spawning declaration calls Add on the same
+//     WaitGroup (matched by variable identity, so s.wg in one method
+//     pairs with b.wg in another when they name the same field), and
+//     some function in the package calls its Wait;
+//  2. ctx-derived select — the spawned body receives from
+//     ctx.Done(), so cancelling the context the spawner was handed
+//     releases the goroutine;
+//  3. bounded-channel completion — the spawned body ranges over (or
+//     comma-ok receives from) a channel that the package close()s, so
+//     the goroutine exits when the feeder finishes.
+//
+// The spawned body is resolved through the call graph: `go fn()` and
+// `go s.method()` inspect the declaration's body, and closures are
+// inspected directly. Spawning a function the package cannot see
+// (another package's function, or a function value of unknown origin)
+// is reported — the join cannot be proven.
+//
+// Deliberate fire-and-forget goroutines carry
+// //relidev:allow goroutines: reason.
+var LeakCheck = &Analyzer{
+	Name:  "leakcheck",
+	Topic: "goroutines",
+	Doc: "every goroutine spawned by library code must have a provable " +
+		"join or cancellation path: WaitGroup pairing, a ctx.Done select, " +
+		"or completion of a channel the package closes",
+	Run: runLeakCheck,
+}
+
+func runLeakCheck(p *Pass) {
+	if p.Types.Name() == "main" {
+		return // cmd/ and examples/ own the process lifetime
+	}
+	graph := p.CallGraph()
+	facts := collectJoinFacts(p, graph)
+
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := spawnedBody(p, graph, g)
+			if body == nil {
+				p.Reportf(g.Pos(),
+					"goroutine spawns a function this package cannot inspect: its join cannot be proven — spawn a local declaration or document the lifetime with //relidev:allow goroutines: reason")
+				return true
+			}
+			if facts.joined(p, graph, g, body) {
+				return true
+			}
+			p.Reportf(g.Pos(),
+				"goroutine has no provable join or cancellation path: pair it with a sync.WaitGroup (Add in the spawner, Done in the body, Wait in the package), select on ctx.Done(), or range over a channel the package closes")
+			return true
+		})
+	}
+}
+
+// joinFacts are the package-level facts the join proof consults.
+type joinFacts struct {
+	// waited holds WaitGroup variables (fields or locals) with a Wait
+	// call anywhere in the package.
+	waited map[*types.Var]bool
+	// closed holds channel variables with a close() call anywhere in
+	// the package.
+	closed map[*types.Var]bool
+	// adds maps each function declaration to the WaitGroup variables
+	// it calls Add on (closures count toward their declaration).
+	adds map[*types.Func]map[*types.Var]bool
+}
+
+func collectJoinFacts(p *Pass, graph *CallGraph) *joinFacts {
+	f := &joinFacts{
+		waited: make(map[*types.Var]bool),
+		closed: make(map[*types.Var]bool),
+		adds:   make(map[*types.Func]map[*types.Var]bool),
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// close(ch)
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) == 1 {
+					if v := varObjOf(p.Info, call.Args[0]); v != nil {
+						f.closed[v] = true
+					}
+				}
+				return true
+			}
+			switch waitGroupMethod(p.Info, call) {
+			case "Wait":
+				if v := recvVarOf(p.Info, call); v != nil {
+					f.waited[v] = true
+				}
+			case "Add":
+				decl := graph.EnclosingDecl(call)
+				if decl == nil {
+					return true
+				}
+				if v := recvVarOf(p.Info, call); v != nil {
+					if f.adds[decl] == nil {
+						f.adds[decl] = make(map[*types.Var]bool)
+					}
+					f.adds[decl][v] = true
+				}
+			}
+			return true
+		})
+	}
+	return f
+}
+
+// spawnedBody resolves the block of statements the goroutine will
+// execute: the literal's body for `go func(){...}()`, the
+// declaration's body for `go fn()` / `go s.method()` when the callee
+// is declared in this package, nil otherwise.
+func spawnedBody(p *Pass, graph *CallGraph, g *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	callee := calleeOf(p.Info, g.Call)
+	if node := graph.Node(callee); callee != nil && node != nil && node.Decl != nil {
+		return node.Decl.Body
+	}
+	return nil
+}
+
+// joined reports whether the spawn at g with the resolved body has a
+// provable join or cancellation path.
+func (f *joinFacts) joined(p *Pass, graph *CallGraph, g *ast.GoStmt, body *ast.BlockStmt) bool {
+	spawner := graph.EnclosingDecl(g)
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Path 1: Done on a WaitGroup the spawner Adds to and the
+			// package Waits on.
+			if waitGroupMethod(p.Info, n) == "Done" {
+				v := recvVarOf(p.Info, n)
+				if v != nil && f.waited[v] && spawner != nil && f.adds[spawner][v] {
+					ok = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			// Path 2/3, receive form: <-ctx.Done() or a comma-ok /
+			// select receive from a package-closed channel.
+			if isReceiveJoin(p, f, n) {
+				ok = true
+				return false
+			}
+		case *ast.RangeStmt:
+			// Path 3, range form: for x := range ch over a
+			// package-closed channel.
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					if v := varObjOf(p.Info, n.X); v != nil && f.closed[v] {
+						ok = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// isReceiveJoin reports whether u is a receive that bounds the
+// goroutine: from ctx.Done() (any context.Context value), or from a
+// channel variable the package closes.
+func isReceiveJoin(p *Pass, f *joinFacts, u *ast.UnaryExpr) bool {
+	if u.Op != token.ARROW {
+		return false
+	}
+	x := ast.Unparen(u.X)
+	if call, ok := x.(*ast.CallExpr); ok {
+		fn := calleeOf(p.Info, call)
+		return fn != nil && fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+	}
+	if v := varObjOf(p.Info, x); v != nil && f.closed[v] {
+		return true
+	}
+	return false
+}
+
+// waitGroupMethod returns "Add", "Done", or "Wait" when the call is
+// that method on a sync.WaitGroup, else "".
+func waitGroupMethod(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || recvBaseName(fn) != "WaitGroup" {
+		return ""
+	}
+	switch name := fn.Name(); name {
+	case "Add", "Done", "Wait":
+		return name
+	}
+	return ""
+}
+
+// recvVarOf resolves the receiver expression of a method call to its
+// identifying variable (see varObjOf).
+func recvVarOf(info *types.Info, call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return varObjOf(info, sel.X)
+}
+
+// varObjOf resolves an expression to the variable object that
+// identifies it across functions: the struct *field* for selector
+// chains like s.wg (so different receiver names still match), the
+// local or package variable for plain identifiers. Returns nil for
+// anything else (calls, index expressions, ...).
+func varObjOf(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		if v == nil {
+			v, _ = info.Defs[e].(*types.Var)
+		}
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}

@@ -45,6 +45,9 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// graph caches the package-level call graph; see CallGraph.
+	graph *CallGraph
 }
 
 // A Diagnostic is a single finding, already resolved to a position.
@@ -85,7 +88,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full relidevlint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockCheck, DetCheck, TransportCheck, CtxCheck}
+	return []*Analyzer{LockCheck, DetCheck, TransportCheck, CtxCheck, LeakCheck, AtomicCheck, WireCheck}
 }
 
 // Run applies the given analyzers to one package and returns the

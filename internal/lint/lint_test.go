@@ -61,10 +61,30 @@ func TestCtxCheckMainPackage(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/ctxcheck/cmd", lint.CtxCheck)
 }
 
+func TestLeakCheckFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/leakcheck/lib", lint.LeakCheck)
+}
+
+func TestLeakCheckMainPackage(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/leakcheck/cmd", lint.LeakCheck)
+}
+
+func TestAtomicCheckFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/atomiccheck/counters", lint.AtomicCheck)
+}
+
+func TestWireCheckFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/wirecheck/protocol", lint.WireCheck)
+}
+
+func TestWireCheckOutOfScope(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/wirecheck/other", lint.WireCheck)
+}
+
 // TestSuiteStable pins the analyzer roster: CI wiring and the DESIGN
 // docs reference these names.
 func TestSuiteStable(t *testing.T) {
-	want := []string{"lockcheck", "detcheck", "transportcheck", "ctxcheck"}
+	want := []string{"lockcheck", "detcheck", "transportcheck", "ctxcheck", "leakcheck", "atomiccheck", "wirecheck"}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

@@ -89,8 +89,7 @@ func isReplicaMutator(info *types.Info, call *ast.CallExpr) bool {
 
 // lockFnState is the lock behavior of one function decl or literal.
 type lockFnState struct {
-	obj      *types.Func // decl object; nil for literals
-	locked   bool        // acquires OpLocks in its own body
+	locked   bool // acquires OpLocks in its own body
 	mutants  []*ast.CallExpr
 	acquires []*ast.CallExpr
 }
@@ -103,27 +102,20 @@ func runLockCheck(p *Pass) {
 		return
 	}
 
+	graph := p.CallGraph()
 	states := make(map[ast.Node]*lockFnState)
-	declOf := make(map[*types.Func]*lockFnState)
-	callers := make(map[*types.Func]map[*types.Func]bool) // callee -> callers
-	trees := make([]*funcTree, len(p.Files))
+	var fnNodes []ast.Node // decls and literals across all files, in source order
 
-	// Phase 1: collect lock acquisitions, mutator calls, and the
-	// intra-package call graph across every file.
-	for fi, file := range p.Files {
+	// Phase 1: collect lock acquisitions and mutator calls per
+	// function node. Call edges come from the shared package call
+	// graph instead of a hand-rolled caller map.
+	for _, file := range p.Files {
 		checkLockPairing(p, file)
 
 		tree := buildFuncTree(file)
-		trees[fi] = tree
 		for _, fn := range tree.funcs {
-			st := &lockFnState{}
-			if decl, ok := fn.(*ast.FuncDecl); ok {
-				if obj, ok := p.Info.Defs[decl.Name].(*types.Func); ok {
-					st.obj = obj
-					declOf[obj] = st
-				}
-			}
-			states[fn] = st
+			states[fn] = &lockFnState{}
+			fnNodes = append(fnNodes, fn)
 		}
 
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -131,7 +123,7 @@ func runLockCheck(p *Pass) {
 			if !ok {
 				return true
 			}
-			owner := tree.owner[n]
+			owner := graph.EnclosingFunc(n)
 			if owner == nil {
 				return true // package-level initializer expression
 			}
@@ -144,71 +136,55 @@ func runLockCheck(p *Pass) {
 			if isReplicaMutator(p.Info, call) {
 				st.mutants = append(st.mutants, call)
 			}
-			// Record the intra-package call edge against the
-			// enclosing declaration (closures run in its context).
-			if callee := calleeOf(p.Info, call); callee != nil && callee.Pkg() == p.Types {
-				for o := owner; o != nil; o = tree.parent[o] {
-					if so := states[o]; so != nil && so.obj != nil {
-						if callers[callee] == nil {
-							callers[callee] = make(map[*types.Func]bool)
-						}
-						callers[callee][so.obj] = true
-						break
-					}
-				}
-			}
 			return true
 		})
 	}
 
+	// declLocked is the cross-function fact the caller check
+	// propagates: this declaration acquires OpLocks in its own body.
+	declLocked := func(fn *types.Func) bool {
+		node := graph.Node(fn)
+		return node != nil && states[node.Decl] != nil && states[node.Decl].locked
+	}
+
 	// Phase 2: report ordering violations and unguarded mutations.
-	for fi := range p.Files {
-		tree := trees[fi]
-		for _, fn := range tree.funcs {
-			st := states[fn]
-			if len(st.acquires) < 2 {
-				continue
-			}
-			for _, extra := range st.acquires[1:] {
-				p.Reportf(extra.Pos(),
-					"OpLocks acquired while an earlier acquisition in the same function is still held (unlocks are deferred to return); stripe and recovery exclusion must not nest")
+	for _, fn := range fnNodes {
+		st := states[fn]
+		if len(st.acquires) < 2 {
+			continue
+		}
+		for _, extra := range st.acquires[1:] {
+			p.Reportf(extra.Pos(),
+				"OpLocks acquired while an earlier acquisition in the same function is still held (unlocks are deferred to return); stripe and recovery exclusion must not nest")
+		}
+	}
+
+	for _, fn := range fnNodes {
+		st := states[fn]
+		if len(st.mutants) == 0 {
+			continue
+		}
+		// Lockedness flows from enclosing function literals, then
+		// from the intra-package callers via the call graph.
+		guarded := false
+		for o := fn; o != nil; o = graph.ParentFunc(o) {
+			if states[o].locked {
+				guarded = true
+				break
 			}
 		}
-
-		for _, fn := range tree.funcs {
-			st := states[fn]
-			if len(st.mutants) == 0 {
-				continue
+		if !guarded {
+			if obj := graph.EnclosingDecl(st.mutants[0]); obj != nil {
+				guarded = graph.AllCallersSatisfy(obj, declLocked)
 			}
-			// Lockedness flows from enclosing function literals,
-			// then from the intra-package callers.
-			guarded := false
-			for o := fn; o != nil; o = tree.parent[o] {
-				if states[o].locked {
-					guarded = true
-					break
-				}
-			}
-			if !guarded {
-				var obj *types.Func
-				for o := fn; o != nil; o = tree.parent[o] {
-					if states[o].obj != nil {
-						obj = states[o].obj
-						break
-					}
-				}
-				if obj != nil {
-					guarded = guardedByCallers(obj, declOf, callers, make(map[*types.Func]bool))
-				}
-			}
-			if guarded {
-				continue
-			}
-			for _, call := range st.mutants {
-				p.Reportf(call.Pos(),
-					"site.Replica.%s outside an OpLocks critical section: neither this function nor all of its intra-package callers hold the lock",
-					calleeOf(p.Info, call).Name())
-			}
+		}
+		if guarded {
+			continue
+		}
+		for _, call := range st.mutants {
+			p.Reportf(call.Pos(),
+				"site.Replica.%s outside an OpLocks critical section: neither this function nor all of its intra-package callers hold the lock",
+				calleeOf(p.Info, call).Name())
 		}
 	}
 }
@@ -280,35 +256,6 @@ func checkLockedSuffix(p *Pass) {
 func funcNodeIsLocked(n ast.Node) bool {
 	d, ok := n.(*ast.FuncDecl)
 	return ok && strings.HasSuffix(d.Name.Name, "Locked")
-}
-
-// guardedByCallers reports whether every intra-package caller of fn
-// (transitively) holds OpLocks. A function with no known callers is
-// not guarded.
-func guardedByCallers(fn *types.Func, declOf map[*types.Func]*lockFnState, callers map[*types.Func]map[*types.Func]bool, visiting map[*types.Func]bool) bool {
-	if visiting[fn] {
-		return false // recursion: stay conservative
-	}
-	visiting[fn] = true
-	defer delete(visiting, fn)
-
-	callerSet := callers[fn]
-	if len(callerSet) == 0 {
-		return false
-	}
-	for caller := range callerSet {
-		st := declOf[caller]
-		if st == nil {
-			return false
-		}
-		if st.locked {
-			continue
-		}
-		if !guardedByCallers(caller, declOf, callers, visiting) {
-			return false
-		}
-	}
-	return true
 }
 
 // checkLockPairing enforces, per statement list, that every lock

@@ -1,0 +1,76 @@
+// Fixtures for atomiccheck: a word accessed through sync/atomic
+// anywhere must be accessed through sync/atomic everywhere.
+package counters
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type TrafficCounters struct {
+	mu       sync.Mutex
+	requests uint64
+	replies  uint64
+	bytes    atomic.Uint64
+}
+
+// The request counter is atomic on the hot path...
+func (c *TrafficCounters) CountRequest() {
+	atomic.AddUint64(&c.requests, 1)
+}
+
+// ...so a mutex-guarded plain read of the same field races with it:
+// the mutex only excludes other mutex holders, not the atomic adder.
+func (c *TrafficCounters) Snapshot() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.requests // want "requests is accessed via sync/atomic .* but non-atomically here"
+}
+
+// A plain write is just as racy as a plain read.
+func (c *TrafficCounters) Reset() {
+	c.requests = 0 // want "requests is accessed via sync/atomic .* but non-atomically here"
+}
+
+// Letting the word's address escape hands it to unaudited code.
+func (c *TrafficCounters) addr() *uint64 {
+	return &c.requests // want "requests is accessed via sync/atomic .* but non-atomically here"
+}
+
+// ok: every access to replies goes through sync/atomic.
+func (c *TrafficCounters) CountReply() {
+	atomic.AddUint64(&c.replies, 1)
+}
+
+func (c *TrafficCounters) Replies() uint64 {
+	return atomic.LoadUint64(&c.replies)
+}
+
+// ok: the typed atomics make mixing unrepresentable.
+func (c *TrafficCounters) CountBytes(n uint64) {
+	c.bytes.Add(n)
+}
+
+func (c *TrafficCounters) Bytes() uint64 {
+	return c.bytes.Load()
+}
+
+// ok: a word never touched by sync/atomic has no atomic discipline to
+// violate — plain mutex-guarded access is fine.
+type plainCounter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (p *plainCounter) inc() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+}
+
+// ok: a documented exception for pre-publication initialization.
+func newCounters(seed uint64) *TrafficCounters {
+	c := &TrafficCounters{}
+	c.requests = seed //relidev:allow atomics: constructor runs before the counters are shared; no concurrent access exists yet
+	return c
+}

@@ -1,0 +1,54 @@
+// Fixtures for the call-graph engine: recursion, mutual recursion,
+// edge kinds (call / go / defer / ref), and closure attribution.
+package graph
+
+// Fact is directly recursive.
+func Fact(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * Fact(n-1)
+}
+
+// Even and Odd are mutually recursive.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+type Server struct{ n int }
+
+func (s *Server) flushLoop() { s.n++ }
+
+// Start lets the method value escape call position: the only edge to
+// flushLoop from here is a reference, not a call.
+func (s *Server) Start() {
+	f := s.flushLoop
+	go f()
+}
+
+// Run exercises the three call-position edge kinds.
+func Run(s *Server) {
+	go s.flushLoop()
+	defer cleanup()
+	helper()
+}
+
+func helper()  {}
+func cleanup() {}
+
+// Outer calls helper only from inside a closure; the edge must be
+// attributed to Outer, the enclosing declaration.
+func Outer() {
+	f := func() { helper() }
+	f()
+}

@@ -1,0 +1,13 @@
+// Fixtures for leakcheck's main-package exemption: commands own the
+// process lifetime, so fire-and-forget goroutines are their business.
+package main
+
+func main() {
+	ch := make(chan int)
+	go func() { // ok: package main is out of scope
+		for {
+			ch <- 1
+		}
+	}()
+	<-ch
+}

@@ -1,0 +1,111 @@
+// Fixtures for leakcheck in a library package: every spawned
+// goroutine must carry a provable join or cancellation path.
+package lib
+
+import (
+	"context"
+	"sync"
+)
+
+type Pool struct {
+	wg    sync.WaitGroup
+	tasks chan int
+	done  chan struct{}
+}
+
+// ok: WaitGroup pairing across methods — Add in the spawner, Done in
+// the spawned body, Wait in Close; the wg field matches by object
+// identity even though the methods use different receiver names.
+func (p *Pool) Start(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+func (q *Pool) worker() {
+	defer q.wg.Done()
+	for t := range q.tasks {
+		_ = t
+	}
+}
+
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// ok: the closure selects on ctx.Done(), so cancelling the context the
+// spawner was handed releases the goroutine.
+func Watch(ctx context.Context, p *Pool) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-p.tasks:
+				_ = t
+			}
+		}
+	}()
+}
+
+// ok: the body ranges over a channel the package closes (see Close),
+// so the goroutine exits when the feeder finishes.
+func Drain(p *Pool) {
+	go func() {
+		for t := range p.tasks {
+			_ = t
+		}
+	}()
+}
+
+// A bare loop with no join path leaks: nothing ever stops it.
+func Leaky(p *Pool) {
+	go func() { // want "goroutine has no provable join or cancellation path"
+		for {
+			p.tasks <- 0
+		}
+	}()
+}
+
+type flusher struct {
+	wg    sync.WaitGroup
+	dirty int
+}
+
+func (f *flusher) flushOnce() {
+	defer f.wg.Done()
+	f.dirty = 0
+}
+
+// ok: the spawner Adds, the body Dones, the package Waits.
+func (f *flusher) Flush() {
+	f.wg.Add(1)
+	go f.flushOnce()
+}
+
+func (f *flusher) Stop() {
+	f.wg.Wait()
+}
+
+// Spawning a WaitGroup body without Add in the spawner proves nothing:
+// Wait can return before the goroutine even starts.
+func HalfPaired(f *flusher) {
+	go f.flushOnce() // want "goroutine has no provable join or cancellation path"
+}
+
+// A function value of unknown origin cannot be inspected.
+func Launch(f func()) {
+	go f() // want "cannot inspect"
+}
+
+// ok: a documented fire-and-forget exception.
+func Sampler(p *Pool) {
+	//relidev:allow goroutines: metrics sampler is fire-and-forget by design; it owns no fds and the chaos digests never read it
+	go func() {
+		for {
+			_ = len(p.tasks)
+		}
+	}()
+}

@@ -1,0 +1,8 @@
+// Fixtures for wirecheck's scoping: packages outside the protocol
+// layer may declare Kind()-bearing types (e.g. event kinds) without
+// owing the wire registries anything.
+package other
+
+type Event struct{ Seq uint64 }
+
+func (Event) Kind() string { return "event" } // ok: not a protocol package

@@ -1,0 +1,50 @@
+// Fixtures for wirecheck: every request/reply type must have a
+// WireSize case, a gob registration, and (requests) a KindOps entry.
+package protocol
+
+import "encoding/gob"
+
+// ok: fully wired — sized, registered, and priced.
+type VoteRequest struct{ Block uint32 }
+
+func (VoteRequest) Kind() string { return "vote" }
+
+type VoteReply struct{ Version uint64 }
+
+func (VoteReply) RespKind() string { return "vote-reply" }
+
+// A new RPC that skips every registry: its traffic would ride the wire
+// unsized, undecodable, and invisible to the §5 pricing tables.
+type PingRequest struct{} // want "no WireSize case" "not registered in RegisterGob" "missing from the KindOps"
+
+func (PingRequest) Kind() string { return "ping" }
+
+// A reply that is registered but never priced undercounts as a bare
+// header in the byte accounting.
+type PongReply struct{} // want "no WireSize case"
+
+func (PongReply) RespKind() string { return "pong" }
+
+const wireHeader = 8
+
+func WireSize(msg interface{}) int {
+	switch msg.(type) {
+	case VoteRequest:
+		return wireHeader + 4
+	case VoteReply:
+		return wireHeader + 8
+	default:
+		return wireHeader
+	}
+}
+
+func RegisterGob() {
+	gob.Register(VoteRequest{})
+	gob.Register(VoteReply{})
+	gob.Register(PongReply{})
+}
+
+var KindOps = map[string][]string{
+	"vote":   {"write", "read"},
+	"status": {"recovery"}, // want "no request type declares it"
+}

@@ -1,0 +1,32 @@
+// Stand-in for the standard sync/atomic package: atomiccheck matches
+// the package-level operations by import path and name prefix, and
+// exempts the typed atomics (whose only access path is their method
+// set), so this minimal mirror behaves identically under analysis.
+package atomic
+
+func AddUint64(addr *uint64, delta uint64) (new uint64) { *addr += delta; return *addr }
+func LoadUint64(addr *uint64) uint64                    { return *addr }
+func StoreUint64(addr *uint64, val uint64)              { *addr = val }
+func SwapUint64(addr *uint64, new uint64) (old uint64)  { old, *addr = *addr, new; return old }
+func CompareAndSwapUint64(addr *uint64, old, new uint64) bool {
+	if *addr == old {
+		*addr = new
+		return true
+	}
+	return false
+}
+
+func AddInt64(addr *int64, delta int64) (new int64) { *addr += delta; return *addr }
+func LoadInt64(addr *int64) int64                   { return *addr }
+func StoreInt64(addr *int64, val int64)             { *addr = val }
+
+type Uint64 struct{ v uint64 }
+
+func (u *Uint64) Add(delta uint64) uint64 { u.v += delta; return u.v }
+func (u *Uint64) Load() uint64            { return u.v }
+func (u *Uint64) Store(val uint64)        { u.v = val }
+
+type Bool struct{ v bool }
+
+func (b *Bool) Load() bool     { return b.v }
+func (b *Bool) Store(val bool) { b.v = val }

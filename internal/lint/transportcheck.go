@@ -71,14 +71,14 @@ func runTransportCheck(p *Pass) {
 		return
 	}
 	wire := wireFuncs(p, iface)
+	graph := p.CallGraph()
 	for _, file := range p.Files {
-		tree := buildFuncTree(file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			if !onWirePath(p, tree, n, wire) {
+			if decl := graph.EnclosingDecl(n); decl == nil || !wire[decl] {
 				return true
 			}
 			fn := calleeOf(p.Info, call)
@@ -142,60 +142,11 @@ func wireFuncs(p *Pass, iface *types.Interface) map[*types.Func]bool {
 		}
 	}
 
-	// Close over the intra-package call graph.
-	edges := make(map[*types.Func]map[*types.Func]bool) // caller decl -> callees
-	for _, file := range p.Files {
-		tree := buildFuncTree(file)
-		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			callee := calleeOf(p.Info, call)
-			if callee == nil || callee.Pkg() != p.Types {
-				return true
-			}
-			for o := tree.owner[n]; o != nil; o = tree.parent[o] {
-				if decl, ok := o.(*ast.FuncDecl); ok {
-					if obj, ok := p.Info.Defs[decl.Name].(*types.Func); ok {
-						if edges[obj] == nil {
-							edges[obj] = make(map[*types.Func]bool)
-						}
-						edges[obj][callee] = true
-					}
-					break
-				}
-			}
-			return true
-		})
-	}
-	for changed := true; changed; {
-		changed = false
-		for caller, callees := range edges {
-			if !wire[caller] {
-				continue
-			}
-			for callee := range callees {
-				if !wire[callee] {
-					wire[callee] = true
-					changed = true
-				}
-			}
-		}
-	}
-	return wire
-}
-
-// onWirePath reports whether node n sits inside a function whose
-// declaration belongs to the wire set.
-func onWirePath(p *Pass, tree *funcTree, n ast.Node, wire map[*types.Func]bool) bool {
-	for o := tree.owner[n]; o != nil; o = tree.parent[o] {
-		if decl, ok := o.(*ast.FuncDecl); ok {
-			obj, _ := p.Info.Defs[decl.Name].(*types.Func)
-			return obj != nil && wire[obj]
-		}
-	}
-	return false
+	// Close over the package call graph: every declaration reachable
+	// from a Transport entry point — through plain calls, spawned
+	// goroutines, defers, or escaped method values — is on the wire
+	// path and must obey the classification contract.
+	return p.CallGraph().ForwardClosure(wire, nil)
 }
 
 // sentinelVar reports whether the expression resolves to one of the

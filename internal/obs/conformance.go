@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"relidev/internal/analysis"
 	"relidev/internal/protocol"
@@ -364,7 +365,7 @@ func GatherObservations(snap Snapshot, schemeName string, transmissions map[stri
 // A RepairObservation bundles the repair op class with the structural
 // counters that price its variable-length runs.
 type RepairObservation struct {
-	Op      OpObservation
+	Op        OpObservation
 	Rounds    uint64
 	Pages     uint64
 	Retries   uint64
@@ -398,4 +399,22 @@ func (r RepairObservation) Apply(in *ConformanceInput) {
 	in.RepairPages = r.Pages
 	in.RepairRetries = r.Retries
 	in.RepairDemotions = r.Demotions
+}
+
+// UnpricedKinds returns, sorted, the request kinds observed on the
+// wire (a transport's per-kind transmission counts, e.g. simnet's
+// Stats.ByKind) that the protocol.KindOps §5 pricing table does not
+// cover. A non-empty result means traffic reached the network that no
+// cost formula attributes — the aggregate counters absorb it while
+// every per-op bracket stays green — so conformance harnesses treat
+// any unpriced kind as a model violation, not a tolerable residue.
+func UnpricedKinds(byKind map[string]uint64) []string {
+	var unpriced []string
+	for kind, n := range byKind {
+		if n > 0 && !protocol.PricedKind(kind) {
+			unpriced = append(unpriced, kind)
+		}
+	}
+	sort.Strings(unpriced)
+	return unpriced
 }

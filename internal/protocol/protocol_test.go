@@ -194,6 +194,45 @@ func TestWireSizeCoversEveryMessage(t *testing.T) {
 	}
 }
 
+func TestKindOpsCoversEveryRequest(t *testing.T) {
+	reqs := []Request{
+		VoteRequest{}, FetchRequest{}, PutRequest{}, PrepareWriteRequest{},
+		AbortWriteRequest{}, StatusRequest{}, RecoveryRequest{},
+		RepairSummaryRequest{}, RepairFetchRequest{},
+	}
+	validOps := map[string]bool{OpWrite: true, OpRead: true, OpRecovery: true, OpRepair: true}
+	kinds := make(map[string]bool, len(reqs))
+	for _, r := range reqs {
+		k := r.Kind()
+		kinds[k] = true
+		if !PricedKind(k) {
+			t.Errorf("request kind %q (%T) missing from KindOps: its traffic is invisible to the §5 pricing tables", k, r)
+			continue
+		}
+		ops := OpsForKind(k)
+		if len(ops) == 0 {
+			t.Errorf("KindOps[%q] prices no op classes", k)
+		}
+		for _, op := range ops {
+			if !validOps[op] {
+				t.Errorf("KindOps[%q] names unknown op class %q", k, op)
+			}
+		}
+	}
+	// The reverse direction: no stale pricing entries.
+	for k := range KindOps {
+		if !kinds[k] {
+			t.Errorf("KindOps prices kind %q but no request type declares it", k)
+		}
+	}
+	if PricedKind("no-such-kind") {
+		t.Error("PricedKind should reject unknown kinds")
+	}
+	if OpsForKind("no-such-kind") != nil {
+		t.Error("OpsForKind should return nil for unknown kinds")
+	}
+}
+
 func TestBlockCopyString(t *testing.T) {
 	c := BlockCopy{Index: 4, Data: []byte{1, 2}, Version: 9}
 	if got := c.String(); got != "blk4@v9(2B)" {

@@ -310,6 +310,7 @@ func (n *Network) sleepLatency(ctx context.Context) error {
 	if d <= 0 {
 		return nil
 	}
+	//relidev:allow nondeterminism: simulated latency is the one sanctioned wall-clock sleep in simnet; it delays delivery without feeding any replayed decision or digest
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
