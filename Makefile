@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint lint-sweep fuzz-smoke chaos-short repair-race
+.PHONY: all build test race lint lint-sweep fuzz-smoke chaos-short repair-race obs-race
 
 all: build test
 
@@ -62,10 +62,19 @@ repair-race:
 # observability layer, checks the §5 bracket and §4 availability
 # conformance invariants, runs the background repairer after every
 # recovery (bounded time-to-freshness is a standing invariant), and
-# leaves its metrics snapshot, availability verdict, and
-# time-to-freshness samples in artifacts/ (CI uploads all three).
+# leaves its metrics snapshot, availability verdict, time-to-freshness
+# samples, and sealed flight-recorder dump in artifacts/ (CI uploads
+# all four; the flight dump is null unless an invariant violation or a
+# critical health breach sealed it).
 chaos-short:
 	mkdir -p artifacts
-	$(GO) run -race ./cmd/chaos -scheme=voting -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-voting-metrics.json -avail-out=artifacts/chaos-voting-avail.json -ttf-out=artifacts/chaos-voting-ttf.json
-	$(GO) run -race ./cmd/chaos -scheme=ac     -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-ac-metrics.json -avail-out=artifacts/chaos-ac-avail.json -ttf-out=artifacts/chaos-ac-ttf.json
-	$(GO) run -race ./cmd/chaos -scheme=nac    -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-nac-metrics.json -avail-out=artifacts/chaos-nac-avail.json -ttf-out=artifacts/chaos-nac-ttf.json
+	$(GO) run -race ./cmd/chaos -scheme=voting -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-voting-metrics.json -avail-out=artifacts/chaos-voting-avail.json -ttf-out=artifacts/chaos-voting-ttf.json -flight-out=artifacts/chaos-voting-flight.json
+	$(GO) run -race ./cmd/chaos -scheme=ac     -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-ac-metrics.json -avail-out=artifacts/chaos-ac-avail.json -ttf-out=artifacts/chaos-ac-ttf.json -flight-out=artifacts/chaos-ac-flight.json
+	$(GO) run -race ./cmd/chaos -scheme=nac    -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-nac-metrics.json -avail-out=artifacts/chaos-nac-avail.json -ttf-out=artifacts/chaos-nac-ttf.json -flight-out=artifacts/chaos-nac-flight.json
+
+# obs-race hammers the new observability surfaces — the health engine's
+# hysteresis state machines and the flight recorder's ring — under the
+# race detector, alongside the phase-attribution integration tests.
+obs-race:
+	$(GO) test -race ./internal/obs/...
+	$(GO) test -race -run 'TestHealthSurface|TestCriticalPathSurface|TestRemoteObservabilitySurface' .

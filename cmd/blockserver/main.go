@@ -18,7 +18,10 @@
 //
 // Pass -debug-addr to expose the observability surface: /metrics
 // (JSON), /metrics.prom (Prometheus text), /trace (recent protocol
-// events), and the standard /debug/pprof/ handlers.
+// events), /profile (critical-path phase attribution), /healthz (the
+// rule-driven health verdict; 503 once a critical alert is active),
+// /debug/flight (the black-box flight recorder's sealed dump), and the
+// standard /debug/pprof/ handlers.
 package main
 
 import (
@@ -105,7 +108,7 @@ func run(id int, peersF, schemeF, storePath, storeDir string, commitN int, commi
 	if err != nil {
 		return err
 	}
-	site, err := relidev.OpenRemote(relidev.RemoteConfig{
+	cfg := relidev.RemoteConfig{
 		Self:             id,
 		Peers:            peers,
 		Scheme:           scheme,
@@ -116,7 +119,11 @@ func run(id int, peersF, schemeF, storePath, storeDir string, commitN int, commi
 		GroupCommitDelay: commitWait,
 		Comatose:         comatose,
 		Metered:          debugAddr != "",
-	})
+	}
+	if cfg.Metered {
+		cfg.HealthRules = relidev.DefaultHealthRules(scheme, len(peers), nil)
+	}
+	site, err := relidev.OpenRemote(cfg)
 	if err != nil {
 		return err
 	}

@@ -40,6 +40,8 @@ func main() {
 		availOut   = flag.String("avail-out", "", "write the availability observatory stats and §4 conformance verdict (JSON) to this file (implies -obs)")
 		repairF    = flag.Bool("repair", true, "run the background anti-entropy repairer after every recovery and enforce bounded time-to-freshness")
 		ttfOut     = flag.String("ttf-out", "", "write the per-recovery time-to-freshness samples (JSON) to this file (implies -repair)")
+		flightF    = flag.Bool("flight", true, "attach the black-box flight recorder and health engine (requires -obs)")
+		flightOut  = flag.String("flight-out", "", "write the sealed flight-recorder dump (JSON) to this file (implies -flight; dump is null unless a violation or critical health breach sealed it)")
 	)
 	flag.Parse()
 	kind, err := parseScheme(*schemeF)
@@ -57,8 +59,9 @@ func main() {
 		Rho:         *rho,
 		Observe:     *observe || *metricsOut != "" || *availOut != "",
 		Repair:      *repairF || *ttfOut != "",
+		Flight:      *flightF || *flightOut != "",
 	}
-	ok, err := run(os.Stdout, cfg, *asJSON, *metricsOut, *availOut, *ttfOut)
+	ok, err := run(os.Stdout, cfg, *asJSON, *metricsOut, *availOut, *ttfOut, *flightOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
@@ -68,7 +71,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, cfg chaos.Config, asJSON bool, metricsOut, availOut, ttfOut string) (bool, error) {
+func run(w io.Writer, cfg chaos.Config, asJSON bool, metricsOut, availOut, ttfOut, flightOut string) (bool, error) {
 	rep, err := chaos.Run(context.Background(), cfg)
 	if err != nil {
 		return false, err
@@ -85,6 +88,11 @@ func run(w io.Writer, cfg chaos.Config, asJSON bool, metricsOut, availOut, ttfOu
 	}
 	if ttfOut != "" {
 		if err := writeTTF(ttfOut, rep); err != nil {
+			return false, err
+		}
+	}
+	if flightOut != "" {
+		if err := writeFlight(flightOut, rep); err != nil {
 			return false, err
 		}
 	}
@@ -168,6 +176,28 @@ func writeTTF(path string, rep *chaos.Report) error {
 	}{rep.Scheme, rep.Seed, rep.Digest, rep.Repair})
 }
 
+// writeFlight stores the sealed flight-recorder dump (plus the final
+// health verdict) as a standalone JSON artifact. Unlike the other
+// writers it succeeds on a healthy run — the dump is null when nothing
+// triggered a seal — so the CI chaos job can upload it
+// unconditionally and its mere presence does not imply failure.
+func writeFlight(path string, rep *chaos.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Scheme string      `json:"scheme"`
+		Seed   int64       `json:"seed"`
+		Digest string      `json:"digest"`
+		Health interface{} `json:"health,omitempty"`
+		Flight interface{} `json:"flight"`
+	}{rep.Scheme, rep.Seed, rep.Digest, rep.Health, rep.Flight})
+}
+
 func printReport(w io.Writer, rep *chaos.Report) {
 	fmt.Fprintf(w, "chaos %-15s seed=%d sites=%d rho=%g\n", rep.Scheme, rep.Seed, rep.Sites, rep.Rho)
 	fmt.Fprintf(w, "  events   %d applied (%d fails, %d repairs, %d skipped), %d total failure(s)\n",
@@ -196,6 +226,18 @@ func printReport(w io.Writer, rep *chaos.Report) {
 			float64(worst)/1e6, float64(worstDeadline)/1e6)
 	}
 	fmt.Fprintf(w, "  digest   %s\n", rep.Digest)
+	if rep.Health != nil {
+		active := 0
+		for _, rv := range rep.Health.Rules {
+			if rv.Active {
+				active++
+			}
+		}
+		fmt.Fprintf(w, "  health   %s (%d of %d rules active)\n", rep.Health.Overall, active, len(rep.Health.Rules))
+	}
+	if rep.Flight != nil {
+		fmt.Fprintf(w, "  flight   sealed: %s (%d frames)\n", rep.Flight.Trigger, len(rep.Flight.Frames))
+	}
 	if rep.Conformance != nil {
 		verdict := "OK"
 		if !rep.Conformance.OK {

@@ -33,7 +33,7 @@ func testConfig(t *testing.T, scheme string, seed int64, events, ops int) chaos.
 func TestRunAllSchemes(t *testing.T) {
 	for _, scheme := range []string{"voting", "ac", "nac"} {
 		var buf bytes.Buffer
-		ok, err := run(&buf, testConfig(t, scheme, 3, 40, 4), false, "", "", "")
+		ok, err := run(&buf, testConfig(t, scheme, 3, 40, 4), false, "", "", "", "")
 		if err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
@@ -54,7 +54,7 @@ func TestRunAllSchemes(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
-	ok, err := run(&buf, testConfig(t, "voting", 3, 20, 2), true, "", "", "")
+	ok, err := run(&buf, testConfig(t, "voting", 3, 20, 2), true, "", "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestRunJSONOutput(t *testing.T) {
 func TestRunDigestStableAcrossInvocations(t *testing.T) {
 	digest := func() string {
 		var buf bytes.Buffer
-		if _, err := run(&buf, testConfig(t, "voting", 11, 30, 4), true, "", "", ""); err != nil {
+		if _, err := run(&buf, testConfig(t, "voting", 11, 30, 4), true, "", "", "", ""); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()
@@ -88,7 +88,7 @@ func TestRunDigestStableAcrossInvocations(t *testing.T) {
 func TestRunWritesMetricsArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "metrics.json")
 	var buf bytes.Buffer
-	ok, err := run(&buf, testConfig(t, "ac", 3, 30, 4), false, path, "", "")
+	ok, err := run(&buf, testConfig(t, "ac", 3, 30, 4), false, path, "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestRunMetricsOutRequiresObservation(t *testing.T) {
 	cfg := testConfig(t, "voting", 3, 10, 2)
 	cfg.Observe = false
 	path := filepath.Join(t.TempDir(), "metrics.json")
-	if _, err := run(&bytes.Buffer{}, cfg, false, path, "", ""); err == nil {
+	if _, err := run(&bytes.Buffer{}, cfg, false, path, "", "", ""); err == nil {
 		t.Fatal("metrics-out accepted without observation")
 	}
 }
@@ -134,7 +134,7 @@ func TestParseSchemeRejectsUnknown(t *testing.T) {
 func TestRunWritesAvailArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "avail.json")
 	var buf bytes.Buffer
-	ok, err := run(&buf, testConfig(t, "nac", 3, 60, 4), false, "", path, "")
+	ok, err := run(&buf, testConfig(t, "nac", 3, 60, 4), false, "", path, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestRunWritesAvailArtifact(t *testing.T) {
 func TestRunWritesTTFArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ttf.json")
 	var buf bytes.Buffer
-	ok, err := run(&buf, testConfig(t, "voting", 3, 60, 4), false, "", "", path)
+	ok, err := run(&buf, testConfig(t, "voting", 3, 60, 4), false, "", "", path, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestRunTTFOutRequiresRepair(t *testing.T) {
 	cfg := testConfig(t, "voting", 3, 10, 2)
 	cfg.Repair = false
 	path := filepath.Join(t.TempDir(), "ttf.json")
-	if _, err := run(&bytes.Buffer{}, cfg, false, "", "", path); err == nil {
+	if _, err := run(&bytes.Buffer{}, cfg, false, "", "", path, ""); err == nil {
 		t.Fatal("ttf-out accepted without repair enabled")
 	}
 }
@@ -226,7 +226,7 @@ func TestRunAvailOutRequiresObservation(t *testing.T) {
 	cfg := testConfig(t, "voting", 3, 10, 2)
 	cfg.Observe = false
 	path := filepath.Join(t.TempDir(), "avail.json")
-	if _, err := run(&bytes.Buffer{}, cfg, false, "", path, ""); err == nil {
+	if _, err := run(&bytes.Buffer{}, cfg, false, "", path, "", ""); err == nil {
 		t.Fatal("avail-out accepted without observation")
 	}
 }

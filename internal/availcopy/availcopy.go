@@ -102,8 +102,11 @@ func (c *Controller) Name() string { return "available-copy" }
 // Read serves the block from the local copy: every available site holds
 // the most recent version of every block, so reads cost no messages.
 func (c *Controller) Read(ctx context.Context, idx block.Index) (_ []byte, err error) {
+	ob := c.env.Obs
+	lockT0 := ob.Now()
 	c.locks.LockOp(idx)
 	defer c.locks.UnlockOp(idx)
+	lockWait := ob.Now() - lockT0
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -113,7 +116,8 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) (_ []byte, err e
 	}
 	// The span opens past the availability gate so attempt counts match
 	// the §5 accounting (a refused operation generates no traffic).
-	_, sp := c.env.Obs.StartOp(ctx, protocol.OpRead, int64(idx))
+	_, sp := ob.StartOp(ctx, protocol.OpRead, int64(idx))
+	sp.AddLockWait(lockWait)
 	defer func() { sp.Done(1, err) }()
 	data, _, err := c.env.Self.ReadLocal(idx)
 	if err != nil {
@@ -128,16 +132,19 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) (_ []byte, err e
 // delayed-information scheme); the coordinator then learns the exact
 // recipient set from the acknowledgements and resets its own W to it.
 func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) (err error) {
+	ob := c.env.Obs
+	lockT0 := ob.Now()
 	c.locks.LockOp(idx)
 	defer c.locks.UnlockOp(idx)
+	lockWait := ob.Now() - lockT0
 	self := c.env.Self
 	if self.State() != protocol.StateAvailable {
 		return fmt.Errorf("available copy write of %v at %v (%v): %w",
 			idx, self.ID(), self.State(), scheme.ErrNotAvailable)
 	}
-	ob := c.env.Obs
 	ctx = ob.Label(ctx, protocol.OpWrite)
 	ctx, sp := ob.StartOp(ctx, protocol.OpWrite, int64(idx))
+	sp.AddLockWait(lockWait)
 	participants := 0
 	defer func() { sp.Done(participants, err) }()
 	localVer, err := self.VersionLocal(idx)
@@ -219,16 +226,19 @@ type status struct {
 //     itself, just become available), or
 //   - otherwise: recovery must wait (ErrAwaitingSites).
 func (c *Controller) Recover(ctx context.Context) (err error) {
+	ob := c.env.Obs
+	lockT0 := ob.Now()
 	c.locks.LockRecovery()
 	defer c.locks.UnlockRecovery()
+	lockWait := ob.Now() - lockT0
 	self := c.env.Self
 	if self.State() == protocol.StateAvailable {
 		return nil
 	}
 	self.SetState(protocol.StateComatose)
-	ob := c.env.Obs
 	ctx = ob.Label(ctx, protocol.OpRecovery)
 	ctx, sp := ob.StartOp(ctx, protocol.OpRecovery, obs.NoBlock)
+	sp.AddLockWait(lockWait)
 	participants := 0
 	defer func() { sp.Done(participants, err) }()
 

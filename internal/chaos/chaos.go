@@ -42,6 +42,8 @@ import (
 	"relidev/internal/faultnet"
 	"relidev/internal/obs"
 	"relidev/internal/obs/avail"
+	"relidev/internal/obs/flight"
+	"relidev/internal/obs/health"
 	"relidev/internal/protocol"
 	"relidev/internal/repair"
 	"relidev/internal/scheme"
@@ -83,6 +85,15 @@ type Config struct {
 	// schemes a successful run leaves the repaired site's vector
 	// dominating every available data peer's.
 	Repair bool
+	// Flight attaches the black-box flight recorder and the health
+	// engine (requires Observe): every quiescent checkpoint snapshots
+	// metrics deltas, the trace tail, repair lag, and site states into
+	// a bounded ring, and the first invariant violation or critical
+	// health breach seals the ring into Report.Flight. Like the rest of
+	// the observability layer it runs on the logical clock and never
+	// feeds the replay digest, so a run's digest is bit-identical with
+	// the recorder on or off.
+	Flight bool
 }
 
 // Defaults returns a Config sized for a quick but meaningful run.
@@ -97,6 +108,7 @@ func Defaults(kind core.SchemeKind) Config {
 		Rho:         0.25,
 		Observe:     true,
 		Repair:      true,
+		Flight:      true,
 	}
 }
 
@@ -200,6 +212,15 @@ type Report struct {
 	// run, present when Config.Repair is set. Elapsed is measured on the
 	// repairer's logical clock, so samples replay bit-identically.
 	Repair []TTFSample `json:"repair,omitempty"`
+	// Flight is the sealed flight-recorder dump, present when
+	// Config.Flight is set and a trigger fired: the first invariant
+	// violation or the first critical health breach seals the ring so
+	// the dump shows the system's last recorded frames before the
+	// failure.
+	Flight *flight.Dump `json:"flight,omitempty"`
+	// Health is the health engine's verdict at the last quiescent
+	// checkpoint, present when Config.Flight is set.
+	Health *health.Verdict `json:"health,omitempty"`
 }
 
 // A TTFSample records one background repair run's bounded
@@ -235,6 +256,11 @@ type engine struct {
 	// feeds the replay digest.
 	est    *avail.Estimator
 	simNow float64
+	// flight and healthEng are the black-box recorder and the health
+	// engine, attached under Config.Flight. Both only read snapshots —
+	// neither may ever reach stamp().
+	flight    *flight.Recorder
+	healthEng *health.Engine
 
 	// maxIssued and committed bracket, per block, the write sequence
 	// numbers a read may legally return. committed also absorbs every
@@ -272,21 +298,35 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			Rho:    cfg.Rho,
 		},
 	}
+	var pol *repair.Policy
+	if cfg.Repair {
+		e.repairPol = repairPolicy(cfg.Seed)
+		pol = &e.repairPol
+	}
 	if cfg.Observe {
 		// A logical clock keeps timestamps a pure function of call order,
 		// and the tracer's ring never feeds the digest: observation cannot
 		// perturb a replay.
-		e.obs = obs.New(obs.WithClock(obs.NewLogicalClock(1).Now), obs.WithTracing(4096))
+		clk := obs.NewLogicalClock(1)
+		e.obs = obs.New(obs.WithClock(clk.Now), obs.WithTracing(4096))
 		est, eerr := avail.New(cfg.Sites, cfg.Scheme.String())
 		if eerr != nil {
 			return nil, eerr
 		}
 		e.est = est
-	}
-	var pol *repair.Policy
-	if cfg.Repair {
-		e.repairPol = repairPolicy(cfg.Seed)
-		pol = &e.repairPol
+		if cfg.Flight {
+			// The recorder and the health engine share the observer's
+			// logical clock; both are read-only over snapshots, so (like
+			// tracing) they cannot perturb the replay digest.
+			e.flight = flight.New(clk.Now, 64,
+				flight.MetricsDelta(e.obs),
+				flight.TraceTail(e.obs, 64),
+				flight.RepairLag(e.obs),
+				flight.Occupancy(e.obs),
+				flight.Probe("site_states", e.siteStates),
+			)
+			e.healthEng = health.NewEngine(e.obs.Snapshot, clk.Now, healthRules(cfg, pol)...)
+		}
 	}
 	cl, err := core.NewCluster(core.ClusterConfig{
 		Sites:    cfg.Sites,
@@ -323,6 +363,71 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	e.conformanceCheck()
 	e.availCheck()
 	return e.report, nil
+}
+
+// healthRules is the rule set chaos runs evaluate at every quiescent
+// checkpoint: quorum margin for the scheme under test, the overall
+// failure rate (generous threshold — injected faults make op errors
+// routine), conformance drift (voting must never serve a stale read),
+// and — when repair is on — staleness outliving the policy's bounded
+// time-to-freshness promise.
+func healthRules(cfg Config, pol *repair.Policy) []health.Rule {
+	quorum := 1
+	if cfg.Scheme == core.Voting {
+		quorum = cfg.Sites/2 + 1
+	}
+	rules := []health.Rule{
+		health.QuorumMarginRule(cfg.Scheme.String(), quorum),
+		health.ErrorRateRule(0.5),
+		health.ConformanceDriftRule(cfg.Scheme.String(), 0),
+	}
+	if pol != nil {
+		rules = append(rules, health.StalenessRule(*pol))
+	}
+	return rules
+}
+
+// siteStates is the flight-recorder probe for the cluster's up/down
+// map, the recorder's stand-in for a failure detector's suspect list.
+func (e *engine) siteStates() any {
+	if e.cl == nil {
+		return nil
+	}
+	states := make([]string, e.cfg.Sites)
+	for i := 0; i < e.cfg.Sites; i++ {
+		st, _ := e.cl.State(protocol.SiteID(i))
+		states[i] = fmt.Sprintf("site%d=%v", i, st)
+	}
+	return states
+}
+
+// sealFlight seals the flight ring into the report, keeping the first
+// trigger: the earliest failure's dump shows the frames that led up to
+// it, which later triggers would only dilute.
+func (e *engine) sealFlight(trigger string) {
+	if e.flight == nil || e.report.Flight != nil {
+		return
+	}
+	e.report.Flight = e.flight.Seal(trigger)
+}
+
+// healthCheck evaluates the rule set at a quiescent checkpoint; a
+// critical verdict seals the flight recorder, so SLO breaches produce
+// a dump even when no hard invariant has (yet) been violated.
+func (e *engine) healthCheck() {
+	if e.healthEng == nil {
+		return
+	}
+	v := e.healthEng.Evaluate()
+	e.report.Health = &v
+	if v.Overall >= health.Critical {
+		for _, rv := range v.Rules {
+			if rv.Active && rv.Severity >= health.Critical {
+				e.sealFlight(fmt.Sprintf("health: %s (%s)", rv.Rule, rv.Detail))
+				break
+			}
+		}
+	}
 }
 
 // conformanceCheck is the end-of-run §5 invariant: the mean messages
@@ -683,8 +788,13 @@ func (e *engine) step(ctx context.Context) {
 
 // checkpoint runs the quiescent-point invariants: per-site version
 // monotonicity for every scheme, was-available closure safety for the
-// available copy scheme.
+// available copy scheme. It is also the flight recorder's heartbeat —
+// one frame per quiescent point — and the health engine's evaluation
+// cadence, so alert windows are measured in checkpoints on the logical
+// clock.
 func (e *engine) checkpoint() {
+	e.flight.Snapshot("checkpoint")
+	e.healthCheck()
 	for i := 0; i < e.cfg.Sites; i++ {
 		rep, err := e.cl.Replica(protocol.SiteID(i))
 		if err != nil {
@@ -901,4 +1011,7 @@ func (e *engine) violatef(format string, args ...interface{}) {
 	v := fmt.Sprintf(format, args...)
 	e.report.Violations = append(e.report.Violations, v)
 	e.stamp("VIOLATION %s", v)
+	// The first violation seals the black box: the dump captures the
+	// frames leading up to the failure, not the aftermath.
+	e.sealFlight("violation: " + v)
 }

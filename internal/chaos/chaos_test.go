@@ -1,10 +1,17 @@
 package chaos
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"hash/fnv"
+	"strings"
 	"testing"
 
 	"relidev/internal/core"
+	"relidev/internal/obs"
+	"relidev/internal/obs/flight"
+	"relidev/internal/obs/health"
 )
 
 func run(t *testing.T, cfg Config) *Report {
@@ -213,5 +220,103 @@ func TestChaosHonoursContextCancellation(t *testing.T) {
 	cancel()
 	if _, err := Run(ctx, short(core.Voting, 1)); err == nil {
 		t.Fatal("cancelled run reported success")
+	}
+}
+
+// TestFlightRecordingDoesNotPerturbReplay extends the determinism
+// claim to the diagnosis tier: the flight recorder and health engine
+// only read snapshots on the shared logical clock, so attaching them
+// must leave the replay digest bit-identical.
+func TestFlightRecordingDoesNotPerturbReplay(t *testing.T) {
+	for _, kind := range []core.SchemeKind{core.Voting, core.AvailableCopy, core.NaiveAvailableCopy} {
+		t.Run(kind.String(), func(t *testing.T) {
+			on := short(kind, 42)
+			off := on
+			off.Flight = false
+			a := run(t, on)
+			b := run(t, off)
+			if a.Digest != b.Digest {
+				t.Fatalf("flight recording changed the digest: %s (on) vs %s (off)", a.Digest, b.Digest)
+			}
+			if a.Health == nil {
+				t.Fatal("flight-enabled run missing the health verdict")
+			}
+			if b.Health != nil || b.Flight != nil {
+				t.Fatal("flight-disabled run carries health/flight state")
+			}
+			// Chaos injects real faults, so a critical health breach (and
+			// with it a sealed dump) is legitimate even with zero
+			// invariant violations — but any seal in such a run must come
+			// from the health engine, and the dump must carry frames.
+			if len(a.Violations) == 0 && a.Flight != nil {
+				if !strings.HasPrefix(a.Flight.Trigger, "health: ") {
+					t.Fatalf("violation-free run sealed with trigger %q, want a health trigger", a.Flight.Trigger)
+				}
+				if len(a.Flight.Frames) == 0 {
+					t.Fatal("sealed dump has no frames")
+				}
+			}
+		})
+	}
+}
+
+// TestFlightHealthVerdictIsDeterministic: the health verdict riding
+// the report replays identically in every observable rule outcome —
+// severity, firing, latching, measured values, details. Raw logical
+// timestamps are excluded: the clock is shared with concurrent
+// background repairers, so its read COUNT can drift by a few ticks
+// between runs even though no timestamp ever feeds the digest.
+func TestFlightHealthVerdictIsDeterministic(t *testing.T) {
+	a := run(t, short(core.Voting, 99))
+	b := run(t, short(core.Voting, 99))
+	strip := func(v *health.Verdict) *health.Verdict {
+		out := &health.Verdict{Overall: v.Overall, Rules: make([]health.RuleVerdict, len(v.Rules))}
+		for i, rv := range v.Rules {
+			rv.SinceNs = 0
+			out.Rules[i] = rv
+		}
+		return out
+	}
+	aj, err := json.Marshal(strip(a.Health))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(strip(b.Health))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("health verdicts diverged:\n%s\n---\n%s", aj, bj)
+	}
+	if a.Health.Overall >= health.Critical {
+		t.Fatalf("healthy replay reports critical: %+v", a.Health)
+	}
+}
+
+// TestViolationSealsFlight forces an invariant violation (available
+// copies under partition-induced staleness is not the target here;
+// instead we drive the engine's violatef directly) and checks the
+// first trigger seals the ring exactly once with the frames intact.
+func TestViolationSealsFlight(t *testing.T) {
+	cfg := short(core.Voting, 7)
+	e := &engine{cfg: cfg, report: &Report{}, hash: fnv.New64a()}
+	clk := obs.NewLogicalClock(1)
+	probe := 0
+	e.flight = flight.New(clk.Now, 4, flight.Probe("p", func() any { probe++; return probe }))
+	e.flight.Snapshot("checkpoint")
+	e.violatef("first invariant broke")
+	e.violatef("second invariant broke")
+	rep := e.report
+	if len(rep.Violations) != 2 {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+	if rep.Flight == nil {
+		t.Fatal("violation did not seal the flight ring")
+	}
+	if rep.Flight.Trigger != "violation: first invariant broke" {
+		t.Fatalf("trigger = %q, want the FIRST violation", rep.Flight.Trigger)
+	}
+	if len(rep.Flight.Frames) != 1 {
+		t.Fatalf("dump frames = %d, want 1", len(rep.Flight.Frames))
 	}
 }

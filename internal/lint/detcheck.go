@@ -57,7 +57,14 @@ var DetCheck = &Analyzer{
 // directly (its only wall-clock use, the simulated-latency sleep,
 // carries the allow directive), and the cache's admission/eviction
 // decisions determine which reads hit the transport at all.
-var detScopeElems = []string{"faultnet", "chaos", "sim", "simnet", "workload", "markov", "obs", "avail", "store", "repair", "cache"}
+// flight and health are the diagnosis tier (DESIGN.md §15): the flight
+// recorder's frames ride chaos reports whose dumps must replay
+// identically, and the health engine's hysteresis windows are measured
+// on its injected clock — a stray time.Now in either would make alert
+// timing or dump contents diverge between replays. Both already match
+// via their parent "obs" element; they are listed explicitly so the
+// scope survives the packages ever moving out from under it.
+var detScopeElems = []string{"faultnet", "chaos", "sim", "simnet", "workload", "markov", "obs", "avail", "store", "repair", "cache", "flight", "health"}
 
 var wallClockFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,

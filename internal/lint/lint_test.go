@@ -41,6 +41,14 @@ func TestDetCheckRepairFixtures(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/detcheck/repair", lint.DetCheck)
 }
 
+func TestDetCheckFlightFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/detcheck/flight", lint.DetCheck)
+}
+
+func TestDetCheckHealthFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/detcheck/health", lint.DetCheck)
+}
+
 func TestDetCheckOutOfScope(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/detcheck/other", lint.DetCheck)
 }

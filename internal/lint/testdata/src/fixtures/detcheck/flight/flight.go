@@ -1,0 +1,48 @@
+// Fixtures for detcheck in the flight recorder: frame timestamps ride
+// chaos reports whose dumps must replay identically, so the recorder
+// takes an injected now-source and must never read the wall clock or
+// iterate a map into its serialised output.
+package flight
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+type Frame struct {
+	AtNs   int64
+	Reason string
+}
+
+type Recorder struct {
+	now    func() int64
+	frames []Frame
+}
+
+// ok: the frame timestamp comes from the injected now-source.
+func (r *Recorder) Snapshot(reason string) {
+	r.frames = append(r.frames, Frame{AtNs: r.now(), Reason: reason})
+}
+
+func BadSnapshot(r *Recorder, reason string) {
+	at := time.Now().UnixNano() // want "time.Now in a replay-deterministic package"
+	r.frames = append(r.frames, Frame{AtNs: at, Reason: reason})
+}
+
+func BadDeltaLines(w fmt.Writer, cur map[string]int64) {
+	for k, v := range cur { // want "map iteration order is nondeterministic"
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+
+// ok: delta lines are collected and sorted before serialisation, so
+// dumps are byte-identical run to run.
+func DeltaLines(cur map[string]int64) []string {
+	lines := make([]string, 0, len(cur))
+	for k, v := range cur {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	sort.Strings(lines)
+	return lines
+}

@@ -1,0 +1,52 @@
+// Fixtures for detcheck in the health engine: hysteresis windows (a
+// rule must fire for ForNs before its alert activates) are measured on
+// the engine's injected clock, so evaluation code must never read the
+// wall clock or jitter its cadence from the global rand source.
+package health
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Rule struct {
+	ForNs int64
+	Check func() bool
+}
+
+type Engine struct {
+	clock       func() int64
+	rules       []Rule
+	streakSince []int64
+	active      []bool
+}
+
+// ok: streaks are timed on the injected clock.
+func (e *Engine) Evaluate() {
+	now := e.clock()
+	for i, r := range e.rules {
+		if r.Check() && now-e.streakSince[i] >= r.ForNs {
+			e.active[i] = true
+		}
+	}
+}
+
+func BadEvaluate(e *Engine) {
+	now := time.Now().UnixNano() // want "time.Now in a replay-deterministic package"
+	for i, r := range e.rules {
+		if r.Check() && now-e.streakSince[i] >= r.ForNs {
+			e.active[i] = true
+		}
+	}
+}
+
+func JitteredPollInterval(base time.Duration) time.Duration {
+	return base + time.Duration(rand.Int63n(int64(base))) // want "global rand.Int63n draws from the process-seeded source"
+}
+
+// ok: the one sanctioned wall-clock default, mirroring the real
+// engine's fallback for live deployments.
+func wallClock() int64 {
+	//relidev:allow nondeterminism: default clock for live /healthz serving; deterministic harnesses inject a logical clock
+	return time.Now().UnixNano()
+}

@@ -45,8 +45,11 @@ func (c *Controller) Name() string { return "naive" }
 // Read serves the block locally, exactly as the available copy scheme
 // does: zero network traffic.
 func (c *Controller) Read(ctx context.Context, idx block.Index) (_ []byte, err error) {
+	ob := c.env.Obs
+	lockT0 := ob.Now()
 	c.locks.LockOp(idx)
 	defer c.locks.UnlockOp(idx)
+	lockWait := ob.Now() - lockT0
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -56,7 +59,8 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) (_ []byte, err e
 	}
 	// The span opens past the availability gate so attempt counts match
 	// the §5 accounting (a refused operation generates no traffic).
-	_, sp := c.env.Obs.StartOp(ctx, protocol.OpRead, int64(idx))
+	_, sp := ob.StartOp(ctx, protocol.OpRead, int64(idx))
+	sp.AddLockWait(lockWait)
 	defer func() { sp.Done(1, err) }()
 	data, _, err := c.env.Self.ReadLocal(idx)
 	if err != nil {
@@ -70,16 +74,19 @@ func (c *Controller) Read(ctx context.Context, idx block.Index) (_ []byte, err e
 // unique addressing (§5). Because no was-available information is
 // maintained, nothing is piggybacked.
 func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) (err error) {
+	ob := c.env.Obs
+	lockT0 := ob.Now()
 	c.locks.LockOp(idx)
 	defer c.locks.UnlockOp(idx)
+	lockWait := ob.Now() - lockT0
 	self := c.env.Self
 	if self.State() != protocol.StateAvailable {
 		return fmt.Errorf("naive write of %v at %v (%v): %w",
 			idx, self.ID(), self.State(), scheme.ErrNotAvailable)
 	}
-	ob := c.env.Obs
 	ctx = ob.Label(ctx, protocol.OpWrite)
 	ctx, sp := ob.StartOp(ctx, protocol.OpWrite, int64(idx))
+	sp.AddLockWait(lockWait)
 	defer func() { sp.Done(1, err) }()
 	localVer, err := self.VersionLocal(idx)
 	if err != nil {
@@ -101,16 +108,19 @@ func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) (e
 // otherwise wait until every site has recovered and repair from (or
 // become) the one with the highest version.
 func (c *Controller) Recover(ctx context.Context) (err error) {
+	ob := c.env.Obs
+	lockT0 := ob.Now()
 	c.locks.LockRecovery()
 	defer c.locks.UnlockRecovery()
+	lockWait := ob.Now() - lockT0
 	self := c.env.Self
 	if self.State() == protocol.StateAvailable {
 		return nil
 	}
 	self.SetState(protocol.StateComatose)
-	ob := c.env.Obs
 	ctx = ob.Label(ctx, protocol.OpRecovery)
 	ctx, sp := ob.StartOp(ctx, protocol.OpRecovery, obs.NoBlock)
+	sp.AddLockWait(lockWait)
 	participants := 0
 	defer func() { sp.Done(participants, err) }()
 

@@ -1,0 +1,191 @@
+// Package flight implements a black-box flight recorder: a bounded
+// in-memory ring of periodic system snapshots (metrics deltas, trace
+// tail, suspect lists, repair lag, batcher occupancy) that is sealed
+// into a diagnostic dump when something goes wrong — a chaos invariant
+// violation, an SLO breach from the health engine, or an explicit
+// /debug/flight request. The recorder is strictly an observer: it
+// never feeds replay digests, and with a logical clock its dumps are
+// deterministic given a deterministic workload (DESIGN.md §15).
+package flight
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// A Source is one named probe collected into every frame. Collect
+// returns a JSON-serialisable value; sources that need determinism
+// must return deterministically ordered data (sorted slices, not
+// bare maps iterated into strings).
+type Source struct {
+	Name    string
+	Collect func() any
+}
+
+// An Observation is one source's value inside a frame, kept as an
+// ordered list (registration order) rather than a map so frames
+// serialise identically run to run.
+type Observation struct {
+	Source string `json:"source"`
+	Value  any    `json:"value"`
+}
+
+// A Frame is one snapshot of every source at a single instant.
+type Frame struct {
+	Seq          int64         `json:"seq"`
+	AtNs         int64         `json:"at_ns"`
+	Reason       string        `json:"reason"`
+	Observations []Observation `json:"observations"`
+}
+
+// A Dump is a sealed copy of the recorder's ring: the artifact written
+// out when a trigger fires. Frames are ordered oldest first.
+type Dump struct {
+	Trigger    string  `json:"trigger"`
+	SealedAtNs int64   `json:"sealed_at_ns"`
+	Dropped    int64   `json:"dropped_frames"`
+	Frames     []Frame `json:"frames"`
+}
+
+// WriteJSON writes the dump as indented JSON. Output is byte-for-byte
+// deterministic for deterministic frames (encoding/json sorts map
+// keys; frame observations are ordered lists).
+func (d *Dump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// A Recorder keeps the last capacity frames in a ring and seals them
+// into Dumps on demand. All methods are safe for concurrent use and
+// no-ops on a nil receiver, so wiring layers can thread an optional
+// recorder without guards.
+type Recorder struct {
+	mu      sync.Mutex
+	now     func() int64
+	cap     int
+	sources []Source
+
+	seq     int64
+	dropped int64
+	frames  []Frame // ring storage
+	head    int     // index of the oldest frame
+	count   int
+
+	last  *Dump
+	seals int64
+}
+
+// New builds a recorder over the given sources. now is the frame
+// timestamp source (inject a logical clock for deterministic dumps);
+// capacity bounds the ring (minimum 1).
+func New(now func() int64, capacity int, sources ...Source) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{
+		now:     now,
+		cap:     capacity,
+		sources: sources,
+		frames:  make([]Frame, capacity),
+	}
+}
+
+// Snapshot collects every source into a new frame tagged with reason
+// ("checkpoint", "health", ...). When the ring is full the oldest
+// frame is evicted and counted in the next dump's Dropped.
+func (r *Recorder) Snapshot(reason string) {
+	if r == nil {
+		return
+	}
+	// Collect outside the lock: sources may take registry or tracer
+	// locks of their own, and frames must not serialise op traffic.
+	obs := make([]Observation, len(r.sources))
+	for i, src := range r.sources {
+		obs[i] = Observation{Source: src.Name, Value: src.Collect()}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	f := Frame{Seq: r.seq, AtNs: r.now(), Reason: reason, Observations: obs}
+	if r.count < r.cap {
+		r.frames[(r.head+r.count)%r.cap] = f
+		r.count++
+		return
+	}
+	r.frames[r.head] = f
+	r.head = (r.head + 1) % r.cap
+	r.dropped++
+}
+
+// Seal copies the ring into a Dump tagged with the trigger, without
+// clearing it — later frames keep accumulating and a later seal sees
+// them. The dump is also retained as LastDump.
+func (r *Recorder) Seal(trigger string) *Dump {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := &Dump{
+		Trigger:    trigger,
+		SealedAtNs: r.now(),
+		Dropped:    r.dropped,
+		Frames:     make([]Frame, r.count),
+	}
+	for i := 0; i < r.count; i++ {
+		d.Frames[i] = r.frames[(r.head+i)%r.cap]
+	}
+	r.last = d
+	r.seals++
+	return d
+}
+
+// LastDump returns the most recently sealed dump, or nil if the
+// recorder has never sealed.
+func (r *Recorder) LastDump() *Dump {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last
+}
+
+// Len reports how many frames the ring currently holds.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Seals reports how many dumps have been sealed.
+func (r *Recorder) Seals() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seals
+}
+
+// Handler serves the recorder at /debug/flight: each GET snapshots
+// once more (reason "http"), seals with trigger "http request", and
+// returns the dump as JSON. A nil recorder answers 404.
+func Handler(r *Recorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		r.Snapshot("http")
+		d := r.Seal("http request")
+		w.Header().Set("Content-Type", "application/json")
+		d.WriteJSON(w)
+	}
+}

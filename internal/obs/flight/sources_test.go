@@ -1,0 +1,82 @@
+package flight
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"relidev/internal/obs"
+	"relidev/internal/protocol"
+)
+
+// TestMetricsDeltaSource: the delta probe reports every series on its
+// first frame, only changed series afterwards, with sorted stable
+// lines.
+func TestMetricsDeltaSource(t *testing.T) {
+	o := obs.New(obs.WithClock(obs.NewLogicalClock(1).Now))
+	c := o.Registry().Counter("relidev_probe_total", obs.L("site", "site0"))
+	g := o.Registry().Gauge("relidev_probe_depth")
+	c.Add(2)
+	g.Set(5)
+
+	src := MetricsDelta(o)
+	first := src.Collect().([]string)
+	want := []string{
+		"relidev_probe_depth 5 (+5)",
+		"relidev_probe_total{site=site0} 2 (+2)",
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("first frame = %v, want %v", first, want)
+	}
+
+	// Unchanged registry → empty delta.
+	if second, _ := src.Collect().([]string); len(second) != 0 {
+		t.Fatalf("unchanged frame = %v, want empty", second)
+	}
+
+	c.Inc()
+	g.Set(3)
+	third := src.Collect().([]string)
+	want = []string{
+		"relidev_probe_depth 3 (-2)",
+		"relidev_probe_total{site=site0} 3 (+1)",
+	}
+	if !reflect.DeepEqual(third, want) {
+		t.Fatalf("changed frame = %v, want %v", third, want)
+	}
+}
+
+// TestTraceTailSource: the tail probe renders the last n events and
+// reports nil with tracing off.
+func TestTraceTailSource(t *testing.T) {
+	off := obs.New(obs.WithClock(obs.NewLogicalClock(1).Now))
+	if v := TraceTail(off, 4).Collect(); v != nil {
+		t.Fatalf("tracing off: tail = %v, want nil", v)
+	}
+
+	o := obs.New(obs.WithClock(obs.NewLogicalClock(1).Now), obs.WithTracing(64))
+	s := o.SchemeSite("voting", 0)
+	for i := 0; i < 3; i++ {
+		_, sp := s.StartOp(context.Background(), protocol.OpWrite, int64(i))
+		sp.Done(1, nil)
+	}
+	lines := TraceTail(o, 2).Collect().([]string)
+	if len(lines) != 2 {
+		t.Fatalf("tail kept %d lines, want 2", len(lines))
+	}
+	for _, l := range lines {
+		if l == "" {
+			t.Error("empty tail line")
+		}
+	}
+}
+
+// TestSuspectsSource renders the detector's suspect set.
+func TestSuspectsSource(t *testing.T) {
+	var set protocol.SiteSet
+	set = set.Add(2).Add(0)
+	got := Suspects(func() protocol.SiteSet { return set }).Collect()
+	if got != set.String() {
+		t.Errorf("suspects = %v, want %v", got, set.String())
+	}
+}

@@ -1,0 +1,164 @@
+package health
+
+import (
+	"fmt"
+
+	"relidev/internal/obs"
+	"relidev/internal/repair"
+)
+
+// maxGauge scans one gauge family and returns its maximum value and
+// the site label carrying it. ok is false when the family is absent.
+func maxGauge(snap obs.Snapshot, family string) (max int64, site string, ok bool) {
+	for _, p := range snap.Gauges {
+		if p.Name != family {
+			continue
+		}
+		if !ok || p.Value > max {
+			max, site, ok = p.Value, p.Labels["site"], true
+		}
+	}
+	return max, site, ok
+}
+
+// windowRate divides the window delta of num by the window delta of
+// den (both counter families filtered by match); ok is false when the
+// denominator saw no traffic this window.
+func windowRate(in Input, num, den string, match ...obs.Label) (rate float64, dd uint64, ok bool) {
+	dn := in.Snapshot.CounterTotal(num, match...) - in.Prev.CounterTotal(num, match...)
+	dd = in.Snapshot.CounterTotal(den, match...) - in.Prev.CounterTotal(den, match...)
+	if dd == 0 {
+		return 0, 0, false
+	}
+	return float64(dn) / float64(dd), dd, true
+}
+
+// StalenessRule alerts when some site's repair backlog stays non-zero
+// longer than the policy's bounded time-to-freshness promise allows:
+// the ForNs hysteresis is the policy deadline for one stale block (its
+// constant retry/backoff term dominates), so transient lag that repair
+// clears inside its promise never alerts, while lag outliving the
+// promise is exactly the §6 invariant failing in production.
+func StalenessRule(pol repair.Policy) Rule {
+	return Rule{
+		Name:     "staleness_lag",
+		Severity: Critical,
+		ForNs:    pol.Deadline(1).Nanoseconds(),
+		Check: func(in Input) Sample {
+			lag, site, ok := maxGauge(in.Snapshot, obs.MetricRepairLag)
+			if !ok || lag <= 0 {
+				return Sample{Detail: "no repair backlog"}
+			}
+			return Sample{
+				Firing: true,
+				Value:  float64(lag),
+				Detail: fmt.Sprintf("site %s is %d blocks stale", site, lag),
+			}
+		},
+	}
+}
+
+// QuorumMarginRule alerts when a scheme's operations are completing
+// with no responder headroom: the mean participants per completed op
+// in the evaluation window minus the required quorum size. A margin
+// below one means losing a single further site blocks the operation
+// class — the cluster is one failure from unavailability.
+func QuorumMarginRule(scheme string, quorum int) Rule {
+	return Rule{
+		Name:     "quorum_margin_" + scheme,
+		Severity: Warn,
+		Check: func(in Input) Sample {
+			if in.First {
+				return Sample{Detail: "no window yet"}
+			}
+			mean, completions, ok := windowRate(in,
+				obs.MetricOpParticipants, obs.MetricOpCompletions, obs.L("scheme", scheme))
+			if !ok {
+				return Sample{Detail: "no completions this window"}
+			}
+			margin := mean - float64(quorum)
+			return Sample{
+				Firing: margin < 1,
+				Value:  margin,
+				Detail: fmt.Sprintf("mean participants %.2f vs quorum %d over %d ops", mean, quorum, completions),
+			}
+		},
+	}
+}
+
+// ErrorRateRule alerts when the windowed failure fraction across all
+// schemes exceeds maxRate (failures include quorum losses and
+// transport timeouts — anything that failed the attempt).
+func ErrorRateRule(maxRate float64) Rule {
+	return Rule{
+		Name:     "error_rate",
+		Severity: Critical,
+		Check: func(in Input) Sample {
+			if in.First {
+				return Sample{Detail: "no window yet"}
+			}
+			rate, attempts, ok := windowRate(in, obs.MetricOpFailures, obs.MetricOpAttempts)
+			if !ok {
+				return Sample{Detail: "no attempts this window"}
+			}
+			return Sample{
+				Firing: rate > maxRate,
+				Value:  rate,
+				Detail: fmt.Sprintf("%.1f%% of %d attempts failed", 100*rate, attempts),
+			}
+		},
+	}
+}
+
+// BatcherOccupancyRule alerts when some site's group-commit batches
+// are running at or above the saturation size: sustained full batches
+// mean the write queue is backed up and fsync amortisation has hit its
+// ceiling.
+func BatcherOccupancyRule(saturated int64) Rule {
+	return Rule{
+		Name:     "batcher_occupancy",
+		Severity: Warn,
+		Check: func(in Input) Sample {
+			occ, site, ok := maxGauge(in.Snapshot, obs.MetricGroupCommitOccupancy)
+			if !ok || occ < saturated {
+				return Sample{Value: float64(occ), Detail: "batches below saturation"}
+			}
+			return Sample{
+				Firing: true,
+				Value:  float64(occ),
+				Detail: fmt.Sprintf("site %s batches at occupancy %d (saturation %d)", site, occ, saturated),
+			}
+		},
+	}
+}
+
+// ConformanceDriftRule alerts when a scheme's windowed stale-read
+// fraction drifts above what its consistency analysis allows —
+// maxStaleFrac is 0 for voting (§4 forbids stale reads entirely) and
+// the accepted exposure for the naive and available-copies schemes.
+func ConformanceDriftRule(scheme string, maxStaleFrac float64) Rule {
+	return Rule{
+		Name:     "conformance_drift_" + scheme,
+		Severity: Critical,
+		Check: func(in Input) Sample {
+			if in.First {
+				return Sample{Detail: "no window yet"}
+			}
+			// The stale counter is keyed scheme/site only, so the two
+			// deltas take different label matches.
+			stale := in.Snapshot.CounterTotal(obs.MetricStaleReads, obs.L("scheme", scheme)) -
+				in.Prev.CounterTotal(obs.MetricStaleReads, obs.L("scheme", scheme))
+			reads := in.Snapshot.CounterTotal(obs.MetricOpCompletions, obs.L("scheme", scheme), obs.L("op", "read")) -
+				in.Prev.CounterTotal(obs.MetricOpCompletions, obs.L("scheme", scheme), obs.L("op", "read"))
+			if reads == 0 {
+				return Sample{Detail: "no reads this window"}
+			}
+			frac := float64(stale) / float64(reads)
+			return Sample{
+				Firing: frac > maxStaleFrac,
+				Value:  frac,
+				Detail: fmt.Sprintf("%.1f%% of %d reads stale (allowed %.1f%%)", 100*frac, reads, 100*maxStaleFrac),
+			}
+		},
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/pprof"
 )
@@ -12,6 +13,9 @@ import (
 //	/metrics        — metrics snapshot as JSON
 //	/metrics.prom   — the same snapshot in Prometheus text format
 //	/trace          — retained trace events as JSON (404 when tracing is off)
+//	/trace/tree     — stitched span trees as JSON
+//	/profile        — critical-path phase breakdown (JSON; ?format=flame
+//	                  for the text flamegraph)
 //	/debug/pprof/*  — the standard net/http/pprof handlers
 //
 // The blockserver binds it behind -debug-addr; embedders can mount it
@@ -50,12 +54,30 @@ func NewDebugMux(o *Observer) *http.ServeMux {
 		}
 		writeTraceTrees(w, o.TraceTrees())
 	})
+	mux.HandleFunc("/profile", ProfileHandler(o))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// ProfileHandler serves the critical-path profile: JSON by default, a
+// text flamegraph with ?format=flame.
+func ProfileHandler(o *Observer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		p := o.CriticalPath()
+		if r.URL.Query().Get("format") == "flame" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, p.Flame())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(p)
+	}
 }
 
 func writeTraceTrees(w http.ResponseWriter, trees []*TraceTree) {

@@ -61,8 +61,8 @@ func TestDebugMux(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &tracePage); err != nil {
 		t.Fatalf("/trace is not JSON: %v", err)
 	}
-	if len(tracePage.Events) != 2 { // op_start + op_end
-		t.Errorf("/trace events = %d, want 2", len(tracePage.Events))
+	if len(tracePage.Events) != 3 { // op_start + phase(local) + op_end
+		t.Errorf("/trace events = %d, want 3", len(tracePage.Events))
 	}
 
 	resp, _ = get("/debug/pprof/")
@@ -85,5 +85,90 @@ func TestDebugMuxTracingDisabled(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("/trace without tracing: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestClusterTraceHandlerDegradesPartially: with one healthy peer, one
+// peer returning garbage, and one refusing connections, the cluster
+// trace endpoint still answers 200 with the stitchable union — the
+// healthy peer's child span joins the local tree, the two broken peers
+// are reported in the errors map, and spans whose parents lived on an
+// uncollected site surface as orphans rather than vanishing.
+func TestClusterTraceHandlerDegradesPartially(t *testing.T) {
+	local := New(WithClock(NewLogicalClock(1).Now), WithTracing(64))
+	s := local.SchemeSite("voting", 0)
+	func() { _, sp := s.StartOp(context.Background(), protocol.OpWrite, 1); sp.Done(3, nil) }()
+	evs := local.Tracer().Events()
+	if len(evs) == 0 || evs[0].Kind != EvOpStart {
+		t.Fatalf("local ring = %+v", evs)
+	}
+	root := evs[0]
+
+	// The healthy peer's ring: a handle span parented to the local op,
+	// plus a span whose parent lives on a site nobody collects.
+	peer := New(WithClock(NewLogicalClock(1).Now), WithTracing(64))
+	peer.Tracer().Emit(Event{TraceID: root.TraceID, SpanID: 777, ParentID: root.SpanID,
+		Site: 1, Kind: EvHandle, Op: protocol.OpWrite, Block: 1})
+	peer.Tracer().Emit(Event{TraceID: 999, SpanID: 888, ParentID: 555,
+		Site: 1, Kind: EvHandle, Op: protocol.OpRead, Block: 2})
+
+	healthy := httptest.NewServer(NewDebugMux(peer))
+	defer healthy.Close()
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "these bytes are not a trace dump")
+	}))
+	defer garbage.Close()
+	refused := httptest.NewServer(http.NotFoundHandler())
+	refusedURL := refused.URL
+	refused.Close() // connection refused from here on
+
+	urls := []string{healthy.URL + "/trace", garbage.URL + "/trace", refusedURL + "/trace"}
+	rec := httptest.NewRecorder()
+	ClusterTraceHandler(local, nil, urls)(rec, httptest.NewRequest("GET", "/trace/cluster", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200 despite degraded peers", rec.Code)
+	}
+	var page struct {
+		Traces []*TraceTree      `json:"traces"`
+		Errors map[string]string `json:"errors"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("response JSON: %v", err)
+	}
+
+	if len(page.Errors) != 2 {
+		t.Fatalf("errors = %v, want entries for the garbage and refused peers", page.Errors)
+	}
+	for _, u := range urls[1:] {
+		if page.Errors[u] == "" {
+			t.Errorf("no error reported for degraded peer %s", u)
+		}
+	}
+	if page.Errors[urls[0]] != "" {
+		t.Errorf("healthy peer reported an error: %s", page.Errors[urls[0]])
+	}
+
+	var joined, orphaned bool
+	for _, tree := range page.Traces {
+		if tree.TraceID == root.TraceID && tree.Root != nil {
+			for _, c := range tree.Root.Children {
+				if c.SpanID == 777 && c.Site == 1 {
+					joined = true
+				}
+			}
+		}
+		if tree.TraceID == 999 {
+			for _, o := range tree.Orphans {
+				if o.SpanID == 888 && o.Orphaned {
+					orphaned = true
+				}
+			}
+		}
+	}
+	if !joined {
+		t.Error("healthy peer's handle span did not join the local op tree")
+	}
+	if !orphaned {
+		t.Error("span with an uncollected parent was not surfaced as an orphan")
 	}
 }

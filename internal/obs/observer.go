@@ -83,6 +83,10 @@ type Observer struct {
 	mu      sync.Mutex
 	schemes map[string]*SchemeObs
 	repairs map[string]*RepairObs
+	// repairFlags are the per-scheme/site repair-window flags shared
+	// between each SchemeObs (reader) and RepairObs (writer); see
+	// repairFlag in phase.go.
+	repairFlags map[string]*atomic.Bool
 }
 
 // spanIDs is one span's identity triple inside a trace tree.
@@ -184,6 +188,16 @@ func New(opts ...Option) *Observer {
 	return o
 }
 
+// Now reads the observer's injected clock (0 for a nil observer), so
+// wiring layers can time external phases — group-commit flushes, lock
+// waits — on the same clock the op latencies use.
+func (o *Observer) Now() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.now()
+}
+
 // Registry returns the observer's metric registry (nil for a nil
 // observer).
 func (o *Observer) Registry() *Registry {
@@ -232,7 +246,7 @@ func (o *Observer) SchemeSite(scheme string, site protocol.SiteID) *SchemeObs {
 	if s, ok := o.schemes[key]; ok {
 		return s
 	}
-	s := &SchemeObs{o: o, scheme: scheme, site: site}
+	s := &SchemeObs{o: o, scheme: scheme, site: site, repairActive: o.repairFlag(scheme, site)}
 	siteLabel := L("site", site.String())
 	schemeLabel := L("scheme", scheme)
 	for i, op := range ops {
@@ -242,6 +256,11 @@ func (o *Observer) SchemeSite(scheme string, site protocol.SiteID) *SchemeObs {
 		s.failures[i] = o.reg.Counter(MetricOpFailures, schemeLabel, siteLabel, opLabel)
 		s.participants[i] = o.reg.Counter(MetricOpParticipants, schemeLabel, siteLabel, opLabel)
 		s.latency[i] = o.reg.Histogram(MetricOpLatency, schemeLabel, siteLabel, opLabel)
+		for j, phase := range phases {
+			s.phase[i][j] = o.reg.Histogram(MetricOpPhase, schemeLabel, siteLabel, opLabel, L("phase", phase))
+		}
+		s.interference[i] = o.reg.Histogram(MetricOpInterference, schemeLabel, siteLabel, opLabel)
+		s.duringRepair[i] = o.reg.Counter(MetricOpDuringRepair, schemeLabel, siteLabel, opLabel)
 	}
 	s.staleReads = o.reg.Counter(MetricStaleReads, schemeLabel, siteLabel)
 	s.twoRound = o.reg.Counter(MetricWriteTwoRound, schemeLabel, siteLabel)
@@ -264,11 +283,18 @@ type SchemeObs struct {
 	failures             [len(ops)]*Counter
 	participants         [len(ops)]*Counter
 	latency              [len(ops)]*Histogram
+	phase                [len(ops)][len(phases)]*Histogram
+	interference         [len(ops)]*Histogram
+	duringRepair         [len(ops)]*Counter
+	repairActive         *atomic.Bool
 	staleReads           *Counter
 	twoRound             *Counter
 	twoRoundParticipants *Counter
 	wTransitions         *Counter
 	closures             *Counter
+
+	peerMu sync.RWMutex
+	peers  map[protocol.SiteID]*Histogram
 }
 
 // Label attaches the §5 operation label to ctx so the transport can
@@ -306,6 +332,12 @@ func (s *SchemeObs) StartOp(ctx context.Context, op string, blk int64) (context.
 	}
 	s.attempts[i].Inc()
 	sp := OpSpan{s: s, op: op, idx: i, block: blk, start: s.o.now()}
+	sp.acc = &phaseAcc{s: s, op: i}
+	ctx = protocol.WithPhases(ctx, sp.acc)
+	if s.repairActive.Load() {
+		sp.interfered = true
+		s.duringRepair[i].Inc()
+	}
 	if s.o.tracer != nil {
 		sp.span = s.o.newSpan(s.site, protocol.CtxSpan(ctx))
 		ctx = protocol.WithSpan(ctx, protocol.SpanContext{TraceID: sp.span.TraceID, SpanID: sp.span.SpanID})
@@ -317,12 +349,14 @@ func (s *SchemeObs) StartOp(ctx context.Context, op string, blk int64) (context.
 // An OpSpan is one in-flight operation. The zero value (from a nil
 // SchemeObs) is a valid no-op.
 type OpSpan struct {
-	s     *SchemeObs
-	op    string
-	idx   int
-	block int64
-	start int64
-	span  spanIDs
+	s          *SchemeObs
+	op         string
+	idx        int
+	block      int64
+	start      int64
+	span       spanIDs
+	acc        *phaseAcc
+	interfered bool
 }
 
 // Done closes the span: outcome counters, participation, latency, and
@@ -344,7 +378,13 @@ func (sp OpSpan) Done(participants int, err error) {
 	if participants > 0 {
 		s.participants[sp.idx].Add(uint64(participants))
 	}
-	s.latency[sp.idx].Observe(s.o.now() - sp.start)
+	total := s.o.now() - sp.start
+	s.latency[sp.idx].Observe(total)
+	durs := sp.closePhases(total)
+	sp.emitPhases(durs)
+	if sp.interfered {
+		s.interference[sp.idx].Observe(total)
+	}
 	s.emit(withSpan(sp.span, Event{Kind: EvOpEnd, Op: sp.op, Block: sp.block, Detail: fmt.Sprintf("participants=%d", participants)}))
 }
 

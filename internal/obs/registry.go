@@ -401,14 +401,28 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		}
 	}
 	for _, p := range s.Histograms {
+		// Buckets snapshots list only non-empty buckets, so the
+		// mandatory +Inf bucket must be synthesised whenever the
+		// overflow bucket recorded nothing: the exposition format
+		// requires a cumulative le="+Inf" series equal to _count on
+		// every histogram (scrapers reject it otherwise).
 		var cum uint64
+		sawInf := false
 		for _, b := range p.Buckets {
 			cum += b.Count
 			le := fmt.Sprintf("%g", float64(b.UpperNs))
 			if b.UpperNs < 0 {
 				le = "+Inf"
+				sawInf = true
+				cum = p.Count // overflow closes the distribution
 			}
 			if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(p.Name+"_bucket", p.Labels, &le), cum); err != nil {
+				return err
+			}
+		}
+		if !sawInf {
+			le := "+Inf"
+			if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(p.Name+"_bucket", p.Labels, &le), p.Count); err != nil {
 				return err
 			}
 		}

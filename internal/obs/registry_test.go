@@ -172,3 +172,40 @@ func TestQuantileEstimates(t *testing.T) {
 		t.Fatal("q=0 != 0")
 	}
 }
+
+// TestWritePrometheusSynthesizesInfBucket: snapshots carry only
+// non-empty buckets, so a histogram whose observations all landed in
+// finite buckets has no overflow entry — the exposition must still end
+// the cumulative series with le="+Inf" equal to _count, or Prometheus
+// clients reject the histogram as malformed.
+func TestWritePrometheusSynthesizesInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("relidev_small_ns", L("op", "read"))
+	h.Observe(100)
+	h.Observe(200) // both within the first finite bucket; no overflow
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`relidev_small_ns_bucket{op="read",le="+Inf"} 2`,
+		`relidev_small_ns_count{op="read"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, `le="+Inf"`) != 1 {
+		t.Errorf("want exactly one synthesized +Inf bucket:\n%s", out)
+	}
+	// The synthesized bucket must come before _sum/_count, after the
+	// finite buckets — cumulative order is part of the exposition
+	// contract.
+	inf := strings.Index(out, `le="+Inf"`)
+	fin := strings.Index(out, `relidev_small_ns_bucket{op="read",le="`)
+	sum := strings.Index(out, "relidev_small_ns_sum")
+	if !(fin < inf && inf < sum) {
+		t.Errorf("bucket ordering wrong (finite=%d inf=%d sum=%d):\n%s", fin, inf, sum, out)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"relidev/internal/protocol"
 )
@@ -60,6 +61,7 @@ func (o *Observer) Repair(scheme string, site protocol.SiteID) *RepairObs {
 		o:         o,
 		scheme:    scheme,
 		site:      site,
+		active:    o.repairFlag(scheme, site),
 		pages:     o.reg.Counter(MetricRepairPages, schemeLabel, siteLabel),
 		blocks:    o.reg.Counter(MetricRepairBlocks, schemeLabel, siteLabel),
 		bytes:     o.reg.Counter(MetricRepairBytes, schemeLabel, siteLabel),
@@ -92,6 +94,7 @@ type RepairObs struct {
 	rounds    *Counter
 	lag       *Gauge
 	rate      *Gauge
+	active    *atomic.Bool
 
 	mu       sync.Mutex
 	inflight map[protocol.SiteID]*Gauge

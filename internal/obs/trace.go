@@ -42,6 +42,15 @@ const (
 	// enlisted at discovery, demoted after repeated failure, or the
 	// target of a mid-stream failover.
 	EvRepairDonor = "repair_donor"
+	// EvPhase records one critical-path phase of a closed operation
+	// span (DESIGN.md §15): a child span whose Detail carries
+	// "phase=<name> dur_ns=<n>". Emitted at op close, so the phase
+	// spans of an op sit under its op span in the stitched tree.
+	EvPhase = "phase"
+	// EvRepairWindow records a repair-interference window edge: the
+	// background repairer opening (window=open) or closing
+	// (window=closed) its streaming window at a site.
+	EvRepairWindow = "repair_window"
 )
 
 // An Event is one structured trace record. Block is -1 when the event

@@ -195,7 +195,7 @@ func (t *MeteredTransport) observePeer(to protocol.SiteID, ns int64) {
 	}
 }
 
-func (t *MeteredTransport) roundTrip(m int, to protocol.SiteID, do func() (protocol.Response, error)) (protocol.Response, error) {
+func (t *MeteredTransport) roundTrip(m int, rec protocol.PhaseRecorder, to protocol.SiteID, do func() (protocol.Response, error)) (protocol.Response, error) {
 	mm := &t.methods[m]
 	mm.ops.Inc()
 	start := t.o.now()
@@ -203,6 +203,9 @@ func (t *MeteredTransport) roundTrip(m int, to protocol.SiteID, do func() (proto
 	elapsed := t.o.now() - start
 	mm.latency.Observe(elapsed)
 	t.observePeer(to, elapsed)
+	if rec != nil {
+		rec.RecordPhase(protocol.PhaseRPC, elapsed)
+	}
 	if err != nil {
 		mm.countErr(err)
 	}
@@ -233,7 +236,7 @@ func (t *MeteredTransport) traceCall(ctx context.Context, from protocol.SiteID, 
 // Call implements protocol.Transport.
 func (t *MeteredTransport) Call(ctx context.Context, from, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
 	ctx, end := t.traceCall(ctx, from, fmt.Sprintf("call to=%v req=%s", to, req.Kind()))
-	return t.roundTrip(mCall, to, func() (protocol.Response, error) {
+	return t.roundTrip(mCall, protocol.CtxPhases(ctx), to, func() (protocol.Response, error) {
 		resp, err := t.inner.Call(ctx, from, to, req)
 		if end != nil {
 			end(err)
@@ -245,7 +248,7 @@ func (t *MeteredTransport) Call(ctx context.Context, from, to protocol.SiteID, r
 // Fetch implements protocol.Transport.
 func (t *MeteredTransport) Fetch(ctx context.Context, from, to protocol.SiteID, req protocol.Request) (protocol.Response, error) {
 	ctx, end := t.traceCall(ctx, from, fmt.Sprintf("fetch to=%v req=%s", to, req.Kind()))
-	return t.roundTrip(mFetch, to, func() (protocol.Response, error) {
+	return t.roundTrip(mFetch, protocol.CtxPhases(ctx), to, func() (protocol.Response, error) {
 		resp, err := t.inner.Fetch(ctx, from, to, req)
 		if end != nil {
 			end(err)
@@ -254,9 +257,17 @@ func (t *MeteredTransport) Fetch(ctx context.Context, from, to protocol.SiteID, 
 	})
 }
 
-func (t *MeteredTransport) fanOut(m int, results map[protocol.SiteID]protocol.Result, start int64) map[protocol.SiteID]protocol.Result {
+func (t *MeteredTransport) fanOut(m int, rec protocol.PhaseRecorder, results map[protocol.SiteID]protocol.Result, start int64) map[protocol.SiteID]protocol.Result {
 	mm := &t.methods[m]
-	mm.latency.Observe(t.o.now() - start)
+	elapsed := t.o.now() - start
+	mm.latency.Observe(elapsed)
+	if rec != nil {
+		// The whole concurrent fan-out is one critical-path slice: the
+		// coordinator waits for the slowest destination, and the
+		// straggler sub-phase (recorded inside simnet/rpcnet, which see
+		// per-destination completions) re-slices this wait.
+		rec.RecordPhase(protocol.PhaseFanout, elapsed)
+	}
 	for _, res := range results {
 		if res.Err != nil {
 			mm.countErr(res.Err)
@@ -272,7 +283,7 @@ func (t *MeteredTransport) Broadcast(ctx context.Context, from protocol.SiteID, 
 	mm.ops.Inc()
 	ctx, end := t.traceCall(ctx, from, fmt.Sprintf("broadcast dests=%d req=%s", len(dests), req.Kind()))
 	start := t.o.now()
-	out := t.fanOut(mBroadcast, t.inner.Broadcast(ctx, from, dests, req), start)
+	out := t.fanOut(mBroadcast, protocol.CtxPhases(ctx), t.inner.Broadcast(ctx, from, dests, req), start)
 	if end != nil {
 		end(nil)
 	}
@@ -285,7 +296,7 @@ func (t *MeteredTransport) Notify(ctx context.Context, from protocol.SiteID, des
 	mm.ops.Inc()
 	ctx, end := t.traceCall(ctx, from, fmt.Sprintf("notify dests=%d req=%s", len(dests), req.Kind()))
 	start := t.o.now()
-	out := t.fanOut(mNotify, t.inner.Notify(ctx, from, dests, req), start)
+	out := t.fanOut(mNotify, protocol.CtxPhases(ctx), t.inner.Notify(ctx, from, dests, req), start)
 	if end != nil {
 		end(nil)
 	}

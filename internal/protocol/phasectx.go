@@ -1,0 +1,58 @@
+package protocol
+
+import "context"
+
+// Phase labels for critical-path latency attribution (DESIGN.md §15).
+// Each names one slice of an operation's wall time; the top-level
+// phases (lock wait, fan-out, rpc, local) partition the operation, so
+// their durations sum to the end-to-end latency, while sub-phases
+// (straggler) re-slice time already attributed to their parent phase.
+const (
+	// PhaseLockWait is the time an operation spent waiting to acquire
+	// its per-block stripe in scheme.OpLocks before the protocol ran.
+	PhaseLockWait = "lock_wait"
+	// PhaseFanout is the time inside quorum fan-outs (Broadcast/Notify):
+	// the whole concurrent round, bounded by the slowest destination.
+	PhaseFanout = "fanout"
+	// PhaseRPC is the time inside point-to-point rounds (Call/Fetch).
+	PhaseRPC = "rpc"
+	// PhaseLocal is the residual: local compute and store time not
+	// spent under the lock queue or on the wire. Recorded implicitly at
+	// span close as end-to-end minus the attributed phases.
+	PhaseLocal = "local"
+	// PhaseStraggler is the marginal wait charged to the slowest member
+	// of a fan-out: how much later it answered than the second-slowest
+	// destination. A sub-slice of PhaseFanout, so it is excluded from
+	// the partition sum.
+	PhaseStraggler = "straggler"
+)
+
+// A PhaseRecorder receives critical-path attribution from layers below
+// the observability decorators — the fan-out internals of simnet and
+// rpcnet, which alone can see per-destination completion times. The
+// observability layer implements it; transports reach it through the
+// operation context so they need no obs dependency.
+//
+// Now reads the recorder's injected clock (nanoseconds; logical under
+// deterministic harnesses) so in-scope transports can measure
+// durations without touching the wall clock themselves.
+type PhaseRecorder interface {
+	Now() int64
+	RecordPhase(phase string, ns int64)
+	RecordPeerRTT(to SiteID, ns int64)
+}
+
+type phaseCtxKey struct{}
+
+// WithPhases attaches a phase recorder to ctx for the enclosed
+// operation.
+func WithPhases(ctx context.Context, r PhaseRecorder) context.Context {
+	return context.WithValue(ctx, phaseCtxKey{}, r)
+}
+
+// CtxPhases returns the phase recorder attached by WithPhases, or nil
+// when the operation is unattributed.
+func CtxPhases(ctx context.Context) PhaseRecorder {
+	r, _ := ctx.Value(phaseCtxKey{}).(PhaseRecorder)
+	return r
+}

@@ -214,6 +214,11 @@ func (r *Repairer) Run(ctx context.Context) (Result, error) {
 	start := r.pol.Clock.Now()
 	ctx = r.cfg.Obs.Label(ctx, protocol.OpRepair)
 	ctx, sp := r.cfg.Obs.StartOp(ctx, protocol.OpRepair, obs.NoBlock)
+	// The whole pass is one repair-interference window: foreground
+	// operations at this site while the stream runs are counted and
+	// their latency lands in the interference histogram (DESIGN.md §15).
+	r.cfg.RepairObs.Active(true)
+	defer r.cfg.RepairObs.Active(false)
 	var res Result
 	err := r.run(ctx, &res)
 	res.Elapsed = r.pol.Clock.Now().Sub(start)

@@ -745,28 +745,75 @@ func (c *Client) Broadcast(ctx context.Context, from protocol.SiteID, dests []pr
 		}
 		return out
 	}
+	// rec, when the operation carries critical-path attribution, wants
+	// per-destination round trips and the straggler wait; durations use
+	// the recorder's clock so the time base matches the rest of the
+	// operation's phases.
+	rec := protocol.CtxPhases(ctx)
 	if len(targets) == 1 {
 		to := targets[0]
+		var t0 int64
+		if rec != nil {
+			t0 = rec.Now()
+		}
 		resp, err := c.roundTrip(ctx, to, req)
 		out[to] = protocol.Result{Resp: resp, Err: err}
+		if rec != nil {
+			rec.RecordPeerRTT(to, rec.Now()-t0)
+		}
 		return out
 	}
 	var (
-		rm sync.Mutex
-		wg sync.WaitGroup
+		rm   sync.Mutex
+		wg   sync.WaitGroup
+		durs []int64
 	)
-	for _, to := range targets {
+	if rec != nil {
+		durs = make([]int64, len(targets))
+	}
+	for i, to := range targets {
 		wg.Add(1)
-		go func(to protocol.SiteID) {
+		go func(i int, to protocol.SiteID) {
 			defer wg.Done()
+			var t0 int64
+			if rec != nil {
+				t0 = rec.Now()
+			}
 			resp, err := c.roundTrip(ctx, to, req)
 			rm.Lock()
 			out[to] = protocol.Result{Resp: resp, Err: err}
+			if rec != nil {
+				durs[i] = rec.Now() - t0
+			}
 			rm.Unlock()
-		}(to)
+		}(i, to)
 	}
 	wg.Wait()
+	if rec != nil {
+		for i, to := range targets {
+			rec.RecordPeerRTT(to, durs[i])
+		}
+		rec.RecordPhase(protocol.PhaseStraggler, stragglerWait(durs))
+	}
 	return out
+}
+
+// stragglerWait is the marginal cost of the slowest fan-out member:
+// how much later it finished than the second-slowest destination.
+func stragglerWait(durs []int64) int64 {
+	if len(durs) < 2 {
+		return 0
+	}
+	max, second := int64(-1), int64(-1)
+	for _, d := range durs {
+		switch {
+		case d > max:
+			second, max = max, d
+		case d > second:
+			second = d
+		}
+	}
+	return max - second
 }
 
 // Notify implements protocol.Transport. The underlying TCP exchange

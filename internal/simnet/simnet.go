@@ -550,29 +550,79 @@ func (n *Network) deliver(ctx context.Context, from protocol.SiteID, dests []pro
 		// over the wire once.
 		n.countRequest(opIdx, req.Kind(), 1, reqBytes)
 	}
+	// rec, when the operation is attributed (obs critical path), wants
+	// per-destination round trips and the straggler wait — facts only
+	// this fan-out can see. Durations come from the recorder's injected
+	// clock, never the wall clock, so deterministic harnesses stay
+	// deterministic.
+	rec := protocol.CtxPhases(ctx)
 	if len(targets) == 1 {
 		// Nothing to fan out; skip the goroutine machinery.
+		var t0 int64
+		if rec != nil {
+			t0 = rec.Now()
+		}
 		results[targets[0]] = n.deliverOne(ctx, from, targets[0], req, countReplies, opIdx)
+		if rec != nil {
+			rec.RecordPeerRTT(targets[0], rec.Now()-t0)
+		}
 		return results
 	}
 	// Fan out: each destination's round trip proceeds concurrently, so a
 	// quorum collection costs one round-trip time, not one per site.
 	var (
-		wg sync.WaitGroup
-		rm sync.Mutex
+		wg   sync.WaitGroup
+		rm   sync.Mutex
+		durs []int64
 	)
-	for _, to := range targets {
+	if rec != nil {
+		durs = make([]int64, len(targets))
+	}
+	for i, to := range targets {
 		wg.Add(1)
-		go func(to protocol.SiteID) {
+		go func(i int, to protocol.SiteID) {
 			defer wg.Done()
+			var t0 int64
+			if rec != nil {
+				t0 = rec.Now()
+			}
 			res := n.deliverOne(ctx, from, to, req, countReplies, opIdx)
 			rm.Lock()
 			results[to] = res
+			if rec != nil {
+				durs[i] = rec.Now() - t0
+			}
 			rm.Unlock()
-		}(to)
+		}(i, to)
 	}
 	wg.Wait()
+	if rec != nil {
+		for i, to := range targets {
+			rec.RecordPeerRTT(to, durs[i])
+		}
+		rec.RecordPhase(protocol.PhaseStraggler, stragglerWait(durs))
+	}
 	return results
+}
+
+// stragglerWait is the marginal cost of the slowest fan-out member:
+// how much later it finished than the second-slowest destination. The
+// coordinator waits for every reply, so this is exactly the wall time
+// a one-member-smaller quorum would have saved.
+func stragglerWait(durs []int64) int64 {
+	if len(durs) < 2 {
+		return 0
+	}
+	max, second := int64(-1), int64(-1)
+	for _, d := range durs {
+		switch {
+		case d > max:
+			second, max = max, d
+		case d > second:
+			second = d
+		}
+	}
+	return max - second
 }
 
 // deliverOne performs the round trip to a single destination.

@@ -57,13 +57,33 @@ type BatchPolicy struct {
 }
 
 // batchReq is one writer waiting for its record to be applied and
-// made durable.
+// made durable. enq is the enqueue timestamp from the injected
+// now-source (zero when flush stats are off).
 type batchReq struct {
 	idx  block.Index
 	data []byte
 	ver  block.Version
 	meta bool
+	enq  int64
 	done chan error
+}
+
+// FlushStats is one flushed batch's critical-path breakdown, reported
+// to the WithFlushStats observer: how long each request queued before
+// the flush started, and how the flush itself split between applying
+// records and the single durability sync. All durations come from the
+// injected now-source, so deterministic harnesses replay them.
+type FlushStats struct {
+	// Size is the batch occupancy (writes sharing this flush).
+	Size int
+	// QueueWaitNs holds each request's wait from enqueue to flush
+	// start, in batch order.
+	QueueWaitNs []int64
+	// ApplyNs is the time spent writing the batch into the store.
+	ApplyNs int64
+	// SyncNs is the time spent in the store's Sync (zero when the store
+	// has no Syncer).
+	SyncNs int64
 }
 
 // Batcher is a Store wrapper that coalesces concurrent writes into a
@@ -80,6 +100,12 @@ type Batcher struct {
 	// onFlush, when set, observes each batch's occupancy; core wires
 	// this to the obs gauge so batch sizes are visible live.
 	onFlush func(batchSize int)
+
+	// onStats and now, when set together, observe each batch's phase
+	// breakdown (queue wait / apply / fsync); the wiring layer feeds
+	// the relidev_store_phase_ns histograms from it.
+	onStats func(FlushStats)
+	now     func() int64
 
 	mu     sync.Mutex
 	closed bool
@@ -101,6 +127,18 @@ func WithBatchClock(c Clock) BatchOption {
 // batch's size.
 func WithFlushObserver(fn func(batchSize int)) BatchOption {
 	return func(b *Batcher) { b.onFlush = fn }
+}
+
+// WithFlushStats registers a phase-breakdown observer for every flush,
+// timed by now (nanoseconds; the caller injects its clock so the
+// batcher itself never reads the wall clock). Both must be non-nil for
+// stats to be collected.
+func WithFlushStats(fn func(FlushStats), now func() int64) BatchOption {
+	return func(b *Batcher) {
+		if fn != nil && now != nil {
+			b.onStats, b.now = fn, now
+		}
+	}
 }
 
 // NewBatcher wraps st with group commit under the given policy. If st
@@ -148,13 +186,21 @@ func (b *Batcher) Write(idx block.Index, data []byte, ver block.Version) error {
 	if err := checkWrite(b.st.Geometry(), idx, data); err != nil {
 		return err
 	}
-	return b.submit(&batchReq{idx: idx, data: data, ver: ver, done: make(chan error, 1)})
+	req := &batchReq{idx: idx, data: data, ver: ver, done: make(chan error, 1)}
+	if b.now != nil {
+		req.enq = b.now()
+	}
+	return b.submit(req)
 }
 
 // SaveMeta rides the same batch queue so metadata updates share the
 // group fsync too.
 func (b *Batcher) SaveMeta(meta []byte) error {
-	return b.submit(&batchReq{data: meta, meta: true, done: make(chan error, 1)})
+	req := &batchReq{data: meta, meta: true, done: make(chan error, 1)}
+	if b.now != nil {
+		req.enq = b.now()
+	}
+	return b.submit(req)
 }
 
 func (b *Batcher) submit(req *batchReq) error {
@@ -237,6 +283,16 @@ drain:
 // every request. Apply errors are per-request; a sync failure fails
 // the whole batch, because none of its records are known durable.
 func (b *Batcher) flush(batch []*batchReq) {
+	var stats FlushStats
+	var t0 int64
+	if b.onStats != nil {
+		t0 = b.now()
+		stats.Size = len(batch)
+		stats.QueueWaitNs = make([]int64, len(batch))
+		for i, r := range batch {
+			stats.QueueWaitNs[i] = t0 - r.enq
+		}
+	}
 	errs := make([]error, len(batch))
 	for i, r := range batch {
 		if r.meta {
@@ -244,6 +300,11 @@ func (b *Batcher) flush(batch []*batchReq) {
 		} else {
 			errs[i] = b.st.Write(r.idx, r.data, r.ver)
 		}
+	}
+	var applied int64
+	if b.onStats != nil {
+		applied = b.now()
+		stats.ApplyNs = applied - t0
 	}
 	if b.syncer != nil {
 		if err := b.syncer.Sync(); err != nil {
@@ -253,9 +314,15 @@ func (b *Batcher) flush(batch []*batchReq) {
 				}
 			}
 		}
+		if b.onStats != nil {
+			stats.SyncNs = b.now() - applied
+		}
 	}
 	if b.onFlush != nil {
 		b.onFlush(len(batch))
+	}
+	if b.onStats != nil {
+		b.onStats(stats)
 	}
 	for i, r := range batch {
 		r.done <- errs[i]

@@ -233,3 +233,105 @@ func TestBatcherCloseRejectsLateWrites(t *testing.T) {
 		t.Fatalf("second Close = %v", err)
 	}
 }
+
+// TestBatcherFlushStats: the WithFlushStats observer sees every write
+// exactly once with a well-formed phase breakdown — per-request queue
+// waits measured from enqueue to flush start, an apply slice, and a
+// sync slice (only for stores with a Syncer). The now-source is a
+// counter, so every phase boundary is a strictly positive tick.
+func TestBatcherFlushStats(t *testing.T) {
+	seg, err := CreateSeg(filepath.Join(t.TempDir(), "segs"), testGeom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tick atomic.Int64
+	now := func() int64 { return tick.Add(1) }
+	var mu sync.Mutex
+	var flushes []FlushStats
+	b := NewBatcher(seg, BatchPolicy{MaxBatch: 8},
+		WithFlushStats(func(s FlushStats) {
+			mu.Lock()
+			flushes = append(flushes, s)
+			mu.Unlock()
+		}, now))
+
+	const writers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := b.Write(block.Index(w%testGeom.NumBlocks), fill(byte(w), testGeom.BlockSize), block.Version(w+1)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	var writesSeen int
+	for _, s := range flushes {
+		writesSeen += s.Size
+		if len(s.QueueWaitNs) != s.Size {
+			t.Fatalf("flush reports %d queue waits for %d writes", len(s.QueueWaitNs), s.Size)
+		}
+		for i, qw := range s.QueueWaitNs {
+			if qw <= 0 {
+				t.Errorf("queue wait %d = %d, want > 0 (enqueue tick precedes flush tick)", i, qw)
+			}
+		}
+		if s.ApplyNs <= 0 {
+			t.Errorf("ApplyNs = %d, want > 0", s.ApplyNs)
+		}
+		if s.SyncNs <= 0 {
+			t.Errorf("SyncNs = %d, want > 0 for a Syncer-backed store", s.SyncNs)
+		}
+	}
+	if writesSeen != writers {
+		t.Fatalf("flush stats covered %d writes, want %d", writesSeen, writers)
+	}
+}
+
+// TestBatcherFlushStatsWithoutSyncer: a store with no Syncer reports a
+// zero sync slice, and half-configured stats (nil fn or nil now) stay
+// off entirely.
+func TestBatcherFlushStatsWithoutSyncer(t *testing.T) {
+	mem, err := NewMem(testGeom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tick atomic.Int64
+	now := func() int64 { return tick.Add(1) }
+	var got []FlushStats
+	var mu sync.Mutex
+	b := NewBatcher(mem, BatchPolicy{MaxBatch: 4},
+		WithFlushStats(func(s FlushStats) { mu.Lock(); got = append(got, s); mu.Unlock() }, now))
+	if err := b.Write(0, fill(1, testGeom.BlockSize), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(got) != 1 || got[0].SyncNs != 0 {
+		t.Fatalf("flushes = %+v, want one flush with SyncNs 0", got)
+	}
+	mu.Unlock()
+
+	mem2, err := NewMem(testGeom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := NewBatcher(mem2, BatchPolicy{MaxBatch: 4}, WithFlushStats(nil, now))
+	if err := b2.Write(0, fill(2, testGeom.BlockSize), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

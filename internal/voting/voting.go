@@ -199,11 +199,14 @@ func currentDataSite(votes []vote, ver block.Version) (vote, bool) {
 // the local copy from the most current site if it is out of date (one
 // extra transmission), then read locally.
 func (c *Controller) Read(ctx context.Context, idx block.Index) (_ []byte, err error) {
+	ob := c.env.Obs
+	lockT0 := ob.Now()
 	c.locks.LockOp(idx)
 	defer c.locks.UnlockOp(idx)
-	ob := c.env.Obs
+	lockWait := ob.Now() - lockT0
 	ctx = ob.Label(ctx, protocol.OpRead)
 	ctx, sp := ob.StartOp(ctx, protocol.OpRead, int64(idx))
+	sp.AddLockWait(lockWait)
 	participants := 0
 	defer func() { sp.Done(participants, err) }()
 
@@ -307,11 +310,14 @@ func (c *Controller) prepare(ctx context.Context, idx block.Index, data []byte) 
 // is added, and correctness is exactly Figure 4's. With
 // WithTwoRoundWrites every write uses the classic shape.
 func (c *Controller) Write(ctx context.Context, idx block.Index, data []byte) (err error) {
+	ob := c.env.Obs
+	lockT0 := ob.Now()
 	c.locks.LockOp(idx)
 	defer c.locks.UnlockOp(idx)
-	ob := c.env.Obs
+	lockWait := ob.Now() - lockT0
 	ctx = ob.Label(ctx, protocol.OpWrite)
 	ctx, sp := ob.StartOp(ctx, protocol.OpWrite, int64(idx))
+	sp.AddLockWait(lockWait)
 	participants := 0
 	twoRound := false
 	defer func() {
@@ -529,12 +535,15 @@ func (c *Controller) finishTwoRound(ctx context.Context, idx block.Index, data [
 // refreshes the whole device from the most current reachable site, which
 // is the file-level behaviour the paper improves upon.
 func (c *Controller) Recover(ctx context.Context) (err error) {
+	ob := c.env.Obs
+	lockT0 := ob.Now()
 	c.locks.LockRecovery()
 	defer c.locks.UnlockRecovery()
+	lockWait := ob.Now() - lockT0
 	self := c.env.Self
-	ob := c.env.Obs
 	ctx = ob.Label(ctx, protocol.OpRecovery)
 	ctx, sp := ob.StartOp(ctx, protocol.OpRecovery, obs.NoBlock)
+	sp.AddLockWait(lockWait)
 	participants := 1
 	defer func() { sp.Done(participants, err) }()
 	if !c.eager {

@@ -40,6 +40,7 @@ import (
 	"relidev/internal/block"
 	"relidev/internal/core"
 	"relidev/internal/obs"
+	"relidev/internal/obs/health"
 	"relidev/internal/protocol"
 	"relidev/internal/repair"
 	"relidev/internal/simnet"
@@ -135,6 +136,7 @@ type options struct {
 	traceCap       int
 	repairPolicy   *repair.Policy
 	recoveryPage   int
+	healthRules    []health.Rule
 }
 
 // WithGeometry sets the device shape (default 512-byte blocks, 128
@@ -283,6 +285,56 @@ func WithPagedRecovery(maxBlocks int) Option {
 	return func(o *options) { o.recoveryPage = maxBlocks }
 }
 
+// HealthRule is one condition of the health engine: a named check over
+// metric snapshots with a severity and hysteresis windows (DESIGN.md
+// §15). Build custom rules directly or start from DefaultHealthRules.
+type HealthRule = health.Rule
+
+// HealthVerdict is one health evaluation: per-rule states plus the
+// overall severity fold.
+type HealthVerdict = health.Verdict
+
+// HealthSeverity orders health states.
+type HealthSeverity = health.Severity
+
+// Health severities.
+const (
+	HealthOK       = health.OK
+	HealthWarn     = health.Warn
+	HealthCritical = health.Critical
+)
+
+// DefaultHealthRules returns the standard rule set for a cluster of n
+// sites running the given scheme: quorum margin (is the cluster one
+// failure from unavailability?), overall error rate, group-commit
+// saturation, conformance drift (stale reads beyond what the scheme's
+// analysis allows — zero for voting), and — when a repair policy is
+// given — staleness outliving its bounded time-to-freshness promise.
+func DefaultHealthRules(scheme Scheme, n int, pol *RepairPolicy) []HealthRule {
+	quorum := 1
+	if scheme == Voting {
+		quorum = n/2 + 1
+	}
+	rules := []HealthRule{
+		health.QuorumMarginRule(scheme.String(), quorum),
+		health.ErrorRateRule(0.1),
+		health.BatcherOccupancyRule(64),
+		health.ConformanceDriftRule(scheme.String(), 0),
+	}
+	if pol != nil {
+		rules = append(rules, health.StalenessRule(*pol))
+	}
+	return rules
+}
+
+// WithHealthRules attaches the rule-driven health engine (requires
+// WithMetering): the rules are evaluated on demand by Cluster.Health
+// and by the /healthz endpoint of the debug surface, which reports 503
+// once any critical alert is active.
+func WithHealthRules(rules ...HealthRule) Option {
+	return func(o *options) { o.healthRules = append(o.healthRules, rules...) }
+}
+
 // TrafficStats counts high-level network transmissions as defined in §5,
 // plus the byte-volume alternative metric §5 mentions.
 type TrafficStats struct {
@@ -297,8 +349,9 @@ type TrafficStats struct {
 // Cluster is an in-process reliable device: n replica sites joined by a
 // simulated network, each exposing the device.
 type Cluster struct {
-	inner *core.Cluster
-	obs   *obs.Observer
+	inner  *core.Cluster
+	obs    *obs.Observer
+	health *health.Engine
 }
 
 // New builds a cluster of n sites running the given consistency scheme.
@@ -362,11 +415,7 @@ func New(n int, scheme Scheme, opts ...Option) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
-			var batchOpts []store.BatchOption
-			if observer != nil {
-				g := observer.Registry().Gauge(obs.MetricGroupCommitOccupancy, obs.L("site", id.String()))
-				batchOpts = append(batchOpts, store.WithFlushObserver(func(n int) { g.Set(int64(n)) }))
-			}
+			batchOpts := storeObsOpts(observer, id)
 			return store.NewBatcher(st, policy, batchOpts...), nil
 		}
 	}
@@ -374,7 +423,39 @@ func New(n int, scheme Scheme, opts ...Option) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{inner: inner, obs: observer}, nil
+	c := &Cluster{inner: inner, obs: observer}
+	if observer != nil && len(o.healthRules) > 0 {
+		c.health = health.NewEngine(observer.Snapshot, nil, o.healthRules...)
+	}
+	return c, nil
+}
+
+// storeObsOpts wires a site's group-commit batcher to the observer:
+// the occupancy gauge plus the store-side phase histograms (queue
+// wait, apply, fsync) that the critical-path profile reports beside
+// the op partition. Flush timing runs on the observer's clock, so
+// deterministic harnesses replay it.
+func storeObsOpts(observer *obs.Observer, id protocol.SiteID) []store.BatchOption {
+	if observer == nil {
+		return nil
+	}
+	site := obs.L("site", id.String())
+	g := observer.Registry().Gauge(obs.MetricGroupCommitOccupancy, site)
+	qw := observer.Registry().Histogram(obs.MetricStorePhase, site, obs.L("phase", obs.StorePhaseQueueWait))
+	ap := observer.Registry().Histogram(obs.MetricStorePhase, site, obs.L("phase", obs.StorePhaseApply))
+	fs := observer.Registry().Histogram(obs.MetricStorePhase, site, obs.L("phase", obs.StorePhaseFsync))
+	return []store.BatchOption{
+		store.WithFlushObserver(func(n int) { g.Set(int64(n)) }),
+		store.WithFlushStats(func(st store.FlushStats) {
+			for _, w := range st.QueueWaitNs {
+				qw.Observe(w)
+			}
+			ap.Observe(st.ApplyNs)
+			if st.SyncNs > 0 {
+				fs.Observe(st.SyncNs)
+			}
+		}, observer.Now),
+	}
 }
 
 // Sites returns the number of replica sites.
@@ -461,14 +542,55 @@ func (c *Cluster) MetricsJSON() ([]byte, error) {
 }
 
 // DebugHandler returns the observability HTTP surface (/metrics,
-// /metrics.prom, /trace, /trace/tree, /debug/pprof/) for this cluster,
-// or an error when the cluster was built without WithMetering. Mount it
-// on any server the embedding application already runs.
+// /metrics.prom, /trace, /trace/tree, /profile, /debug/pprof/, and —
+// with WithHealthRules — /healthz) for this cluster, or an error when
+// the cluster was built without WithMetering. Mount it on any server
+// the embedding application already runs.
 func (c *Cluster) DebugHandler() (http.Handler, error) {
 	if c.obs == nil {
 		return nil, ErrNotMetered
 	}
-	return obs.NewDebugMux(c.obs), nil
+	mux := obs.NewDebugMux(c.obs)
+	if c.health != nil {
+		mux.HandleFunc("/healthz", health.Handler(c.health))
+	}
+	return mux, nil
+}
+
+// ErrNoHealthRules is returned by Cluster.Health when the cluster was
+// built without WithHealthRules.
+var ErrNoHealthRules = errors.New("relidev: cluster not built with WithHealthRules")
+
+// Health evaluates the health rule set against the current metrics and
+// returns the verdict: per-rule firing/active states (with hysteresis)
+// and the overall severity fold. Requires WithMetering and
+// WithHealthRules.
+func (c *Cluster) Health() (HealthVerdict, error) {
+	if c.obs == nil {
+		return HealthVerdict{}, ErrNotMetered
+	}
+	if c.health == nil {
+		return HealthVerdict{}, ErrNoHealthRules
+	}
+	return c.health.Evaluate(), nil
+}
+
+// CriticalPathProfile is the cluster-wide critical-path attribution:
+// per-scheme/op phase breakdowns (lock wait, fan-out, rpc, local
+// residual, straggler), store-side flush phases, and repair
+// interference. Serve it live from the debug surface at /profile, or
+// render it as a text flamegraph with its Flame method.
+type CriticalPathProfile = obs.Profile
+
+// CriticalPath computes the critical-path profile from the current
+// metrics. The partition phases of each op class sum to its measured
+// end-to-end latency (Coverage reports the ratio), so the breakdown
+// answers "where did the time go" exactly. Requires WithMetering.
+func (c *Cluster) CriticalPath() (*CriticalPathProfile, error) {
+	if c.obs == nil {
+		return nil, ErrNotMetered
+	}
+	return c.obs.CriticalPath(), nil
 }
 
 // TraceSpan is one node of a stitched trace tree: an operation, a

@@ -624,3 +624,234 @@ func TestTraceTreeSurface(t *testing.T) {
 		t.Fatalf("TraceTrees without tracing = %v, want ErrNotMetered", err)
 	}
 }
+
+// TestHealthSurface exercises the public health engine: default rules,
+// the on-demand verdict, the /healthz endpoint, and the unconfigured
+// error paths.
+func TestHealthSurface(t *testing.T) {
+	ctx := context.Background()
+	cluster, err := relidev.New(3, relidev.Voting,
+		relidev.WithGeometry(relidev.Geometry{BlockSize: 64, NumBlocks: 8}),
+		relidev.WithMetering(),
+		relidev.WithHealthRules(relidev.DefaultHealthRules(relidev.Voting, 3, nil)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := cluster.Device(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	if err := dev.WriteBlock(ctx, 2, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.ReadBlock(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := cluster.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Rules) != 4 {
+		t.Fatalf("verdict has %d rules, want the 4 defaults: %+v", len(v.Rules), v)
+	}
+	if v.Overall != relidev.HealthOK {
+		t.Fatalf("fresh healthy cluster reports %v: %+v", v.Overall, v.Rules)
+	}
+
+	h, err := cluster.DebugHandler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz = %d:\n%s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"overall": "ok"`) {
+		t.Errorf("/healthz body lacks the overall verdict:\n%s", body)
+	}
+
+	// Metered but no rules: typed error, and /healthz stays unmounted
+	// (the mux serves /metrics at "/" so any path answers, but the
+	// health handler specifically is absent — probe via Health()).
+	noRules, err := relidev.New(3, relidev.Voting, relidev.WithMetering())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noRules.Health(); !errors.Is(err, relidev.ErrNoHealthRules) {
+		t.Fatalf("Health without rules = %v, want ErrNoHealthRules", err)
+	}
+
+	plain, err := relidev.New(3, relidev.Voting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Health(); !errors.Is(err, relidev.ErrNotMetered) {
+		t.Fatalf("Health unmetered = %v, want ErrNotMetered", err)
+	}
+}
+
+// TestCriticalPathSurface exercises the public attribution API: the
+// profile covers the driven ops with a partition that matches the
+// measured latency, and the /profile endpoint serves both renderings.
+func TestCriticalPathSurface(t *testing.T) {
+	ctx := context.Background()
+	cluster, err := relidev.New(3, relidev.Voting,
+		relidev.WithGeometry(relidev.Geometry{BlockSize: 64, NumBlocks: 8}),
+		relidev.WithMetering())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := cluster.Device(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	for i := 0; i < 4; i++ {
+		if err := dev.WriteBlock(ctx, relidev.Index(i), payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dev.ReadBlock(ctx, relidev.Index(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p, err := cluster.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Ops) != 2 {
+		t.Fatalf("profile has %d op aggregates, want write+read: %+v", len(p.Ops), p.Ops)
+	}
+	for _, op := range p.Ops {
+		if op.Count != 4 {
+			t.Errorf("%s/%s count = %d, want 4", op.Scheme, op.Op, op.Count)
+		}
+		if op.Coverage < 0.99 || op.Coverage > 1.01 {
+			t.Errorf("%s/%s coverage = %.4f, want within 1%% of 1.0", op.Scheme, op.Op, op.Coverage)
+		}
+	}
+	if flame := p.Flame(); !strings.Contains(flame, "voting/write") {
+		t.Errorf("Flame() lacks the write block:\n%s", flame)
+	}
+
+	h, err := cluster.DebugHandler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/profile?format=flame")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "critical path — phase attribution") {
+		t.Errorf("/profile?format=flame = %d:\n%s", resp.StatusCode, body)
+	}
+
+	plain, err := relidev.New(3, relidev.Voting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.CriticalPath(); !errors.Is(err, relidev.ErrNotMetered) {
+		t.Fatalf("CriticalPath unmetered = %v, want ErrNotMetered", err)
+	}
+}
+
+// TestRemoteObservabilitySurface: a metered remote site with health
+// rules serves /healthz, /debug/flight, and /profile on its debug
+// handler, and answers Health()/CriticalPath() directly.
+func TestRemoteObservabilitySurface(t *testing.T) {
+	ctx := context.Background()
+	geom := relidev.Geometry{BlockSize: 64, NumBlocks: 8}
+	addrs := make(map[int]string, 2)
+	var boot []*relidev.RemoteSite
+	for i := 0; i < 2; i++ {
+		s, err := relidev.OpenRemote(relidev.RemoteConfig{
+			Self: i, Peers: map[int]string{i: "127.0.0.1:0"}, Scheme: relidev.NaiveAvailableCopy, Geometry: geom,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = s.Addr()
+		boot = append(boot, s)
+	}
+	for _, s := range boot {
+		s.Close()
+	}
+	sites := make([]*relidev.RemoteSite, 2)
+	for i := 0; i < 2; i++ {
+		s, err := relidev.OpenRemote(relidev.RemoteConfig{
+			Self:        i,
+			Peers:       addrs,
+			Scheme:      relidev.NaiveAvailableCopy,
+			Geometry:    geom,
+			Timeout:     time.Second,
+			Metered:     true,
+			HealthRules: relidev.DefaultHealthRules(relidev.NaiveAvailableCopy, 2, nil),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites[i] = s
+		defer func() { s.Close() }()
+	}
+
+	payload := make([]byte, 64)
+	if err := sites[0].Device().WriteBlock(ctx, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sites[1].Device().ReadBlock(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := sites[0].Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Overall >= relidev.HealthCritical {
+		t.Fatalf("healthy site reports critical: %+v", v.Rules)
+	}
+	p, err := sites[0].CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Ops) == 0 {
+		t.Fatal("remote critical path profile is empty")
+	}
+
+	h, err := sites[0].DebugHandler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/healthz":      `"overall"`,
+		"/debug/flight": `"trigger": "http request"`,
+		"/profile":      `"ops"`,
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s = %d:\n%s", path, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s body lacks %q:\n%s", path, want, body)
+		}
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"relidev/internal/core"
 	"relidev/internal/naiveac"
 	"relidev/internal/obs"
+	"relidev/internal/obs/flight"
+	"relidev/internal/obs/health"
 	"relidev/internal/protocol"
 	"relidev/internal/rpcnet"
 	"relidev/internal/scheme"
@@ -65,6 +67,11 @@ type RemoteConfig struct {
 	// Read the result through DebugHandler (the blockserver binds it on
 	// -debug-addr).
 	Metered bool
+	// HealthRules attaches the rule-driven health engine (requires
+	// Metered): DebugHandler then serves /healthz, answering 503 once a
+	// critical alert is active. Nil leaves the endpoint off; start from
+	// DefaultHealthRules for the standard set.
+	HealthRules []HealthRule
 }
 
 // RemoteSite is one running site of a TCP-deployed reliable device: a
@@ -78,6 +85,8 @@ type RemoteSite struct {
 	ctrl    scheme.Controller
 	device  *core.ReliableDevice
 	obs     *obs.Observer
+	health  *health.Engine
+	flight  *flight.Recorder
 }
 
 // OpenRemote starts a site: it opens (or creates) the local store,
@@ -121,16 +130,10 @@ func OpenRemote(cfg RemoteConfig) (*RemoteSite, error) {
 		return nil, fmt.Errorf("relidev: open store: %w", err)
 	}
 	if cfg.GroupCommitBatch > 0 {
-		var batchOpts []store.BatchOption
-		if observer != nil {
-			g := observer.Registry().Gauge(obs.MetricGroupCommitOccupancy,
-				obs.L("site", protocol.SiteID(cfg.Self).String()))
-			batchOpts = append(batchOpts, store.WithFlushObserver(func(n int) { g.Set(int64(n)) }))
-		}
 		st = store.NewBatcher(st, store.BatchPolicy{
 			MaxDelay: cfg.GroupCommitDelay,
 			MaxBatch: cfg.GroupCommitBatch,
-		}, batchOpts...)
+		}, storeObsOpts(observer, protocol.SiteID(cfg.Self))...)
 	}
 
 	initial := protocol.StateAvailable
@@ -209,7 +212,7 @@ func OpenRemote(cfg RemoteConfig) (*RemoteSite, error) {
 		st.Close()
 		return nil, err
 	}
-	return &RemoteSite{
+	rs := &RemoteSite{
 		cfg:     cfg,
 		replica: replica,
 		server:  server,
@@ -217,17 +220,62 @@ func OpenRemote(cfg RemoteConfig) (*RemoteSite, error) {
 		ctrl:    ctrl,
 		device:  dev,
 		obs:     observer,
-	}, nil
+	}
+	if observer != nil {
+		// The black-box recorder rides the debug surface: each
+		// /debug/flight request snapshots the live signals — metrics
+		// deltas, the trace tail, the failure detector's suspect set,
+		// repair lag, batcher occupancy — and seals the ring into a dump.
+		rs.flight = flight.New(obs.WallClock, 64,
+			flight.MetricsDelta(observer),
+			flight.TraceTail(observer, 64),
+			flight.Suspects(client.SuspectSet),
+			flight.RepairLag(observer),
+			flight.Occupancy(observer),
+		)
+		if len(cfg.HealthRules) > 0 {
+			rs.health = health.NewEngine(observer.Snapshot, nil, cfg.HealthRules...)
+		}
+	}
+	return rs, nil
 }
 
 // DebugHandler returns this site's observability HTTP surface
-// (/metrics, /metrics.prom, /trace, /debug/pprof/), or ErrNotMetered
-// when the site was opened without RemoteConfig.Metered.
+// (/metrics, /metrics.prom, /trace, /trace/tree, /profile,
+// /debug/flight, /debug/pprof/, and — with RemoteConfig.HealthRules —
+// /healthz), or ErrNotMetered when the site was opened without
+// RemoteConfig.Metered.
 func (r *RemoteSite) DebugHandler() (http.Handler, error) {
 	if r.obs == nil {
 		return nil, ErrNotMetered
 	}
-	return obs.NewDebugMux(r.obs), nil
+	mux := obs.NewDebugMux(r.obs)
+	mux.HandleFunc("/debug/flight", flight.Handler(r.flight))
+	if r.health != nil {
+		mux.HandleFunc("/healthz", health.Handler(r.health))
+	}
+	return mux, nil
+}
+
+// Health evaluates the site's health rule set against its current
+// metrics. Requires RemoteConfig.Metered and HealthRules.
+func (r *RemoteSite) Health() (HealthVerdict, error) {
+	if r.obs == nil {
+		return HealthVerdict{}, ErrNotMetered
+	}
+	if r.health == nil {
+		return HealthVerdict{}, ErrNoHealthRules
+	}
+	return r.health.Evaluate(), nil
+}
+
+// CriticalPath computes this site's critical-path profile from its
+// current metrics. Requires RemoteConfig.Metered.
+func (r *RemoteSite) CriticalPath() (*CriticalPathProfile, error) {
+	if r.obs == nil {
+		return nil, ErrNotMetered
+	}
+	return r.obs.CriticalPath(), nil
 }
 
 // ClusterTraceHandler returns an HTTP handler serving cluster-wide
