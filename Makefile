@@ -63,14 +63,16 @@ repair-race:
 # conformance invariants, runs the background repairer after every
 # recovery (bounded time-to-freshness is a standing invariant), and
 # leaves its metrics snapshot, availability verdict, time-to-freshness
-# samples, and sealed flight-recorder dump in artifacts/ (CI uploads
-# all four; the flight dump is null unless an invariant violation or a
-# critical health breach sealed it).
+# samples, sealed flight-recorder dump, and final SLO evaluation (with
+# the alert transition log — empty on a clean run, fire/clear stamped
+# on a degraded one) in artifacts/ (CI uploads all five; the flight
+# dump is null unless an invariant violation or a critical health
+# breach sealed it).
 chaos-short:
 	mkdir -p artifacts
-	$(GO) run -race ./cmd/chaos -scheme=voting -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-voting-metrics.json -avail-out=artifacts/chaos-voting-avail.json -ttf-out=artifacts/chaos-voting-ttf.json -flight-out=artifacts/chaos-voting-flight.json
-	$(GO) run -race ./cmd/chaos -scheme=ac     -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-ac-metrics.json -avail-out=artifacts/chaos-ac-avail.json -ttf-out=artifacts/chaos-ac-ttf.json -flight-out=artifacts/chaos-ac-flight.json
-	$(GO) run -race ./cmd/chaos -scheme=nac    -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-nac-metrics.json -avail-out=artifacts/chaos-nac-avail.json -ttf-out=artifacts/chaos-nac-ttf.json -flight-out=artifacts/chaos-nac-flight.json
+	$(GO) run -race ./cmd/chaos -scheme=voting -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-voting-metrics.json -avail-out=artifacts/chaos-voting-avail.json -ttf-out=artifacts/chaos-voting-ttf.json -flight-out=artifacts/chaos-voting-flight.json -slo-out=artifacts/chaos-voting-slo.json
+	$(GO) run -race ./cmd/chaos -scheme=ac     -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-ac-metrics.json -avail-out=artifacts/chaos-ac-avail.json -ttf-out=artifacts/chaos-ac-ttf.json -flight-out=artifacts/chaos-ac-flight.json -slo-out=artifacts/chaos-ac-slo.json
+	$(GO) run -race ./cmd/chaos -scheme=nac    -seed=7 -events=150 -ops-per-event=4 -metrics-out=artifacts/chaos-nac-metrics.json -avail-out=artifacts/chaos-nac-avail.json -ttf-out=artifacts/chaos-nac-ttf.json -flight-out=artifacts/chaos-nac-flight.json -slo-out=artifacts/chaos-nac-slo.json
 
 # obs-race hammers the new observability surfaces — the health engine's
 # hysteresis state machines and the flight recorder's ring — under the

@@ -12,6 +12,10 @@
 //	benchjson -baseline BENCH_parallel.json ...
 //	                               diff against a prior report: print
 //	                               per-benchmark speedup ratios
+//	benchjson -history BENCH_history.json -label "$(git rev-parse --short HEAD)" ...
+//	                               append this run (normalized, stamped,
+//	                               labelled) to a history file, so trends
+//	                               survive individual report overwrites
 package main
 
 import (
@@ -22,12 +26,15 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 )
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
 	obsPath := flag.String("obs", "", "metrics snapshot JSON (from a metered bench run) to embed in the report")
 	basePath := flag.String("baseline", "", "prior BENCH_*.json report to diff against: prints per-benchmark speedup ratios")
+	histPath := flag.String("history", "", "history file to append this run to (created when missing)")
+	label := flag.String("label", "", "run label recorded in the history entry (e.g. a git revision)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -67,6 +74,46 @@ func main() {
 		}
 		diff(os.Stdout, base.Benchmarks, results)
 	}
+	if *histPath != "" {
+		if err := appendHistory(*histPath, *label, time.Now().UTC(), results); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// A historyEntry is one archived run inside a -history file, which is
+// a JSON array of entries ordered by append time.
+type historyEntry struct {
+	At         string   `json:"at"`
+	Label      string   `json:"label,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// appendHistory loads the history file (missing means empty), appends
+// one stamped entry with this run's normalized results, and writes the
+// whole array back.
+func appendHistory(path, label string, at time.Time, results []result) error {
+	var hist []historyEntry
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &hist); err != nil {
+			return fmt.Errorf("%s: not a history file: %v", path, err)
+		}
+	case os.IsNotExist(err):
+	default:
+		return err
+	}
+	hist = append(hist, historyEntry{
+		At:         at.Format(time.RFC3339),
+		Label:      label,
+		Benchmarks: results,
+	})
+	out, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // loadReport reads a previously written benchjson report.

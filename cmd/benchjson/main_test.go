@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestParseLine(t *testing.T) {
@@ -106,6 +107,60 @@ func TestBaselineDiff(t *testing.T) {
 
 	if _, err := loadReport(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("missing baseline accepted")
+	}
+}
+
+func TestAppendHistoryCreatesAndAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.json")
+	run1 := []result{{Name: "BenchmarkParallelWrite/voting/n5/lat0", Benchmark: "BenchmarkParallelWrite",
+		Scheme: "voting", Sites: 5, Iterations: 100, NsPerOp: 9000, OpsPerSec: 111}}
+	run2 := []result{{Name: "BenchmarkParallelWrite/voting/n5/lat0", Benchmark: "BenchmarkParallelWrite",
+		Scheme: "voting", Sites: 5, Iterations: 200, NsPerOp: 4500, OpsPerSec: 222}}
+
+	t1 := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	if err := appendHistory(path, "rev1", t1, run1); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, "rev2", t1.Add(time.Hour), run2); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []historyEntry
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatalf("history not a JSON array of entries: %v\n%s", err, data)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history holds %d entries, want 2 after two appends", len(hist))
+	}
+	if hist[0].Label != "rev1" || hist[0].At != "2026-08-09T12:00:00Z" {
+		t.Fatalf("first entry = %+v", hist[0])
+	}
+	if hist[1].Label != "rev2" || len(hist[1].Benchmarks) != 1 || hist[1].Benchmarks[0].OpsPerSec != 222 {
+		t.Fatalf("second entry = %+v", hist[1])
+	}
+	// The earlier run survives the second append untouched.
+	if hist[0].Benchmarks[0].OpsPerSec != 111 {
+		t.Fatalf("first run mutated by append: %+v", hist[0])
+	}
+}
+
+func TestAppendHistoryRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.json")
+	if err := os.WriteFile(path, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := appendHistory(path, "", time.Unix(0, 0).UTC(), []result{{Name: "B/x/n1"}})
+	if err == nil {
+		t.Fatal("appending to a non-array file should fail, not clobber it")
+	}
+	// The corrupt file is left as-is for the operator to inspect.
+	data, _ := os.ReadFile(path)
+	if string(data) != `{"benchmarks":[]}` {
+		t.Fatalf("corrupt history rewritten: %s", data)
 	}
 }
 

@@ -20,8 +20,13 @@
 // (JSON), /metrics.prom (Prometheus text), /trace (recent protocol
 // events), /profile (critical-path phase attribution), /healthz (the
 // rule-driven health verdict; 503 once a critical alert is active),
-// /debug/flight (the black-box flight recorder's sealed dump), and the
-// standard /debug/pprof/ handlers.
+// /debug/flight (the black-box flight recorder's sealed dump),
+// /cluster/metrics (every site's registry scraped over the RPC plane
+// and merged into one view), /timeseries (the local telemetry ring;
+// cadence set by -telemetry-step), /slo (burn-rate evaluation of the
+// default SLO set; 503 once an error budget is exhausted; disable with
+// -slo=false), and the standard /debug/pprof/ handlers. relitop points
+// at this address.
 package main
 
 import (
@@ -55,9 +60,11 @@ func main() {
 		comatose   = flag.Bool("comatose", false, "start comatose and run recovery (use after a crash)")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /metrics.prom, /trace and /debug/pprof/ on this address (empty = off)")
 		tracePeers = flag.String("trace-peers", "", "comma-separated peer /trace URLs; mounts /trace/cluster on the debug surface with the cluster-wide stitched view")
+		teleStep   = flag.Duration("telemetry-step", time.Second, "telemetry sampling cadence for /timeseries and the SLO burn rates (0 = off; requires -debug-addr)")
+		sloOn      = flag.Bool("slo", true, "attach the default SLO set (read latency, write availability, conformance drift, repair freshness) and serve /slo (requires -telemetry-step)")
 	)
 	flag.Parse()
-	if err := run(*id, *peersF, *schemeF, *storePath, *storeDir, *commitN, *commitWait, *blocks, *blockSize, *comatose, *debugAddr, *tracePeers); err != nil {
+	if err := run(*id, *peersF, *schemeF, *storePath, *storeDir, *commitN, *commitWait, *blocks, *blockSize, *comatose, *debugAddr, *tracePeers, *teleStep, *sloOn); err != nil {
 		fmt.Fprintln(os.Stderr, "blockserver:", err)
 		os.Exit(1)
 	}
@@ -99,7 +106,7 @@ func parseScheme(s string) (relidev.Scheme, error) {
 	}
 }
 
-func run(id int, peersF, schemeF, storePath, storeDir string, commitN int, commitWait time.Duration, blocks, blockSize int, comatose bool, debugAddr, tracePeers string) error {
+func run(id int, peersF, schemeF, storePath, storeDir string, commitN int, commitWait time.Duration, blocks, blockSize int, comatose bool, debugAddr, tracePeers string, teleStep time.Duration, sloOn bool) error {
 	peers, err := parsePeers(peersF)
 	if err != nil {
 		return err
@@ -122,6 +129,13 @@ func run(id int, peersF, schemeF, storePath, storeDir string, commitN int, commi
 	}
 	if cfg.Metered {
 		cfg.HealthRules = relidev.DefaultHealthRules(scheme, len(peers), nil)
+		cfg.TelemetryStep = teleStep
+		if sloOn && teleStep > 0 {
+			// Budget the availability target from the paper's own §4
+			// prediction for this deployment, like the chaos harness does.
+			cfg.SLOs = relidev.DefaultSLOs(scheme, len(peers), 0.05, blocks,
+				&relidev.RepairPolicy{})
+		}
 	}
 	site, err := relidev.OpenRemote(cfg)
 	if err != nil {

@@ -45,13 +45,13 @@ func TestParseScheme(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run(0, "", "naive", "", "", 0, 0, 8, 256, false, "", ""); err == nil {
+	if err := run(0, "", "naive", "", "", 0, 0, 8, 256, false, "", "", 0, false); err == nil {
 		t.Fatal("missing peers accepted")
 	}
-	if err := run(0, "0=127.0.0.1:0", "bogus", "", "", 0, 0, 8, 256, false, "", ""); err == nil {
+	if err := run(0, "0=127.0.0.1:0", "bogus", "", "", 0, 0, 8, 256, false, "", "", 0, false); err == nil {
 		t.Fatal("bogus scheme accepted")
 	}
-	if err := run(1, "0=127.0.0.1:0", "naive", "", "", 0, 0, 8, 256, false, "", ""); err == nil {
+	if err := run(1, "0=127.0.0.1:0", "naive", "", "", 0, 0, 8, 256, false, "", "", 0, false); err == nil {
 		t.Fatal("id missing from peer map accepted")
 	}
 }

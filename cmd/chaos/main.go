@@ -42,6 +42,9 @@ func main() {
 		ttfOut     = flag.String("ttf-out", "", "write the per-recovery time-to-freshness samples (JSON) to this file (implies -repair)")
 		flightF    = flag.Bool("flight", true, "attach the black-box flight recorder and health engine (requires -obs)")
 		flightOut  = flag.String("flight-out", "", "write the sealed flight-recorder dump (JSON) to this file (implies -flight; dump is null unless a violation or critical health breach sealed it)")
+		telemetryF = flag.Bool("telemetry", true, "attach the telemetry plane: tsdb sampling and SLO burn-rate evaluation at every checkpoint (requires -obs)")
+		sloOut     = flag.String("slo-out", "", "write the final SLO evaluation and the alert transition log (JSON) to this file (implies -telemetry; alerts are null on a quiet run)")
+		coda       = flag.Int("coda", 4, "fault-free workload batches appended after convergence, so burn-rate alerts can clear inside the run")
 	)
 	flag.Parse()
 	kind, err := parseScheme(*schemeF)
@@ -60,8 +63,10 @@ func main() {
 		Observe:     *observe || *metricsOut != "" || *availOut != "",
 		Repair:      *repairF || *ttfOut != "",
 		Flight:      *flightF || *flightOut != "",
+		Telemetry:   *telemetryF || *sloOut != "",
+		Coda:        *coda,
 	}
-	ok, err := run(os.Stdout, cfg, *asJSON, *metricsOut, *availOut, *ttfOut, *flightOut)
+	ok, err := run(os.Stdout, cfg, *asJSON, *metricsOut, *availOut, *ttfOut, *flightOut, *sloOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
@@ -71,7 +76,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, cfg chaos.Config, asJSON bool, metricsOut, availOut, ttfOut, flightOut string) (bool, error) {
+func run(w io.Writer, cfg chaos.Config, asJSON bool, metricsOut, availOut, ttfOut, flightOut, sloOut string) (bool, error) {
 	rep, err := chaos.Run(context.Background(), cfg)
 	if err != nil {
 		return false, err
@@ -93,6 +98,11 @@ func run(w io.Writer, cfg chaos.Config, asJSON bool, metricsOut, availOut, ttfOu
 	}
 	if flightOut != "" {
 		if err := writeFlight(flightOut, rep); err != nil {
+			return false, err
+		}
+	}
+	if sloOut != "" {
+		if err := writeSLO(sloOut, rep); err != nil {
 			return false, err
 		}
 	}
@@ -198,6 +208,30 @@ func writeFlight(path string, rep *chaos.Report) error {
 	}{rep.Scheme, rep.Seed, rep.Digest, rep.Health, rep.Flight})
 }
 
+// writeSLO stores the final SLO evaluation and the alert transition log
+// as a standalone JSON artifact. Like the flight writer it succeeds on
+// a quiet run — the alert log is null when nothing fired — so the CI
+// chaos job can upload it unconditionally.
+func writeSLO(path string, rep *chaos.Report) error {
+	if rep.SLO == nil {
+		return fmt.Errorf("no SLO report collected (telemetry disabled)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Scheme string      `json:"scheme"`
+		Seed   int64       `json:"seed"`
+		Digest string      `json:"digest"`
+		SLO    interface{} `json:"slo"`
+		Alerts interface{} `json:"alerts"`
+	}{rep.Scheme, rep.Seed, rep.Digest, rep.SLO, rep.SLOAlerts})
+}
+
 func printReport(w io.Writer, rep *chaos.Report) {
 	fmt.Fprintf(w, "chaos %-15s seed=%d sites=%d rho=%g\n", rep.Scheme, rep.Seed, rep.Sites, rep.Rho)
 	fmt.Fprintf(w, "  events   %d applied (%d fails, %d repairs, %d skipped), %d total failure(s)\n",
@@ -237,6 +271,10 @@ func printReport(w io.Writer, rep *chaos.Report) {
 	}
 	if rep.Flight != nil {
 		fmt.Fprintf(w, "  flight   sealed: %s (%d frames)\n", rep.Flight.Trigger, len(rep.Flight.Frames))
+	}
+	if rep.SLO != nil {
+		fmt.Fprintf(w, "  slo      %s (%d firing, %d alert transitions over the run)\n",
+			rep.SLO.Overall, rep.SLO.Firing, len(rep.SLOAlerts))
 	}
 	if rep.Conformance != nil {
 		verdict := "OK"

@@ -33,7 +33,7 @@ func testConfig(t *testing.T, scheme string, seed int64, events, ops int) chaos.
 func TestRunAllSchemes(t *testing.T) {
 	for _, scheme := range []string{"voting", "ac", "nac"} {
 		var buf bytes.Buffer
-		ok, err := run(&buf, testConfig(t, scheme, 3, 40, 4), false, "", "", "", "")
+		ok, err := run(&buf, testConfig(t, scheme, 3, 40, 4), false, "", "", "", "", "")
 		if err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
@@ -54,7 +54,7 @@ func TestRunAllSchemes(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
-	ok, err := run(&buf, testConfig(t, "voting", 3, 20, 2), true, "", "", "", "")
+	ok, err := run(&buf, testConfig(t, "voting", 3, 20, 2), true, "", "", "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestRunJSONOutput(t *testing.T) {
 func TestRunDigestStableAcrossInvocations(t *testing.T) {
 	digest := func() string {
 		var buf bytes.Buffer
-		if _, err := run(&buf, testConfig(t, "voting", 11, 30, 4), true, "", "", "", ""); err != nil {
+		if _, err := run(&buf, testConfig(t, "voting", 11, 30, 4), true, "", "", "", "", ""); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()
@@ -88,7 +88,7 @@ func TestRunDigestStableAcrossInvocations(t *testing.T) {
 func TestRunWritesMetricsArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "metrics.json")
 	var buf bytes.Buffer
-	ok, err := run(&buf, testConfig(t, "ac", 3, 30, 4), false, path, "", "", "")
+	ok, err := run(&buf, testConfig(t, "ac", 3, 30, 4), false, path, "", "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestRunMetricsOutRequiresObservation(t *testing.T) {
 	cfg := testConfig(t, "voting", 3, 10, 2)
 	cfg.Observe = false
 	path := filepath.Join(t.TempDir(), "metrics.json")
-	if _, err := run(&bytes.Buffer{}, cfg, false, path, "", "", ""); err == nil {
+	if _, err := run(&bytes.Buffer{}, cfg, false, path, "", "", "", ""); err == nil {
 		t.Fatal("metrics-out accepted without observation")
 	}
 }
@@ -134,7 +134,7 @@ func TestParseSchemeRejectsUnknown(t *testing.T) {
 func TestRunWritesAvailArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "avail.json")
 	var buf bytes.Buffer
-	ok, err := run(&buf, testConfig(t, "nac", 3, 60, 4), false, "", path, "", "")
+	ok, err := run(&buf, testConfig(t, "nac", 3, 60, 4), false, "", path, "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestRunWritesAvailArtifact(t *testing.T) {
 func TestRunWritesTTFArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ttf.json")
 	var buf bytes.Buffer
-	ok, err := run(&buf, testConfig(t, "voting", 3, 60, 4), false, "", "", path, "")
+	ok, err := run(&buf, testConfig(t, "voting", 3, 60, 4), false, "", "", path, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,8 +217,59 @@ func TestRunTTFOutRequiresRepair(t *testing.T) {
 	cfg := testConfig(t, "voting", 3, 10, 2)
 	cfg.Repair = false
 	path := filepath.Join(t.TempDir(), "ttf.json")
-	if _, err := run(&bytes.Buffer{}, cfg, false, "", "", path, ""); err == nil {
+	if _, err := run(&bytes.Buffer{}, cfg, false, "", "", path, "", ""); err == nil {
 		t.Fatal("ttf-out accepted without repair enabled")
+	}
+}
+
+func TestRunWritesSLOArtifact(t *testing.T) {
+	cfg := testConfig(t, "voting", 3, 60, 4)
+	cfg.Telemetry = true
+	path := filepath.Join(t.TempDir(), "slo.json")
+	var buf bytes.Buffer
+	ok, err := run(&buf, cfg, false, "", "", "", "", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("violations:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var artifact struct {
+		Scheme string `json:"scheme"`
+		Digest string `json:"digest"`
+		SLO    *struct {
+			Overall string `json:"overall"`
+			SLOs    []struct {
+				Name string `json:"name"`
+			} `json:"slos"`
+		} `json:"slo"`
+		Alerts json.RawMessage `json:"alerts"`
+	}
+	if err := json.Unmarshal(raw, &artifact); err != nil {
+		t.Fatalf("artifact is not JSON: %v\n%s", err, raw)
+	}
+	if artifact.Scheme != "voting" || artifact.Digest == "" {
+		t.Fatalf("artifact header incomplete: %+v", artifact)
+	}
+	if artifact.SLO == nil || len(artifact.SLO.SLOs) == 0 {
+		t.Fatalf("artifact missing the SLO evaluation:\n%s", raw)
+	}
+	// The alerts key is always present — null on a quiet run — so its
+	// absence in an upload means the writer broke, not that all was well.
+	if len(artifact.Alerts) == 0 {
+		t.Fatalf("artifact missing the alerts key:\n%s", raw)
+	}
+}
+
+func TestRunSLOOutRequiresTelemetry(t *testing.T) {
+	cfg := testConfig(t, "voting", 3, 10, 2)
+	path := filepath.Join(t.TempDir(), "slo.json")
+	if _, err := run(&bytes.Buffer{}, cfg, false, "", "", "", "", path); err == nil {
+		t.Fatal("slo-out accepted without telemetry enabled")
 	}
 }
 
@@ -226,7 +277,7 @@ func TestRunAvailOutRequiresObservation(t *testing.T) {
 	cfg := testConfig(t, "voting", 3, 10, 2)
 	cfg.Observe = false
 	path := filepath.Join(t.TempDir(), "avail.json")
-	if _, err := run(&bytes.Buffer{}, cfg, false, "", path, "", ""); err == nil {
+	if _, err := run(&bytes.Buffer{}, cfg, false, "", path, "", "", ""); err == nil {
 		t.Fatal("avail-out accepted without observation")
 	}
 }

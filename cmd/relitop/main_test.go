@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"relidev"
+)
+
+// startCluster serves a metered in-process cluster's debug surface —
+// the same endpoints a blockserver exposes — and runs a small workload
+// through it.
+func startCluster(t *testing.T) *httptest.Server {
+	t.Helper()
+	pol := relidev.RepairPolicy{}
+	c, err := relidev.New(3, relidev.Voting,
+		relidev.WithTelemetry(time.Second, 64),
+		relidev.WithSLOs(relidev.DefaultSLOs(relidev.Voting, 3, 0.05, 16, &pol)...),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data := make([]byte, c.Geometry().BlockSize)
+	copy(data, "relitop smoke")
+	dev, err := c.Device(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 4; b++ {
+		if err := dev.WriteBlock(ctx, relidev.Index(b), data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dev.ReadBlock(ctx, relidev.Index(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SampleTelemetry(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.DebugHandler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestOnceRendersDashboard is the CI smoke path: one -once frame
+// against a live debug surface must carry the site census, the SLO
+// summary, and the per-op table with its critical-path phases.
+func TestOnceRendersDashboard(t *testing.T) {
+	srv := startCluster(t)
+	var buf bytes.Buffer
+	if err := run(&buf, srv.URL, time.Second, 5*time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"3 sites up, 0 down",
+		"slo: 0 firing / 4 objectives",
+		"SCHEME",
+		"voting   write",
+		"voting   read",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Error("-once frame carries ANSI control codes")
+	}
+	if strings.Contains(out, "scrape errors") {
+		t.Errorf("healthy cluster shows scrape errors:\n%s", out)
+	}
+}
+
+// TestOnceWithoutSLOEngine: a deployment without SLOs serves 404 on
+// /slo; the dashboard drops the section instead of failing.
+func TestOnceWithoutSLOEngine(t *testing.T) {
+	c, err := relidev.New(3, relidev.AvailableCopy, relidev.WithMetering())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.DebugHandler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	var buf bytes.Buffer
+	if err := run(&buf, srv.URL, time.Second, 5*time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "slo:") {
+		t.Errorf("SLO section rendered without an engine:\n%s", buf.String())
+	}
+}
+
+// TestOnceFailsWithoutServer: -once against a dead address must error
+// so the CI smoke actually gates.
+func TestOnceFailsWithoutServer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "http://127.0.0.1:1", 0, 200*time.Millisecond, true); err == nil {
+		t.Fatal("dead endpoint rendered a frame")
+	}
+}
+
+func TestFmtNs(t *testing.T) {
+	cases := map[float64]string{
+		0: "-", 500: "500ns", 2500: "2.5µs", 3.2e6: "3.2ms", 1.5e9: "1.50s",
+	}
+	for in, want := range cases {
+		if got := fmtNs(in); got != want {
+			t.Errorf("fmtNs(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -44,6 +44,8 @@ import (
 	"relidev/internal/obs/avail"
 	"relidev/internal/obs/flight"
 	"relidev/internal/obs/health"
+	"relidev/internal/obs/slo"
+	"relidev/internal/obs/tsdb"
 	"relidev/internal/protocol"
 	"relidev/internal/repair"
 	"relidev/internal/scheme"
@@ -94,6 +96,23 @@ type Config struct {
 	// feeds the replay digest, so a run's digest is bit-identical with
 	// the recorder on or off.
 	Flight bool
+	// Telemetry attaches the telemetry plane (requires Observe): a tsdb
+	// ring sampled at every quiescent checkpoint on its own logical
+	// clock — one tick per checkpoint, so burn-rate windows are
+	// measured in checkpoints — and the SLO engine evaluated over it.
+	// Alert transitions land in Report.SLOAlerts with logical-clock
+	// timestamps, the final evaluation in Report.SLO, and an exhausted
+	// error budget seals the flight recorder. The plane reads snapshots
+	// only and never stamps, so a run's digest is bit-identical with
+	// telemetry on or off (a pinned invariant).
+	Telemetry bool
+	// Coda appends this many fault-free workload batches (each followed
+	// by a checkpoint) after convergence. The quiet tail is part of the
+	// schedule — it stamps and digests like any other batch — and gives
+	// time-windowed telemetry room to observe recovery: burn-rate
+	// alerts raised during the faulty phase clear once the coda pushes
+	// the windows past it.
+	Coda int
 }
 
 // Defaults returns a Config sized for a quick but meaningful run.
@@ -109,6 +128,8 @@ func Defaults(kind core.SchemeKind) Config {
 		Observe:     true,
 		Repair:      true,
 		Flight:      true,
+		Telemetry:   true,
+		Coda:        4,
 	}
 }
 
@@ -142,6 +163,9 @@ func (c Config) validate() error {
 	}
 	if c.Rho <= 0 {
 		return fmt.Errorf("chaos: rho must be positive, got %v", c.Rho)
+	}
+	if c.Coda < 0 {
+		return fmt.Errorf("chaos: negative coda %d", c.Coda)
 	}
 	return nil
 }
@@ -221,6 +245,22 @@ type Report struct {
 	// Health is the health engine's verdict at the last quiescent
 	// checkpoint, present when Config.Flight is set.
 	Health *health.Verdict `json:"health,omitempty"`
+	// SLO is the burn-rate engine's evaluation at the last quiescent
+	// checkpoint and SLOAlerts the run's full alert transition log, both
+	// present when Config.Telemetry is set. Timestamps are telemetry
+	// logical-clock values (one tick per checkpoint), so a replayed run
+	// fires and clears the same alerts at the same instants.
+	SLO       *slo.Report `json:"slo,omitempty"`
+	SLOAlerts []SLOAlert  `json:"slo_alerts,omitempty"`
+}
+
+// An SLOAlert records one burn-rate alert's lifetime: the checkpoint
+// tick it fired and, if the run's quiet coda let the windows drain, the
+// tick it cleared (0 while still firing at end of run).
+type SLOAlert struct {
+	Name        string `json:"name"`
+	FiredAtNs   int64  `json:"fired_at_ns"`
+	ClearedAtNs int64  `json:"cleared_at_ns,omitempty"`
 }
 
 // A TTFSample records one background repair run's bounded
@@ -261,6 +301,16 @@ type engine struct {
 	// neither may ever reach stamp().
 	flight    *flight.Recorder
 	healthEng *health.Engine
+	// tsdb and sloEng are the telemetry plane, attached under
+	// Config.Telemetry: the ring samples the registry once per quiescent
+	// checkpoint on its own logical clock and the SLO engine evaluates
+	// over it. sloFiring remembers which alerts fired at the previous
+	// checkpoint so transitions land in Report.SLOAlerts. Like the
+	// recorder, the plane is read-only over snapshots and never reaches
+	// stamp().
+	tsdb      *tsdb.DB
+	sloEng    *slo.Engine
+	sloFiring map[string]bool
 
 	// maxIssued and committed bracket, per block, the write sequence
 	// numbers a read may legally return. committed also absorbs every
@@ -327,6 +377,24 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			)
 			e.healthEng = health.NewEngine(e.obs.Snapshot, clk.Now, healthRules(cfg, pol)...)
 		}
+		if cfg.Telemetry {
+			// The telemetry plane gets its own logical clock, ticked only by
+			// the plane itself: each checkpoint's Sample stamps one tick, so
+			// tsdb timestamps count checkpoints and the burn-rate windows in
+			// chaosSLOs are measured in checkpoints. Sampling reads registry
+			// snapshots and evaluation reads the ring — neither stamps nor
+			// draws from the workload RNG, so the replay digest is
+			// bit-identical with telemetry on or off.
+			tclk := obs.NewLogicalClock(1)
+			e.tsdb = tsdb.New(tsdb.Config{
+				Clock:  tclk.Now,
+				Source: e.obs.Snapshot,
+				StepNs: 1,
+				Retain: 4096,
+			})
+			e.sloEng = slo.NewEngine(e.tsdb, tclk.Now, e.sealFlight, chaosSLOs(cfg)...)
+			e.sloFiring = make(map[string]bool)
+		}
 	}
 	cl, err := core.NewCluster(core.ClusterConfig{
 		Sites:    cfg.Sites,
@@ -362,7 +430,29 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	e.report.Digest = fmt.Sprintf("%016x", e.hash.Sum64())
 	e.conformanceCheck()
 	e.availCheck()
+	e.telemetryCheck()
 	return e.report, nil
+}
+
+// telemetryCheck is the end-of-run standing SLO invariant: a clean run
+// — no site failures and no disruptive injected faults (pure latency
+// delays don't count) — must end with zero burn-rate alerts on record.
+// A schedule that never degraded anything yet paged would mean the
+// telemetry plane is hallucinating error budget. Like the §4/§5 checks
+// it runs after the digest is sealed and reports through Violations
+// directly.
+func (e *engine) telemetryCheck() {
+	if e.sloEng == nil {
+		return
+	}
+	disruptive := e.report.Faults.Total() - e.report.Faults.Delays
+	if e.report.Fails == 0 && disruptive == 0 && len(e.report.SLOAlerts) > 0 {
+		for _, a := range e.report.SLOAlerts {
+			e.report.Violations = append(e.report.Violations,
+				fmt.Sprintf("slo: alert %q fired at tick %d on a clean run (no failures, no disruptive faults)",
+					a.Name, a.FiredAtNs))
+		}
+	}
 }
 
 // healthRules is the rule set chaos runs evaluate at every quiescent
@@ -385,6 +475,63 @@ func healthRules(cfg Config, pol *repair.Policy) []health.Rule {
 		rules = append(rules, health.StalenessRule(*pol))
 	}
 	return rules
+}
+
+// chaosSLOs is the objective set chaos runs evaluate at every quiescent
+// checkpoint, the SLO-engine mirror of healthRules. Windows are
+// measured on the telemetry logical clock, which advances two ticks per
+// checkpoint (one for the tsdb sample, one for the evaluation), so the
+// fast window spans ~5 checkpoints and the slow ~20. The availability
+// target is deliberately loose — injected faults make op errors routine
+// and only a sustained degradation should page — while the latency and
+// conformance objectives are strict: on the logical clock every op
+// completes within one histogram bucket, and voting must never serve a
+// stale read at all.
+func chaosSLOs(cfg Config) []slo.SLO {
+	w := slo.Windows{FastNs: 10, SlowNs: 40, Burn: 2}
+	scheme := cfg.Scheme.String()
+	slos := []slo.SLO{
+		slo.ReadLatency(scheme, 1024, 0.99, w),
+		slo.WriteAvailability(scheme, 0.8, w),
+		slo.ConformanceDrift(scheme, 0, w),
+	}
+	if cfg.Repair {
+		// Deadline in checkpoint dwell: a repair backlog that survives
+		// three whole checkpoints has outlived the drain-at-quiescence
+		// cadence the engine promises.
+		slos = append(slos, slo.RepairFreshness(6, 0.9, w))
+	}
+	return slos
+}
+
+// telemetryTick is the telemetry plane's checkpoint duty: sample the
+// registry into the tsdb ring, evaluate the SLO set, and log alert
+// transitions. It runs after healthCheck so the two planes see the same
+// quiescent state, and — like the recorder and health engine — never
+// stamps.
+func (e *engine) telemetryTick() {
+	if e.tsdb == nil {
+		return
+	}
+	e.tsdb.Sample()
+	rep := e.sloEng.Evaluate()
+	e.report.SLO = &rep
+	for _, st := range rep.SLOs {
+		was := e.sloFiring[st.Name]
+		if st.Firing && !was {
+			e.report.SLOAlerts = append(e.report.SLOAlerts,
+				SLOAlert{Name: st.Name, FiredAtNs: st.FiredAtNs})
+		}
+		if !st.Firing && was {
+			for i := len(e.report.SLOAlerts) - 1; i >= 0; i-- {
+				if e.report.SLOAlerts[i].Name == st.Name && e.report.SLOAlerts[i].ClearedAtNs == 0 {
+					e.report.SLOAlerts[i].ClearedAtNs = st.ClearedAtNs
+					break
+				}
+			}
+		}
+		e.sloFiring[st.Name] = st.Firing
+	}
 }
 
 // siteStates is the flight-recorder probe for the cluster's up/down
@@ -524,7 +671,33 @@ func (e *engine) run(ctx context.Context) error {
 	e.totalFailure(ctx)
 	e.checkpoint()
 	e.convergenceCheck(ctx)
+	e.coda(ctx)
 	return ctx.Err()
+}
+
+// coda runs the configured number of fault-free workload batches after
+// convergence. It is part of the schedule — every step stamps and
+// digests like the faulty phase — so the digest stays a pure function
+// of (config, seed) whether or not telemetry is attached; its purpose
+// is to give the burn-rate windows a quiet tail to drain into, so
+// alerts raised under injected degradation get to demonstrate their
+// clear transition inside the run.
+func (e *engine) coda(ctx context.Context) {
+	if e.cfg.Coda == 0 {
+		return
+	}
+	e.fn.SetInjection(false)
+	e.fn.Heal()
+	e.stamp("CODA")
+	for i := 0; i < e.cfg.Coda; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		for j := 0; j < e.cfg.OpsPerEvent; j++ {
+			e.step(ctx)
+		}
+		e.checkpoint()
+	}
 }
 
 // applyEvent maps one Poisson event onto the live cluster. Events whose
@@ -795,6 +968,7 @@ func (e *engine) step(ctx context.Context) {
 func (e *engine) checkpoint() {
 	e.flight.Snapshot("checkpoint")
 	e.healthCheck()
+	e.telemetryTick()
 	for i := 0; i < e.cfg.Sites; i++ {
 		rep, err := e.cl.Replica(protocol.SiteID(i))
 		if err != nil {

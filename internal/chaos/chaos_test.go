@@ -244,13 +244,14 @@ func TestFlightRecordingDoesNotPerturbReplay(t *testing.T) {
 			if b.Health != nil || b.Flight != nil {
 				t.Fatal("flight-disabled run carries health/flight state")
 			}
-			// Chaos injects real faults, so a critical health breach (and
-			// with it a sealed dump) is legitimate even with zero
-			// invariant violations — but any seal in such a run must come
-			// from the health engine, and the dump must carry frames.
+			// Chaos injects real faults, so a critical health breach or an
+			// exhausted SLO error budget (and with it a sealed dump) is
+			// legitimate even with zero invariant violations — but any seal
+			// in such a run must come from one of those observation planes,
+			// and the dump must carry frames.
 			if len(a.Violations) == 0 && a.Flight != nil {
-				if !strings.HasPrefix(a.Flight.Trigger, "health: ") {
-					t.Fatalf("violation-free run sealed with trigger %q, want a health trigger", a.Flight.Trigger)
+				if !strings.HasPrefix(a.Flight.Trigger, "health: ") && !strings.HasPrefix(a.Flight.Trigger, "slo ") {
+					t.Fatalf("violation-free run sealed with trigger %q, want a health or slo trigger", a.Flight.Trigger)
 				}
 				if len(a.Flight.Frames) == 0 {
 					t.Fatal("sealed dump has no frames")

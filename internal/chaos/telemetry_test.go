@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"relidev/internal/core"
+)
+
+// TestTelemetryDoesNotPerturbReplay extends the observation-determinism
+// claim to the telemetry plane: the tsdb sampler and SLO engine run on
+// their own logical clock, read registry snapshots only, and never
+// stamp — so attaching them must leave the replay digest bit-identical.
+func TestTelemetryDoesNotPerturbReplay(t *testing.T) {
+	for _, kind := range []core.SchemeKind{core.Voting, core.AvailableCopy, core.NaiveAvailableCopy} {
+		t.Run(kind.String(), func(t *testing.T) {
+			on := short(kind, 42)
+			off := on
+			off.Telemetry = false
+			a := run(t, on)
+			b := run(t, off)
+			if a.Digest != b.Digest {
+				t.Fatalf("telemetry changed the digest: %s (on) vs %s (off)", a.Digest, b.Digest)
+			}
+			if a.SLO == nil {
+				t.Fatal("telemetry-enabled run missing the SLO report")
+			}
+			if b.SLO != nil || b.SLOAlerts != nil {
+				t.Fatal("telemetry-disabled run carries SLO state")
+			}
+		})
+	}
+}
+
+// TestSLOAlertsFireAndClearDeterministically is the acceptance claim
+// for burn-rate alerting: a schedule with heavy injected degradation
+// (voting under high churn loses its quorum routinely) makes the write
+// availability objective fire, the fault-free coda lets it clear, and
+// both transitions carry identical telemetry-clock timestamps on
+// replay.
+func TestSLOAlertsFireAndClearDeterministically(t *testing.T) {
+	cfg := Defaults(core.Voting)
+	cfg.Seed = 11
+	cfg.Events = 80
+	cfg.OpsPerEvent = 6
+	cfg.Rho = 1.5
+	cfg.Coda = 8
+
+	a := run(t, cfg)
+	b := run(t, cfg)
+
+	if len(a.SLOAlerts) == 0 {
+		t.Fatal("heavy degradation fired no burn-rate alerts")
+	}
+	var fired, cleared bool
+	for _, al := range a.SLOAlerts {
+		if al.FiredAtNs <= 0 {
+			t.Fatalf("alert %q has no fire timestamp: %+v", al.Name, al)
+		}
+		if strings.HasPrefix(al.Name, "write_availability_") {
+			fired = true
+			if al.ClearedAtNs > 0 {
+				cleared = true
+				if al.ClearedAtNs <= al.FiredAtNs {
+					t.Fatalf("alert cleared before it fired: %+v", al)
+				}
+			}
+		}
+	}
+	if !fired {
+		t.Fatalf("write availability never fired under quorum loss: %+v", a.SLOAlerts)
+	}
+	if !cleared {
+		t.Fatalf("the fault-free coda never cleared the availability alert: %+v", a.SLOAlerts)
+	}
+
+	// Replay: the full transition log and the final evaluation are
+	// bit-identical — timestamps included, because the telemetry clock
+	// ticks only at checkpoints.
+	if !reflect.DeepEqual(a.SLOAlerts, b.SLOAlerts) {
+		t.Fatalf("alert logs diverged:\n%+v\n---\n%+v", a.SLOAlerts, b.SLOAlerts)
+	}
+	aj, err := json.Marshal(a.SLO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b.SLO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("final SLO reports diverged:\n%s\n---\n%s", aj, bj)
+	}
+}
+
+// TestSLOQuietRunNoAlerts: a gentle schedule on a loss-free menu — few
+// events, light churn — must end with an empty alert log. The burn-rate
+// thresholds exist to page on sustained degradation, not on the routine
+// noise of a healthy cluster.
+func TestSLOQuietRunNoAlerts(t *testing.T) {
+	cfg := Defaults(core.AvailableCopy)
+	cfg.Seed = 3
+	cfg.Events = 8
+	cfg.OpsPerEvent = 8
+	cfg.Rho = 0.05
+	rep := run(t, cfg)
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if len(rep.SLOAlerts) != 0 {
+		t.Fatalf("quiet run fired alerts: %+v", rep.SLOAlerts)
+	}
+	if rep.SLO == nil || rep.SLO.Firing != 0 {
+		t.Fatalf("quiet run ends firing: %+v", rep.SLO)
+	}
+}

@@ -64,7 +64,15 @@ var DetCheck = &Analyzer{
 // timing or dump contents diverge between replays. Both already match
 // via their parent "obs" element; they are listed explicitly so the
 // scope survives the packages ever moving out from under it.
-var detScopeElems = []string{"faultnet", "chaos", "sim", "simnet", "workload", "markov", "obs", "avail", "store", "repair", "cache", "flight", "health"}
+// tsdb and slo are the telemetry plane (DESIGN.md §16): the ring's
+// frame timestamps and the SLO engine's fired/cleared stamps ride
+// chaos artifacts that must be bit-identical between replays, so both
+// run entirely on the injected obs clock — a stray time.Now, a global
+// rand jitter on the sampling cadence, or an unsorted map walk into
+// the /timeseries or /slo payload would all break the digest contract.
+// Like flight and health they already match via "obs" and are named
+// explicitly to pin the intent.
+var detScopeElems = []string{"faultnet", "chaos", "sim", "simnet", "workload", "markov", "obs", "avail", "store", "repair", "cache", "flight", "health", "tsdb", "slo"}
 
 var wallClockFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,

@@ -49,6 +49,14 @@ func TestDetCheckHealthFixtures(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/detcheck/health", lint.DetCheck)
 }
 
+func TestDetCheckTsdbFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/detcheck/tsdb", lint.DetCheck)
+}
+
+func TestDetCheckSloFixtures(t *testing.T) {
+	linttest.Run(t, testdata, "fixtures/detcheck/slo", lint.DetCheck)
+}
+
 func TestDetCheckOutOfScope(t *testing.T) {
 	linttest.Run(t, testdata, "fixtures/detcheck/other", lint.DetCheck)
 }

@@ -1,0 +1,63 @@
+// Fixtures for detcheck in the SLO engine: FiredAt/ClearedAt stamps
+// ride chaos reports that are compared across replays, so burn-rate
+// evaluation must take its timestamps from the injected clock and
+// never poll on a wall-clock timer. slo is already in scope via its
+// parent "obs" path element; it is named explicitly so the scope
+// survives the package ever moving out from under it.
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+type Status struct {
+	Firing    bool
+	FiredAtNs int64
+}
+
+type Engine struct {
+	clock  func() int64
+	status map[string]*Status
+}
+
+// ok: alert transitions are stamped from the injected clock.
+func (e *Engine) fire(name string) {
+	st := e.status[name]
+	if !st.Firing {
+		st.Firing = true
+		st.FiredAtNs = e.clock()
+	}
+}
+
+func BadFire(e *Engine, name string) {
+	st := e.status[name]
+	if !st.Firing {
+		st.Firing = true
+		st.FiredAtNs = time.Now().UnixNano() // want "time.Now in a replay-deterministic package"
+	}
+}
+
+func BadPollLoop(e *Engine, step time.Duration) *time.Ticker {
+	return time.NewTicker(step) // want "time.NewTicker in a replay-deterministic package"
+}
+
+func BadReport(w fmt.Writer, e *Engine) {
+	for name, st := range e.status { // want "map iteration order is nondeterministic"
+		fmt.Fprintf(w, "%s firing=%v\n", name, st.Firing)
+	}
+}
+
+// ok: objectives are reported in sorted order, so the /slo payload and
+// the chaos artifact built from it replay byte-identically.
+func Report(w fmt.Writer, e *Engine) {
+	names := make([]string, 0, len(e.status))
+	for name := range e.status {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s firing=%v\n", name, e.status[name].Firing)
+	}
+}

@@ -1,0 +1,57 @@
+// Fixtures for detcheck in the telemetry ring: every frame's timestamp
+// comes from the injected obs clock so that chaos replays produce
+// bit-identical /timeseries output, and sampling cadence must never be
+// jittered from the process-seeded rand source. tsdb is already in
+// scope via its parent "obs" path element; it is named explicitly so
+// the scope survives the package ever moving out from under it.
+package tsdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type frame struct {
+	atNs   int64
+	deltas map[string]uint64
+}
+
+type DB struct {
+	clock  func() int64
+	frames []frame
+}
+
+// ok: the frame timestamp comes from the injected clock.
+func (db *DB) Sample(deltas map[string]uint64) {
+	db.frames = append(db.frames, frame{atNs: db.clock(), deltas: deltas})
+}
+
+func BadSample(db *DB, deltas map[string]uint64) {
+	at := time.Now().UnixNano() // want "time.Now in a replay-deterministic package"
+	db.frames = append(db.frames, frame{atNs: at, deltas: deltas})
+}
+
+func BadJitteredStep(stepNs int64) int64 {
+	return stepNs + rand.Int63n(stepNs/10) // want "global rand.Int63n draws from the process-seeded source"
+}
+
+func BadSerializeFrame(w fmt.Writer, f frame) {
+	for name, d := range f.deltas { // want "map iteration order is nondeterministic"
+		fmt.Fprintf(w, "%s %d\n", name, d)
+	}
+}
+
+// ok: series names are sorted before the frame is serialised, so the
+// /timeseries payload is byte-identical run to run.
+func SerializeFrame(w fmt.Writer, f frame) {
+	names := make([]string, 0, len(f.deltas))
+	for name := range f.deltas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", name, f.deltas[name])
+	}
+}

@@ -104,6 +104,11 @@ func seriesKey(name string, labels []Label) string {
 	return b.String()
 }
 
+// SeriesKey renders the canonical series identity for name+labels —
+// the same key the registry uses internally — so sibling packages
+// (tsdb) can intern series under identities that match snapshots.
+func SeriesKey(name string, labels []Label) string { return seriesKey(name, labels) }
+
 func labelMap(labels []Label) map[string]string {
 	if len(labels) == 0 {
 		return nil

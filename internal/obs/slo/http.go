@@ -1,0 +1,30 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"relidev/internal/obs/health"
+)
+
+// Handler serves the engine at /slo: each GET evaluates once and
+// returns the report as JSON — status 200 while no budget is
+// exhausted, 503 once one is (firing burn alerts alone stay 200: they
+// are pages for operators, not load-balancer signals). A nil engine
+// answers 404.
+func Handler(e *Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if e == nil {
+			http.Error(w, "slo engine disabled", http.StatusNotFound)
+			return
+		}
+		rep := e.Evaluate()
+		w.Header().Set("Content-Type", "application/json")
+		if rep.Overall >= health.Critical {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	}
+}

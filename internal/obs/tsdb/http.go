@@ -1,0 +1,41 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Handler serves the ring as JSON at /timeseries:
+//
+//	?window=5m — trailing window (default: whole retention)
+//	?step=30s  — downsampling resolution (default: the sampling step)
+//
+// Durations parse with time.ParseDuration. The handler only reads
+// ring snapshots under the DB lock, so serving it beside a live
+// sampler is safe.
+func Handler(db *DB) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var windowNs, stepNs int64
+		if v := r.URL.Query().Get("window"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad window: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			windowNs = d.Nanoseconds()
+		}
+		if v := r.URL.Query().Get("step"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad step: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			stepNs = d.Nanoseconds()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(db.Query(windowNs, stepNs))
+	}
+}

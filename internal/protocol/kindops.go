@@ -25,6 +25,7 @@ var KindOps = map[string][]string{
 	"recovery":       {OpRecovery},      // readmission state/block transfer
 	"repair-summary": {OpRepair},        // anti-entropy digest exchange
 	"repair-fetch":   {OpRepair},        // anti-entropy paged block pull
+	"telemetry-pull": {OpTelemetry},     // aggregation-plane registry scrape
 }
 
 // PricedKind reports whether the request kind is covered by the §5

@@ -259,6 +259,29 @@ type RepairFetchReply struct {
 // RespKind implements Response.
 func (RepairFetchReply) RespKind() string { return "repair-fetch-reply" }
 
+// TelemetryPullRequest asks a site for its metrics registry snapshot:
+// the cross-site aggregation plane (DESIGN.md §16) broadcasts it from a
+// designated aggregator to build the cluster-wide metrics view. The
+// request is deliberately empty — the reply carries everything — so a
+// scrape costs one transmission each way, the cheapest exchange the
+// transport can price.
+type TelemetryPullRequest struct{}
+
+// Kind implements Request.
+func (TelemetryPullRequest) Kind() string { return "telemetry-pull" }
+
+// TelemetryPullReply carries the responding site's registry snapshot as
+// encoded JSON. The protocol layer cannot name the observability types
+// (obs imports protocol), so the snapshot crosses the wire opaque; the
+// aggregator decodes it with obs.DecodeSnapshot. A site with no
+// telemetry hook installed answers with an empty Snap.
+type TelemetryPullReply struct {
+	Snap []byte
+}
+
+// RespKind implements Response.
+func (TelemetryPullReply) RespKind() string { return "telemetry-pull-reply" }
+
 // RegisterGob registers all protocol messages with encoding/gob so that
 // rpcnet can ship them as interface values. Safe to call more than once
 // only from a single init path; rpcnet calls it exactly once.
@@ -281,4 +304,6 @@ func RegisterGob() {
 	gob.Register(RepairSummaryReply{})
 	gob.Register(RepairFetchRequest{})
 	gob.Register(RepairFetchReply{})
+	gob.Register(TelemetryPullRequest{})
+	gob.Register(TelemetryPullReply{})
 }

@@ -19,6 +19,14 @@ const (
 	// the §5 tables — which price only the readmission exchange — are not
 	// polluted by the background stream.
 	OpRepair = "repair"
+	// OpTelemetry labels cross-site telemetry scrapes (DESIGN.md §16):
+	// the aggregation plane's registry pulls. Telemetry is not one of
+	// the §5 rows — the paper prices file operations, not monitoring —
+	// so the class exists purely to keep scrape traffic out of the
+	// write/read/recovery/repair brackets while still appearing in the
+	// KindOps table, where the wirecheck/UnpricedKinds contract can see
+	// that it is deliberate, attributed traffic rather than silent skew.
+	OpTelemetry = "telemetry"
 )
 
 type opCtxKey struct{}

@@ -179,6 +179,7 @@ func TestWireSizeCoversEveryMessage(t *testing.T) {
 		RepairSummaryRequest{}, RepairSummaryReply{Vector: make(block.Vector, 3)},
 		RepairFetchRequest{Wants: []BlockWant{{Index: 1, MinVersion: 2}}},
 		RepairFetchReply{Blocks: []BlockCopy{{Data: make([]byte, 5)}}},
+		TelemetryPullRequest{}, TelemetryPullReply{Snap: make([]byte, 7)},
 	}
 	for _, m := range msgs {
 		if s := WireSize(m); s < 8 {
@@ -198,9 +199,9 @@ func TestKindOpsCoversEveryRequest(t *testing.T) {
 	reqs := []Request{
 		VoteRequest{}, FetchRequest{}, PutRequest{}, PrepareWriteRequest{},
 		AbortWriteRequest{}, StatusRequest{}, RecoveryRequest{},
-		RepairSummaryRequest{}, RepairFetchRequest{},
+		RepairSummaryRequest{}, RepairFetchRequest{}, TelemetryPullRequest{},
 	}
-	validOps := map[string]bool{OpWrite: true, OpRead: true, OpRecovery: true, OpRepair: true}
+	validOps := map[string]bool{OpWrite: true, OpRead: true, OpRecovery: true, OpRepair: true, OpTelemetry: true}
 	kinds := make(map[string]bool, len(reqs))
 	for _, r := range reqs {
 		k := r.Kind()

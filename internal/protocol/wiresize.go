@@ -59,6 +59,10 @@ func WireSize(msg interface{}) int {
 			size += 12 + len(b.Data)
 		}
 		return size
+	case TelemetryPullRequest:
+		return wireHeader
+	case TelemetryPullReply:
+		return wireHeader + len(m.Snap)
 	default:
 		return wireHeader
 	}

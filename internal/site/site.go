@@ -68,6 +68,12 @@ type Replica struct {
 	// span, op label); nil observes nothing. Same dependency-free shape
 	// as wHook.
 	hHook func(ctx context.Context, from protocol.SiteID, req protocol.Request)
+
+	// tHook serves telemetry pulls: it returns the site's encoded
+	// metrics snapshot for the aggregation plane (DESIGN.md §16). Same
+	// dependency-free shape as wHook — the site mechanism never names
+	// the observability types; nil answers pulls with an empty snapshot.
+	tHook func() []byte
 }
 
 var _ protocol.Handler = (*Replica)(nil)
@@ -202,6 +208,16 @@ func (r *Replica) SetHandleHook(hook func(ctx context.Context, from protocol.Sit
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.hHook = hook
+}
+
+// SetTelemetryHook installs the telemetry snapshot source answering
+// TelemetryPullRequest: the hook returns the site's registry snapshot
+// encoded for the wire (obs.EncodeSnapshot). The cluster wires it
+// before traffic flows; nil makes pulls answer with an empty snapshot.
+func (r *Replica) SetTelemetryHook(hook func() []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tHook = hook
 }
 
 // Vector returns the replica's full version vector.
@@ -358,6 +374,18 @@ func (r *Replica) Handle(ctx context.Context, from protocol.SiteID, req protocol
 
 	case protocol.RepairFetchRequest:
 		return r.handleRepairFetch(q)
+
+	case protocol.TelemetryPullRequest:
+		// Comatose sites answer too: the aggregation plane should see a
+		// degraded site's metrics, not a hole — only a failed site (which
+		// the transport already refuses to reach) is invisible.
+		r.mu.Lock()
+		hook := r.tHook
+		r.mu.Unlock()
+		if hook == nil {
+			return protocol.TelemetryPullReply{}, nil
+		}
+		return protocol.TelemetryPullReply{Snap: hook()}, nil
 
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownRequest, req)

@@ -174,6 +174,66 @@ func BenchmarkParallelWriteMetered(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelWriteTelemetry is BenchmarkParallelWriteMetered with
+// the whole telemetry plane live while the writers hammer the device:
+// a background goroutine samples the tsdb ring and evaluates the SLO
+// burn rates every 100ms and scrapes the cross-site aggregate every
+// second — each cadence an order of magnitude hotter than a production
+// deployment (1s step, 10s+ scrape). The delta against the
+// Metered series is the cost of *watching* the system, and it must
+// stay within a few percent because the plane only reads snapshots —
+// it never takes the data path's locks. BENCH_obs.json records the
+// comparison.
+func BenchmarkParallelWriteTelemetry(b *testing.B) {
+	for _, lat := range []time.Duration{0, parLatency} {
+		const n = 5
+		b.Run(fmt.Sprintf("%v/n%d/%s", relidev.Voting, n, latName(lat)), func(b *testing.B) {
+			b.SetParallelism(8)
+			cluster, dev := parallelSimCluster(b, relidev.Voting, n, lat,
+				relidev.WithTelemetry(100*time.Millisecond, 600),
+				relidev.WithSLOs(relidev.DefaultSLOs(relidev.Voting, n, 0.05, parBlocks, &relidev.RepairPolicy{})...),
+			)
+			ctx := context.Background()
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				tick := time.NewTicker(100 * time.Millisecond)
+				defer tick.Stop()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						if err := cluster.SampleTelemetry(); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := cluster.SLOs(); err != nil {
+							b.Error(err)
+							return
+						}
+						if i%10 == 0 {
+							if _, err := cluster.ClusterMetricsJSON(ctx); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}
+				}
+			}()
+			hammerParallel(b, func(g int, idx relidev.Index) error {
+				payload := make([]byte, parBlockSize)
+				payload[0] = byte(g)
+				return dev.WriteBlock(ctx, idx, payload)
+			})
+			close(stop)
+			<-done
+			writeObsSnapshot(b, cluster)
+		})
+	}
+}
+
 // BenchmarkParallelReadMetered covers the metered read path: available
 // copy reads are local and lock-bound, so any metering contention would
 // show here first.

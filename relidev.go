@@ -41,6 +41,8 @@ import (
 	"relidev/internal/core"
 	"relidev/internal/obs"
 	"relidev/internal/obs/health"
+	"relidev/internal/obs/slo"
+	"relidev/internal/obs/tsdb"
 	"relidev/internal/protocol"
 	"relidev/internal/repair"
 	"relidev/internal/simnet"
@@ -137,6 +139,10 @@ type options struct {
 	repairPolicy   *repair.Policy
 	recoveryPage   int
 	healthRules    []health.Rule
+	telemetry      bool
+	telemetryStep  time.Duration
+	telemetryKeep  int
+	slos           []SLO
 }
 
 // WithGeometry sets the device shape (default 512-byte blocks, 128
@@ -335,6 +341,107 @@ func WithHealthRules(rules ...HealthRule) Option {
 	return func(o *options) { o.healthRules = append(o.healthRules, rules...) }
 }
 
+// WithTelemetry attaches the time-series plane (DESIGN.md §16): a
+// bounded in-memory ring that records delta-encoded frames of every
+// counter, gauge, and latency histogram. step is the nominal sampling
+// cadence and retain the number of frames kept (zero values default to
+// 1s and 600 frames — ten minutes of history). Implies WithMetering.
+//
+// The ring never samples itself: call Cluster.SampleTelemetry on the
+// deployment's cadence (the TCP servers run a wall-clock poller;
+// deterministic harnesses call it from their own schedule). The history
+// serves /timeseries on the DebugHandler and feeds the SLO burn-rate
+// engine.
+func WithTelemetry(step time.Duration, retain int) Option {
+	return func(o *options) {
+		o.metered = true
+		o.telemetry = true
+		o.telemetryStep = step
+		o.telemetryKeep = retain
+	}
+}
+
+// SLO is one declarative service-level objective: a named good/bad
+// event ratio measured from the telemetry ring, a target good fraction,
+// and the burn-rate windows that decide when it pages. Build custom
+// objectives with the *SLO constructors or start from DefaultSLOs.
+type SLO = slo.SLO
+
+// SLOWindows bundles per-deployment burn-rate tuning for the SLO
+// constructors; the zero value takes the 5m/1h windows at 2x burn.
+type SLOWindows = slo.Windows
+
+// SLOReport is one full SLO evaluation: per-objective burn rates,
+// alert states with fire/clear timestamps, and the overall severity.
+type SLOReport = slo.Report
+
+// SLOStatus is one objective's state inside an SLOReport.
+type SLOStatus = slo.Status
+
+// ReadLatencySLO promises that a target fraction of the scheme's reads
+// complete within the threshold (the p99 objective at target 0.99).
+func ReadLatencySLO(scheme Scheme, threshold time.Duration, target float64, w SLOWindows) SLO {
+	return slo.ReadLatency(scheme.String(), threshold.Nanoseconds(), target, w)
+}
+
+// WriteAvailabilitySLO promises that a target fraction of write
+// attempts complete; derive the target from the §4 Markov prediction
+// (see Availability) so the alert means "writes fail more than the
+// analysis says they should".
+func WriteAvailabilitySLO(scheme Scheme, target float64, w SLOWindows) SLO {
+	return slo.WriteAvailability(scheme.String(), target, w)
+}
+
+// RepairFreshnessSLO promises repair backlogs clear within the §13
+// deadline: a telemetry sample is bad when a site's repair lag has been
+// continuously non-zero for longer than deadline at that sample.
+func RepairFreshnessSLO(deadline time.Duration, target float64, w SLOWindows) SLO {
+	return slo.RepairFreshness(deadline.Nanoseconds(), target, w)
+}
+
+// ConformanceDriftSLO promises the scheme's stale-read exposure stays
+// within what its consistency analysis allows (zero for voting).
+func ConformanceDriftSLO(scheme Scheme, maxStaleFrac float64, w SLOWindows) SLO {
+	return slo.ConformanceDrift(scheme.String(), maxStaleFrac, w)
+}
+
+// DefaultSLOs returns the standard objective set for a cluster of n
+// sites running the given scheme at failure/repair ratio rho: read p99
+// latency, write availability at the §4 Markov-predicted target,
+// conformance drift (zero stale reads for voting), and — when a repair
+// policy is given — §13 repair freshness against the policy's deadline
+// for a full device of work.
+func DefaultSLOs(scheme Scheme, n int, rho float64, blocks int, pol *RepairPolicy) []SLO {
+	var w SLOWindows
+	target := 0.99
+	if av, err := Availability(scheme, n, rho); err == nil {
+		// The prediction is the ceiling; leave one part in a thousand of
+		// slack so the alert needs real degradation, not rounding.
+		target = av * 0.999
+	}
+	slos := []SLO{
+		ReadLatencySLO(scheme, 50*time.Millisecond, 0.99, w),
+		WriteAvailabilitySLO(scheme, target, w),
+		ConformanceDriftSLO(scheme, 0, w),
+	}
+	if pol != nil {
+		slos = append(slos, RepairFreshnessSLO(pol.Deadline(blocks), 0.99, w))
+	}
+	return slos
+}
+
+// WithSLOs attaches the burn-rate engine over the given objectives
+// (implies WithTelemetry at its defaults when not otherwise
+// configured): Cluster.SLOs evaluates on demand and the debug surface
+// serves /slo, answering 503 once any error budget is exhausted.
+func WithSLOs(slos ...SLO) Option {
+	return func(o *options) {
+		o.metered = true
+		o.telemetry = true
+		o.slos = append(o.slos, slos...)
+	}
+}
+
 // TrafficStats counts high-level network transmissions as defined in §5,
 // plus the byte-volume alternative metric §5 mentions.
 type TrafficStats struct {
@@ -352,6 +459,9 @@ type Cluster struct {
 	inner  *core.Cluster
 	obs    *obs.Observer
 	health *health.Engine
+	tsdb   *tsdb.DB
+	slo    *slo.Engine
+	step   time.Duration
 }
 
 // New builds a cluster of n sites running the given consistency scheme.
@@ -427,7 +537,50 @@ func New(n int, scheme Scheme, opts ...Option) (*Cluster, error) {
 	if observer != nil && len(o.healthRules) > 0 {
 		c.health = health.NewEngine(observer.Snapshot, nil, o.healthRules...)
 	}
+	if o.telemetry {
+		if o.telemetryStep <= 0 {
+			o.telemetryStep = time.Second
+		}
+		if o.telemetryKeep <= 0 {
+			o.telemetryKeep = 600
+		}
+		c.step = o.telemetryStep
+		c.tsdb = tsdb.New(tsdb.Config{
+			Clock:  observer.Now,
+			Source: observer.Snapshot,
+			StepNs: o.telemetryStep.Nanoseconds(),
+			Retain: o.telemetryKeep,
+		})
+		if len(o.slos) > 0 {
+			c.slo = slo.NewEngine(c.tsdb, observer.Now, nil, o.slos...)
+		}
+	}
+	if observer != nil {
+		for i := 0; i < inner.Sites(); i++ {
+			c.installTelemetryHook(protocol.SiteID(i))
+		}
+	}
 	return c, nil
+}
+
+// installTelemetryHook makes one site answer TelemetryPull requests
+// with its slice of the shared registry: every series carrying the
+// site's own "site" label. The aggregation plane's merge of all slices
+// plus the aggregator's site-less residue reconstructs the full
+// snapshot exactly — in-process clusters share one registry, so the
+// partition is by label, not by process.
+func (c *Cluster) installTelemetryHook(id protocol.SiteID) {
+	rep, err := c.inner.Replica(id)
+	if err != nil {
+		return
+	}
+	want := id.String()
+	rep.SetTelemetryHook(func() []byte {
+		return obs.EncodeSnapshot(obs.FilterSnapshot(c.obs.Snapshot(),
+			func(name string, labels map[string]string) bool {
+				return labels["site"] == want
+			}))
+	})
 }
 
 // storeObsOpts wires a site's group-commit batcher to the observer:
@@ -503,6 +656,12 @@ func (c *Cluster) AvailableSites() int { return c.inner.AvailableCount() }
 // new membership.
 func (c *Cluster) Grow(ctx context.Context) (int, error) {
 	id, err := c.inner.Grow(ctx)
+	if err == nil && c.obs != nil {
+		// The new site joins the aggregation plane too: without a hook it
+		// would answer telemetry pulls with an empty snapshot and its
+		// series would silently drop from the cluster view.
+		c.installTelemetryHook(id)
+	}
 	return int(id), err
 }
 
@@ -542,10 +701,11 @@ func (c *Cluster) MetricsJSON() ([]byte, error) {
 }
 
 // DebugHandler returns the observability HTTP surface (/metrics,
-// /metrics.prom, /trace, /trace/tree, /profile, /debug/pprof/, and —
-// with WithHealthRules — /healthz) for this cluster, or an error when
-// the cluster was built without WithMetering. Mount it on any server
-// the embedding application already runs.
+// /metrics.prom, /trace, /trace/tree, /profile, /debug/pprof/,
+// /cluster/metrics, and — when the matching options were given —
+// /healthz, /timeseries, /slo) for this cluster, or an error when the
+// cluster was built without WithMetering. Mount it on any server the
+// embedding application already runs.
 func (c *Cluster) DebugHandler() (http.Handler, error) {
 	if c.obs == nil {
 		return nil, ErrNotMetered
@@ -554,7 +714,110 @@ func (c *Cluster) DebugHandler() (http.Handler, error) {
 	if c.health != nil {
 		mux.HandleFunc("/healthz", health.Handler(c.health))
 	}
+	mux.HandleFunc("/cluster/metrics", obs.ClusterMetricsHandler(c.clusterPull))
+	if c.tsdb != nil {
+		mux.HandleFunc("/timeseries", tsdb.Handler(c.tsdb))
+	}
+	if c.slo != nil {
+		mux.HandleFunc("/slo", slo.Handler(c.slo))
+	}
 	return mux, nil
+}
+
+// ErrNoTelemetry is returned by the telemetry accessors when the
+// cluster was built without WithTelemetry.
+var ErrNoTelemetry = errors.New("relidev: cluster not built with WithTelemetry")
+
+// ErrNoSLOs is returned by Cluster.SLOs when the cluster was built
+// without WithSLOs.
+var ErrNoSLOs = errors.New("relidev: cluster not built with WithSLOs")
+
+// SampleTelemetry records one frame into the telemetry ring: the delta
+// of every counter and histogram since the previous frame plus current
+// gauge values. Call it on the deployment's sampling cadence — the ring
+// never starts its own timer, so sampling stays under the caller's
+// scheduling (and deterministic harnesses replay it exactly).
+func (c *Cluster) SampleTelemetry() error {
+	if c.tsdb == nil {
+		return ErrNoTelemetry
+	}
+	c.tsdb.Sample()
+	return nil
+}
+
+// TelemetryStep returns the nominal sampling cadence configured with
+// WithTelemetry, for pollers that drive SampleTelemetry.
+func (c *Cluster) TelemetryStep() (time.Duration, error) {
+	if c.tsdb == nil {
+		return 0, ErrNoTelemetry
+	}
+	return c.step, nil
+}
+
+// TimeSeriesJSON returns the telemetry ring's retained history — every
+// series downsampled to step over the trailing window (zero values mean
+// the whole retention at the sampling step) — encoded as JSON, the same
+// shape /timeseries serves.
+func (c *Cluster) TimeSeriesJSON(window, step time.Duration) ([]byte, error) {
+	if c.tsdb == nil {
+		return nil, ErrNoTelemetry
+	}
+	return json.Marshal(c.tsdb.Query(window.Nanoseconds(), step.Nanoseconds()))
+}
+
+// SLOs evaluates every configured objective's burn rates against the
+// telemetry ring and returns the report — the same evaluation /slo
+// serves. Requires WithSLOs (and telemetry samples to measure from;
+// windows with no samples burn nothing).
+func (c *Cluster) SLOs() (SLOReport, error) {
+	if c.tsdb == nil {
+		return SLOReport{}, ErrNoTelemetry
+	}
+	if c.slo == nil {
+		return SLOReport{}, ErrNoSLOs
+	}
+	return c.slo.Evaluate(), nil
+}
+
+// clusterPull assembles the cluster metrics view over the cluster's
+// own network: the aggregator (site 0's vantage) broadcasts a
+// TelemetryPull to every site and merges the returned registry slices
+// with its local contribution — its own site slice (the network skips
+// self-sends: local operations are free per §5, so site 0's slice never
+// crosses the wire) plus the site-less residue (transport series —
+// everything not carrying a "site" label). Failed sites degrade to a
+// partial view reported per peer, never an error for the whole view.
+func (c *Cluster) clusterPull(ctx context.Context) (obs.Snapshot, map[protocol.SiteID]error) {
+	peers := make([]protocol.SiteID, c.inner.Sites())
+	for i := range peers {
+		peers[i] = protocol.SiteID(i)
+	}
+	self := protocol.SiteID(0).String()
+	local := func() obs.Snapshot {
+		return obs.FilterSnapshot(c.obs.Snapshot(),
+			func(name string, labels map[string]string) bool {
+				site := labels["site"]
+				return site == "" || site == self
+			})
+	}
+	return obs.ClusterPull(ctx, c.inner.Network(), 0, peers, local)
+}
+
+// ClusterMetricsJSON returns the cross-site aggregated metrics view —
+// every site's registry slice scraped over the cluster network and
+// merged into one snapshot — plus any per-site scrape errors, encoded
+// as the same JSON shape /cluster/metrics serves. Requires
+// WithMetering.
+func (c *Cluster) ClusterMetricsJSON(ctx context.Context) ([]byte, error) {
+	if c.obs == nil {
+		return nil, ErrNotMetered
+	}
+	snap, errs := c.clusterPull(ctx)
+	errMsgs := make(map[string]string, len(errs))
+	for id, err := range errs {
+		errMsgs[id.String()] = err.Error()
+	}
+	return json.Marshal(obs.ClusterMetrics{Metrics: snap, Errors: errMsgs})
 }
 
 // ErrNoHealthRules is returned by Cluster.Health when the cluster was

@@ -2,6 +2,7 @@ package relidev
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -16,6 +17,8 @@ import (
 	"relidev/internal/obs"
 	"relidev/internal/obs/flight"
 	"relidev/internal/obs/health"
+	"relidev/internal/obs/slo"
+	"relidev/internal/obs/tsdb"
 	"relidev/internal/protocol"
 	"relidev/internal/rpcnet"
 	"relidev/internal/scheme"
@@ -72,21 +75,40 @@ type RemoteConfig struct {
 	// critical alert is active. Nil leaves the endpoint off; start from
 	// DefaultHealthRules for the standard set.
 	HealthRules []HealthRule
+	// TelemetryStep, when positive, attaches the telemetry plane
+	// (requires Metered): a wall-clock poller samples the registry into
+	// the tsdb ring every step, DebugHandler serves /timeseries and
+	// /cluster/metrics, and the site answers peers' TelemetryPull
+	// scrapes with its full registry snapshot.
+	TelemetryStep time.Duration
+	// TelemetryRetain is the number of tsdb frames kept; zero keeps 600
+	// (ten minutes at a 1s step).
+	TelemetryRetain int
+	// SLOs attaches the burn-rate engine over the telemetry ring
+	// (requires TelemetryStep): the poller evaluates every objective
+	// each step — so budget exhaustion seals the flight recorder even
+	// with nobody watching — and DebugHandler serves /slo, answering 503
+	// once any error budget is exhausted. Start from DefaultSLOs.
+	SLOs []SLO
 }
 
 // RemoteSite is one running site of a TCP-deployed reliable device: a
 // replica server plus the local consistency controller and the device
 // interface it serves.
 type RemoteSite struct {
-	cfg     RemoteConfig
-	replica *site.Replica
-	server  *rpcnet.Server
-	client  *rpcnet.Client
-	ctrl    scheme.Controller
-	device  *core.ReliableDevice
-	obs     *obs.Observer
-	health  *health.Engine
-	flight  *flight.Recorder
+	cfg       RemoteConfig
+	replica   *site.Replica
+	server    *rpcnet.Server
+	client    *rpcnet.Client
+	transport protocol.Transport
+	ctrl      scheme.Controller
+	device    *core.ReliableDevice
+	obs       *obs.Observer
+	health    *health.Engine
+	flight    *flight.Recorder
+	tsdb      *tsdb.DB
+	slo       *slo.Engine
+	stopPoll  chan struct{}
 }
 
 // OpenRemote starts a site: it opens (or creates) the local store,
@@ -99,6 +121,15 @@ func OpenRemote(cfg RemoteConfig) (*RemoteSite, error) {
 	}
 	if len(cfg.Peers) == 0 {
 		return nil, errors.New("relidev: remote config needs peer addresses")
+	}
+	if cfg.TelemetryStep < 0 {
+		return nil, fmt.Errorf("relidev: negative telemetry step %v", cfg.TelemetryStep)
+	}
+	if cfg.TelemetryStep > 0 && !cfg.Metered {
+		return nil, errors.New("relidev: telemetry requires Metered")
+	}
+	if len(cfg.SLOs) > 0 && cfg.TelemetryStep == 0 {
+		return nil, errors.New("relidev: SLOs require TelemetryStep")
 	}
 	selfAddr, ok := cfg.Peers[cfg.Self]
 	if !ok {
@@ -213,13 +244,14 @@ func OpenRemote(cfg RemoteConfig) (*RemoteSite, error) {
 		return nil, err
 	}
 	rs := &RemoteSite{
-		cfg:     cfg,
-		replica: replica,
-		server:  server,
-		client:  client,
-		ctrl:    ctrl,
-		device:  dev,
-		obs:     observer,
+		cfg:       cfg,
+		replica:   replica,
+		server:    server,
+		client:    client,
+		transport: transport,
+		ctrl:      ctrl,
+		device:    dev,
+		obs:       observer,
 	}
 	if observer != nil {
 		// The black-box recorder rides the debug surface: each
@@ -236,15 +268,68 @@ func OpenRemote(cfg RemoteConfig) (*RemoteSite, error) {
 		if len(cfg.HealthRules) > 0 {
 			rs.health = health.NewEngine(observer.Snapshot, nil, cfg.HealthRules...)
 		}
+		// Answer peers' TelemetryPull scrapes with the full local
+		// registry: separate processes hold genuinely separate
+		// registries, so unlike the in-process cluster there is no
+		// site-label slicing to do — the whole snapshot is this site's
+		// contribution.
+		replica.SetTelemetryHook(func() []byte {
+			return obs.EncodeSnapshot(observer.Snapshot())
+		})
+	}
+	if cfg.TelemetryStep > 0 {
+		retain := cfg.TelemetryRetain
+		if retain <= 0 {
+			retain = 600
+		}
+		rs.tsdb = tsdb.New(tsdb.Config{
+			Clock:  observer.Now,
+			Source: observer.Snapshot,
+			StepNs: cfg.TelemetryStep.Nanoseconds(),
+			Retain: retain,
+		})
+		if len(cfg.SLOs) > 0 {
+			rs.slo = slo.NewEngine(rs.tsdb, observer.Now, rs.sealOnExhaustion, cfg.SLOs...)
+		}
+		rs.stopPoll = make(chan struct{})
+		go rs.poll(cfg.TelemetryStep)
 	}
 	return rs, nil
 }
 
+// poll drives the telemetry plane on the deployment cadence: sample the
+// registry into the ring, then re-evaluate the burn rates so budget
+// exhaustion seals the flight recorder even with nobody polling /slo.
+func (r *RemoteSite) poll(step time.Duration) {
+	t := time.NewTicker(step)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.tsdb.Sample()
+			if r.slo != nil {
+				r.slo.Evaluate()
+			}
+		case <-r.stopPoll:
+			return
+		}
+	}
+}
+
+// sealOnExhaustion is the SLO engine's seal hook: the forensic ring is
+// frozen at the moment an error budget runs out, retrievable later via
+// /debug/flight (flight.Recorder.LastDump).
+func (r *RemoteSite) sealOnExhaustion(trigger string) {
+	if r.flight != nil {
+		r.flight.Seal(trigger)
+	}
+}
+
 // DebugHandler returns this site's observability HTTP surface
 // (/metrics, /metrics.prom, /trace, /trace/tree, /profile,
-// /debug/flight, /debug/pprof/, and — with RemoteConfig.HealthRules —
-// /healthz), or ErrNotMetered when the site was opened without
-// RemoteConfig.Metered.
+// /debug/flight, /debug/pprof/, /cluster/metrics, and — with the
+// matching RemoteConfig options — /healthz, /timeseries, /slo), or
+// ErrNotMetered when the site was opened without RemoteConfig.Metered.
 func (r *RemoteSite) DebugHandler() (http.Handler, error) {
 	if r.obs == nil {
 		return nil, ErrNotMetered
@@ -254,7 +339,62 @@ func (r *RemoteSite) DebugHandler() (http.Handler, error) {
 	if r.health != nil {
 		mux.HandleFunc("/healthz", health.Handler(r.health))
 	}
+	mux.HandleFunc("/cluster/metrics", obs.ClusterMetricsHandler(r.clusterPull))
+	if r.tsdb != nil {
+		mux.HandleFunc("/timeseries", tsdb.Handler(r.tsdb))
+	}
+	if r.slo != nil {
+		mux.HandleFunc("/slo", slo.Handler(r.slo))
+	}
 	return mux, nil
+}
+
+// clusterPull assembles the cluster metrics view from this site's
+// vantage: a TelemetryPull broadcast to every peer over the real RPC
+// transport (priced and metered like any other protocol message),
+// merged with the full local registry — separate processes hold
+// separate registries, so the local snapshot is exactly this site's
+// contribution. Unreachable peers degrade to per-site errors, never an
+// error for the whole view.
+func (r *RemoteSite) clusterPull(ctx context.Context) (obs.Snapshot, map[protocol.SiteID]error) {
+	peers := make([]protocol.SiteID, 0, len(r.cfg.Peers))
+	for id := range r.cfg.Peers {
+		if id != r.cfg.Self {
+			peers = append(peers, protocol.SiteID(id))
+		}
+	}
+	sortSiteIDs(peers)
+	return obs.ClusterPull(ctx, r.transport, protocol.SiteID(r.cfg.Self), peers, r.obs.Snapshot)
+}
+
+// ClusterMetricsJSON returns the cross-site aggregated metrics view —
+// every peer's registry scraped over the RPC transport and merged with
+// this site's own — plus any per-site scrape errors, encoded as the
+// same JSON shape /cluster/metrics serves. Requires
+// RemoteConfig.Metered.
+func (r *RemoteSite) ClusterMetricsJSON(ctx context.Context) ([]byte, error) {
+	if r.obs == nil {
+		return nil, ErrNotMetered
+	}
+	snap, errs := r.clusterPull(ctx)
+	errMsgs := make(map[string]string, len(errs))
+	for id, err := range errs {
+		errMsgs[id.String()] = err.Error()
+	}
+	return json.Marshal(obs.ClusterMetrics{Metrics: snap, Errors: errMsgs})
+}
+
+// SLOs re-evaluates every configured objective against the telemetry
+// ring and returns the report — the same evaluation /slo serves.
+// Requires RemoteConfig.SLOs.
+func (r *RemoteSite) SLOs() (SLOReport, error) {
+	if r.tsdb == nil {
+		return SLOReport{}, ErrNoTelemetry
+	}
+	if r.slo == nil {
+		return SLOReport{}, ErrNoSLOs
+	}
+	return r.slo.Evaluate(), nil
 }
 
 // Health evaluates the site's health rule set against its current
@@ -335,8 +475,13 @@ func (r *RemoteSite) FetchFrom(ctx context.Context, siteID int, idx int) ([]byte
 	return f.Data, uint64(f.Version), nil
 }
 
-// Close shuts the site down: server, peer connections, store.
+// Close shuts the site down: telemetry poller, server, peer
+// connections, store.
 func (r *RemoteSite) Close() error {
+	if r.stopPoll != nil {
+		close(r.stopPoll)
+		r.stopPoll = nil
+	}
 	errServer := r.server.Close()
 	errClient := r.client.Close()
 	errStore := r.replica.Store().Close()
